@@ -1,0 +1,32 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one paper figure (or ablation) and both prints
+the rendered series and writes it to ``benchmarks/results/<name>.txt`` so
+EXPERIMENTS.md can be assembled from the saved artefacts.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def save_block(name: str, block: str) -> None:
+    """Print a rendered figure block and persist it under results/."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.txt")
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(block + "\n")
+    print()
+    print(block)
+
+
+def budget_from_env(name: str, default: int) -> int:
+    """Allow CI/users to scale benchmark budgets via environment variables
+    (e.g. ``REPRO_BENCH_ROUNDS=50 pytest benchmarks/``)."""
+    value = os.environ.get(name)
+    if value is None:
+        return default
+    return max(1, int(value))

@@ -1,0 +1,33 @@
+"""Ablation — random search vs hill climbing in the perturbation optimizer.
+
+DESIGN.md ablation #1: does the local row-swap/Givens search add anything
+over pure random restarts at matched round counts?"""
+
+from repro.analysis.experiments import optimizer_ablation
+from repro.analysis.reporting import format_mapping, series_block
+
+from _util import budget_from_env, save_block
+
+N_ROUNDS = budget_from_env("REPRO_BENCH_ABL_ROUNDS", 15)
+
+
+def test_ablation_optimizer_strategy(benchmark):
+    stats = benchmark.pedantic(
+        lambda: optimizer_ablation(
+            dataset="diabetes", n_rounds=N_ROUNDS, local_steps=8, seed=0
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    blocks = [
+        format_mapping({"strategy": name, **values})
+        for name, values in stats.items()
+    ]
+    save_block(
+        "ablation_optimizer",
+        series_block("Ablation - optimizer strategy", "\n\n".join(blocks)),
+    )
+    assert (
+        stats["hill_climbing"]["rho_bar"]
+        >= stats["random_search"]["rho_bar"] - 1e-9
+    )

@@ -1,0 +1,37 @@
+"""Figure 4 — lower bound on the number of parties vs expected satisfaction.
+
+Evaluates the closed-form bound k >= 1 + (1 - s0*O)/(1 - s0) over
+s0 in [0.90, 0.99] for the three optimality rates the paper reads off
+Figure 3 (Diabetes 0.95, Shuttle 0.89, Votes 0.98).  Reproduced shape:
+monotone increasing in s0, diverging toward s0 -> 1, ordered by opt-rate."""
+
+from repro.analysis.figures import FIGURE4_OPT_RATES, figure4_series
+from repro.analysis.reporting import ascii_table, series_block
+
+from _util import save_block
+
+
+def test_fig4_minimum_parties(benchmark):
+    series = benchmark.pedantic(figure4_series, rounds=1, iterations=1)
+
+    s0_values = sorted(next(iter(series.values())))
+    headers = ["dataset (opt-rate)"] + [f"s0={s0:.2f}" for s0 in s0_values]
+    rows = []
+    for name, by_s0 in sorted(series.items()):
+        rows.append(
+            [f"{name} ({FIGURE4_OPT_RATES[name]:.2f})"]
+            + [by_s0[s0] for s0 in s0_values]
+        )
+    save_block(
+        "fig4_minimum_parties",
+        series_block(
+            "Figure 4 - minimum number of parties vs expected satisfaction",
+            ascii_table(headers, rows),
+        ),
+    )
+
+    # Shape assertions: monotone in s0; lowest opt-rate needs most parties.
+    for by_s0 in series.values():
+        values = [by_s0[s0] for s0 in s0_values]
+        assert values == sorted(values)
+    assert series["shuttle"][0.99] > series["diabetes"][0.99] > series["votes"][0.99]

@@ -1,0 +1,42 @@
+"""Figure 6 — SVM(RBF) accuracy deviation across the 12 datasets.
+
+Same layout as Figure 5 with the second representative learner: a kernel
+SVM trained with SMO on the pooled target-space table.
+
+Reproduced shape: deviations within a few accuracy points, mostly <= 0."""
+
+import numpy as np
+
+from repro.analysis.figures import figure6_series
+from repro.analysis.reporting import ascii_table, series_block
+from repro.datasets.registry import DATASET_NAMES
+
+from _util import budget_from_env, save_block
+
+REPEATS = budget_from_env("REPRO_BENCH_FIG6_REPEATS", 1)
+
+
+def test_fig6_svm_accuracy_deviation(benchmark):
+    series = benchmark.pedantic(
+        lambda: figure6_series(k=5, repeats=REPEATS, seed=0),
+        rounds=1,
+        iterations=1,
+    )
+
+    headers = ["dataset", "SAP - Uniform", "SAP - Class"]
+    rows = [
+        [name, series[(name, "uniform")], series[(name, "class")]]
+        for name in DATASET_NAMES
+    ]
+    save_block(
+        "fig6_svm_accuracy",
+        series_block(
+            "Figure 6 - SVM(RBF) accuracy deviation (percentage points, "
+            f"{REPEATS} repeats)",
+            ascii_table(headers, rows, float_format="{:+.2f}"),
+        ),
+    )
+
+    values = np.array(list(series.values()))
+    assert np.all(values > -14.0) and np.all(values < 6.0)
+    assert values.mean() <= 0.5

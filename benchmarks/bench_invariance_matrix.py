@@ -1,0 +1,72 @@
+"""Invariance matrix — which classifiers geometric perturbation preserves.
+
+The ICDM'05 companion paper's taxonomy, measured: for each learner, train
+on the original table and on a rotated+translated copy and record the
+fraction of identical predictions on transformed probes.  Distance/
+inner-product learners (KNN, SVM-RBF, LDA, linear models) should agree
+(near-)exactly; the per-column learners (naive Bayes, decision tree) are
+the negative controls the paper excludes."""
+
+import numpy as np
+
+from repro.analysis.reporting import ascii_table, series_block
+from repro.core.normalization import MinMaxNormalizer
+from repro.core.perturbation import perturb_rows, sample_perturbation
+from repro.datasets.registry import load_dataset
+from repro.parties.config import ClassifierSpec, make_classifier
+
+from _util import save_block
+
+LEARNERS = (
+    ClassifierSpec("knn", {"n_neighbors": 5}),
+    ClassifierSpec("svm_rbf", {"C": 1.0}),
+    ClassifierSpec("lda"),
+    ClassifierSpec("linear_svm", {"epochs": 15}),
+    ClassifierSpec("perceptron", {"epochs": 10}),
+    ClassifierSpec("naive_bayes"),
+    ClassifierSpec("decision_tree", {"max_depth": 6}),
+)
+
+INVARIANT = {"knn", "svm_rbf", "lda"}
+NON_INVARIANT = {"naive_bayes", "decision_tree"}
+
+
+def measure_matrix(seed: int = 0):
+    rng = np.random.default_rng(seed)
+    table = load_dataset("wine")
+    X = MinMaxNormalizer().fit_transform(table.X)
+    y = table.y
+    perturbation = sample_perturbation(X.shape[1], rng, noise_sigma=0.0)
+    X_p = perturb_rows(perturbation, X)
+    probes = rng.uniform(0, 1, size=(250, X.shape[1]))
+    probes_p = perturb_rows(perturbation, probes)
+
+    rows = []
+    for spec in LEARNERS:
+        plain = make_classifier(spec).fit(X, y)
+        rotated = make_classifier(spec).fit(X_p, y)
+        agreement = float(
+            np.mean(plain.predict(probes) == rotated.predict(probes_p))
+        )
+        accuracy = float(np.mean(rotated.predict(X_p) == y))
+        rows.append((spec.name, agreement, accuracy))
+    return rows
+
+
+def test_invariance_matrix(benchmark):
+    rows = benchmark.pedantic(measure_matrix, rounds=1, iterations=1)
+    save_block(
+        "invariance_matrix",
+        series_block(
+            "Classifier invariance under rotation+translation (wine)",
+            ascii_table(
+                ["classifier", "prediction agreement", "train accuracy"],
+                rows,
+            ),
+        ),
+    )
+    by_name = {name: agreement for name, agreement, _ in rows}
+    for name in INVARIANT:
+        assert by_name[name] == 1.0, f"{name} must be exactly invariant"
+    for name in NON_INVARIANT:
+        assert by_name[name] < 1.0, f"{name} should visibly change"

@@ -1,0 +1,50 @@
+"""Risk model — the numbers behind equations (1) and (2).
+
+Sweeps the breach-risk equations over the number of parties and over
+satisfaction levels, the quantitative backbone of Sections 2-3."""
+
+from repro.analysis.experiments import risk_sweep
+from repro.analysis.reporting import ascii_table, series_block
+from repro.core.risk import risk_of_breach, sap_risk, source_identifiability
+
+from _util import save_block
+
+
+def test_risk_model_sweep(benchmark):
+    rows = benchmark.pedantic(
+        lambda: risk_sweep(
+            k_values=(2, 3, 4, 5, 6, 8, 10, 15, 20), satisfaction=0.95,
+            opt_rate=0.9,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    headers = list(rows[0])
+    table = ascii_table(headers, [[row[h] for h in headers] for row in rows])
+
+    # Satisfaction sweep at fixed k = 5.
+    sat_rows = []
+    for s in (0.5, 0.7, 0.8, 0.9, 0.95, 1.0):
+        sat_rows.append(
+            [
+                s,
+                risk_of_breach(source_identifiability(5), s, 0.9, 1.0),
+                sap_risk(1.0, 0.9, s, 5),
+            ]
+        )
+    sat_table = ascii_table(["satisfaction", "risk_eq1", "risk_eq2"], sat_rows)
+
+    save_block(
+        "risk_model",
+        series_block(
+            "Risk model - equations (1) and (2)",
+            table + "\n\nsatisfaction sweep at k=5, opt-rate 0.9\n" + sat_table,
+        ),
+    )
+
+    # eq.(1) risk falls with k; eq.(2) is bounded below by the provider view.
+    eq1 = [row["risk_eq1"] for row in rows]
+    assert eq1 == sorted(eq1, reverse=True)
+    standalone = rows[0]["standalone"]
+    assert all(row["risk_eq2"] >= standalone - 1e-12 for row in rows[3:])

@@ -1,0 +1,109 @@
+"""Scalability of the protocol: cost vs number of parties and table size.
+
+Not a paper figure, but the natural systems question for a PODC artefact:
+how do message count, payload volume, simulated wall-clock, and accuracy
+behave as the federation grows?  Messages should grow linearly in k
+(4k + O(1): per provider one dataset send, one forward, one adaptor, one
+report, plus coordinator/miner control traffic), and payload volume should
+be dominated by the two dataset hops."""
+
+import numpy as np
+
+from repro.analysis.reporting import ascii_table, series_block
+from repro.core.session import run_sap_session
+from repro.datasets.registry import load_dataset
+from repro.datasets.schema import Dataset
+from repro.parties.config import ClassifierSpec, SAPConfig
+
+from _util import save_block
+
+
+def sweep_parties(k_values=(2, 4, 6, 8, 12, 16), seed=0):
+    table = load_dataset("credit_g")
+    rows = []
+    for k in k_values:
+        config = SAPConfig(
+            k=k, classifier=ClassifierSpec("knn", {"n_neighbors": 5}), seed=seed
+        )
+        result = run_sap_session(table, config)
+        rows.append(
+            (
+                k,
+                result.messages_sent,
+                result.bytes_sent,
+                result.virtual_duration * 1000,
+                result.deviation,
+            )
+        )
+    return rows
+
+
+def sweep_rows(sizes=(200, 400, 800, 1600), seed=0):
+    base = load_dataset("credit_g", seed=99)
+    rng = np.random.default_rng(seed)
+    rows = []
+    for size in sizes:
+        picks = np.sort(rng.choice(base.n_rows, size=min(size, base.n_rows), replace=False))
+        # Upsample by tiling when more rows than the base are requested.
+        while len(picks) < size:
+            extra = rng.choice(base.n_rows, size=size - len(picks), replace=True)
+            picks = np.concatenate([picks, extra])
+        table = Dataset(
+            name=f"credit_g[{size}]",
+            X=base.X[picks].copy(),
+            y=base.y[picks].copy(),
+        )
+        config = SAPConfig(
+            k=5, classifier=ClassifierSpec("knn", {"n_neighbors": 5}), seed=seed
+        )
+        result = run_sap_session(table, config)
+        rows.append(
+            (
+                size,
+                result.bytes_sent,
+                result.virtual_duration * 1000,
+                result.deviation,
+            )
+        )
+    return rows
+
+
+def test_scaling_with_parties(benchmark):
+    rows = benchmark.pedantic(sweep_parties, rounds=1, iterations=1)
+    save_block(
+        "scaling_parties",
+        series_block(
+            "Scaling - protocol cost vs number of parties (credit_g)",
+            ascii_table(
+                ["k", "messages", "bytes", "virtual ms", "deviation"],
+                rows,
+                float_format="{:.2f}",
+            ),
+        ),
+    )
+    messages = [row[1] for row in rows]
+    ks = [row[0] for row in rows]
+    # Linear growth in k: messages per party stay bounded.
+    per_party = [m / k for m, k in zip(messages, ks)]
+    assert max(per_party) <= 8.0
+    assert messages == sorted(messages)
+
+
+def test_scaling_with_table_size(benchmark):
+    rows = benchmark.pedantic(sweep_rows, rounds=1, iterations=1)
+    save_block(
+        "scaling_rows",
+        series_block(
+            "Scaling - protocol cost vs table size (credit_g, k=5)",
+            ascii_table(
+                ["rows", "bytes", "virtual ms", "deviation"],
+                rows,
+                float_format="{:.2f}",
+            ),
+        ),
+    )
+    volumes = [row[1] for row in rows]
+    assert volumes == sorted(volumes)
+    # Payload volume is dominated by the two dataset hops: ~linear in rows.
+    ratio = volumes[-1] / volumes[0]
+    assert 4.0 < ratio < 16.0

@@ -1,0 +1,74 @@
+"""Micro-benchmarks of the substrates (proper pytest-benchmark timings).
+
+These are the only benches that use repeated timing rounds: they measure
+the building blocks whose cost dominates the figure regenerations —
+rotation sampling, perturbation application, the wire serializer + cipher,
+KNN prediction, and SMO training."""
+
+import numpy as np
+import pytest
+
+from repro.core.perturbation import sample_perturbation
+from repro.core.rotation import haar_orthogonal
+from repro.datasets.registry import load_dataset
+from repro.mining.knn import KNNClassifier
+from repro.mining.svm import BinarySVM
+from repro.simnet import crypto
+from repro.simnet.messages import deserialize_payload, serialize_payload
+
+
+@pytest.fixture(scope="module")
+def wine_rows():
+    table = load_dataset("wine")
+    return table.X, table.y
+
+
+def test_bench_haar_rotation_sampling(benchmark):
+    rng = np.random.default_rng(0)
+    result = benchmark(lambda: haar_orthogonal(34, rng))
+    assert result.shape == (34, 34)
+
+
+def test_bench_perturbation_apply(benchmark):
+    rng = np.random.default_rng(0)
+    perturbation = sample_perturbation(16, rng, noise_sigma=0.05)
+    X = rng.uniform(size=(16, 1000))
+    result = benchmark(lambda: perturbation.apply(X, rng=rng))
+    assert np.asarray(result).shape == (16, 1000)
+
+
+def test_bench_payload_serialization(benchmark):
+    payload = {"features": np.random.default_rng(0).uniform(size=(16, 700))}
+    data = benchmark(lambda: serialize_payload(payload))
+    assert deserialize_payload(data)["features"].shape == (16, 700)
+
+
+def test_bench_transport_encryption(benchmark):
+    rng = np.random.default_rng(0)
+    key = crypto.derive_key("provider-0", "miner")
+    plaintext = bytes(64 * 1024)
+
+    def roundtrip():
+        return crypto.decrypt(key, crypto.encrypt(key, plaintext, rng))
+
+    assert benchmark(roundtrip) == plaintext
+
+
+def test_bench_knn_predict(benchmark, wine_rows):
+    X, y = wine_rows
+    model = KNNClassifier(n_neighbors=5).fit(X, y)
+    predictions = benchmark(lambda: model.predict(X))
+    assert predictions.shape == y.shape
+
+
+def test_bench_smo_training(benchmark, wine_rows):
+    X, y = wine_rows
+    binary = y != 2  # collapse to the first two cultivars
+    X2, y2 = X[binary], y[binary]
+
+    model = benchmark.pedantic(
+        lambda: BinarySVM(kernel="rbf", C=1.0, seed=0).fit(X2, y2),
+        rounds=3,
+        iterations=1,
+    )
+    assert model.score(X2, y2) > 0.9

@@ -1,0 +1,9 @@
+"""Benchmark-suite configuration.
+
+Adds the benchmarks directory to ``sys.path`` so the shared ``_util``
+module imports regardless of how pytest was invoked."""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))

@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Attack resilience: why providers optimize their perturbations.
+
+This example reproduces the *privacy* side of the paper (Section 2 and
+Figure 2).  One provider holds a table and considers publishing it under a
+geometric perturbation.  We:
+
+1. evaluate a random perturbation against the full attack suite — naive
+   value-range estimation, FastICA unmixing, known-sample regression, and
+   distance-inference matching — to see which adversary binds the
+   guarantee;
+2. run the randomized perturbation optimizer and show the distribution of
+   guarantees it achieves vs. random draws (the paper's Figure 2);
+3. sweep the noise level to expose the privacy/accuracy dial the protocol's
+   "common noise component" controls.
+
+Run:  python examples/attack_resilience.py
+"""
+
+import numpy as np
+
+from repro import (
+    MinMaxNormalizer,
+    PerturbationOptimizer,
+    default_suite,
+    fast_suite,
+    load_dataset,
+    sample_perturbation,
+)
+from repro.analysis.reporting import text_histogram
+from repro.datasets.schema import Dataset
+
+
+def normalized_columns(name: str, max_rows: int = 300) -> np.ndarray:
+    table = load_dataset(name)
+    X = MinMaxNormalizer().fit_transform(table.X)
+    ds = Dataset(name=table.name, X=X, y=table.y)
+    if ds.n_rows > max_rows:
+        ds = ds.subset(np.arange(max_rows))
+    return ds.columns()
+
+
+def main() -> None:
+    X = normalized_columns("diabetes")
+    rng = np.random.default_rng(7)
+
+    # --- 1. one random perturbation vs the full attack suite -------------
+    perturbation = sample_perturbation(X.shape[0], rng, noise_sigma=0.05)
+    report = default_suite(known_fraction=0.05).evaluate(perturbation, X, rng)
+    print("attack suite against one random perturbation (sigma = 0.05):")
+    print(report.summary())
+    print(f"binding adversary: {report.strongest_attack}")
+    print()
+
+    # --- 2. Figure 2: random vs optimized guarantee distributions --------
+    optimizer = PerturbationOptimizer(
+        n_rounds=25, local_steps=8, noise_sigma=0.05, seed=7
+    )
+    result = optimizer.optimize(X)
+    print(text_histogram(result.random_privacies,
+                         label="random perturbations (minimum privacy guarantee)"))
+    print()
+    print(text_histogram(result.round_privacies,
+                         label="optimized perturbations"))
+    print()
+    print(result.summary())
+    print()
+
+    # --- 3. the noise dial ------------------------------------------------
+    print("noise level vs privacy guarantee (fast suite):")
+    suite = fast_suite()
+    for sigma in (0.0, 0.02, 0.05, 0.1, 0.2):
+        p = sample_perturbation(X.shape[0], np.random.default_rng(3), sigma)
+        guarantee = suite.guarantee(p, X, np.random.default_rng(9))
+        bar = "#" * int(round(guarantee * 50))
+        print(f"  sigma={sigma:<5} rho={guarantee:.3f}  {bar}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,113 @@
+#!/usr/bin/env python
+"""Multiparty collaboration under the hood: the protocol, step by step.
+
+Where ``quickstart.py`` uses the one-call façade, this example builds the
+distributed system explicitly — network, providers, coordinator, miner —
+runs the Space Adaptation Protocol, and then *audits* the run through the
+adversary ledger:
+
+* what the miner observed (and that it never saw the target parameters);
+* what the coordinator observed (and that it never received a dataset);
+* the wire eavesdropper's view (sizes and timing only — links are
+  encrypted);
+* the empirical source identifiability across many protocol runs,
+  converging within the paper's 1/(k-1) bound.
+
+It also demonstrates per-party risk accounting: satisfaction levels and
+the breach-risk equations (1) and (2).
+
+Run:  python examples/multiparty_collaboration.py
+"""
+
+import numpy as np
+
+from repro import ClassifierSpec, SAPConfig, load_dataset, run_sap_session
+from repro.analysis.experiments import identifiability_monte_carlo
+from repro.analysis.reporting import ascii_table, format_mapping
+from repro.simnet.messages import MessageKind
+
+
+def main() -> None:
+    table = load_dataset("heart")
+    config = SAPConfig(
+        k=6,
+        noise_sigma=0.05,
+        classifier=ClassifierSpec("knn", {"n_neighbors": 5}),
+        optimize_locally=True,       # each provider optimizes its G_i
+        optimizer_rounds=6,
+        optimizer_local_steps=4,
+        seed=2024,
+    )
+
+    print(f"running SAP on {table.name!r} with k={config.k} providers...")
+    result = run_sap_session(
+        table,
+        config,
+        scheme="class",             # skewed local datasets
+        compute_privacy=True,       # risk profiles per party
+        keep_network=True,          # keep the ledger for auditing
+    )
+    print()
+    print(result.summary())
+
+    ledger = result.network.ledger
+
+    # ------------------------------------------------------------------
+    # audit the miner's view
+    # ------------------------------------------------------------------
+    print("\n--- miner's view -------------------------------------------")
+    miner_view = ledger.view_of(config.miner_name)
+    kinds = sorted({obs.kind.value for obs in miner_view})
+    print(f"message kinds the miner decrypted : {kinds}")
+    assert MessageKind.TARGET_PARAMS.value not in kinds
+    forwarded = ledger.plaintexts_seen_by(
+        config.miner_name, MessageKind.FORWARDED_DATASET
+    )
+    rows = [
+        [m.sender, m.payload["tag"][:8] + "...", m.payload["features"].shape[1]]
+        for m in forwarded
+    ]
+    print(ascii_table(["forwarder", "tag", "rows"], rows))
+    print("(tags are opaque; the miner cannot map them back to sources)")
+
+    # ------------------------------------------------------------------
+    # audit the coordinator's view
+    # ------------------------------------------------------------------
+    print("\n--- coordinator's view -------------------------------------")
+    coordinator = config.provider_name(config.k - 1)
+    coord_kinds = sorted(
+        {obs.kind.value for obs in ledger.view_of(coordinator)}
+    )
+    print(f"message kinds the coordinator decrypted: {coord_kinds}")
+    assert MessageKind.PERTURBED_DATASET.value not in coord_kinds
+
+    # ------------------------------------------------------------------
+    # the wire view
+    # ------------------------------------------------------------------
+    print("\n--- eavesdropper's view ------------------------------------")
+    wire = ledger.wire_traffic()
+    total = sum(obs.nbytes for obs in wire)
+    print(
+        format_mapping(
+            {
+                "transmissions observed": len(wire),
+                "ciphertext bytes": total,
+                "plaintext visible": "none (encrypt-then-MAC links)",
+            }
+        )
+    )
+
+    # ------------------------------------------------------------------
+    # identifiability across many runs
+    # ------------------------------------------------------------------
+    print("\n--- identifiability (Monte Carlo over exchange plans) ------")
+    stats = identifiability_monte_carlo(config.k, n_runs=3000, seed=5)
+    print(format_mapping(stats))
+    print(
+        f"paper's bound 1/(k-1) = {stats['analytic']:.3f}; "
+        f"measured worst-case attribution = {stats['empirical_max']:.3f}"
+    )
+
+
+if __name__ == "__main__":
+    main()

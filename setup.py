@@ -1,0 +1,11 @@
+"""Setup shim.
+
+This environment has no network and no ``wheel`` package, so PEP 660
+editable installs fail; this shim lets ``pip install -e . --no-build-isolation
+--no-use-pep517`` (legacy ``setup.py develop``) work offline.  All real
+metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

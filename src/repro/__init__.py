@@ -1,0 +1,131 @@
+"""repro — Space Adaptation: privacy-preserving multiparty collaborative
+mining with geometric perturbation.
+
+A full reproduction of Chen & Liu (PODC 2007) and the geometric-perturbation
+machinery it builds on: the perturbation ``G(X) = RX + Psi + Delta``, the
+attack-resilience privacy metrics and randomized optimizer, the Space
+Adaptation Protocol over a simulated multiparty network, from-scratch KNN
+and SVM(RBF) classifiers, and synthetic stand-ins for the 12 UCI datasets.
+
+Quickstart
+----------
+>>> from repro import load_dataset, SAPConfig, run_sap_session
+>>> result = run_sap_session(load_dataset("iris"), SAPConfig(k=5, seed=7))
+>>> -10 < result.deviation < 10
+True
+"""
+
+from .attacks import (
+    AKICAAttack,
+    AttackSuite,
+    DistanceInferenceAttack,
+    ICAAttack,
+    KnownSampleAttack,
+    NaiveEstimationAttack,
+    PCAAttack,
+    default_suite,
+    evaluate_perturbation,
+    fast_suite,
+)
+from .core import (
+    ExchangePlan,
+    GeometricPerturbation,
+    MinMaxNormalizer,
+    OptimizationResult,
+    PartyRiskProfile,
+    PerturbationOptimizer,
+    PrivacyReport,
+    SAPSessionResult,
+    SpaceAdaptor,
+    ZScoreNormalizer,
+    column_privacy,
+    complementary_noise,
+    compute_adaptor,
+    draw_exchange_plan,
+    haar_orthogonal,
+    minimum_parties,
+    minimum_privacy_guarantee,
+    optimality_rate,
+    risk_of_breach,
+    run_sap_session,
+    sample_perturbation,
+    sap_risk,
+    satisfaction_level,
+    source_identifiability,
+    standalone_risk,
+)
+from .datasets import (
+    DATASET_NAMES,
+    Dataset,
+    DatasetSpec,
+    PartitionScheme,
+    load_dataset,
+    partition,
+)
+from .mining import (
+    KNNClassifier,
+    LinearSVMClassifier,
+    SVMClassifier,
+    accuracy_deviation,
+    accuracy_score,
+)
+from .parties import ClassifierSpec, SAPConfig
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # core
+    "GeometricPerturbation",
+    "sample_perturbation",
+    "MinMaxNormalizer",
+    "ZScoreNormalizer",
+    "haar_orthogonal",
+    "column_privacy",
+    "minimum_privacy_guarantee",
+    "PrivacyReport",
+    "PerturbationOptimizer",
+    "OptimizationResult",
+    "SpaceAdaptor",
+    "compute_adaptor",
+    "complementary_noise",
+    "ExchangePlan",
+    "draw_exchange_plan",
+    "source_identifiability",
+    "optimality_rate",
+    "satisfaction_level",
+    "risk_of_breach",
+    "standalone_risk",
+    "sap_risk",
+    "minimum_parties",
+    "PartyRiskProfile",
+    "SAPSessionResult",
+    "run_sap_session",
+    # attacks
+    "AttackSuite",
+    "NaiveEstimationAttack",
+    "ICAAttack",
+    "AKICAAttack",
+    "PCAAttack",
+    "KnownSampleAttack",
+    "DistanceInferenceAttack",
+    "default_suite",
+    "fast_suite",
+    "evaluate_perturbation",
+    # datasets
+    "Dataset",
+    "DatasetSpec",
+    "DATASET_NAMES",
+    "load_dataset",
+    "partition",
+    "PartitionScheme",
+    # mining
+    "KNNClassifier",
+    "SVMClassifier",
+    "LinearSVMClassifier",
+    "accuracy_score",
+    "accuracy_deviation",
+    # parties
+    "SAPConfig",
+    "ClassifierSpec",
+]

@@ -1,0 +1,38 @@
+"""Experiment drivers and rendering shared by benchmarks, CLI, examples."""
+
+from .experiments import (
+    attack_ablation,
+    identifiability_monte_carlo,
+    noise_sweep,
+    optimizer_ablation,
+    risk_sweep,
+)
+from .figures import (
+    FIGURE4_OPT_RATES,
+    accuracy_deviation_series,
+    figure2_series,
+    figure3_series,
+    figure4_series,
+    figure5_series,
+    figure6_series,
+)
+from .reporting import ascii_table, format_mapping, series_block, text_histogram
+
+__all__ = [
+    "figure2_series",
+    "figure3_series",
+    "figure4_series",
+    "figure5_series",
+    "figure6_series",
+    "accuracy_deviation_series",
+    "FIGURE4_OPT_RATES",
+    "identifiability_monte_carlo",
+    "risk_sweep",
+    "noise_sweep",
+    "optimizer_ablation",
+    "attack_ablation",
+    "ascii_table",
+    "text_histogram",
+    "format_mapping",
+    "series_block",
+]

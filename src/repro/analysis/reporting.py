@@ -1,0 +1,88 @@
+"""Plain-text rendering of experiment results.
+
+The original figures are bar/line charts; in a terminal-only reproduction
+every figure is regenerated as an ASCII table (and, for distributions, a
+text histogram) carrying the same series the chart plots.  Benchmarks and
+the CLI both render through this module so outputs stay uniform.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+import numpy as np
+
+__all__ = ["ascii_table", "text_histogram", "format_mapping", "series_block"]
+
+
+def ascii_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    float_format: str = "{:.3f}",
+) -> str:
+    """Render rows as a fixed-width table with a header rule.
+
+    Floats are formatted with ``float_format``; everything else with
+    ``str``.  Column widths adapt to content.
+    """
+    rendered: List[List[str]] = [[str(h) for h in headers]]
+    for row in rows:
+        cells = []
+        for value in row:
+            if isinstance(value, float) and not isinstance(value, bool):
+                cells.append(float_format.format(value))
+            else:
+                cells.append(str(value))
+        rendered.append(cells)
+    n_cols = max(len(r) for r in rendered)
+    for row in rendered:
+        row.extend([""] * (n_cols - len(row)))
+    widths = [max(len(row[c]) for row in rendered) for c in range(n_cols)]
+
+    def fmt(row: List[str]) -> str:
+        return "  ".join(cell.ljust(width) for cell, width in zip(row, widths)).rstrip()
+
+    lines = [fmt(rendered[0]), "-" * (sum(widths) + 2 * (n_cols - 1))]
+    lines.extend(fmt(row) for row in rendered[1:])
+    return "\n".join(lines)
+
+
+def text_histogram(
+    values: Sequence[float],
+    bins: int = 10,
+    width: int = 40,
+    label: str = "",
+) -> str:
+    """A horizontal-bar histogram (Figure 2's PDF rendered as text)."""
+    values = np.asarray(list(values), dtype=float)
+    if values.size == 0:
+        raise ValueError("no values to histogram")
+    counts, edges = np.histogram(values, bins=bins)
+    peak = counts.max() if counts.max() > 0 else 1
+    lines = []
+    if label:
+        lines.append(label)
+    for count, lo, hi in zip(counts, edges[:-1], edges[1:]):
+        bar = "#" * int(round(width * count / peak))
+        lines.append(f"[{lo:7.4f}, {hi:7.4f})  {bar} {count}")
+    return "\n".join(lines)
+
+
+def format_mapping(mapping: Dict[str, object], indent: int = 0) -> str:
+    """Key-aligned ``key : value`` lines for a flat dictionary."""
+    if not mapping:
+        return ""
+    pad = " " * indent
+    width = max(len(str(key)) for key in mapping)
+    lines = []
+    for key, value in mapping.items():
+        if isinstance(value, float):
+            value = f"{value:.4f}"
+        lines.append(f"{pad}{str(key):<{width}} : {value}")
+    return "\n".join(lines)
+
+
+def series_block(title: str, body: str) -> str:
+    """A titled block with an underline, used to frame each figure output."""
+    rule = "=" * len(title)
+    return f"{title}\n{rule}\n{body}"

@@ -1,0 +1,27 @@
+"""Reconstruction attacks defining the privacy guarantee (SDM'07 models)."""
+
+from .ak_ica import AKICAAttack
+from .base import Attack, AttackContext, build_context
+from .distance import DistanceInferenceAttack
+from .ica import ICAAttack, fast_ica
+from .known_sample import KnownSampleAttack
+from .naive import NaiveEstimationAttack
+from .pca import PCAAttack
+from .resilience import AttackSuite, default_suite, evaluate_perturbation, fast_suite
+
+__all__ = [
+    "Attack",
+    "AttackContext",
+    "build_context",
+    "NaiveEstimationAttack",
+    "PCAAttack",
+    "ICAAttack",
+    "AKICAAttack",
+    "fast_ica",
+    "KnownSampleAttack",
+    "DistanceInferenceAttack",
+    "AttackSuite",
+    "default_suite",
+    "fast_suite",
+    "evaluate_perturbation",
+]

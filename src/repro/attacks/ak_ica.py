@@ -1,0 +1,89 @@
+"""AK-ICA: the known-sample / ICA hybrid attack.
+
+The strongest combination in the SDM'07 attack discussion: ICA recovers the
+independent components of the perturbed table *up to permutation, sign and
+scale*, and a handful of known input-output record pairs resolves those
+indeterminacies far more reliably than matching marginal statistics
+(:class:`repro.attacks.ica.ICAAttack` must do the latter).
+
+Procedure:
+
+1. run FastICA on the perturbed table to get unit-variance components
+   ``S`` and the unmixing map;
+2. locate the known records' columns among the components (their column
+   indices in the table are known to the adversary by construction of the
+   known-pair model);
+3. fit, per original dimension, a least-squares map from the component
+   space to the original values using only the known pairs — this solves
+   permutation, sign, and scale in one regression;
+4. apply the map to all components.
+
+With enough pairs this attack matches the plain known-sample regression on
+noise-free rotations and can exceed it under noise (the ICA step
+concentrates signal); with no pairs it degrades to the marginal-matching
+ICA attack.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Attack, AttackContext
+from .ica import ICAAttack, fast_ica
+
+__all__ = ["AKICAAttack"]
+
+
+class AKICAAttack(Attack):
+    """ICA unmixing with known-sample indeterminacy resolution.
+
+    Parameters
+    ----------
+    ridge:
+        Tikhonov regularization of the component->original regression.
+    max_iter / tol:
+        FastICA iteration controls.
+    """
+
+    name = "ak_ica"
+
+    def __init__(
+        self, ridge: float = 1e-6, max_iter: int = 200, tol: float = 1e-5
+    ) -> None:
+        if ridge < 0:
+            raise ValueError("ridge must be >= 0")
+        self.ridge = ridge
+        self.max_iter = max_iter
+        self.tol = tol
+
+    def reconstruct(self, context: AttackContext) -> np.ndarray:
+        if context.n_known < 2:
+            # Without pairs, fall back to marginal-matching ICA.
+            return ICAAttack(max_iter=self.max_iter, tol=self.tol).reconstruct(
+                context
+            )
+
+        components, unmixing = fast_ica(
+            context.perturbed,
+            rng=context.rng,
+            max_iter=self.max_iter,
+            tol=self.tol,
+        )
+        d = context.d
+
+        # The adversary knows which table columns its known records are
+        # (the known-pair model hands it (x_i, y_i) with y_i a column of
+        # the table); recover the component coordinates of those columns.
+        mean = context.perturbed.mean(axis=1, keepdims=True)
+        known_components = unmixing @ (context.known_perturbed - mean)
+
+        # Regress original values on components (jointly over dimensions),
+        # with an intercept.
+        m = context.n_known
+        design = np.vstack([known_components, np.ones((1, m))])  # (d+1, m)
+        gram = design @ design.T + self.ridge * np.eye(d + 1)
+        coeffs = np.linalg.solve(gram, design @ context.known_original.T)
+        B = coeffs[:d].T  # (d, d)
+        c = coeffs[d]  # (d,)
+
+        return B @ components + c[:, None]

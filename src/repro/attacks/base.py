@@ -1,0 +1,137 @@
+"""Attack interface and the adversary's background knowledge model.
+
+The SDM'07 companion paper evaluates perturbations against reconstruction
+attacks parameterized by what the adversary knows:
+
+* **column statistics** — marginal distributions of the original columns
+  (public domain knowledge: age ranges, vote shares, ...);
+* **known samples** — a handful of original records the adversary can
+  place in the table (e.g. their own record, public figures).
+
+:class:`AttackContext` carries exactly that knowledge plus the perturbed
+table; attacks must not touch anything else (in particular, never the
+perturbation parameters — those are the secret).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["AttackContext", "Attack", "build_context"]
+
+
+@dataclass
+class AttackContext:
+    """Everything the adversary has when mounting a reconstruction.
+
+    Attributes
+    ----------
+    perturbed:
+        The observed table ``Y`` in column orientation (``d x N``).
+    column_means / column_stds / column_mins / column_maxs:
+        Marginal statistics of the *original* normalized columns — the
+        "known distributions" background knowledge.
+    column_quantiles:
+        ``(d, q)`` matrix of original per-column quantiles (a compact stand
+        -in for "the adversary knows the column distributions"); used by the
+        ICA attack to match recovered components to columns.
+    known_original / known_perturbed:
+        ``(d, m)`` matrices of m known input-output record pairs (empty for
+        adversaries without insider samples).
+    rng:
+        Generator for any attack-internal randomness.
+    """
+
+    perturbed: np.ndarray
+    column_means: np.ndarray
+    column_stds: np.ndarray
+    column_mins: np.ndarray
+    column_maxs: np.ndarray
+    column_quantiles: np.ndarray
+    known_original: np.ndarray
+    known_perturbed: np.ndarray
+    rng: np.random.Generator = field(default_factory=np.random.default_rng)
+
+    @property
+    def d(self) -> int:
+        """Data dimensionality."""
+        return self.perturbed.shape[0]
+
+    @property
+    def n(self) -> int:
+        """Number of observed records."""
+        return self.perturbed.shape[1]
+
+    @property
+    def n_known(self) -> int:
+        """Number of known record pairs."""
+        return self.known_original.shape[1]
+
+
+_QUANTILE_GRID = np.linspace(0.0, 1.0, 21)
+
+
+def build_context(
+    X: np.ndarray,
+    Y: np.ndarray,
+    known_fraction: float = 0.05,
+    max_known: int = 20,
+    rng: Optional[np.random.Generator] = None,
+    seed: Optional[int] = None,
+) -> AttackContext:
+    """Assemble the adversary's view for evaluating one perturbation.
+
+    Parameters
+    ----------
+    X / Y:
+        Original and perturbed tables (``d x N``, same shape).  ``X`` is
+        used only to derive the background knowledge (column statistics and
+        the known-sample pairs); attacks never see it directly.
+    known_fraction / max_known:
+        Size of the known-sample set: ``min(max_known, ceil(fraction * N))``
+        records drawn without replacement.
+    """
+    X = np.asarray(X, dtype=float)
+    Y = np.asarray(Y, dtype=float)
+    if X.shape != Y.shape:
+        raise ValueError(f"shape mismatch: X {X.shape} vs Y {Y.shape}")
+    if rng is None:
+        rng = np.random.default_rng(seed)
+    n = X.shape[1]
+    m = min(max_known, max(0, int(np.ceil(known_fraction * n))))
+    if m > 0:
+        picks = rng.choice(n, size=m, replace=False)
+        known_original = X[:, picks].copy()
+        known_perturbed = Y[:, picks].copy()
+    else:
+        known_original = np.empty((X.shape[0], 0))
+        known_perturbed = np.empty((X.shape[0], 0))
+    return AttackContext(
+        perturbed=Y.copy(),
+        column_means=X.mean(axis=1),
+        column_stds=X.std(axis=1),
+        column_mins=X.min(axis=1),
+        column_maxs=X.max(axis=1),
+        column_quantiles=np.quantile(X, _QUANTILE_GRID, axis=1).T,
+        known_original=known_original,
+        known_perturbed=known_perturbed,
+        rng=rng,
+    )
+
+
+class Attack(abc.ABC):
+    """A reconstruction attack: perturbed table + background -> estimate."""
+
+    #: short identifier used in reports and benchmark tables
+    name: str = "attack"
+
+    @abc.abstractmethod
+    def reconstruct(self, context: AttackContext) -> np.ndarray:
+        """Return the adversary's estimate ``X_hat`` (``d x N``)."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name!r}>"

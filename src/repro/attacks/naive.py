@@ -1,0 +1,45 @@
+"""Naive value-range estimation attack.
+
+The weakest adversary in the SDM'07 hierarchy: it knows the original
+columns' marginal statistics but nothing about the transformation, so it
+assumes the perturbed dimension ``j`` still carries original column ``j``
+and simply re-scales it back to the known range.  Rotation defeats it
+almost entirely (dimensions are mixed), which is exactly why it serves as
+the sanity floor of the attack suite: any perturbation scoring *low*
+against the naive attack is leaking raw columns.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Attack, AttackContext
+
+__all__ = ["NaiveEstimationAttack"]
+
+
+class NaiveEstimationAttack(Attack):
+    """Per-column linear rescaling onto the known original range.
+
+    For each dimension ``j`` the estimate is the perturbed row ``Y_j``
+    affinely mapped so its sample min/max coincide with the known original
+    column min/max — the best an attacker can do under the (wrong, once
+    rotated) assumption that columns were perturbed independently.
+    """
+
+    name = "naive"
+
+    def reconstruct(self, context: AttackContext) -> np.ndarray:
+        Y = context.perturbed
+        y_min = Y.min(axis=1, keepdims=True)
+        y_max = Y.max(axis=1, keepdims=True)
+        span = y_max - y_min
+        safe = np.where(span > 0, span, 1.0)
+        unit = (Y - y_min) / safe
+        target_min = context.column_mins[:, None]
+        target_max = context.column_maxs[:, None]
+        estimate = target_min + unit * (target_max - target_min)
+        constant = (span == 0).ravel()
+        if constant.any():
+            estimate[constant] = context.column_means[constant, None]
+        return estimate

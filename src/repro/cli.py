@@ -1,0 +1,286 @@
+"""Command-line entry point: regenerate any paper figure from the terminal.
+
+Usage (after ``pip install -e .``)::
+
+    repro datasets                 # list the 12 synthetic UCI stand-ins
+    repro fig2 --dataset diabetes  # optimized vs random privacy histogram
+    repro fig3 --rounds 10         # optimality rate vs number of parties
+    repro fig4                     # minimum-parties bound
+    repro fig5 --repeats 2         # KNN accuracy deviations (full protocol)
+    repro fig6 --repeats 1         # SVM(RBF) accuracy deviations
+    repro risk                     # eq.(1)/(2) sweep + identifiability MC
+    repro session --dataset wine   # one verbose end-to-end protocol run
+
+Every command accepts ``--seed``; heavier ones accept budget flags so a
+quick look stays quick.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from .analysis.experiments import (
+    attack_ablation,
+    identifiability_monte_carlo,
+    noise_sweep,
+    optimizer_ablation,
+    risk_sweep,
+)
+from .analysis.figures import (
+    figure2_series,
+    figure3_series,
+    figure4_series,
+    figure5_series,
+    figure6_series,
+)
+from .analysis.reporting import ascii_table, format_mapping, series_block, text_histogram
+from .core.session import run_sap_session
+from .datasets.registry import dataset_summary, load_dataset
+from .parties.config import ClassifierSpec, SAPConfig
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI's argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Space Adaptation: privacy-preserving multiparty "
+            "collaborative mining with geometric perturbation' (PODC 2007)."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("datasets", help="list the synthetic UCI stand-ins")
+    p.add_argument(
+        "--detail",
+        metavar="NAME",
+        default=None,
+        help="show per-column statistics for one dataset",
+    )
+
+    p = sub.add_parser("fig2", help="optimized vs random perturbation privacy")
+    p.add_argument("--dataset", default="diabetes")
+    p.add_argument("--rounds", type=int, default=30)
+    p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser("fig3", help="optimality rate vs number of parties")
+    p.add_argument("--rounds", type=int, default=8)
+    p.add_argument("--k-min", type=int, default=5)
+    p.add_argument("--k-max", type=int, default=10)
+    p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser("fig4", help="minimum number of parties vs satisfaction")
+
+    p = sub.add_parser("fig5", help="KNN accuracy deviation (full protocol)")
+    p.add_argument("--repeats", type=int, default=2)
+    p.add_argument("--k", type=int, default=5)
+    p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser("fig6", help="SVM(RBF) accuracy deviation (full protocol)")
+    p.add_argument("--repeats", type=int, default=1)
+    p.add_argument("--k", type=int, default=5)
+    p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser("risk", help="risk-model sweep and identifiability MC")
+    p.add_argument("--k", type=int, default=5)
+    p.add_argument("--runs", type=int, default=2000)
+    p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser("session", help="one verbose end-to-end protocol run")
+    p.add_argument("--dataset", default="wine")
+    p.add_argument("--k", type=int, default=5)
+    p.add_argument(
+        "--classifier",
+        default="knn",
+        choices=[
+            "knn", "svm_rbf", "linear_svm", "perceptron",
+            "lda", "naive_bayes", "decision_tree",
+        ],
+    )
+    p.add_argument("--noise", type=float, default=0.05)
+    p.add_argument("--privacy", action="store_true", help="also compute risk profiles")
+    p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser("ablation", help="design-choice ablations")
+    p.add_argument(
+        "--which",
+        default="optimizer",
+        choices=["optimizer", "noise", "attacks"],
+    )
+    p.add_argument("--dataset", default="diabetes")
+    p.add_argument("--seed", type=int, default=0)
+
+    return parser
+
+
+# ----------------------------------------------------------------------
+# command implementations
+# ----------------------------------------------------------------------
+def _cmd_datasets(args: argparse.Namespace) -> str:
+    if args.detail:
+        from .datasets.statistics import describe
+
+        return describe(load_dataset(args.detail))
+    return dataset_summary()
+
+
+def _cmd_fig2(args: argparse.Namespace) -> str:
+    series = figure2_series(
+        dataset=args.dataset, n_rounds=args.rounds, seed=args.seed
+    )
+    random_vals = np.array(series["random"])
+    optimized_vals = np.array(series["optimized"])
+    body = "\n\n".join(
+        [
+            text_histogram(series["random"], label="random perturbations"),
+            text_histogram(series["optimized"], label="optimized perturbations"),
+            format_mapping(
+                {
+                    "mean random": float(random_vals.mean()),
+                    "mean optimized": float(optimized_vals.mean()),
+                    "gain": float(optimized_vals.mean() - random_vals.mean()),
+                }
+            ),
+        ]
+    )
+    return series_block(
+        f"Figure 2 - privacy guarantee distribution ({args.dataset})", body
+    )
+
+
+def _cmd_fig3(args: argparse.Namespace) -> str:
+    k_values = list(range(args.k_min, args.k_max + 1))
+    series = figure3_series(k_values=k_values, n_rounds=args.rounds, seed=args.seed)
+    headers = ["dataset - scheme"] + [f"k={k}" for k in k_values]
+    rows = []
+    for (name, scheme), rates in sorted(series.items()):
+        rows.append([f"{name} - {scheme}"] + [rates[k] for k in k_values])
+    return series_block(
+        "Figure 3 - optimality rate vs number of parties",
+        ascii_table(headers, rows),
+    )
+
+
+def _cmd_fig4(_args: argparse.Namespace) -> str:
+    series = figure4_series()
+    s0_values = sorted(next(iter(series.values())))
+    headers = ["dataset (opt-rate)"] + [f"s0={s0:.2f}" for s0 in s0_values]
+    from .analysis.figures import FIGURE4_OPT_RATES
+
+    rows = []
+    for name, by_s0 in sorted(series.items()):
+        label = f"{name} ({FIGURE4_OPT_RATES[name]:.2f})"
+        rows.append([label] + [by_s0[s0] for s0 in s0_values])
+    return series_block(
+        "Figure 4 - minimum number of parties vs expected satisfaction",
+        ascii_table(headers, rows),
+    )
+
+
+def _deviation_table(series) -> str:
+    datasets = sorted({name for name, _ in series})
+    headers = ["dataset", "SAP - Uniform", "SAP - Class"]
+    rows = []
+    for name in datasets:
+        rows.append(
+            [
+                name,
+                series.get((name, "uniform"), float("nan")),
+                series.get((name, "class"), float("nan")),
+            ]
+        )
+    return ascii_table(headers, rows, float_format="{:+.2f}")
+
+
+def _cmd_fig5(args: argparse.Namespace) -> str:
+    series = figure5_series(k=args.k, repeats=args.repeats, seed=args.seed)
+    return series_block(
+        "Figure 5 - KNN accuracy deviation (percentage points)",
+        _deviation_table(series),
+    )
+
+
+def _cmd_fig6(args: argparse.Namespace) -> str:
+    series = figure6_series(k=args.k, repeats=args.repeats, seed=args.seed)
+    return series_block(
+        "Figure 6 - SVM(RBF) accuracy deviation (percentage points)",
+        _deviation_table(series),
+    )
+
+
+def _cmd_risk(args: argparse.Namespace) -> str:
+    sweep = risk_sweep()
+    headers = list(sweep[0])
+    table = ascii_table(headers, [[row[h] for h in headers] for row in sweep])
+    mc = identifiability_monte_carlo(args.k, n_runs=args.runs, seed=args.seed)
+    return series_block(
+        "Risk model - eq.(1)/(2) sweep and identifiability Monte Carlo",
+        table + "\n\n" + format_mapping(mc),
+    )
+
+
+def _cmd_session(args: argparse.Namespace) -> str:
+    table = load_dataset(args.dataset)
+    config = SAPConfig(
+        k=args.k,
+        noise_sigma=args.noise,
+        classifier=ClassifierSpec(args.classifier),
+        seed=args.seed,
+        optimize_locally=args.privacy,
+    )
+    result = run_sap_session(table, config, compute_privacy=args.privacy)
+    return series_block(
+        f"SAP session - {args.dataset} ({args.classifier}, k={args.k})",
+        result.summary(),
+    )
+
+
+def _cmd_ablation(args: argparse.Namespace) -> str:
+    if args.which == "optimizer":
+        stats = optimizer_ablation(dataset=args.dataset, seed=args.seed)
+        blocks = [
+            format_mapping({"strategy": name, **values})
+            for name, values in stats.items()
+        ]
+        return series_block("Ablation - optimizer strategy", "\n\n".join(blocks))
+    if args.which == "noise":
+        rows = noise_sweep(dataset=args.dataset, seed=args.seed)
+        headers = list(rows[0])
+        return series_block(
+            "Ablation - common noise level",
+            ascii_table(headers, [[row[h] for h in headers] for row in rows]),
+        )
+    stats = attack_ablation(dataset=args.dataset, seed=args.seed)
+    return series_block("Ablation - attack suite", format_mapping(stats))
+
+
+_COMMANDS = {
+    "datasets": _cmd_datasets,
+    "fig2": _cmd_fig2,
+    "fig3": _cmd_fig3,
+    "fig4": _cmd_fig4,
+    "fig5": _cmd_fig5,
+    "fig6": _cmd_fig6,
+    "risk": _cmd_risk,
+    "session": _cmd_session,
+    "ablation": _cmd_ablation,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    output = _COMMANDS[args.command](args)
+    print(output)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,74 @@
+"""The paper's primary contribution: geometric perturbation + SAP."""
+
+from .adaptation import SpaceAdaptor, complementary_noise, compute_adaptor
+from .normalization import MinMaxNormalizer, ZScoreNormalizer
+from .optimizer import OptimizationResult, PerturbationOptimizer
+from .perturbation import GeometricPerturbation, perturb_rows, sample_perturbation
+from .privacy import (
+    PrivacyReport,
+    average_privacy_guarantee,
+    column_privacy,
+    combine_column_privacy,
+    minimum_privacy_guarantee,
+    naive_baseline_privacy,
+)
+from .protocol import ExchangePlan, draw_exchange_plan
+from .risk import (
+    PartyRiskProfile,
+    mean_satisfaction,
+    minimum_parties,
+    optimality_rate,
+    risk_of_breach,
+    sap_risk,
+    satisfaction_level,
+    source_identifiability,
+    standalone_risk,
+)
+from .rotation import (
+    givens_perturbation,
+    haar_orthogonal,
+    is_orthogonal,
+    random_translation,
+    rotation_distance,
+    swap_rows,
+)
+from .session import SAPSessionResult, run_sap_session, stratified_test_mask
+
+__all__ = [
+    "GeometricPerturbation",
+    "sample_perturbation",
+    "perturb_rows",
+    "MinMaxNormalizer",
+    "ZScoreNormalizer",
+    "haar_orthogonal",
+    "is_orthogonal",
+    "swap_rows",
+    "givens_perturbation",
+    "random_translation",
+    "rotation_distance",
+    "column_privacy",
+    "minimum_privacy_guarantee",
+    "average_privacy_guarantee",
+    "naive_baseline_privacy",
+    "combine_column_privacy",
+    "PrivacyReport",
+    "PerturbationOptimizer",
+    "OptimizationResult",
+    "SpaceAdaptor",
+    "compute_adaptor",
+    "complementary_noise",
+    "ExchangePlan",
+    "draw_exchange_plan",
+    "source_identifiability",
+    "optimality_rate",
+    "satisfaction_level",
+    "risk_of_breach",
+    "standalone_risk",
+    "sap_risk",
+    "minimum_parties",
+    "PartyRiskProfile",
+    "mean_satisfaction",
+    "SAPSessionResult",
+    "run_sap_session",
+    "stratified_test_mask",
+]

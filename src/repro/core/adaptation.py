@@ -1,0 +1,111 @@
+"""Space adaptation: moving a perturbed table into the target space.
+
+Section 3 of the paper.  Given a provider's perturbation
+``G_i : (R_i, t_i)`` (with noise) and the protocol's target perturbation
+``G_t : (R_t, t_t)`` (noise-free), the provider's perturbed table
+``Y_i = R_i X_i + Psi_i + Delta_i`` can be re-expressed as
+
+    Y_{i->t} = R_t R_i^{-1} Y_i + (Psi_t - R_t R_i^{-1} Psi_i)
+               = R_t X_i + Psi_t + R_t R_i^{-1} Delta_i
+
+The first factor is the **rotation adaptor** ``R_it = R_t R_i^{-1}``; the
+second summand the **translation adaptor**
+``Psi_it = Psi_t - R_t R_i^{-1} Psi_i`` (still rank-one, so it is stored as
+a vector); the surviving term ``Delta_it = R_t R_i^{-1} Delta_i`` is the
+**complementary noise** — inheriting the source-space noise is equivalent
+to never removing it, which is the point: the adaptor alone cannot
+de-noise anyone's data.
+
+Crucially, the pair ``<R_it, Psi_it>`` reveals neither ``R_i`` nor ``R_t``
+individually (it is their product plus a blinded translation), which is
+why providers may hand adaptors to the coordinator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .perturbation import GeometricPerturbation
+from .rotation import is_orthogonal
+
+__all__ = ["SpaceAdaptor", "compute_adaptor", "complementary_noise"]
+
+
+@dataclass(frozen=True)
+class SpaceAdaptor:
+    """The pair ``<R_it, Psi_it>`` a provider submits to the coordinator."""
+
+    rotation_adaptor: np.ndarray
+    translation_adaptor: np.ndarray
+
+    def __post_init__(self) -> None:
+        rotation = np.asarray(self.rotation_adaptor, dtype=float)
+        translation = np.asarray(self.translation_adaptor, dtype=float)
+        object.__setattr__(self, "rotation_adaptor", rotation)
+        object.__setattr__(self, "translation_adaptor", translation)
+        d = translation.shape[0]
+        if rotation.shape != (d, d):
+            raise ValueError(
+                f"rotation adaptor {rotation.shape} does not match translation "
+                f"dimension {d}"
+            )
+        if not is_orthogonal(rotation):
+            raise ValueError(
+                "rotation adaptor must be orthogonal (product of orthogonal "
+                "matrices)"
+            )
+
+    @property
+    def dimension(self) -> int:
+        """Data dimensionality ``d``."""
+        return self.translation_adaptor.shape[0]
+
+    def apply(self, Y: np.ndarray) -> np.ndarray:
+        """Adapt a perturbed table (``d x N``) into the target space."""
+        Y = np.asarray(Y, dtype=float)
+        if Y.ndim != 2 or Y.shape[0] != self.dimension:
+            raise ValueError(
+                f"expected column-oriented data with {self.dimension} rows, "
+                f"got {Y.shape}"
+            )
+        return self.rotation_adaptor @ Y + self.translation_adaptor[:, None]
+
+
+def compute_adaptor(
+    source: GeometricPerturbation, target: GeometricPerturbation
+) -> SpaceAdaptor:
+    """Build ``A_it = <R_t R_i^{-1}, t_t - R_t R_i^{-1} t_i>``.
+
+    ``R^{-1} = R'`` for orthogonal matrices, so no linear solve is needed.
+    The target's noise level is irrelevant here (SAP's target space is
+    noise-free by construction); only its rotation/translation enter.
+    """
+    if source.dimension != target.dimension:
+        raise ValueError(
+            f"dimension mismatch: source d={source.dimension}, "
+            f"target d={target.dimension}"
+        )
+    rotation_adaptor = target.rotation @ source.rotation.T
+    translation_adaptor = target.translation - rotation_adaptor @ source.translation
+    return SpaceAdaptor(
+        rotation_adaptor=rotation_adaptor,
+        translation_adaptor=translation_adaptor,
+    )
+
+
+def complementary_noise(
+    source: GeometricPerturbation,
+    target: GeometricPerturbation,
+    noise: np.ndarray,
+) -> np.ndarray:
+    """``Delta_it = R_t R_i^{-1} Delta_i`` — the noise the target space inherits.
+
+    Provided for analysis/tests: verifies that adapting a noisy table equals
+    perturbing the original with the target and adding this matrix.
+    """
+    noise = np.asarray(noise, dtype=float)
+    if noise.shape[0] != source.dimension:
+        raise ValueError("noise matrix does not match the data dimension")
+    return (target.rotation @ source.rotation.T) @ noise

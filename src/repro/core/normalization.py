@@ -1,0 +1,120 @@
+"""Column normalization.
+
+The paper defines the perturbation over "the *normalized* original dataset";
+its translation component is drawn from ``U[-1, 1]`` per dimension, which
+only makes sense when columns live on a comparable scale.  The min-max
+normalizer (to ``[0, 1]``) is the one used throughout this reproduction; a
+z-score normalizer is provided for ablations.
+
+In the multiparty setting the providers must agree on *common* bounds or
+the pooled table would mix scales.  The bounds are treated as
+domain-knowledge metadata (age ranges, vote domains, ...), which matches
+how the original experiments normalize the pooled UCI tables before
+splitting them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["MinMaxNormalizer", "ZScoreNormalizer"]
+
+
+@dataclass
+class MinMaxNormalizer:
+    """Map each column to ``[0, 1]`` using fitted (or supplied) bounds.
+
+    Operates on row-major ``(n, d)`` matrices.  Constant columns map to
+    ``0.5`` (centre of the range) instead of dividing by zero.
+    """
+
+    minimums: Optional[np.ndarray] = None
+    maximums: Optional[np.ndarray] = None
+
+    def fit(self, X: np.ndarray) -> "MinMaxNormalizer":
+        """Learn per-column bounds from ``X``."""
+        X = np.asarray(X, dtype=float)
+        if X.ndim != 2:
+            raise ValueError("X must be 2-D")
+        self.minimums = X.min(axis=0)
+        self.maximums = X.max(axis=0)
+        return self
+
+    def _check(self, X: np.ndarray) -> np.ndarray:
+        if self.minimums is None or self.maximums is None:
+            raise RuntimeError("normalizer is not fitted")
+        X = np.asarray(X, dtype=float)
+        if X.ndim != 2 or X.shape[1] != self.minimums.shape[0]:
+            raise ValueError(
+                f"X has shape {X.shape}, normalizer was fitted on "
+                f"{self.minimums.shape[0]} columns"
+            )
+        return X
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        """Scale columns into ``[0, 1]`` (values outside the fitted bounds
+        extrapolate linearly — providers may hold unseen extremes)."""
+        X = self._check(X)
+        span = self.maximums - self.minimums
+        safe = np.where(span > 0, span, 1.0)
+        out = (X - self.minimums) / safe
+        constant = span == 0
+        if constant.any():
+            out[:, constant] = 0.5
+        return out
+
+    def fit_transform(self, X: np.ndarray) -> np.ndarray:
+        """Fit on ``X`` then transform it."""
+        return self.fit(X).transform(X)
+
+    def inverse_transform(self, X: np.ndarray) -> np.ndarray:
+        """Map normalized values back to the original scale."""
+        X = self._check(X)
+        span = self.maximums - self.minimums
+        return X * span + self.minimums
+
+
+@dataclass
+class ZScoreNormalizer:
+    """Standardize each column to zero mean and unit variance."""
+
+    means: Optional[np.ndarray] = None
+    stds: Optional[np.ndarray] = None
+
+    def fit(self, X: np.ndarray) -> "ZScoreNormalizer":
+        """Learn per-column moments from ``X``."""
+        X = np.asarray(X, dtype=float)
+        if X.ndim != 2:
+            raise ValueError("X must be 2-D")
+        self.means = X.mean(axis=0)
+        self.stds = X.std(axis=0)
+        return self
+
+    def _check(self, X: np.ndarray) -> np.ndarray:
+        if self.means is None or self.stds is None:
+            raise RuntimeError("normalizer is not fitted")
+        X = np.asarray(X, dtype=float)
+        if X.ndim != 2 or X.shape[1] != self.means.shape[0]:
+            raise ValueError(
+                f"X has shape {X.shape}, normalizer was fitted on "
+                f"{self.means.shape[0]} columns"
+            )
+        return X
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        """Standardize columns (constant columns map to 0)."""
+        X = self._check(X)
+        safe = np.where(self.stds > 0, self.stds, 1.0)
+        return (X - self.means) / safe
+
+    def fit_transform(self, X: np.ndarray) -> np.ndarray:
+        """Fit on ``X`` then transform it."""
+        return self.fit(X).transform(X)
+
+    def inverse_transform(self, X: np.ndarray) -> np.ndarray:
+        """Undo standardization."""
+        X = self._check(X)
+        return X * self.stds + self.means

@@ -1,0 +1,202 @@
+"""Randomized perturbation optimization.
+
+The companion paper [2] shows that drawing a random rotation and keeping it
+is wasteful: privacy guarantees vary a lot across rotations (Figure 2 of
+the announcement), so each provider should *search*.  The optimizer here
+reproduces that algorithm family:
+
+* every **round** starts from a fresh Haar-random rotation (a random
+  restart);
+* a round performs **local hill climbing** over orthogonality-preserving
+  moves — row swaps (re-assigning which output dimension carries which
+  mixture) and small random Givens rotations — accepting a move when the
+  attack-suite privacy guarantee improves;
+* the result of a round is an *optimized privacy guarantee* ``rho^(i)``;
+  across ``n`` rounds the paper derives
+  ``rho_bar = mean(rho^(i))`` and the empirical bound
+  ``b_hat = max(rho^(i))``, whose ratio is the **optimality rate**
+  ``O = rho_bar / b_hat`` used by Figures 3 and 4.
+
+The evaluation suite is injectable: optimization loops default to the fast
+attack suite, while reported numbers use the full suite (see
+:mod:`repro.attacks.resilience`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, List, Optional
+
+import numpy as np
+
+from .perturbation import GeometricPerturbation, sample_perturbation
+from .rotation import givens_perturbation, swap_rows
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (attacks -> core)
+    from ..attacks.resilience import AttackSuite
+
+__all__ = ["OptimizationResult", "PerturbationOptimizer"]
+
+
+@dataclass
+class OptimizationResult:
+    """Outcome of an n-round randomized optimization.
+
+    Attributes
+    ----------
+    best:
+        The perturbation achieving the highest guarantee across rounds.
+    best_privacy:
+        Its guarantee (this is the provider's local ``rho_i``).
+    round_privacies:
+        The per-round optimized guarantees ``rho^(1..n)``.
+    random_privacies:
+        Guarantees of the *unoptimized* random restarts (the "random
+        perturbations" curve of Figure 2).
+    """
+
+    best: GeometricPerturbation
+    best_privacy: float
+    round_privacies: List[float] = field(default_factory=list)
+    random_privacies: List[float] = field(default_factory=list)
+
+    @property
+    def rho_bar(self) -> float:
+        """Mean optimized privacy guarantee across rounds."""
+        return float(np.mean(self.round_privacies))
+
+    @property
+    def b_hat(self) -> float:
+        """Empirical privacy bound ``max{rho^(i)}`` (the paper's b-hat)."""
+        return float(np.max(self.round_privacies))
+
+    @property
+    def optimality_rate(self) -> float:
+        """``O = rho_bar / b_hat`` — the efficiency of optimization."""
+        b = self.b_hat
+        return float(self.rho_bar / b) if b > 0 else 0.0
+
+    def summary(self) -> str:
+        """Short multi-line description (used by examples and the CLI)."""
+        return (
+            f"rounds          : {len(self.round_privacies)}\n"
+            f"best privacy    : {self.best_privacy:.4f}\n"
+            f"rho_bar (mean)  : {self.rho_bar:.4f}\n"
+            f"b_hat (max)     : {self.b_hat:.4f}\n"
+            f"optimality rate : {self.optimality_rate:.4f}"
+        )
+
+
+class PerturbationOptimizer:
+    """Random-restart + local-search optimizer for geometric perturbations.
+
+    Parameters
+    ----------
+    n_rounds:
+        Number of random restarts (the paper's ``n``; it uses 100 for the
+        optimality-rate estimates, which remains tractable with the fast
+        suite).
+    local_steps:
+        Hill-climbing proposals per round; each is a row swap or a random
+        Givens rotation, accepted only on improvement.
+    noise_sigma:
+        Noise level of every candidate perturbation (the protocol-wide
+        common noise component).
+    suite:
+        Attack suite scoring candidates; defaults to the fast suite.
+    seed:
+        Seed for the optimizer's own generator (restarts, proposals, and
+        the per-candidate noise/context draws).
+    """
+
+    def __init__(
+        self,
+        n_rounds: int = 20,
+        local_steps: int = 10,
+        noise_sigma: float = 0.05,
+        suite: Optional["AttackSuite"] = None,
+        seed: int = 0,
+    ) -> None:
+        if n_rounds < 1:
+            raise ValueError("n_rounds must be >= 1")
+        if local_steps < 0:
+            raise ValueError("local_steps must be >= 0")
+        self.n_rounds = n_rounds
+        self.local_steps = local_steps
+        self.noise_sigma = noise_sigma
+        if suite is None:
+            # Imported lazily: repro.attacks itself depends on repro.core.
+            from ..attacks.resilience import fast_suite
+
+            suite = fast_suite()
+        self.suite = suite
+        self.seed = seed
+
+    # ------------------------------------------------------------------
+    def _score(
+        self,
+        perturbation: GeometricPerturbation,
+        X: np.ndarray,
+        eval_seed: int,
+    ) -> float:
+        # A fixed per-call seed makes candidate comparisons within a round
+        # use identical noise/known-sample draws — hill climbing on a
+        # stochastic objective would otherwise chase noise.
+        rng = np.random.default_rng(eval_seed)
+        return self.suite.guarantee(perturbation, X, rng)
+
+    def optimize(self, X: np.ndarray) -> OptimizationResult:
+        """Run the full n-round optimization on table ``X`` (``d x N``)."""
+        X = np.asarray(X, dtype=float)
+        if X.ndim != 2:
+            raise ValueError("X must be 2-D (d x N)")
+        d = X.shape[0]
+        rng = np.random.default_rng(self.seed)
+
+        best_overall: Optional[GeometricPerturbation] = None
+        best_overall_privacy = -np.inf
+        round_privacies: List[float] = []
+        random_privacies: List[float] = []
+
+        for round_index in range(self.n_rounds):
+            eval_seed = int(rng.integers(2**32))
+            candidate = sample_perturbation(d, rng, noise_sigma=self.noise_sigma)
+            current_privacy = self._score(candidate, X, eval_seed)
+            random_privacies.append(current_privacy)
+
+            for _ in range(self.local_steps):
+                if d >= 2 and rng.random() < 0.5:
+                    i, j = rng.choice(d, size=2, replace=False)
+                    proposal_rotation = swap_rows(candidate.rotation, int(i), int(j))
+                else:
+                    proposal_rotation = givens_perturbation(candidate.rotation, rng)
+                proposal = candidate.with_rotation(proposal_rotation)
+                proposal_privacy = self._score(proposal, X, eval_seed)
+                if proposal_privacy > current_privacy:
+                    candidate = proposal
+                    current_privacy = proposal_privacy
+
+            round_privacies.append(current_privacy)
+            if current_privacy > best_overall_privacy:
+                best_overall = candidate
+                best_overall_privacy = current_privacy
+
+        assert best_overall is not None  # n_rounds >= 1
+        return OptimizationResult(
+            best=best_overall,
+            best_privacy=float(best_overall_privacy),
+            round_privacies=round_privacies,
+            random_privacies=random_privacies,
+        )
+
+    def random_baseline(self, X: np.ndarray, n_samples: int) -> List[float]:
+        """Guarantees of purely random perturbations (Figure 2 baseline)."""
+        X = np.asarray(X, dtype=float)
+        d = X.shape[0]
+        rng = np.random.default_rng(self.seed + 1)
+        values = []
+        for _ in range(n_samples):
+            eval_seed = int(rng.integers(2**32))
+            candidate = sample_perturbation(d, rng, noise_sigma=self.noise_sigma)
+            values.append(self._score(candidate, X, eval_seed))
+        return values

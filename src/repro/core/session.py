@@ -1,0 +1,283 @@
+"""High-level façade: run one complete SAP collaboration end to end.
+
+:func:`run_sap_session` wires the whole stack together — normalization,
+partitioning, the simulated network, the three protocol roles, mining, and
+the risk accounting — and returns a :class:`SAPSessionResult` with
+everything the paper's figures need:
+
+* perturbed-pipeline accuracy vs. the unperturbed baseline on the *same*
+  train/test rows (Figures 5/6 deviations);
+* the ``(forwarder, source)`` pairs of the run (identifiability audits);
+* optional per-party privacy/risk profiles (satisfaction, eq. (1)/(2)).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..datasets.partition import PartitionScheme, partition
+from ..datasets.schema import Dataset
+from ..mining.metrics import accuracy_deviation, accuracy_score
+from ..parties.config import SAPConfig, make_classifier
+from ..parties.coordinator import Coordinator
+from ..parties.miner import MinerResult, ServiceProvider
+from ..parties.provider import DataProvider
+from ..simnet.channel import Network
+from .normalization import MinMaxNormalizer
+from .optimizer import PerturbationOptimizer
+from .perturbation import GeometricPerturbation
+from .risk import PartyRiskProfile
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (attacks -> core)
+    from ..attacks.resilience import AttackSuite
+
+__all__ = ["SAPSessionResult", "run_sap_session", "stratified_test_mask"]
+
+
+@dataclass
+class SAPSessionResult:
+    """Everything measured in one protocol run."""
+
+    config: SAPConfig
+    scheme: PartitionScheme
+    accuracy_perturbed: float
+    accuracy_standard: float
+    miner_result: MinerResult
+    forwarder_source_pairs: List[Tuple[str, str]]
+    messages_sent: int
+    bytes_sent: int
+    virtual_duration: float
+    risk_profiles: List[PartyRiskProfile] = field(default_factory=list)
+    network: Optional[Network] = None
+
+    @property
+    def deviation(self) -> float:
+        """Accuracy deviation in percentage points (Figures 5/6)."""
+        return accuracy_deviation(self.accuracy_perturbed, self.accuracy_standard)
+
+    def summary(self) -> str:
+        """Multi-line run report."""
+        lines = [
+            f"scheme            : {self.scheme.value}",
+            f"providers (k)     : {self.config.k}",
+            f"classifier        : {self.config.classifier.name}",
+            f"standard accuracy : {self.accuracy_standard:.4f}",
+            f"SAP accuracy      : {self.accuracy_perturbed:.4f}",
+            f"deviation         : {self.deviation:+.2f} points",
+            f"messages / bytes  : {self.messages_sent} / {self.bytes_sent}",
+            f"virtual duration  : {self.virtual_duration * 1000:.1f} ms",
+        ]
+        for profile in self.risk_profiles:
+            lines.append(profile.summary())
+        return "\n".join(lines)
+
+
+def stratified_test_mask(
+    y: np.ndarray, test_fraction: float, rng: np.random.Generator
+) -> np.ndarray:
+    """Boolean holdout mask keeping every class on both sides when possible."""
+    y = np.asarray(y)
+    mask = np.zeros(len(y), dtype=bool)
+    for label in np.unique(y):
+        members = np.flatnonzero(y == label)
+        members = members[rng.permutation(len(members))]
+        n_test = int(round(len(members) * test_fraction))
+        if len(members) >= 2:
+            n_test = min(max(n_test, 1), len(members) - 1)
+        else:
+            n_test = 0
+        mask[members[:n_test]] = True
+    return mask
+
+
+def run_sap_session(
+    dataset: Dataset,
+    config: SAPConfig,
+    scheme: PartitionScheme | str = PartitionScheme.UNIFORM,
+    compute_privacy: bool = False,
+    privacy_suite: Optional["AttackSuite"] = None,
+    keep_network: bool = False,
+) -> SAPSessionResult:
+    """Run the full protocol on one dataset and measure the outcome.
+
+    Parameters
+    ----------
+    dataset:
+        The pooled table (synthetic UCI stand-in).  It is min-max
+        normalized here — modelling the providers' agreed common domain
+        bounds — then partitioned into ``config.k`` local tables.
+    config:
+        Protocol knobs (k, noise, classifier, seeds).
+    scheme:
+        ``uniform`` or ``class`` partition distribution.
+    compute_privacy:
+        When true, also evaluate per-party privacy guarantees and risk
+        profiles (slower: runs the attack suite and a small optimizer per
+        party to estimate the bound ``b``).
+    privacy_suite:
+        Attack suite for the privacy evaluation; defaults to the fast
+        suite.
+    keep_network:
+        Attach the network (with its observation ledger) to the result for
+        information-flow inspection.
+    """
+    scheme = PartitionScheme(scheme) if isinstance(scheme, str) else scheme
+    master = np.random.default_rng(config.seed)
+
+    # Common normalization: the providers' agreed domain bounds.
+    normalizer = MinMaxNormalizer().fit(dataset.X)
+    normalized = Dataset(
+        name=dataset.name,
+        X=normalizer.transform(dataset.X),
+        y=dataset.y,
+        feature_names=dataset.feature_names,
+    )
+
+    parts = partition(
+        normalized, config.k, scheme, rng=np.random.default_rng(master.integers(2**32))
+    )
+    local_datasets = [
+        normalized.subset(part, name=f"{dataset.name}/party{i}")
+        for i, part in enumerate(parts)
+    ]
+    split_rng = np.random.default_rng(master.integers(2**32))
+    test_masks = [
+        stratified_test_mask(local.y, config.test_fraction, split_rng)
+        for local in local_datasets
+    ]
+
+    # --- build the distributed system -------------------------------------
+    network = Network(seed=int(master.integers(2**32)))
+    providers: List[DataProvider] = []
+    for index in range(config.k - 1):
+        providers.append(
+            DataProvider(
+                name=config.provider_name(index),
+                network=network,
+                dataset=local_datasets[index],
+                test_mask=test_masks[index],
+                config=config,
+                seed=int(master.integers(2**32)),
+            )
+        )
+    coordinator = Coordinator(
+        name=config.provider_name(config.k - 1),
+        network=network,
+        dataset=local_datasets[config.k - 1],
+        test_mask=test_masks[config.k - 1],
+        config=config,
+        seed=int(master.integers(2**32)),
+    )
+    providers.append(coordinator)
+    miner = ServiceProvider(
+        name=config.miner_name,
+        network=network,
+        config=config,
+        seed=int(master.integers(2**32)),
+    )
+
+    network.simulator.schedule(0.0, coordinator.start)
+    network.run()
+
+    if miner.result is None:
+        raise RuntimeError("the protocol run did not complete")
+
+    # --- unperturbed baseline on the identical rows ------------------------
+    X_blocks = [local.X for local in local_datasets]
+    y_blocks = [local.y for local in local_datasets]
+    mask_blocks = list(test_masks)
+    X_all = np.vstack(X_blocks)
+    y_all = np.concatenate(y_blocks)
+    mask_all = np.concatenate(mask_blocks)
+    baseline_model = make_classifier(config.classifier)
+    baseline_model.fit(X_all[~mask_all], y_all[~mask_all])
+    accuracy_standard = accuracy_score(
+        y_all[mask_all], baseline_model.predict(X_all[mask_all])
+    )
+
+    # --- identifiability bookkeeping ---------------------------------------
+    assert coordinator.plan is not None
+    pairs: List[Tuple[str, str]] = []
+    for source in range(config.k):
+        forwarder = coordinator.plan.receiver_of_source(source)
+        pairs.append(
+            (config.provider_name(forwarder), config.provider_name(source))
+        )
+
+    # --- optional privacy/risk profiles ------------------------------------
+    profiles: List[PartyRiskProfile] = []
+    if compute_privacy:
+        if privacy_suite is None:
+            from ..attacks.resilience import fast_suite
+
+            privacy_suite = fast_suite()
+        profiles = _privacy_profiles(
+            providers, coordinator, config, privacy_suite, master
+        )
+
+    return SAPSessionResult(
+        config=config,
+        scheme=scheme,
+        accuracy_perturbed=miner.result.accuracy,
+        accuracy_standard=accuracy_standard,
+        miner_result=miner.result,
+        forwarder_source_pairs=pairs,
+        messages_sent=network.messages_sent,
+        bytes_sent=network.bytes_sent,
+        virtual_duration=network.simulator.now,
+        risk_profiles=profiles,
+        network=network if keep_network else None,
+    )
+
+
+def _privacy_profiles(
+    providers: List[DataProvider],
+    coordinator: Coordinator,
+    config: SAPConfig,
+    suite: "AttackSuite",
+    master: np.random.Generator,
+) -> List[PartyRiskProfile]:
+    """Per-party rho_local / rho_global / b estimates and risk numbers."""
+    assert coordinator.target is not None
+    profiles = []
+    for provider in providers:
+        X_cols = provider.dataset.columns()
+        eval_rng = np.random.default_rng(master.integers(2**32))
+        rho_local = suite.guarantee(provider.perturbation, X_cols, eval_rng)
+
+        # The miner holds the provider's table in the target space with the
+        # inherited noise, so the effective global perturbation is the
+        # target's rotation/translation at the provider's noise level.
+        global_perturbation = GeometricPerturbation(
+            rotation=coordinator.target.rotation,
+            translation=coordinator.target.translation,
+            noise_sigma=config.noise_sigma,
+        )
+        eval_rng = np.random.default_rng(master.integers(2**32))
+        rho_global = suite.guarantee(global_perturbation, X_cols, eval_rng)
+
+        # Estimate the provider's empirical bound b-hat with a small
+        # optimizer run (the paper estimates b the same way).
+        optimizer = PerturbationOptimizer(
+            n_rounds=max(4, config.optimizer_rounds // 2),
+            local_steps=config.optimizer_local_steps,
+            noise_sigma=config.noise_sigma,
+            suite=suite,
+            seed=int(master.integers(2**32)),
+        )
+        result = optimizer.optimize(X_cols)
+        b_hat = max(result.b_hat, rho_local, 1e-9)
+
+        profiles.append(
+            PartyRiskProfile(
+                party=provider.name,
+                rho_local=max(rho_local, 1e-9),
+                rho_global=rho_global,
+                b=b_hat,
+                k=config.k,
+            )
+        )
+    return profiles

@@ -1,0 +1,48 @@
+"""Synthetic stand-ins for the paper's 12 UCI datasets, plus partitioners.
+
+See :mod:`repro.datasets.schema` for why synthesis is a faithful
+substitution in this reproduction, and :mod:`repro.datasets.registry` for
+the per-dataset schemas.
+"""
+
+from .partition import (
+    PartitionScheme,
+    describe_partition,
+    partition,
+    partition_by_class,
+    partition_uniform,
+    random_sizes,
+)
+from .registry import (
+    DATASET_NAMES,
+    DATASET_SPECS,
+    FIGURE3_DATASETS,
+    dataset_summary,
+    load_dataset,
+)
+from .schema import Dataset, DatasetSpec, FeatureKind, normalize_dataset
+from .statistics import ColumnStats, class_balance, column_statistics, describe
+from .synthesis import synthesize
+
+__all__ = [
+    "Dataset",
+    "DatasetSpec",
+    "FeatureKind",
+    "normalize_dataset",
+    "ColumnStats",
+    "column_statistics",
+    "class_balance",
+    "describe",
+    "synthesize",
+    "load_dataset",
+    "dataset_summary",
+    "DATASET_SPECS",
+    "DATASET_NAMES",
+    "FIGURE3_DATASETS",
+    "PartitionScheme",
+    "partition",
+    "partition_uniform",
+    "partition_by_class",
+    "random_sizes",
+    "describe_partition",
+]

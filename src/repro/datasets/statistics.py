@@ -1,0 +1,98 @@
+"""Descriptive statistics for datasets.
+
+The attack-context model assumes the adversary knows the original columns'
+marginal statistics; this module is the library's own view of the same
+quantities, used by the CLI (``repro datasets --detail <name>``), by
+examples, and by tests that calibrate synthetic tables against their UCI
+originals' published characteristics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+import numpy as np
+
+from .schema import Dataset
+
+__all__ = ["ColumnStats", "column_statistics", "class_balance", "describe"]
+
+
+@dataclass(frozen=True)
+class ColumnStats:
+    """Marginal summary of one feature column."""
+
+    name: str
+    minimum: float
+    maximum: float
+    mean: float
+    std: float
+    skewness: float
+    n_distinct: int
+
+    @property
+    def looks_binary(self) -> bool:
+        """True when the column takes at most two distinct values."""
+        return self.n_distinct <= 2
+
+
+def column_statistics(dataset: Dataset) -> Tuple[ColumnStats, ...]:
+    """Per-column marginal statistics, in column order."""
+    stats = []
+    for j, name in enumerate(dataset.feature_names):
+        column = dataset.X[:, j]
+        std = float(column.std())
+        if std > 1e-12:
+            skewness = float(np.mean(((column - column.mean()) / std) ** 3))
+        else:
+            skewness = 0.0
+        stats.append(
+            ColumnStats(
+                name=name,
+                minimum=float(column.min()),
+                maximum=float(column.max()),
+                mean=float(column.mean()),
+                std=std,
+                skewness=skewness,
+                n_distinct=int(len(np.unique(column))),
+            )
+        )
+    return tuple(stats)
+
+
+def class_balance(dataset: Dataset) -> Dict[int, float]:
+    """Label -> fraction of rows, sorted by label."""
+    balance = {}
+    for label in dataset.classes:
+        balance[int(label)] = float((dataset.y == label).mean())
+    return balance
+
+
+def describe(dataset: Dataset, max_columns: int = 40) -> str:
+    """Multi-line ASCII description: shape, class balance, column table."""
+    lines = [
+        f"dataset  : {dataset.name}",
+        f"shape    : {dataset.n_rows} rows x {dataset.n_features} columns",
+    ]
+    balance = class_balance(dataset)
+    rendered = ", ".join(
+        f"{label}: {fraction:.1%}" for label, fraction in balance.items()
+    )
+    lines.append(f"classes  : {rendered}")
+    lines.append("")
+    header = (
+        f"{'column':<10}{'min':>9}{'max':>9}{'mean':>9}{'std':>9}"
+        f"{'skew':>9}{'distinct':>10}"
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for stats in column_statistics(dataset)[:max_columns]:
+        lines.append(
+            f"{stats.name:<10}{stats.minimum:>9.3f}{stats.maximum:>9.3f}"
+            f"{stats.mean:>9.3f}{stats.std:>9.3f}{stats.skewness:>9.3f}"
+            f"{stats.n_distinct:>10}"
+        )
+    if dataset.n_features > max_columns:
+        lines.append(f"... ({dataset.n_features - max_columns} more columns)")
+    return "\n".join(lines)

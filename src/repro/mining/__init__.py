@@ -1,0 +1,57 @@
+"""From-scratch classifier substrate (KNN, SVM/SMO, linear baselines).
+
+These learners are the "data mining service" side of the paper: they train
+on perturbed data in the unified target space and — being distance or
+inner-product based — are invariant to the rotation + translation part of a
+geometric perturbation.
+"""
+
+from .base import Classifier, validate_Xy
+from .bayes import GaussianNaiveBayes
+from .kernels import (
+    linear_kernel,
+    pairwise_sq_distances,
+    polynomial_kernel,
+    rbf_kernel,
+    resolve_gamma,
+)
+from .knn import KNNClassifier
+from .lda import LinearDiscriminantAnalysis
+from .linear import AveragedPerceptron, LinearSVMClassifier, PegasosSVM
+from .metrics import (
+    accuracy_deviation,
+    accuracy_score,
+    confusion_matrix,
+    cross_val_accuracy,
+    holdout_accuracy,
+    stratified_kfold_indices,
+)
+from .multiclass import OneVsOneClassifier
+from .svm import BinarySVM, SVMClassifier
+from .tree import DecisionTreeClassifier
+
+__all__ = [
+    "Classifier",
+    "validate_Xy",
+    "KNNClassifier",
+    "GaussianNaiveBayes",
+    "LinearDiscriminantAnalysis",
+    "DecisionTreeClassifier",
+    "BinarySVM",
+    "SVMClassifier",
+    "OneVsOneClassifier",
+    "AveragedPerceptron",
+    "PegasosSVM",
+    "LinearSVMClassifier",
+    "linear_kernel",
+    "polynomial_kernel",
+    "rbf_kernel",
+    "resolve_gamma",
+    "pairwise_sq_distances",
+    "accuracy_score",
+    "accuracy_deviation",
+    "confusion_matrix",
+    "cross_val_accuracy",
+    "holdout_accuracy",
+    "stratified_kfold_indices",
+]

@@ -1,0 +1,72 @@
+"""Gaussian naive Bayes — a deliberately *non*-invariant control learner.
+
+The ICDM'05 companion paper classifies learners by whether geometric
+perturbation preserves their models.  Naive Bayes conditions on individual
+columns, so a rotation — which mixes columns — changes its model: it is one
+of the classifiers the paper says geometric perturbation is *not* suitable
+for.  The library ships it as a negative control: the invariance benchmark
+shows KNN/SVM agreeing exactly across perturbation while NB (and the
+decision tree) drift.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Classifier, check_fitted, validate_Xy
+
+__all__ = ["GaussianNaiveBayes"]
+
+
+class GaussianNaiveBayes(Classifier):
+    """Per-column Gaussian class-conditional model with shared priors.
+
+    Parameters
+    ----------
+    var_smoothing:
+        Fraction of the largest per-column variance added to every variance
+        for numerical stability (handles constant columns, e.g. binary
+        features that are pure within a class).
+    """
+
+    def __init__(self, var_smoothing: float = 1e-9) -> None:
+        if var_smoothing < 0:
+            raise ValueError("var_smoothing must be >= 0")
+        self.var_smoothing = var_smoothing
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "GaussianNaiveBayes":
+        X, y = validate_Xy(X, y)
+        self._classes, y_index = np.unique(y, return_inverse=True)
+        n_classes = len(self._classes)
+        n, d = X.shape
+
+        self._theta = np.zeros((n_classes, d))
+        self._var = np.zeros((n_classes, d))
+        self._log_prior = np.zeros(n_classes)
+        epsilon = self.var_smoothing * float(X.var(axis=0).max() or 1.0)
+        for c in range(n_classes):
+            members = X[y_index == c]
+            self._theta[c] = members.mean(axis=0)
+            self._var[c] = members.var(axis=0) + epsilon + 1e-12
+            self._log_prior[c] = np.log(len(members) / n)
+        self._fitted = True
+        return self
+
+    def predict_log_proba(self, X: np.ndarray) -> np.ndarray:
+        """Unnormalized per-class log posterior for each row."""
+        check_fitted(self)
+        X, _ = validate_Xy(X)
+        n_classes = self._theta.shape[0]
+        scores = np.empty((X.shape[0], n_classes))
+        for c in range(n_classes):
+            log_likelihood = -0.5 * (
+                np.log(2.0 * np.pi * self._var[c])
+                + (X - self._theta[c]) ** 2 / self._var[c]
+            ).sum(axis=1)
+            scores[:, c] = self._log_prior[c] + log_likelihood
+        return scores
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        check_fitted(self)
+        scores = self.predict_log_proba(X)
+        return self._classes[np.argmax(scores, axis=1)]

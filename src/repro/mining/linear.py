@@ -1,0 +1,168 @@
+"""Linear classifier baselines: averaged perceptron and Pegasos linear SVM.
+
+The companion paper [1] observes that linear classifiers, too, are
+(approximately) invariant to rotation perturbation — a rotation of the
+inputs simply rotates the learned weight vector.  These two small learners
+back the ablation benchmarks that check the invariance claim beyond the
+two headline classifiers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Classifier, check_fitted, validate_Xy
+from .multiclass import OneVsOneClassifier
+
+__all__ = ["AveragedPerceptron", "PegasosSVM", "LinearSVMClassifier"]
+
+
+class AveragedPerceptron(Classifier):
+    """Binary averaged perceptron.
+
+    Averaging the weight trajectory is the classic variance-reduction fix
+    that makes the perceptron usable as a baseline learner.
+
+    Parameters
+    ----------
+    epochs:
+        Full passes over the (shuffled) training data.
+    seed:
+        Shuffle seed.
+    """
+
+    def __init__(self, epochs: int = 10, seed: int = 0) -> None:
+        if epochs < 1:
+            raise ValueError("epochs must be >= 1")
+        self.epochs = epochs
+        self.seed = seed
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "AveragedPerceptron":
+        X, y = validate_Xy(X, y)
+        self._classes = np.unique(y)
+        if len(self._classes) == 1:
+            self._constant = self._classes[0]
+            self._fitted = True
+            return self
+        if len(self._classes) != 2:
+            raise ValueError("AveragedPerceptron is binary; wrap in OneVsOne")
+        self._constant = None
+        signs = np.where(y == self._classes[1], 1.0, -1.0)
+
+        rng = np.random.default_rng(self.seed)
+        n, d = X.shape
+        w = np.zeros(d)
+        b = 0.0
+        w_sum = np.zeros(d)
+        b_sum = 0.0
+        updates = 0
+        for _ in range(self.epochs):
+            for i in rng.permutation(n):
+                if signs[i] * (X[i] @ w + b) <= 0:
+                    w = w + signs[i] * X[i]
+                    b = b + signs[i]
+                    updates += 1
+                w_sum += w
+                b_sum += b
+        total = self.epochs * n
+        self._w = w_sum / total
+        self._b = b_sum / total
+        self.n_updates_ = updates
+        self._fitted = True
+        return self
+
+    def decision_function(self, X: np.ndarray) -> np.ndarray:
+        """Signed distance proxy; positive favours ``classes_[1]``."""
+        check_fitted(self)
+        X, _ = validate_Xy(X)
+        if self._constant is not None:
+            return np.zeros(X.shape[0])
+        return X @ self._w + self._b
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        check_fitted(self)
+        X, _ = validate_Xy(X)
+        if self._constant is not None:
+            return np.full(X.shape[0], self._constant)
+        return np.where(
+            self.decision_function(X) >= 0, self._classes[1], self._classes[0]
+        )
+
+
+class PegasosSVM(Classifier):
+    """Binary linear SVM trained with the Pegasos subgradient method.
+
+    Parameters
+    ----------
+    lam:
+        Regularization strength (Pegasos' lambda).
+    epochs:
+        Passes over the data; the step count is ``epochs * n``.
+    seed:
+        Sampling seed.
+    """
+
+    def __init__(self, lam: float = 1e-3, epochs: int = 20, seed: int = 0) -> None:
+        if lam <= 0:
+            raise ValueError("lam must be positive")
+        self.lam = lam
+        self.epochs = epochs
+        self.seed = seed
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "PegasosSVM":
+        X, y = validate_Xy(X, y)
+        self._classes = np.unique(y)
+        if len(self._classes) == 1:
+            self._constant = self._classes[0]
+            self._fitted = True
+            return self
+        if len(self._classes) != 2:
+            raise ValueError("PegasosSVM is binary; wrap in OneVsOne")
+        self._constant = None
+        signs = np.where(y == self._classes[1], 1.0, -1.0)
+
+        rng = np.random.default_rng(self.seed)
+        n, d = X.shape
+        # Append a bias feature so the update rule stays the textbook one.
+        Xb = np.hstack([X, np.ones((n, 1))])
+        w = np.zeros(d + 1)
+        t = 0
+        for _ in range(self.epochs):
+            for i in rng.permutation(n):
+                t += 1
+                eta = 1.0 / (self.lam * t)
+                margin = signs[i] * (Xb[i] @ w)
+                w = (1 - eta * self.lam) * w
+                if margin < 1:
+                    w = w + eta * signs[i] * Xb[i]
+        self._w = w[:-1]
+        self._b = float(w[-1])
+        self._fitted = True
+        return self
+
+    def decision_function(self, X: np.ndarray) -> np.ndarray:
+        """Signed margin; positive favours ``classes_[1]``."""
+        check_fitted(self)
+        X, _ = validate_Xy(X)
+        if self._constant is not None:
+            return np.zeros(X.shape[0])
+        return X @ self._w + self._b
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        check_fitted(self)
+        X, _ = validate_Xy(X)
+        if self._constant is not None:
+            return np.full(X.shape[0], self._constant)
+        return np.where(
+            self.decision_function(X) >= 0, self._classes[1], self._classes[0]
+        )
+
+
+def LinearSVMClassifier(
+    lam: float = 1e-3, epochs: int = 20, seed: int = 0
+) -> Classifier:
+    """Multiclass-ready linear SVM (Pegasos wrapped in one-vs-one)."""
+    return OneVsOneClassifier(
+        lambda pair_seed: PegasosSVM(lam=lam, epochs=epochs, seed=pair_seed),
+        seed=seed,
+    )

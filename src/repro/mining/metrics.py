@@ -1,0 +1,114 @@
+"""Evaluation metrics and resampling helpers.
+
+Figures 5 and 6 report *accuracy deviation*: the difference between a
+classifier's accuracy when trained/tested on SAP-perturbed data and the
+"standard accuracy" obtained on the original unperturbed data.  This module
+provides the accuracy machinery plus stratified resampling used to make
+those comparisons stable.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, List, Tuple
+
+import numpy as np
+
+from .base import Classifier
+
+__all__ = [
+    "accuracy_score",
+    "confusion_matrix",
+    "stratified_kfold_indices",
+    "cross_val_accuracy",
+    "holdout_accuracy",
+    "accuracy_deviation",
+]
+
+
+def accuracy_score(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Fraction of exact label matches."""
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    if y_true.shape != y_pred.shape:
+        raise ValueError(
+            f"shape mismatch: y_true {y_true.shape} vs y_pred {y_pred.shape}"
+        )
+    if y_true.size == 0:
+        raise ValueError("cannot score an empty label set")
+    return float(np.mean(y_true == y_pred))
+
+
+def confusion_matrix(y_true: np.ndarray, y_pred: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Return ``(labels, matrix)`` with ``matrix[i, j]`` counting
+    true-label ``labels[i]`` predicted as ``labels[j]``."""
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    labels = np.unique(np.concatenate([y_true, y_pred]))
+    index = {label: i for i, label in enumerate(labels)}
+    matrix = np.zeros((len(labels), len(labels)), dtype=int)
+    for t, p in zip(y_true, y_pred):
+        matrix[index[t], index[p]] += 1
+    return labels, matrix
+
+
+def stratified_kfold_indices(
+    y: np.ndarray, n_splits: int, rng: np.random.Generator
+) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+    """Yield ``(train_idx, test_idx)`` pairs with per-class balance.
+
+    Classes with fewer members than ``n_splits`` simply appear in fewer
+    folds' test sides — they are never dropped from training.
+    """
+    if n_splits < 2:
+        raise ValueError("n_splits must be >= 2")
+    y = np.asarray(y)
+    folds: List[List[int]] = [[] for _ in range(n_splits)]
+    for label in np.unique(y):
+        members = np.flatnonzero(y == label)
+        members = members[rng.permutation(len(members))]
+        for i, row in enumerate(members):
+            folds[i % n_splits].append(int(row))
+    all_rows = np.arange(len(y))
+    for fold in folds:
+        test_idx = np.array(sorted(fold), dtype=int)
+        train_idx = np.setdiff1d(all_rows, test_idx)
+        yield train_idx, test_idx
+
+
+def cross_val_accuracy(
+    make_classifier: Callable[[], Classifier],
+    X: np.ndarray,
+    y: np.ndarray,
+    n_splits: int = 5,
+    seed: int = 0,
+) -> float:
+    """Mean stratified k-fold accuracy of a freshly built classifier."""
+    rng = np.random.default_rng(seed)
+    scores = []
+    for train_idx, test_idx in stratified_kfold_indices(y, n_splits, rng):
+        model = make_classifier()
+        model.fit(X[train_idx], y[train_idx])
+        scores.append(accuracy_score(y[test_idx], model.predict(X[test_idx])))
+    return float(np.mean(scores))
+
+
+def holdout_accuracy(
+    make_classifier: Callable[[], Classifier],
+    X_train: np.ndarray,
+    y_train: np.ndarray,
+    X_test: np.ndarray,
+    y_test: np.ndarray,
+) -> float:
+    """Accuracy of a freshly built classifier on an explicit holdout."""
+    model = make_classifier()
+    model.fit(X_train, y_train)
+    return accuracy_score(y_test, model.predict(X_test))
+
+
+def accuracy_deviation(perturbed_accuracy: float, standard_accuracy: float) -> float:
+    """Deviation in *percentage points*, as plotted in Figures 5 and 6.
+
+    Negative values mean the perturbed pipeline lost accuracy relative to
+    training on the original data.
+    """
+    return 100.0 * (perturbed_accuracy - standard_accuracy)

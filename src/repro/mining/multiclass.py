@@ -1,0 +1,91 @@
+"""One-vs-one reduction from multiclass to binary classification.
+
+Several of the paper's datasets (Iris, Wine, Ecoli, Shuttle) are
+multiclass; the SVM in :mod:`repro.mining.svm` is inherently binary.  The
+standard one-vs-one reduction trains one binary learner per unordered class
+pair and predicts by majority vote, with ties broken by aggregate decision
+margin when the underlying learners expose one.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple
+
+import numpy as np
+
+from .base import Classifier, check_fitted, validate_Xy
+
+__all__ = ["OneVsOneClassifier"]
+
+
+class OneVsOneClassifier(Classifier):
+    """Train one binary classifier per class pair; vote at prediction time.
+
+    Parameters
+    ----------
+    factory:
+        Callable ``factory(seed) -> Classifier`` producing a fresh binary
+        learner.  Each pair gets a distinct derived seed so per-pair
+        randomization (e.g. SMO tie-breaks) is decorrelated.
+    seed:
+        Base seed for deriving per-pair seeds.
+    """
+
+    def __init__(self, factory: Callable[[int], Classifier], seed: int = 0) -> None:
+        self.factory = factory
+        self.seed = seed
+        self._models: Dict[Tuple[int, int], Classifier] = {}
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "OneVsOneClassifier":
+        X, y = validate_Xy(X, y)
+        self._classes = np.unique(y)
+        self._models = {}
+        pair_index = 0
+        for a in range(len(self._classes)):
+            for b in range(a + 1, len(self._classes)):
+                mask = (y == self._classes[a]) | (y == self._classes[b])
+                model = self.factory(self.seed + pair_index)
+                model.fit(X[mask], y[mask])
+                self._models[(a, b)] = model
+                pair_index += 1
+        self._fitted = True
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        check_fitted(self)
+        X, _ = validate_Xy(X)
+        n_classes = len(self._classes)
+        if n_classes == 1:
+            return np.full(X.shape[0], self._classes[0])
+        votes = np.zeros((X.shape[0], n_classes))
+        margins = np.zeros((X.shape[0], n_classes))
+        for (a, b), model in self._models.items():
+            predictions = model.predict(X)
+            votes[:, a] += predictions == self._classes[a]
+            votes[:, b] += predictions == self._classes[b]
+            if hasattr(model, "decision_function"):
+                margin = model.decision_function(X)
+                # Positive margin favours the learner's classes_[1]; map the
+                # signed value back onto the global class indices.
+                hi = model.classes_[-1]
+                if hi == self._classes[b]:
+                    margins[:, b] += margin
+                    margins[:, a] -= margin
+                else:
+                    margins[:, a] += margin
+                    margins[:, b] -= margin
+        # Majority vote; break vote ties by aggregate margin, then by label
+        # order (deterministic).
+        best = np.argmax(votes + 1e-9 * np.tanh(margins), axis=1)
+        return self._classes[best]
+
+    @property
+    def n_pairs_(self) -> int:
+        """Number of trained pairwise models."""
+        check_fitted(self)
+        return len(self._models)
+
+    def pair_models(self) -> List[Tuple[Tuple[int, int], Classifier]]:
+        """The trained ``((class_index_a, class_index_b), model)`` pairs."""
+        check_fitted(self)
+        return list(self._models.items())

@@ -1,0 +1,160 @@
+"""CART decision tree — the second non-invariant control learner.
+
+Axis-parallel splits are the textbook example of a model geometric
+perturbation destroys: a rotation turns one-column thresholds into oblique
+boundaries the tree can only approximate with many splits.  The ICDM'05
+companion paper explicitly excludes decision trees from the
+perturbation-suitable family; this implementation exists so the invariance
+benchmark can *show* that exclusion rather than assert it.
+
+The implementation is a standard greedy CART with Gini impurity,
+midpoint thresholds, and depth/size stopping rules — deterministic given
+its inputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from .base import Classifier, check_fitted, validate_Xy
+
+__all__ = ["DecisionTreeClassifier"]
+
+
+@dataclass
+class _Node:
+    """One tree node; leaves carry a class index, internal nodes a split."""
+
+    prediction: int
+    feature: int = -1
+    threshold: float = 0.0
+    left: Optional["_Node"] = None
+    right: Optional["_Node"] = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None
+
+
+def _gini(counts: np.ndarray) -> float:
+    total = counts.sum()
+    if total == 0:
+        return 0.0
+    fractions = counts / total
+    return float(1.0 - np.sum(fractions * fractions))
+
+
+class DecisionTreeClassifier(Classifier):
+    """Greedy CART classifier.
+
+    Parameters
+    ----------
+    max_depth:
+        Maximum tree depth (root at depth 0).
+    min_samples_split:
+        Nodes smaller than this become leaves.
+    min_impurity_decrease:
+        Minimum Gini gain for a split to be kept.
+    """
+
+    def __init__(
+        self,
+        max_depth: int = 8,
+        min_samples_split: int = 4,
+        min_impurity_decrease: float = 1e-7,
+    ) -> None:
+        if max_depth < 1:
+            raise ValueError("max_depth must be >= 1")
+        if min_samples_split < 2:
+            raise ValueError("min_samples_split must be >= 2")
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_impurity_decrease = min_impurity_decrease
+
+    # ------------------------------------------------------------------
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "DecisionTreeClassifier":
+        X, y = validate_Xy(X, y)
+        self._classes, y_index = np.unique(y, return_inverse=True)
+        self._root = self._build(X, y_index, depth=0)
+        self.n_nodes_ = self._count(self._root)
+        self._fitted = True
+        return self
+
+    def _build(self, X: np.ndarray, y_index: np.ndarray, depth: int) -> _Node:
+        counts = np.bincount(y_index, minlength=len(self._classes))
+        prediction = int(np.argmax(counts))
+        node = _Node(prediction=prediction)
+        if (
+            depth >= self.max_depth
+            or len(y_index) < self.min_samples_split
+            or counts.max() == len(y_index)
+        ):
+            return node
+
+        best_gain = self.min_impurity_decrease
+        best: Optional[tuple] = None
+        parent_impurity = _gini(counts)
+        n = len(y_index)
+        for feature in range(X.shape[1]):
+            order = np.argsort(X[:, feature], kind="stable")
+            values = X[order, feature]
+            labels = y_index[order]
+            left_counts = np.zeros(len(self._classes))
+            right_counts = counts.astype(float).copy()
+            for i in range(n - 1):
+                left_counts[labels[i]] += 1
+                right_counts[labels[i]] -= 1
+                if values[i] == values[i + 1]:
+                    continue
+                n_left = i + 1
+                n_right = n - n_left
+                gain = parent_impurity - (
+                    n_left / n * _gini(left_counts)
+                    + n_right / n * _gini(right_counts)
+                )
+                if gain > best_gain:
+                    best_gain = gain
+                    best = (feature, (values[i] + values[i + 1]) / 2.0)
+
+        if best is None:
+            return node
+        feature, threshold = best
+        mask = X[:, feature] <= threshold
+        node.feature = feature
+        node.threshold = float(threshold)
+        node.left = self._build(X[mask], y_index[mask], depth + 1)
+        node.right = self._build(X[~mask], y_index[~mask], depth + 1)
+        return node
+
+    # ------------------------------------------------------------------
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        check_fitted(self)
+        X, _ = validate_Xy(X)
+        out = np.empty(X.shape[0], dtype=int)
+        for i, row in enumerate(X):
+            node = self._root
+            while not node.is_leaf:
+                node = node.left if row[node.feature] <= node.threshold else node.right
+            out[i] = node.prediction
+        return self._classes[out]
+
+    # ------------------------------------------------------------------
+    def _count(self, node: _Node) -> int:
+        if node.is_leaf:
+            return 1
+        return 1 + self._count(node.left) + self._count(node.right)
+
+    @property
+    def depth_(self) -> int:
+        """Realized depth of the fitted tree."""
+        check_fitted(self)
+
+        def walk(node: _Node) -> int:
+            if node.is_leaf:
+                return 0
+            return 1 + max(walk(node.left), walk(node.right))
+
+        return walk(self._root)

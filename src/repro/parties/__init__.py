@@ -1,0 +1,16 @@
+"""SAP roles bound to the simulated network (provider, coordinator, miner)."""
+
+from .config import ClassifierSpec, SAPConfig, make_classifier
+from .coordinator import Coordinator
+from .miner import MinerResult, ServiceProvider
+from .provider import DataProvider
+
+__all__ = [
+    "ClassifierSpec",
+    "SAPConfig",
+    "make_classifier",
+    "DataProvider",
+    "Coordinator",
+    "ServiceProvider",
+    "MinerResult",
+]

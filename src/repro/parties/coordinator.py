@@ -1,0 +1,248 @@
+"""The coordinator role (the paper's ``DP_k``).
+
+The coordinator is itself a data provider — it contributes a table and
+participates in the exchange as a *source* — but additionally:
+
+1. selects the random target perturbation ``G_t : (R_t, t_t)`` (noise-free)
+   and distributes it to every provider (never to the miner);
+2. draws the exchange plan: a uniform permutation ``tau`` with its own slot
+   redirected so it never *receives* a dataset (holding both a dataset and
+   the adaptor sequence would let it undo a peer's perturbation);
+3. assigns each source an opaque tag and tells it where to send its
+   perturbed table;
+4. collects the ``k`` tagged space adaptors and hands the miner the
+   adaptor sequence, ordered by tag — the tag join stands in for the
+   paper's "maps the adaptors to the right target by the permutation
+   sequence" while revealing nothing about sources to the miner.
+
+Extension — satisfaction-aware target selection
+-----------------------------------------------
+When ``config.target_candidates > 1`` the coordinator first broadcasts
+several candidate targets, collects one scalar satisfaction score per
+candidate from every provider (see
+:meth:`repro.parties.provider.DataProvider.on_target_proposals`), and fixes
+the target with the highest mean score.  With the default of one candidate
+the flow is exactly the paper's: a single random target.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..core.perturbation import GeometricPerturbation, sample_perturbation
+from ..core.protocol import ExchangePlan, draw_exchange_plan
+from ..datasets.schema import Dataset
+from ..simnet.channel import Network
+from ..simnet.messages import Message, MessageKind
+from .config import SAPConfig
+from .provider import DataProvider
+
+__all__ = ["Coordinator"]
+
+
+class Coordinator(DataProvider):
+    """``DP_k``: a provider with the extra coordination duties."""
+
+    def __init__(
+        self,
+        name: str,
+        network: Network,
+        dataset: Dataset,
+        test_mask: np.ndarray,
+        config: SAPConfig,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(name, network, dataset, test_mask, config, seed=seed)
+        self.plan: Optional[ExchangePlan] = None
+        self.candidates: List[GeometricPerturbation] = []
+        self.chosen_candidate: Optional[int] = None
+        self._votes: Dict[str, np.ndarray] = {}
+        self._adaptors_by_tag: Dict[str, Dict[str, np.ndarray]] = {}
+        self._sequence_sent = False
+        self._sent_tags: set[str] = set()
+        self.admitted: List[str] = []
+
+    # ------------------------------------------------------------------
+    # kick-off
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Begin the protocol run (schedule at t=0 from the session driver)."""
+        d = self.dataset.n_features
+        self.plan = draw_exchange_plan(self.config.k, self.rng)
+        self._send_exchange_assignments()
+        if self.config.round_timeout is not None:
+            self.network.simulator.schedule(
+                self.config.round_timeout, self._check_timeout
+            )
+
+        self.candidates = [
+            sample_perturbation(d, self.rng, noise_sigma=0.0)
+            for _ in range(self.config.target_candidates)
+        ]
+        if self.config.target_candidates == 1:
+            self._fix_target(0)
+            return
+        # Extension path: ask every provider to score the candidates.
+        payload = {
+            "candidates": [
+                {"rotation": c.rotation, "translation": c.translation}
+                for c in self.candidates
+            ]
+        }
+        for index in range(self.config.k):
+            self.send(
+                MessageKind.TARGET_PROPOSALS,
+                self.config.provider_name(index),
+                dict(payload),
+            )
+
+    def _send_exchange_assignments(self) -> None:
+        assert self.plan is not None
+        for index in range(self.config.k):
+            receiver_index = self.plan.receiver_of_source(index)
+            self.send(
+                MessageKind.EXCHANGE_ASSIGNMENT,
+                self.config.provider_name(index),
+                {
+                    "tag": self.plan.tag_of_source(index),
+                    "receiver": self.config.provider_name(receiver_index),
+                },
+            )
+
+    def _fix_target(self, candidate_index: int) -> None:
+        self.chosen_candidate = candidate_index
+        target = self.candidates[candidate_index]
+        payload = {
+            "rotation": target.rotation,
+            "translation": target.translation,
+        }
+        for index in range(self.config.k):
+            self.send(
+                MessageKind.TARGET_PARAMS,
+                self.config.provider_name(index),
+                dict(payload),
+            )
+
+    # ------------------------------------------------------------------
+    # liveness watchdog
+    # ------------------------------------------------------------------
+    def _check_timeout(self) -> None:
+        """Abort the run if the model report has not arrived in time.
+
+        The completion signal is the coordinator's own copy of the miner's
+        ``model_report``; if it is still missing at the deadline the run
+        is stuck (lost dataset, partitioned link, crashed peer) and every
+        principal is told to abandon its state.
+        """
+        if self.model_report is not None:
+            return
+        reason = (
+            f"round timed out after {self.config.round_timeout}s of virtual time"
+        )
+        for index in range(self.config.k - 1):
+            self.send(
+                MessageKind.ABORT,
+                self.config.provider_name(index),
+                {"reason": reason},
+            )
+        self.send(MessageKind.ABORT, self.config.miner_name, {"reason": reason})
+        self.model_report = {"aborted": True, "reason": reason}
+
+    # ------------------------------------------------------------------
+    # target voting (extension)
+    # ------------------------------------------------------------------
+    def on_target_vote(self, message: Message) -> None:
+        """Collect one score vector per provider; fix the argmax target."""
+        if message.sender in self._votes:
+            raise ValueError(f"duplicate vote from {message.sender!r}")
+        scores = np.asarray(message.payload["scores"], dtype=float)
+        if scores.shape != (len(self.candidates),):
+            raise ValueError(
+                f"vote from {message.sender!r} has shape {scores.shape}, "
+                f"expected ({len(self.candidates)},)"
+            )
+        self._votes[message.sender] = scores
+        if len(self._votes) == self.config.k and self.chosen_candidate is None:
+            mean_scores = np.mean(list(self._votes.values()), axis=0)
+            self._fix_target(int(np.argmax(mean_scores)))
+
+    # ------------------------------------------------------------------
+    # adaptor collection
+    # ------------------------------------------------------------------
+    def on_space_adaptor(self, message: Message) -> None:
+        """Collect a tagged adaptor; release the sequence when all ``k``
+        have arrived."""
+        tag = message.payload["tag"]
+        if tag in self._adaptors_by_tag:
+            raise ValueError(f"duplicate adaptor for tag {tag!r}")
+        self._adaptors_by_tag[tag] = {
+            "tag": tag,
+            "rotation_adaptor": np.asarray(message.payload["rotation_adaptor"]),
+            "translation_adaptor": np.asarray(
+                message.payload["translation_adaptor"]
+            ),
+        }
+        self._maybe_send_sequence()
+
+    def _maybe_send_sequence(self) -> None:
+        if not self._sequence_sent:
+            if len(self._adaptors_by_tag) < self.config.k:
+                return
+            # Order by tag: deterministic, and uncorrelated with source
+            # identity because tags are uniform random strings.
+            tags = sorted(self._adaptors_by_tag)
+        else:
+            # Incremental (dynamic-join) path: ship only adaptors the miner
+            # has not seen yet.
+            tags = sorted(set(self._adaptors_by_tag) - self._sent_tags)
+            if not tags:
+                return
+        sequence = [self._adaptors_by_tag[tag] for tag in tags]
+        self.send(
+            MessageKind.ADAPTOR_SEQUENCE,
+            self.config.miner_name,
+            {"adaptors": sequence},
+        )
+        self._sequence_sent = True
+        self._sent_tags.update(tags)
+
+    # ------------------------------------------------------------------
+    # dynamic membership (extension)
+    # ------------------------------------------------------------------
+    def admit_provider(self, provider_name: str) -> str:
+        """Extension over the paper's static membership: admit a provider
+        after the initial round.
+
+        The joiner gets the (already fixed) target parameters and an
+        exchange assignment pointing at a uniformly random *existing*
+        non-coordinator provider, so its table reaches the miner through a
+        forwarder exactly like everyone else's; its tagged adaptor is then
+        relayed incrementally.  Returns the joiner's tag (for tests and
+        audits — the miner never learns the tag -> source mapping).
+        """
+        if self.target is None:
+            raise RuntimeError(
+                "providers can only be admitted after the target is fixed"
+            )
+        tag = self.rng.bytes(12).hex()
+        receiver_index = int(self.rng.integers(self.config.k - 1))
+        self.send(
+            MessageKind.TARGET_PARAMS,
+            provider_name,
+            {
+                "rotation": self.target.rotation,
+                "translation": self.target.translation,
+            },
+        )
+        self.send(
+            MessageKind.EXCHANGE_ASSIGNMENT,
+            provider_name,
+            {
+                "tag": tag,
+                "receiver": self.config.provider_name(receiver_index),
+            },
+        )
+        self.admitted.append(provider_name)
+        return tag

@@ -1,0 +1,249 @@
+"""The data-provider role.
+
+A :class:`DataProvider` owns a private local table.  Over the protocol it:
+
+1. picks its local perturbation ``G_i`` (optimized or random) and perturbs
+   its table — the raw table never leaves the node;
+2. on receiving its exchange assignment (an opaque tag plus a receiver
+   address) sends the perturbed table to that receiver;
+3. on receiving the target parameters computes its space adaptor
+   ``A_it = <R_t R_i^{-1}, t_t - R_t R_i^{-1} t_i>`` and sends it — tagged —
+   to the coordinator;
+4. forwards any peer dataset it received to the miner (this re-send under
+   the forwarder's own identity is what anonymizes sources);
+5. records the miner's final model report.
+
+Handlers are order-independent: the assignment, target parameters, and
+peer datasets may arrive in any interleaving, and each step fires exactly
+once when its prerequisites are satisfied.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+from ..core.adaptation import compute_adaptor
+from ..core.optimizer import PerturbationOptimizer
+from ..core.perturbation import GeometricPerturbation, sample_perturbation
+from ..datasets.schema import Dataset
+from ..simnet.channel import Network
+from ..simnet.messages import Message, MessageKind
+from ..simnet.node import Node
+from .config import SAPConfig
+
+__all__ = ["DataProvider"]
+
+
+class DataProvider(Node):
+    """One of the paper's ``DP_i`` nodes.
+
+    Parameters
+    ----------
+    name / network / seed:
+        Node plumbing (see :class:`repro.simnet.node.Node`).
+    dataset:
+        The provider's private, already-normalized local table.
+    test_mask:
+        Boolean row mask marking the provider's holdout rows (used by the
+        miner for accuracy evaluation; part of the experiment harness, not
+        of the privacy claim).
+    config:
+        The protocol configuration.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        network: Network,
+        dataset: Dataset,
+        test_mask: np.ndarray,
+        config: SAPConfig,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(name, network, seed=seed)
+        self.dataset = dataset
+        self.test_mask = np.asarray(test_mask, dtype=bool)
+        if self.test_mask.shape != (dataset.n_rows,):
+            raise ValueError("test_mask must have one entry per local row")
+        self.config = config
+
+        # Local perturbation choice happens before any message flows.
+        self.perturbation = self._choose_perturbation()
+        X_cols = self.dataset.columns()
+        self.perturbed_features = np.asarray(
+            self.perturbation.apply(X_cols, rng=self.rng)
+        )
+
+        # Protocol state, filled in by handlers.
+        self.tag: Optional[str] = None
+        self.exchange_receiver: Optional[str] = None
+        self.target: Optional[GeometricPerturbation] = None
+        self.model_report: Optional[Dict[str, Any]] = None
+        self.classification_results: Dict[int, np.ndarray] = {}
+        self._next_request_id = 0
+        self._dataset_sent = False
+        self._adaptor_sent = False
+
+    # ------------------------------------------------------------------
+    # local decisions
+    # ------------------------------------------------------------------
+    def _choose_perturbation(self) -> GeometricPerturbation:
+        d = self.dataset.n_features
+        if not self.config.optimize_locally:
+            return sample_perturbation(d, self.rng, noise_sigma=self.config.noise_sigma)
+        optimizer = PerturbationOptimizer(
+            n_rounds=self.config.optimizer_rounds,
+            local_steps=self.config.optimizer_local_steps,
+            noise_sigma=self.config.noise_sigma,
+            seed=int(self.rng.integers(2**32)),
+        )
+        return optimizer.optimize(self.dataset.columns()).best
+
+    # ------------------------------------------------------------------
+    # message handlers (order independent)
+    # ------------------------------------------------------------------
+    def on_exchange_assignment(self, message: Message) -> None:
+        """Coordinator told us our tag and where to send our dataset."""
+        self.tag = message.payload["tag"]
+        self.exchange_receiver = message.payload["receiver"]
+        self._maybe_send_dataset()
+        self._maybe_send_adaptor()
+
+    def on_target_params(self, message: Message) -> None:
+        """Coordinator distributed the target perturbation ``G_t``."""
+        self.target = GeometricPerturbation(
+            rotation=message.payload["rotation"],
+            translation=message.payload["translation"],
+            noise_sigma=0.0,
+        )
+        self._maybe_send_adaptor()
+
+    def on_target_proposals(self, message: Message) -> None:
+        """Extension: score each candidate target by the privacy guarantee
+        it would give *this* provider's table, and vote.
+
+        Only the scalar scores leave the node — the provider's table, its
+        local perturbation, and the per-column structure stay private.
+        """
+        scores = []
+        for candidate in message.payload["candidates"]:
+            perturbation = GeometricPerturbation(
+                rotation=candidate["rotation"],
+                translation=candidate["translation"],
+                noise_sigma=self.config.noise_sigma,
+            )
+            scores.append(self._score_candidate(perturbation))
+        self.send(
+            MessageKind.TARGET_VOTE,
+            message.sender,
+            {"scores": np.asarray(scores, dtype=float)},
+        )
+
+    def _score_candidate(self, perturbation: GeometricPerturbation) -> float:
+        """Fast-suite privacy guarantee of a candidate on the local table."""
+        from ..attacks.resilience import fast_suite
+
+        eval_rng = np.random.default_rng(int(self.rng.integers(2**32)))
+        return fast_suite().guarantee(
+            perturbation, self.dataset.columns(), eval_rng
+        )
+
+    def on_perturbed_dataset(self, message: Message) -> None:
+        """A peer's dataset arrived: forward it to the miner as our own
+        transmission (the anonymization step)."""
+        self.send(
+            MessageKind.FORWARDED_DATASET,
+            self.config.miner_name,
+            payload=dict(message.payload),
+        )
+
+    def on_model_report(self, message: Message) -> None:
+        """Store the miner's final report."""
+        self.model_report = dict(message.payload)
+
+    def on_classify_response(self, message: Message) -> None:
+        """Store the labels the model service returned for one request."""
+        request_id = message.payload["request_id"]
+        if "error" in message.payload:
+            raise RuntimeError(
+                f"classification request {request_id} failed: "
+                f"{message.payload['error']}"
+            )
+        self.classification_results[request_id] = np.asarray(
+            message.payload["labels"]
+        )
+
+    # ------------------------------------------------------------------
+    # model service (the "service provision scheme" of Figure 1)
+    # ------------------------------------------------------------------
+    def request_classification(
+        self, X_rows: np.ndarray, with_noise: bool = True
+    ) -> int:
+        """Ask the miner to classify new local records.
+
+        The records are expressed in the unified target space before they
+        leave the node: rotation + translation from the (provider-held)
+        target parameters, plus — by default — a fresh draw of the common
+        noise component so query records enjoy the same protection as the
+        training pool.  Returns a request id; the labels arrive in
+        :attr:`classification_results` once the response is delivered.
+        """
+        if self.target is None:
+            raise RuntimeError("no target parameters yet; run the protocol first")
+        X_rows = np.asarray(X_rows, dtype=float)
+        if X_rows.ndim != 2 or X_rows.shape[1] != self.dataset.n_features:
+            raise ValueError(
+                f"expected (m, {self.dataset.n_features}) records, "
+                f"got {X_rows.shape}"
+            )
+        query = GeometricPerturbation(
+            rotation=self.target.rotation,
+            translation=self.target.translation,
+            noise_sigma=self.config.noise_sigma if with_noise else 0.0,
+        )
+        features = np.asarray(query.apply(X_rows.T, rng=self.rng))
+        request_id = self._next_request_id
+        self._next_request_id += 1
+        self.send(
+            MessageKind.CLASSIFY_REQUEST,
+            self.config.miner_name,
+            {"request_id": request_id, "features": features},
+        )
+        return request_id
+
+    def on_abort(self, message: Message) -> None:
+        """A peer aborted; remember why (tests assert on this)."""
+        self.model_report = {"aborted": True, "reason": message.payload.get("reason")}
+
+    # ------------------------------------------------------------------
+    # step execution
+    # ------------------------------------------------------------------
+    def _maybe_send_dataset(self) -> None:
+        if self._dataset_sent or self.tag is None or self.exchange_receiver is None:
+            return
+        payload = {
+            "tag": self.tag,
+            "features": self.perturbed_features,
+            "labels": self.dataset.y.astype(np.int64),
+            "test_mask": self.test_mask.astype(np.int8),
+        }
+        self.send(MessageKind.PERTURBED_DATASET, self.exchange_receiver, payload)
+        self._dataset_sent = True
+
+    def _maybe_send_adaptor(self) -> None:
+        if self._adaptor_sent or self.tag is None or self.target is None:
+            return
+        adaptor = compute_adaptor(self.perturbation, self.target)
+        payload = {
+            "tag": self.tag,
+            "rotation_adaptor": adaptor.rotation_adaptor,
+            "translation_adaptor": adaptor.translation_adaptor,
+        }
+        self.send(
+            MessageKind.SPACE_ADAPTOR,
+            self.config.provider_name(self.config.k - 1),
+            payload,
+        )
+        self._adaptor_sent = True

@@ -1,0 +1,56 @@
+"""Deterministic message-passing simulation substrate for the SAP roles.
+
+This package provides everything the multiparty protocol needs from a
+"distributed system": a discrete-event kernel (:mod:`~repro.simnet.kernel`),
+typed serialized messages (:mod:`~repro.simnet.messages`), encrypted
+point-to-point channels with a latency model (:mod:`~repro.simnet.channel`,
+:mod:`~repro.simnet.crypto`), node base classes (:mod:`~repro.simnet.node`),
+and per-principal adversary views for auditing information flow
+(:mod:`~repro.simnet.adversary`).
+"""
+
+from .adversary import (
+    EndpointObservation,
+    ObservationLedger,
+    WireObservation,
+    empirical_identifiability,
+    posterior_over_sources,
+)
+from .channel import LatencyModel, Network
+from .errors import (
+    DuplicateAddressError,
+    ProtocolViolationError,
+    SchedulingError,
+    SimulationError,
+    TransportError,
+    UnknownAddressError,
+)
+from .kernel import Event, Simulator
+from .messages import Message, MessageKind, deserialize_payload, serialize_payload
+from .node import Node
+from .trace import message_flow_summary, render_trace
+
+__all__ = [
+    "Event",
+    "Simulator",
+    "Network",
+    "LatencyModel",
+    "Node",
+    "Message",
+    "MessageKind",
+    "serialize_payload",
+    "deserialize_payload",
+    "ObservationLedger",
+    "WireObservation",
+    "EndpointObservation",
+    "posterior_over_sources",
+    "empirical_identifiability",
+    "render_trace",
+    "message_flow_summary",
+    "SimulationError",
+    "SchedulingError",
+    "TransportError",
+    "ProtocolViolationError",
+    "UnknownAddressError",
+    "DuplicateAddressError",
+]

@@ -1,0 +1,41 @@
+"""Errors raised by the discrete-event simulation substrate.
+
+The simulator is deliberately strict: configuration mistakes (unknown
+addresses, duplicate node names, events scheduled in the past) raise early
+instead of silently corrupting a protocol run, because protocol experiments
+depend on every message being accounted for.
+"""
+
+from __future__ import annotations
+
+
+class SimulationError(Exception):
+    """Base class for all simulation-substrate errors."""
+
+
+class UnknownAddressError(SimulationError):
+    """A message was sent to an address no node is registered under."""
+
+    def __init__(self, address: str) -> None:
+        super().__init__(f"no node registered at address {address!r}")
+        self.address = address
+
+
+class DuplicateAddressError(SimulationError):
+    """Two nodes attempted to register the same address."""
+
+    def __init__(self, address: str) -> None:
+        super().__init__(f"a node is already registered at address {address!r}")
+        self.address = address
+
+
+class SchedulingError(SimulationError):
+    """An event was scheduled with a negative delay or after shutdown."""
+
+
+class TransportError(SimulationError):
+    """A message could not be serialized, encrypted, or authenticated."""
+
+
+class ProtocolViolationError(SimulationError):
+    """A node received a message that its protocol state machine forbids."""

@@ -1,0 +1,179 @@
+"""Deterministic discrete-event simulation kernel.
+
+The kernel is a classic event-queue simulator: callbacks are scheduled at
+virtual timestamps and executed in timestamp order.  Ties are broken by a
+monotonically increasing sequence number so that runs are bit-for-bit
+reproducible regardless of heap internals.
+
+The kernel knows nothing about networking or protocols; channels and nodes
+(see :mod:`repro.simnet.channel` and :mod:`repro.simnet.node`) build on it.
+
+Example
+-------
+>>> sim = Simulator()
+>>> seen = []
+>>> sim.schedule(2.0, lambda: seen.append("late"))
+>>> sim.schedule(1.0, lambda: seen.append("early"))
+>>> sim.run()
+>>> seen
+['early', 'late']
+>>> sim.now
+2.0
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from .errors import SchedulingError
+
+__all__ = ["Event", "Simulator"]
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    Events order by ``(time, seq)``; ``seq`` is assigned by the simulator so
+    two events at the same virtual time run in scheduling order.
+    """
+
+    time: float
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the kernel skips it when it comes due."""
+        self.cancelled = True
+
+
+class Simulator:
+    """Single-threaded deterministic event loop with a virtual clock.
+
+    Parameters
+    ----------
+    start_time:
+        Initial value of the virtual clock (seconds).  Defaults to ``0.0``.
+
+    Notes
+    -----
+    The simulator never consults wall-clock time or global randomness, so a
+    protocol run driven by seeded generators replays identically.
+    """
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._now = float(start_time)
+        self._queue: List[Event] = []
+        self._seq = itertools.count()
+        self._running = False
+        self._events_processed = 0
+
+    # ------------------------------------------------------------------
+    # clock and introspection
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events still queued (including cancelled ones)."""
+        return len(self._queue)
+
+    @property
+    def events_processed(self) -> int:
+        """Number of callbacks executed since construction."""
+        return self._events_processed
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, delay: float, callback: Callable[[], None]) -> Event:
+        """Schedule ``callback`` to run ``delay`` seconds from now.
+
+        Returns the :class:`Event`, which can be cancelled before it fires.
+
+        Raises
+        ------
+        SchedulingError
+            If ``delay`` is negative or not finite.
+        """
+        if not (delay >= 0.0):  # also rejects NaN
+            raise SchedulingError(f"delay must be >= 0, got {delay!r}")
+        event = Event(time=self._now + delay, seq=next(self._seq), callback=callback)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def schedule_at(self, time: float, callback: Callable[[], None]) -> Event:
+        """Schedule ``callback`` at absolute virtual time ``time``."""
+        if time < self._now:
+            raise SchedulingError(
+                f"cannot schedule at {time} (clock is already at {self._now})"
+            )
+        return self.schedule(time - self._now, callback)
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Run the single next non-cancelled event.
+
+        Returns ``True`` if an event ran, ``False`` if the queue was empty.
+        """
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            self._events_processed += 1
+            event.callback()
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> int:
+        """Drain the event queue.
+
+        Parameters
+        ----------
+        until:
+            If given, stop once the next event would fire strictly after
+            ``until`` and fast-forward the clock to ``until``.
+        max_events:
+            If given, stop after that many callbacks (a safety valve for
+            misbehaving protocols in tests).
+
+        Returns
+        -------
+        int
+            Number of callbacks executed by this call.
+        """
+        executed = 0
+        self._running = True
+        try:
+            while self._queue:
+                if max_events is not None and executed >= max_events:
+                    break
+                head = self._peek()
+                if head is None:
+                    break
+                if until is not None and head.time > until:
+                    self._now = max(self._now, until)
+                    break
+                if self.step():
+                    executed += 1
+        finally:
+            self._running = False
+        if until is not None and not self._queue:
+            self._now = max(self._now, until)
+        return executed
+
+    def _peek(self) -> Optional[Event]:
+        """Return the next live event without popping it, dropping cancelled ones."""
+        while self._queue and self._queue[0].cancelled:
+            heapq.heappop(self._queue)
+        return self._queue[0] if self._queue else None

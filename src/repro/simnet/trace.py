@@ -1,0 +1,95 @@
+"""Protocol trace rendering: turn an observation ledger into a readable
+message-sequence listing.
+
+The ledger (:mod:`repro.simnet.adversary`) records every delivered message;
+this module renders those records as a time-ordered, aligned trace —
+useful in examples, debugging, and documentation, and a cheap way to
+eyeball that a protocol run had the expected shape.
+
+Example output::
+
+    t=  10.5ms  coordinator  -> provider-0   target_params
+    t=  11.2ms  coordinator  -> provider-1   target_params
+    t=  52.7ms  provider-1   -> miner        forwarded_dataset  (56_412 B)
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable, List, Optional, Sequence
+
+from .adversary import ObservationLedger
+from .messages import MessageKind, payload_nbytes
+
+__all__ = ["render_trace", "message_flow_summary"]
+
+
+def render_trace(
+    ledger: ObservationLedger,
+    kinds: Optional[Sequence[MessageKind]] = None,
+    max_messages: Optional[int] = None,
+    show_sizes: bool = True,
+) -> str:
+    """Render delivered messages as one aligned line each, in time order.
+
+    Parameters
+    ----------
+    kinds:
+        Restrict to these message kinds (default: everything).
+    max_messages:
+        Truncate long traces (a truncation marker is appended).
+    show_sizes:
+        Append serialized payload sizes.
+    """
+    wanted = set(kinds) if kinds is not None else None
+    records = [
+        obs
+        for obs in sorted(ledger.endpoint, key=lambda o: (o.time, o.observer))
+        if wanted is None or obs.kind in wanted
+    ]
+    truncated = False
+    if max_messages is not None and len(records) > max_messages:
+        records = records[:max_messages]
+        truncated = True
+    if not records:
+        return "(no messages)"
+
+    sender_width = max(len(obs.sender) for obs in records)
+    observer_width = max(len(obs.observer) for obs in records)
+    lines: List[str] = []
+    for obs in records:
+        line = (
+            f"t={obs.time * 1000:>8.1f}ms  "
+            f"{obs.sender:<{sender_width}} -> {obs.observer:<{observer_width}}  "
+            f"{obs.kind.value}"
+        )
+        if show_sizes:
+            line += f"  ({payload_nbytes(obs.message.payload):_} B)"
+        lines.append(line)
+    if truncated:
+        lines.append(f"... ({len(ledger.endpoint)} messages total)")
+    return "\n".join(lines)
+
+
+def message_flow_summary(ledger: ObservationLedger) -> str:
+    """Counts per (kind, sender-role) — a compact protocol fingerprint.
+
+    Collapses concrete provider names (``provider-3``) to the role
+    (``provider``) so runs with different k produce comparable summaries.
+    """
+
+    def role(name: str) -> str:
+        if name.startswith("provider"):
+            return "provider"
+        return name
+
+    counter: Counter = Counter()
+    for obs in ledger.endpoint:
+        counter[(obs.kind.value, role(obs.sender), role(obs.observer))] += 1
+    if not counter:
+        return "(no messages)"
+    width = max(len(kind) for kind, _, _ in counter)
+    lines = []
+    for (kind, sender, observer), count in sorted(counter.items()):
+        lines.append(f"{kind:<{width}}  {sender:>11} -> {observer:<11}  x{count}")
+    return "\n".join(lines)

@@ -1,0 +1,157 @@
+"""Tests for the analysis layer: figure builders, experiments, reporting."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.experiments import (
+    attack_ablation,
+    identifiability_monte_carlo,
+    noise_sweep,
+    optimizer_ablation,
+    risk_sweep,
+)
+from repro.analysis.figures import (
+    FIGURE4_OPT_RATES,
+    accuracy_deviation_series,
+    figure2_series,
+    figure3_series,
+    figure4_series,
+)
+from repro.analysis.reporting import (
+    ascii_table,
+    format_mapping,
+    series_block,
+    text_histogram,
+)
+from repro.parties.config import ClassifierSpec
+
+
+class TestFigure2:
+    def test_series_structure_and_dominance(self):
+        series = figure2_series(
+            dataset="iris", n_rounds=6, local_steps=4, seed=0, max_rows=120
+        )
+        assert len(series["random"]) == 6
+        assert len(series["optimized"]) == 6
+        assert np.mean(series["optimized"]) >= np.mean(series["random"])
+
+
+class TestFigure3:
+    def test_series_covers_grid(self):
+        series = figure3_series(
+            datasets=("iris",),
+            k_values=(3, 4),
+            n_rounds=2,
+            local_steps=1,
+            seed=0,
+        )
+        assert set(series) == {("iris", "class"), ("iris", "uniform")}
+        for rates in series.values():
+            assert set(rates) == {3, 4}
+            for value in rates.values():
+                assert 0.0 < value <= 1.0
+
+
+class TestFigure4:
+    def test_reference_rates_present(self):
+        series = figure4_series()
+        assert set(series) == set(FIGURE4_OPT_RATES)
+
+    def test_monotone_in_s0(self):
+        series = figure4_series()
+        for by_s0 in series.values():
+            s0_sorted = sorted(by_s0)
+            values = [by_s0[s] for s in s0_sorted]
+            assert values == sorted(values)
+
+    def test_ordering_by_opt_rate_at_high_s0(self):
+        series = figure4_series()
+        assert series["shuttle"][0.99] > series["diabetes"][0.99]
+        assert series["diabetes"][0.99] > series["votes"][0.99]
+
+    def test_custom_rates(self):
+        series = figure4_series(opt_rates={"x": 0.5}, s0_values=[0.9])
+        assert series == {"x": {0.9: pytest.approx(series["x"][0.9])}}
+
+
+class TestAccuracySeries:
+    def test_small_run(self):
+        series = accuracy_deviation_series(
+            ClassifierSpec("knn", {"n_neighbors": 3}),
+            datasets=("iris",),
+            k=3,
+            repeats=1,
+            seed=0,
+        )
+        assert set(series) == {("iris", "uniform"), ("iris", "class")}
+        for value in series.values():
+            assert -50.0 < value < 50.0
+
+
+class TestExperiments:
+    def test_identifiability_monte_carlo(self):
+        stats = identifiability_monte_carlo(4, n_runs=400, seed=0)
+        assert stats["analytic"] == pytest.approx(1 / 3)
+        assert stats["empirical_max"] <= stats["analytic"] + 0.08
+
+    def test_risk_sweep_rows(self):
+        rows = risk_sweep(k_values=(2, 5))
+        assert len(rows) == 2
+        assert rows[0]["identifiability"] == 1.0
+        assert rows[1]["risk_eq1"] < rows[0]["risk_eq1"]
+
+    def test_noise_sweep_tradeoff(self):
+        rows = noise_sweep(dataset="iris", sigmas=(0.0, 0.3), seed=0)
+        assert rows[0]["sigma"] == 0.0
+        # More noise -> strictly more privacy under the known-sample attack.
+        assert rows[1]["privacy"] > rows[0]["privacy"]
+
+    def test_optimizer_ablation_structure(self):
+        stats = optimizer_ablation(
+            dataset="iris", n_rounds=4, local_steps=3, seed=0, max_rows=100
+        )
+        assert set(stats) == {"random_search", "hill_climbing"}
+        assert (
+            stats["hill_climbing"]["rho_bar"]
+            >= stats["random_search"]["rho_bar"] - 1e-9
+        )
+
+    def test_attack_ablation_reports_all_attacks(self):
+        stats = attack_ablation(dataset="iris", seed=0, max_rows=100)
+        assert {"naive", "ica", "known_sample", "distance_inference"} <= set(
+            stats
+        )
+        assert stats["guarantee"] == pytest.approx(
+            min(v for k, v in stats.items() if k != "guarantee")
+        )
+
+
+class TestReporting:
+    def test_ascii_table_alignment(self):
+        text = ascii_table(["name", "value"], [["a", 1.5], ["long-name", 2.25]])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert "long-name" in lines[-1]
+        assert "2.250" in text
+
+    def test_ascii_table_custom_float_format(self):
+        text = ascii_table(["v"], [[1.23456]], float_format="{:+.1f}")
+        assert "+1.2" in text
+
+    def test_text_histogram_bins(self):
+        text = text_histogram([0.1] * 5 + [0.9] * 5, bins=2, label="demo")
+        assert text.startswith("demo")
+        assert text.count("5") >= 2
+
+    def test_text_histogram_empty_rejected(self):
+        with pytest.raises(ValueError):
+            text_histogram([])
+
+    def test_format_mapping_alignment(self):
+        text = format_mapping({"a": 1, "long_key": 2.5})
+        assert "a        : 1" in text
+        assert "long_key : 2.5000" in text
+
+    def test_series_block_frame(self):
+        block = series_block("Title", "body")
+        assert block.splitlines()[1] == "====="

@@ -1,0 +1,240 @@
+"""Tests for the attack models and the resilience evaluator."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.base import build_context
+from repro.attacks.distance import DistanceInferenceAttack
+from repro.attacks.ica import ICAAttack, fast_ica
+from repro.attacks.known_sample import KnownSampleAttack
+from repro.attacks.naive import NaiveEstimationAttack
+from repro.attacks.resilience import AttackSuite, default_suite, fast_suite
+from repro.core.perturbation import sample_perturbation
+from repro.core.privacy import minimum_privacy_guarantee
+
+
+@pytest.fixture
+def X(rng):
+    """Non-Gaussian independent columns (ICA-friendly ground truth)."""
+    d, n = 4, 400
+    columns = [
+        rng.uniform(0, 1, size=n),
+        rng.exponential(scale=0.2, size=n),
+        rng.beta(0.4, 0.4, size=n),
+        rng.uniform(0.2, 0.8, size=n),
+    ]
+    return np.vstack(columns)
+
+
+def perturb(X, rng, noise_sigma=0.0):
+    p = sample_perturbation(X.shape[0], rng, noise_sigma=noise_sigma)
+    Y = np.asarray(p.apply(X, rng=rng if noise_sigma else None))
+    return p, Y
+
+
+class TestContext:
+    def test_known_sample_sizing(self, X, rng):
+        _, Y = perturb(X, rng)
+        context = build_context(X, Y, known_fraction=0.05, max_known=10, rng=rng)
+        assert context.n_known == 10  # min(10, ceil(0.05*400)=20)
+
+    def test_zero_known_fraction(self, X, rng):
+        _, Y = perturb(X, rng)
+        context = build_context(X, Y, known_fraction=0.0, rng=rng)
+        assert context.n_known == 0
+
+    def test_shape_mismatch_rejected(self, X, rng):
+        with pytest.raises(ValueError):
+            build_context(X, X[:, :5], rng=rng)
+
+    def test_background_statistics_match_original(self, X, rng):
+        _, Y = perturb(X, rng)
+        context = build_context(X, Y, rng=rng)
+        np.testing.assert_allclose(context.column_means, X.mean(axis=1))
+        np.testing.assert_allclose(context.column_stds, X.std(axis=1))
+
+
+class TestNaive:
+    def test_defeated_by_rotation(self, X, rng):
+        """Rotation mixes columns, so the naive attack reconstructs poorly."""
+        _, Y = perturb(X, rng)
+        context = build_context(X, Y, rng=rng)
+        estimate = NaiveEstimationAttack().reconstruct(context)
+        assert minimum_privacy_guarantee(X, estimate) > 0.2
+
+    def test_beats_identity_perturbation(self, X, rng):
+        """Without rotation (identity), the naive attack recovers columns."""
+        from repro.core.perturbation import GeometricPerturbation
+
+        identity = GeometricPerturbation(
+            rotation=np.eye(4), translation=np.full(4, 0.3)
+        )
+        Y = np.asarray(identity.apply(X))
+        context = build_context(X, Y, rng=rng)
+        estimate = NaiveEstimationAttack().reconstruct(context)
+        assert minimum_privacy_guarantee(X, estimate) < 0.15
+
+    def test_estimate_has_original_shape(self, X, rng):
+        _, Y = perturb(X, rng)
+        context = build_context(X, Y, rng=rng)
+        assert NaiveEstimationAttack().reconstruct(context).shape == X.shape
+
+
+class TestFastICA:
+    def test_components_shape_and_scale(self, X, rng):
+        _, Y = perturb(X, rng)
+        components, unmixing = fast_ica(Y, rng)
+        assert components.shape == Y.shape
+        np.testing.assert_allclose(components.std(axis=1), 1.0, atol=1e-6)
+
+    def test_unmixing_reproduces_components(self, X, rng):
+        _, Y = perturb(X, rng)
+        components, unmixing = fast_ica(Y, rng)
+        centred = Y - Y.mean(axis=1, keepdims=True)
+        np.testing.assert_allclose(unmixing @ centred, components, atol=1e-6)
+
+    def test_recovers_independent_sources_up_to_sign(self, rng):
+        """On a pure mixing of very non-Gaussian sources, some recovered
+        component should correlate strongly with each source."""
+        n = 2000
+        S = np.vstack(
+            [rng.uniform(-1, 1, size=n), rng.exponential(size=n) - 1.0]
+        )
+        from repro.core.rotation import haar_orthogonal
+
+        A = haar_orthogonal(2, rng)
+        Y = A @ S
+        components, _ = fast_ica(Y, rng)
+        correlation = np.abs(np.corrcoef(np.vstack([S, components]))[:2, 2:])
+        assert correlation.max(axis=1).min() > 0.9
+
+    def test_input_validation(self, rng):
+        with pytest.raises(ValueError):
+            fast_ica(np.zeros(5), rng)
+        with pytest.raises(ValueError):
+            fast_ica(np.zeros((3, 1)), rng)
+
+
+class TestICAAttack:
+    def test_stronger_than_naive_on_pure_rotation(self, X, rng):
+        p = sample_perturbation(X.shape[0], rng, noise_sigma=0.0)
+        Y = np.asarray(p.apply(X))
+        context = build_context(X, Y, rng=rng)
+        naive_privacy = minimum_privacy_guarantee(
+            X, NaiveEstimationAttack().reconstruct(context)
+        )
+        ica_privacy = minimum_privacy_guarantee(
+            X, ICAAttack().reconstruct(context)
+        )
+        assert ica_privacy < naive_privacy + 0.05
+
+    def test_noise_degrades_the_attack(self, X, rng):
+        clean_ctx = build_context(
+            X, np.asarray(perturb(X, np.random.default_rng(5))[1]),
+            rng=np.random.default_rng(0),
+        )
+        noisy_ctx = build_context(
+            X,
+            np.asarray(
+                perturb(X, np.random.default_rng(5), noise_sigma=0.3)[1]
+            ),
+            rng=np.random.default_rng(0),
+        )
+        attack = ICAAttack()
+        clean_privacy = minimum_privacy_guarantee(
+            X, attack.reconstruct(clean_ctx)
+        )
+        noisy_privacy = minimum_privacy_guarantee(
+            X, attack.reconstruct(noisy_ctx)
+        )
+        assert noisy_privacy >= clean_privacy - 0.1
+
+
+class TestKnownSample:
+    def test_exact_recovery_without_noise(self, X, rng):
+        p, Y = perturb(X, rng)
+        context = build_context(X, Y, known_fraction=0.05, max_known=20, rng=rng)
+        estimate = KnownSampleAttack().reconstruct(context)
+        assert minimum_privacy_guarantee(X, estimate) < 0.01
+
+    def test_noise_leaves_residual_privacy(self, X, rng):
+        p, Y = perturb(X, rng, noise_sigma=0.2)
+        context = build_context(X, Y, known_fraction=0.05, max_known=20, rng=rng)
+        estimate = KnownSampleAttack().reconstruct(context)
+        assert minimum_privacy_guarantee(X, estimate) > 0.1
+
+    def test_without_knowledge_falls_back_to_mean(self, X, rng):
+        _, Y = perturb(X, rng)
+        context = build_context(X, Y, known_fraction=0.0, rng=rng)
+        estimate = KnownSampleAttack().reconstruct(context)
+        np.testing.assert_allclose(estimate.std(axis=1), 0.0, atol=1e-12)
+
+    def test_underdetermined_fit_is_stable(self, X, rng):
+        _, Y = perturb(X, rng)
+        context = build_context(X, Y, known_fraction=0.005, max_known=2, rng=rng)
+        estimate = KnownSampleAttack().reconstruct(context)
+        assert np.isfinite(estimate).all()
+
+    def test_ridge_validation(self):
+        with pytest.raises(ValueError):
+            KnownSampleAttack(ridge=-1.0)
+
+
+class TestDistanceInference:
+    def test_matches_known_points_without_noise(self, X, rng):
+        p, Y = perturb(X, rng)
+        context = build_context(X, Y, known_fraction=0.02, max_known=5, rng=rng)
+        estimate = DistanceInferenceAttack().reconstruct(context)
+        # With exact distance preservation the matching should succeed and
+        # the affine fit should reconstruct well.
+        assert minimum_privacy_guarantee(X, estimate) < 0.2
+
+    def test_too_few_known_points_falls_back(self, X, rng):
+        _, Y = perturb(X, rng)
+        context = build_context(X, Y, known_fraction=0.0, rng=rng)
+        estimate = DistanceInferenceAttack().reconstruct(context)
+        np.testing.assert_allclose(estimate.std(axis=1), 0.0, atol=1e-12)
+
+
+class TestSuites:
+    def test_full_suite_reports_every_attack(self, X, rng):
+        suite = default_suite()
+        p, _ = perturb(X, rng)
+        report = suite.evaluate(p, X, rng)
+        assert set(report.per_attack) == {
+            "naive",
+            "ica",
+            "pca",
+            "known_sample",
+            "distance_inference",
+        }
+        assert report.guarantee == min(report.per_attack.values())
+
+    def test_fast_suite_is_subset(self):
+        names = {a.name for a in fast_suite().attacks}
+        assert names == {"naive", "known_sample"}
+
+    def test_empty_suite_rejected(self, X, rng):
+        suite = AttackSuite(attacks=())
+        p, _ = perturb(X, rng)
+        with pytest.raises(ValueError):
+            suite.evaluate(p, X, rng)
+
+    def test_guarantee_shortcut_matches_report(self, X):
+        suite = fast_suite()
+        p = sample_perturbation(X.shape[0], np.random.default_rng(3), 0.05)
+        g = suite.guarantee(p, X, np.random.default_rng(9))
+        r = suite.evaluate(p, X, np.random.default_rng(9)).guarantee
+        assert g == pytest.approx(r)
+
+    def test_noise_improves_guarantee_under_known_sample(self, X):
+        suite = fast_suite()
+        rng_a = np.random.default_rng(1)
+        rng_b = np.random.default_rng(1)
+        clean = suite.guarantee(
+            sample_perturbation(4, np.random.default_rng(2), 0.0), X, rng_a
+        )
+        noisy = suite.guarantee(
+            sample_perturbation(4, np.random.default_rng(2), 0.15), X, rng_b
+        )
+        assert noisy > clean

@@ -1,0 +1,80 @@
+"""Tests for the AK-ICA hybrid attack and the known-sample sweep."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.ak_ica import AKICAAttack
+from repro.attacks.base import build_context
+from repro.core.perturbation import sample_perturbation
+from repro.core.privacy import minimum_privacy_guarantee
+
+
+@pytest.fixture
+def X(rng):
+    """Non-Gaussian independent columns (ICA-recoverable)."""
+    n = 500
+    return np.vstack(
+        [
+            rng.uniform(0, 1, size=n),
+            rng.exponential(scale=0.25, size=n),
+            rng.beta(0.4, 0.4, size=n),
+            rng.uniform(0.1, 0.9, size=n),
+        ]
+    )
+
+
+def make_context(X, noise_sigma, max_known, seed=0):
+    rng = np.random.default_rng(seed)
+    p = sample_perturbation(X.shape[0], rng, noise_sigma=noise_sigma)
+    Y = np.asarray(p.apply(X, rng=rng if noise_sigma else None))
+    return build_context(
+        X,
+        Y,
+        known_fraction=1.0 if max_known else 0.0,
+        max_known=max_known,
+        rng=rng,
+    )
+
+
+class TestAKICA:
+    def test_strong_reconstruction_with_pairs(self, X):
+        context = make_context(X, noise_sigma=0.0, max_known=20)
+        estimate = AKICAAttack().reconstruct(context)
+        assert minimum_privacy_guarantee(X, estimate) < 0.15
+
+    def test_estimate_shape(self, X):
+        context = make_context(X, noise_sigma=0.05, max_known=10)
+        assert AKICAAttack().reconstruct(context).shape == X.shape
+
+    def test_falls_back_to_ica_without_pairs(self, X):
+        context = make_context(X, noise_sigma=0.0, max_known=0)
+        estimate = AKICAAttack().reconstruct(context)
+        assert np.isfinite(estimate).all()
+
+    def test_noise_leaves_residual_privacy(self, X):
+        clean = make_context(X, noise_sigma=0.0, max_known=20, seed=1)
+        noisy = make_context(X, noise_sigma=0.3, max_known=20, seed=1)
+        attack = AKICAAttack()
+        p_clean = minimum_privacy_guarantee(X, attack.reconstruct(clean))
+        p_noisy = minimum_privacy_guarantee(X, attack.reconstruct(noisy))
+        assert p_noisy > p_clean
+
+    def test_ridge_validation(self):
+        with pytest.raises(ValueError):
+            AKICAAttack(ridge=-1)
+
+
+class TestKnownSampleSweep:
+    def test_sweep_structure_and_trend(self):
+        from repro.analysis.experiments import known_sample_sweep
+
+        rows = known_sample_sweep(
+            dataset="iris", known_counts=(0, 10), noise_sigma=0.05, seed=0,
+            max_rows=150,
+        )
+        assert [row["known_pairs"] for row in rows] == [0.0, 10.0]
+        assert set(rows[0]) == {
+            "known_pairs", "known_sample", "distance_inference", "ak_ica",
+        }
+        # More insider knowledge, less privacy under the plain regression.
+        assert rows[1]["known_sample"] < rows[0]["known_sample"]

@@ -1,0 +1,73 @@
+"""Tests for the CLI entry point."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    assert code == 0
+    return captured.out
+
+
+def test_parser_rejects_unknown_command():
+    parser = build_parser()
+    with pytest.raises(SystemExit):
+        parser.parse_args(["unknown-command"])
+
+
+def test_datasets_command(capsys):
+    out = run_cli(capsys, "datasets")
+    assert "iris" in out and "shuttle" in out
+
+
+def test_fig2_command(capsys):
+    out = run_cli(capsys, "fig2", "--dataset", "iris", "--rounds", "4")
+    assert "Figure 2" in out
+    assert "optimized perturbations" in out
+
+
+def test_fig4_command(capsys):
+    out = run_cli(capsys, "fig4")
+    assert "Figure 4" in out
+    assert "shuttle" in out
+
+
+def test_risk_command(capsys):
+    out = run_cli(capsys, "risk", "--runs", "200")
+    assert "identifiability" in out
+    assert "analytic" in out
+
+
+def test_session_command(capsys):
+    out = run_cli(capsys, "session", "--dataset", "iris", "--k", "3")
+    assert "SAP session" in out
+    assert "deviation" in out
+
+
+def test_session_command_with_svm(capsys):
+    out = run_cli(
+        capsys, "session", "--dataset", "iris", "--k", "3",
+        "--classifier", "linear_svm",
+    )
+    assert "linear_svm" in out
+
+
+def test_ablation_noise_command(capsys):
+    out = run_cli(capsys, "ablation", "--which", "noise", "--dataset", "iris")
+    assert "sigma" in out
+
+
+def test_ablation_optimizer_command(capsys):
+    out = run_cli(capsys, "ablation", "--which", "optimizer", "--dataset", "iris")
+    assert "hill_climbing" in out
+
+
+def test_fig3_command_small(capsys):
+    out = run_cli(
+        capsys, "fig3", "--rounds", "2", "--k-min", "3", "--k-max", "4"
+    )
+    assert "Figure 3" in out
+    assert "diabetes" in out

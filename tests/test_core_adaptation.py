@@ -1,0 +1,123 @@
+"""Tests for space adaptors — the paper's Section 3 identities."""
+
+import numpy as np
+import pytest
+
+from repro.core.adaptation import SpaceAdaptor, complementary_noise, compute_adaptor
+from repro.core.perturbation import sample_perturbation
+from repro.core.rotation import haar_orthogonal, is_orthogonal
+
+
+@pytest.fixture
+def source(rng):
+    return sample_perturbation(5, rng, noise_sigma=0.08)
+
+
+@pytest.fixture
+def target(rng):
+    return sample_perturbation(5, rng, noise_sigma=0.0)
+
+
+@pytest.fixture
+def X(rng):
+    return rng.uniform(0, 1, size=(5, 40))
+
+
+class TestAdaptorAlgebra:
+    def test_rotation_adaptor_is_product(self, source, target):
+        adaptor = compute_adaptor(source, target)
+        np.testing.assert_allclose(
+            adaptor.rotation_adaptor, target.rotation @ source.rotation.T
+        )
+
+    def test_rotation_adaptor_is_orthogonal(self, source, target):
+        adaptor = compute_adaptor(source, target)
+        assert is_orthogonal(adaptor.rotation_adaptor)
+
+    def test_paper_identity_clean(self, source, target, X):
+        """Y_{i->t} = R_t X + Psi_t when the source had no noise."""
+        clean_source = source.without_noise()
+        Y = np.asarray(clean_source.apply(X))
+        adapted = compute_adaptor(clean_source, target).apply(Y)
+        np.testing.assert_allclose(
+            adapted, target.transform_clean(X), atol=1e-10
+        )
+
+    def test_paper_identity_with_complementary_noise(self, source, target, X, rng):
+        """Y_{i->t} = R_t X + Psi_t + R_t R_i^{-1} Delta_i with noise."""
+        Y, noise = source.apply(X, rng=rng, return_noise=True)
+        adapted = compute_adaptor(source, target).apply(np.asarray(Y))
+        expected = target.transform_clean(X) + complementary_noise(
+            source, target, noise
+        )
+        np.testing.assert_allclose(adapted, expected, atol=1e-10)
+
+    def test_complementary_noise_preserves_magnitude(self, source, target, rng):
+        """Rotating the noise must not amplify it (orthogonal invariance)."""
+        noise = rng.normal(scale=0.1, size=(5, 200))
+        rotated = complementary_noise(source, target, noise)
+        assert np.linalg.norm(rotated) == pytest.approx(np.linalg.norm(noise))
+
+    def test_self_adaptation_is_identity(self, source, X, rng):
+        adaptor = compute_adaptor(source, source)
+        np.testing.assert_allclose(adaptor.rotation_adaptor, np.eye(5), atol=1e-10)
+        np.testing.assert_allclose(adaptor.translation_adaptor, 0.0, atol=1e-10)
+        Y = source.transform_clean(X)
+        np.testing.assert_allclose(adaptor.apply(Y), Y, atol=1e-10)
+
+    def test_adaptation_composes(self, rng, X):
+        """Adapting A->B then B->C equals adapting A->C."""
+        a = sample_perturbation(5, rng)
+        b = sample_perturbation(5, rng)
+        c = sample_perturbation(5, rng)
+        Y = a.transform_clean(X)
+        via_b = compute_adaptor(b, c).apply(compute_adaptor(a, b).apply(Y))
+        direct = compute_adaptor(a, c).apply(Y)
+        np.testing.assert_allclose(via_b, direct, atol=1e-9)
+
+    def test_adaptor_hides_individual_rotations(self, rng):
+        """Distinct (source, target) pairs can produce the same adaptor, so
+        the adaptor alone cannot identify either rotation."""
+        blinding = haar_orthogonal(5, rng)
+        source_a = sample_perturbation(5, rng)
+        target_a = sample_perturbation(5, rng)
+        # Rotate both by the same blinding matrix on the right: the adaptor
+        # R_t R_i^{-1} is unchanged.
+        source_b = source_a.with_rotation(source_a.rotation @ blinding)
+        target_b = target_a.with_rotation(target_a.rotation @ blinding)
+        adaptor_a = compute_adaptor(source_a, target_a)
+        adaptor_b = compute_adaptor(source_b, target_b)
+        np.testing.assert_allclose(
+            adaptor_a.rotation_adaptor, adaptor_b.rotation_adaptor, atol=1e-10
+        )
+
+
+class TestValidation:
+    def test_dimension_mismatch_rejected(self, rng):
+        a = sample_perturbation(3, rng)
+        b = sample_perturbation(4, rng)
+        with pytest.raises(ValueError):
+            compute_adaptor(a, b)
+
+    def test_non_orthogonal_adaptor_rejected(self):
+        with pytest.raises(ValueError):
+            SpaceAdaptor(
+                rotation_adaptor=np.ones((3, 3)),
+                translation_adaptor=np.zeros(3),
+            )
+
+    def test_shape_mismatch_rejected(self, rng):
+        with pytest.raises(ValueError):
+            SpaceAdaptor(
+                rotation_adaptor=haar_orthogonal(3, rng),
+                translation_adaptor=np.zeros(4),
+            )
+
+    def test_apply_checks_orientation(self, source, target, rng):
+        adaptor = compute_adaptor(source, target)
+        with pytest.raises(ValueError):
+            adaptor.apply(rng.normal(size=(4, 10)))
+
+    def test_complementary_noise_shape_checked(self, source, target):
+        with pytest.raises(ValueError):
+            complementary_noise(source, target, np.zeros((3, 10)))

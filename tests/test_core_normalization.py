@@ -1,0 +1,81 @@
+"""Tests for min-max and z-score normalizers."""
+
+import numpy as np
+import pytest
+
+from repro.core.normalization import MinMaxNormalizer, ZScoreNormalizer
+
+
+class TestMinMax:
+    def test_transform_lands_in_unit_interval(self, rng):
+        X = rng.normal(size=(50, 4)) * 10 + 3
+        out = MinMaxNormalizer().fit_transform(X)
+        assert out.min() >= 0.0 and out.max() <= 1.0
+
+    def test_extremes_map_to_bounds(self, rng):
+        X = rng.normal(size=(50, 3))
+        out = MinMaxNormalizer().fit_transform(X)
+        np.testing.assert_allclose(out.min(axis=0), 0.0, atol=1e-12)
+        np.testing.assert_allclose(out.max(axis=0), 1.0, atol=1e-12)
+
+    def test_inverse_roundtrip(self, rng):
+        X = rng.normal(size=(30, 5)) * 4 - 2
+        normalizer = MinMaxNormalizer().fit(X)
+        np.testing.assert_allclose(
+            normalizer.inverse_transform(normalizer.transform(X)), X, atol=1e-10
+        )
+
+    def test_constant_column_maps_to_half(self, rng):
+        X = rng.normal(size=(20, 2))
+        X[:, 1] = 7.0
+        out = MinMaxNormalizer().fit_transform(X)
+        np.testing.assert_allclose(out[:, 1], 0.5)
+
+    def test_out_of_range_values_extrapolate(self, rng):
+        X = rng.uniform(0, 1, size=(20, 1))
+        normalizer = MinMaxNormalizer().fit(X)
+        beyond = normalizer.transform(np.array([[X.max() + (X.max() - X.min())]]))
+        assert beyond[0, 0] > 1.0
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            MinMaxNormalizer().transform(np.zeros((2, 2)))
+
+    def test_column_count_mismatch_rejected(self, rng):
+        normalizer = MinMaxNormalizer().fit(rng.normal(size=(10, 3)))
+        with pytest.raises(ValueError):
+            normalizer.transform(rng.normal(size=(10, 4)))
+
+    def test_one_dimensional_rejected(self):
+        with pytest.raises(ValueError):
+            MinMaxNormalizer().fit(np.zeros(5))
+
+
+class TestZScore:
+    def test_transform_standardizes(self, rng):
+        X = rng.normal(size=(200, 3)) * 5 + 10
+        out = ZScoreNormalizer().fit_transform(X)
+        np.testing.assert_allclose(out.mean(axis=0), 0.0, atol=1e-10)
+        np.testing.assert_allclose(out.std(axis=0), 1.0, atol=1e-10)
+
+    def test_inverse_roundtrip(self, rng):
+        X = rng.normal(size=(40, 4)) * 3 + 1
+        normalizer = ZScoreNormalizer().fit(X)
+        np.testing.assert_allclose(
+            normalizer.inverse_transform(normalizer.transform(X)), X, atol=1e-10
+        )
+
+    def test_constant_column_maps_to_zero(self, rng):
+        X = rng.normal(size=(20, 2))
+        X[:, 0] = -3.0
+        out = ZScoreNormalizer().fit_transform(X)
+        np.testing.assert_allclose(out[:, 0], 0.0)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            ZScoreNormalizer().transform(np.zeros((2, 2)))
+
+    def test_column_count_mismatch_rejected(self, rng):
+        normalizer = ZScoreNormalizer().fit(rng.normal(size=(10, 3)))
+        with pytest.raises(ValueError):
+            normalizer.transform(rng.normal(size=(10, 2)))

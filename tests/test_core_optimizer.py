@@ -1,0 +1,111 @@
+"""Tests for the randomized perturbation optimizer."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.resilience import fast_suite
+from repro.core.optimizer import OptimizationResult, PerturbationOptimizer
+from repro.core.perturbation import sample_perturbation
+
+
+@pytest.fixture
+def X(rng):
+    # Anisotropic columns make privacy vary across rotations.
+    base = rng.uniform(0, 1, size=(4, 120))
+    base[0] *= 0.2
+    base[2] *= 3.0
+    return base
+
+
+def make_optimizer(**overrides):
+    params = dict(n_rounds=5, local_steps=4, noise_sigma=0.05, seed=0)
+    params.update(overrides)
+    return PerturbationOptimizer(**params)
+
+
+class TestOptimize:
+    def test_result_structure(self, X):
+        result = make_optimizer().optimize(X)
+        assert isinstance(result, OptimizationResult)
+        assert len(result.round_privacies) == 5
+        assert len(result.random_privacies) == 5
+        assert result.best_privacy == pytest.approx(max(result.round_privacies))
+
+    def test_best_is_max_of_rounds(self, X):
+        result = make_optimizer().optimize(X)
+        assert result.b_hat == pytest.approx(max(result.round_privacies))
+        assert result.rho_bar == pytest.approx(
+            np.mean(result.round_privacies)
+        )
+
+    def test_optimized_never_worse_than_its_restart(self, X):
+        result = make_optimizer().optimize(X)
+        for optimized, random in zip(
+            result.round_privacies, result.random_privacies
+        ):
+            assert optimized >= random - 1e-12
+
+    def test_local_search_improves_on_average(self, X):
+        no_search = make_optimizer(local_steps=0, n_rounds=8).optimize(X)
+        with_search = make_optimizer(local_steps=8, n_rounds=8).optimize(X)
+        assert with_search.rho_bar >= no_search.rho_bar
+
+    def test_optimality_rate_in_unit_interval(self, X):
+        result = make_optimizer().optimize(X)
+        assert 0.0 < result.optimality_rate <= 1.0
+
+    def test_deterministic_under_seed(self, X):
+        a = make_optimizer(seed=42).optimize(X)
+        b = make_optimizer(seed=42).optimize(X)
+        assert a.round_privacies == b.round_privacies
+        np.testing.assert_array_equal(a.best.rotation, b.best.rotation)
+
+    def test_different_seeds_differ(self, X):
+        a = make_optimizer(seed=1).optimize(X)
+        b = make_optimizer(seed=2).optimize(X)
+        assert a.round_privacies != b.round_privacies
+
+    def test_best_perturbation_carries_noise_level(self, X):
+        result = make_optimizer(noise_sigma=0.07).optimize(X)
+        assert result.best.noise_sigma == 0.07
+
+    def test_rejects_1d_input(self):
+        with pytest.raises(ValueError):
+            make_optimizer().optimize(np.zeros(10))
+
+    def test_validation_of_budgets(self):
+        with pytest.raises(ValueError):
+            make_optimizer(n_rounds=0)
+        with pytest.raises(ValueError):
+            make_optimizer(local_steps=-1)
+
+    def test_custom_suite_is_used(self, X):
+        suite = fast_suite(known_fraction=0.0)  # no insider knowledge
+        result = make_optimizer(suite=suite).optimize(X)
+        assert len(result.round_privacies) == 5
+
+
+class TestRandomBaseline:
+    def test_baseline_count(self, X):
+        values = make_optimizer().random_baseline(X, n_samples=7)
+        assert len(values) == 7
+
+    def test_baseline_values_positive(self, X):
+        values = make_optimizer().random_baseline(X, n_samples=5)
+        assert all(v >= 0 for v in values)
+
+    def test_figure2_shape_optimized_dominates_random(self, X):
+        """The core Figure 2 claim at unit-test scale."""
+        optimizer = make_optimizer(n_rounds=8, local_steps=6)
+        result = optimizer.optimize(X)
+        assert np.mean(result.round_privacies) > np.mean(
+            result.random_privacies
+        )
+
+
+class TestResultSummary:
+    def test_summary_mentions_key_stats(self, X):
+        result = make_optimizer().optimize(X)
+        text = result.summary()
+        assert "optimality rate" in text
+        assert "b_hat" in text

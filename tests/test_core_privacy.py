@@ -1,0 +1,100 @@
+"""Tests for the multi-column privacy metric."""
+
+import numpy as np
+import pytest
+
+from repro.core.privacy import (
+    PrivacyReport,
+    column_privacy,
+    combine_column_privacy,
+    minimum_privacy_guarantee,
+    naive_baseline_privacy,
+)
+
+
+@pytest.fixture
+def X(rng):
+    return rng.uniform(0, 1, size=(5, 100))
+
+
+def test_perfect_reconstruction_gives_zero_privacy(X):
+    assert minimum_privacy_guarantee(X, X.copy()) == 0.0
+
+
+def test_column_privacy_shape(X):
+    assert column_privacy(X, X + 0.1).shape == (5,)
+
+
+def test_constant_offset_error_has_zero_std(X):
+    # std of a constant error is 0: the metric measures *uncertainty*,
+    # matching the paper's variance-of-difference definition.
+    np.testing.assert_allclose(column_privacy(X, X + 3.0), 0.0, atol=1e-12)
+
+
+def test_noise_scales_privacy(X, rng):
+    small = column_privacy(X, X + rng.normal(scale=0.01, size=X.shape))
+    large = column_privacy(X, X + rng.normal(scale=0.3, size=X.shape))
+    assert (large > small).all()
+
+
+def test_minimum_guarantee_is_worst_column(X, rng):
+    X_hat = X + rng.normal(scale=0.5, size=X.shape)
+    X_hat[2] = X[2]  # one column perfectly reconstructed
+    assert minimum_privacy_guarantee(X, X_hat) == 0.0
+
+
+def test_normalization_by_column_spread(rng):
+    """A wide column and a narrow column with proportional errors score the
+    same privacy."""
+    narrow = rng.uniform(0, 0.1, size=(1, 500))
+    wide = narrow * 10
+    error = rng.normal(scale=1.0, size=(1, 500))
+    p_narrow = column_privacy(narrow, narrow + 0.01 * error)
+    p_wide = column_privacy(wide, wide + 0.1 * error)
+    np.testing.assert_allclose(p_narrow, p_wide, rtol=1e-9)
+
+
+def test_mean_guess_baseline_is_one(X):
+    assert naive_baseline_privacy(X) == pytest.approx(1.0, abs=1e-9)
+
+
+def test_shape_mismatch_rejected(X):
+    with pytest.raises(ValueError):
+        column_privacy(X, X[:, :10])
+
+
+def test_one_dimensional_rejected():
+    with pytest.raises(ValueError):
+        column_privacy(np.zeros(5), np.zeros(5))
+
+
+def test_combine_column_privacy_elementwise_min():
+    a = np.array([0.5, 0.2, 0.9])
+    b = np.array([0.3, 0.4, 1.0])
+    np.testing.assert_array_equal(
+        combine_column_privacy([a, b]), [0.3, 0.2, 0.9]
+    )
+
+
+class TestPrivacyReport:
+    def test_guarantee_is_worst_attack(self):
+        report = PrivacyReport(
+            per_attack={"naive": 0.8, "ica": 0.3, "known": 0.5},
+            per_column_worst=np.array([0.3, 0.4]),
+        )
+        assert report.guarantee == 0.3
+        assert report.strongest_attack == "ica"
+
+    def test_empty_report_rejected(self):
+        report = PrivacyReport(per_attack={}, per_column_worst=np.array([]))
+        with pytest.raises(ValueError):
+            _ = report.guarantee
+
+    def test_summary_orders_worst_first(self):
+        report = PrivacyReport(
+            per_attack={"naive": 0.8, "ica": 0.3},
+            per_column_worst=np.array([0.3]),
+        )
+        text = report.summary()
+        assert text.index("ica") < text.index("naive")
+        assert "guarantee" in text

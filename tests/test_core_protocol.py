@@ -1,0 +1,124 @@
+"""Tests for the pure exchange-plan logic."""
+
+import numpy as np
+import pytest
+
+from repro.core.protocol import ExchangePlan, draw_exchange_plan
+
+
+@pytest.fixture
+def plan(rng):
+    return draw_exchange_plan(5, rng)
+
+
+class TestDraw:
+    @pytest.mark.parametrize("k", [2, 3, 5, 10])
+    def test_valid_for_all_k(self, k, rng):
+        plan = draw_exchange_plan(k, rng)
+        plan.validate()
+        assert plan.k == k
+
+    def test_requires_two_providers(self, rng):
+        with pytest.raises(ValueError):
+            draw_exchange_plan(1, rng)
+
+    def test_tags_unique(self, rng):
+        plan = draw_exchange_plan(8, rng)
+        assert len(set(plan.tags)) == 8
+
+    def test_deterministic_under_seed(self):
+        a = draw_exchange_plan(6, np.random.default_rng(1))
+        b = draw_exchange_plan(6, np.random.default_rng(1))
+        assert a.tau == b.tau and a.tags == b.tags
+
+
+class TestRouting:
+    def test_every_source_delivered_once(self, plan):
+        delivered = []
+        for receiver in range(plan.k):
+            delivered.extend(plan.sources_received_by(receiver))
+        assert sorted(delivered) == list(range(plan.k))
+
+    def test_coordinator_receives_nothing(self, plan):
+        assert plan.sources_received_by(plan.coordinator) == []
+
+    def test_redirect_receiver_gets_extra(self, plan):
+        counts = {r: len(plan.sources_received_by(r)) for r in range(plan.k)}
+        assert counts[plan.coordinator] == 0
+        assert counts[plan.redirect_receiver] in (1, 2)
+        assert sum(counts.values()) == plan.k
+
+    def test_receiver_of_source_consistent(self, plan):
+        for source in range(plan.k):
+            receiver = plan.receiver_of_source(source)
+            assert source in plan.sources_received_by(receiver)
+
+    def test_forwarding_assignments_cover_all_sources(self, plan):
+        assignments = plan.forwarding_assignments()
+        assert sorted(assignments) == list(range(plan.k))
+        assert all(0 <= r < plan.k - 1 or r == plan.redirect_receiver
+                   for r in assignments.values())
+
+    def test_tag_lookup_roundtrip(self, plan):
+        for source in range(plan.k):
+            tag = plan.tag_of_source(source)
+            assert plan.source_of_tag(tag) == source
+
+
+class TestValidation:
+    def base_kwargs(self):
+        return dict(
+            k=3,
+            coordinator=2,
+            tau=(1, 2, 0),
+            redirect_receiver=0,
+            tags=("a", "b", "c"),
+        )
+
+    def test_valid_construction(self):
+        ExchangePlan(**self.base_kwargs()).validate()
+
+    def test_bad_permutation_rejected(self):
+        kwargs = self.base_kwargs()
+        kwargs["tau"] = (0, 0, 1)
+        with pytest.raises(ValueError):
+            ExchangePlan(**kwargs)
+
+    def test_wrong_coordinator_rejected(self):
+        kwargs = self.base_kwargs()
+        kwargs["coordinator"] = 0
+        with pytest.raises(ValueError):
+            ExchangePlan(**kwargs)
+
+    def test_coordinator_as_redirect_rejected(self):
+        kwargs = self.base_kwargs()
+        kwargs["redirect_receiver"] = 2
+        with pytest.raises(ValueError):
+            ExchangePlan(**kwargs)
+
+    def test_duplicate_tags_rejected(self):
+        kwargs = self.base_kwargs()
+        kwargs["tags"] = ("a", "a", "c")
+        with pytest.raises(ValueError):
+            ExchangePlan(**kwargs)
+
+
+class TestDistribution:
+    def test_permutation_is_uniformish(self):
+        """tau[0] should be close to uniform over sources."""
+        rng = np.random.default_rng(0)
+        counts = np.zeros(4)
+        n = 4000
+        for _ in range(n):
+            plan = draw_exchange_plan(4, rng)
+            counts[plan.tau[0]] += 1
+        np.testing.assert_allclose(counts / n, 0.25, atol=0.03)
+
+    def test_redirect_is_uniformish(self):
+        rng = np.random.default_rng(0)
+        counts = np.zeros(4)
+        n = 4000
+        for _ in range(n):
+            plan = draw_exchange_plan(5, rng)
+            counts[plan.redirect_receiver] += 1
+        np.testing.assert_allclose(counts / n, 0.25, atol=0.03)

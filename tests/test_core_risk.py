@@ -1,0 +1,174 @@
+"""Tests for the risk model (eqs. (1), (2), Figure 4 bound)."""
+
+import pytest
+
+from repro.core.risk import (
+    PartyRiskProfile,
+    mean_satisfaction,
+    minimum_parties,
+    optimality_rate,
+    risk_of_breach,
+    sap_risk,
+    satisfaction_level,
+    source_identifiability,
+    standalone_risk,
+)
+
+
+class TestIdentifiability:
+    def test_formula(self):
+        assert source_identifiability(5) == pytest.approx(0.25)
+        assert source_identifiability(2) == 1.0
+
+    def test_decreases_with_k(self):
+        values = [source_identifiability(k) for k in range(2, 20)]
+        assert values == sorted(values, reverse=True)
+
+    def test_requires_two_parties(self):
+        with pytest.raises(ValueError):
+            source_identifiability(1)
+
+
+class TestOptimalityRate:
+    def test_basic(self):
+        assert optimality_rate(0.45, 0.5) == pytest.approx(0.9)
+
+    def test_clamped_at_one(self):
+        assert optimality_rate(0.5, 0.5) == 1.0
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ValueError):
+            optimality_rate(0.5, 0.0)
+        with pytest.raises(ValueError):
+            optimality_rate(0.6, 0.5)
+        with pytest.raises(ValueError):
+            optimality_rate(-0.1, 0.5)
+
+
+class TestSatisfaction:
+    def test_basic(self):
+        assert satisfaction_level(0.4, 0.5) == pytest.approx(0.8)
+
+    def test_above_one_preserved(self):
+        assert satisfaction_level(0.6, 0.5) == pytest.approx(1.2)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            satisfaction_level(0.4, 0.0)
+        with pytest.raises(ValueError):
+            satisfaction_level(-0.1, 0.5)
+
+
+class TestEquationOne:
+    def test_matches_formula(self):
+        # pi * (1 - s * rho / b)
+        assert risk_of_breach(0.25, 0.9, 0.4, 0.5) == pytest.approx(
+            0.25 * (1 - 0.9 * 0.4 / 0.5)
+        )
+
+    def test_zero_identifiability_means_zero_risk(self):
+        assert risk_of_breach(0.0, 0.5, 0.3, 0.5) == 0.0
+
+    def test_full_satisfaction_at_bound_means_zero_risk(self):
+        assert risk_of_breach(1.0, 1.0, 0.5, 0.5) == 0.0
+
+    def test_clamped_at_zero(self):
+        assert risk_of_breach(0.5, 2.0, 0.5, 0.5) == 0.0
+
+    def test_monotone_decreasing_in_satisfaction(self):
+        risks = [risk_of_breach(0.5, s, 0.4, 0.5) for s in (0.0, 0.5, 1.0)]
+        assert risks == sorted(risks, reverse=True)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            risk_of_breach(1.5, 1.0, 0.4, 0.5)
+        with pytest.raises(ValueError):
+            risk_of_breach(0.5, 1.0, 0.4, 0.0)
+        with pytest.raises(ValueError):
+            risk_of_breach(0.5, -1.0, 0.4, 0.5)
+
+
+class TestEquationTwo:
+    def test_matches_formula(self):
+        b, rho, s, k = 0.5, 0.4, 0.9, 5
+        expected = max((b - rho) / b, (b - s * rho) / b / (k - 1))
+        assert sap_risk(b, rho, s, k) == pytest.approx(expected)
+
+    def test_provider_view_dominates_for_large_k(self):
+        # As k grows, the miner-side term vanishes and the provider-side
+        # term (b - rho)/b remains.
+        assert sap_risk(0.5, 0.4, 0.9, 1000) == pytest.approx(0.2, abs=1e-3)
+
+    def test_miner_view_dominates_for_k2_and_low_satisfaction(self):
+        b, rho, s, k = 0.5, 0.45, 0.2, 2
+        assert sap_risk(b, rho, s, k) == pytest.approx((b - s * rho) / b)
+
+    def test_non_increasing_in_k(self):
+        risks = [sap_risk(0.5, 0.4, 0.9, k) for k in range(2, 30)]
+        assert risks == sorted(risks, reverse=True)
+
+    def test_standalone_risk(self):
+        assert standalone_risk(0.4, 0.5) == pytest.approx(0.2)
+
+
+class TestMinimumParties:
+    def test_increases_with_satisfaction(self):
+        values = [minimum_parties(s0, 0.9) for s0 in (0.90, 0.95, 0.99)]
+        assert values == sorted(values)
+
+    def test_lower_opt_rate_needs_more_parties(self):
+        assert minimum_parties(0.98, 0.89) >= minimum_parties(0.98, 0.98)
+
+    def test_figure4_reference_points(self):
+        # Shuttle (O=0.89) at s0=0.99 needs ~13 parties; Votes (O=0.98) ~4.
+        assert minimum_parties(0.99, 0.89) == 13
+        assert minimum_parties(0.99, 0.98) == 4
+        assert minimum_parties(0.99, 0.95) == 7
+
+    def test_diverges_near_one(self):
+        assert minimum_parties(0.999, 0.89) > 50
+
+    def test_at_least_two(self):
+        assert minimum_parties(0.0, 1.0) == 2
+
+    def test_cap_applies(self):
+        assert minimum_parties(0.9999, 0.5, k_cap=100) == 100
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            minimum_parties(1.0, 0.9)
+        with pytest.raises(ValueError):
+            minimum_parties(0.9, 0.0)
+        with pytest.raises(ValueError):
+            minimum_parties(-0.1, 0.9)
+        with pytest.raises(ValueError):
+            minimum_parties(0.9, 1.1)
+
+
+class TestPartyRiskProfile:
+    def make(self, **overrides):
+        base = dict(party="DP0", rho_local=0.4, rho_global=0.36, b=0.5, k=5)
+        base.update(overrides)
+        return PartyRiskProfile(**base)
+
+    def test_derived_quantities(self):
+        profile = self.make()
+        assert profile.satisfaction == pytest.approx(0.9)
+        assert profile.identifiability == pytest.approx(0.25)
+        assert profile.breach_risk == pytest.approx(
+            0.25 * (1 - 0.9 * 0.4 / 0.5)
+        )
+        assert profile.overall_risk == pytest.approx(
+            max(0.2, (0.5 - 0.36) / 0.5 / 4)
+        )
+
+    def test_summary_contains_party(self):
+        assert "DP0" in self.make().summary()
+
+    def test_mean_satisfaction(self):
+        profiles = [self.make(), self.make(rho_global=0.44)]
+        assert mean_satisfaction(profiles) == pytest.approx((0.9 + 1.1) / 2)
+
+    def test_mean_satisfaction_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mean_satisfaction([])

@@ -1,0 +1,128 @@
+"""Tests for the uniform and class-skewed partitioners."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.partition import (
+    PartitionScheme,
+    describe_partition,
+    partition,
+    partition_by_class,
+    partition_uniform,
+    random_sizes,
+)
+
+
+class TestRandomSizes:
+    def test_sizes_sum_to_total(self, rng):
+        sizes = random_sizes(100, 5, rng)
+        assert sizes.sum() == 100
+
+    def test_min_size_enforced(self, rng):
+        for _ in range(20):
+            sizes = random_sizes(40, 8, rng, min_size=3)
+            assert sizes.min() >= 3
+
+    def test_sizes_vary(self, rng):
+        sizes = random_sizes(1000, 6, rng)
+        assert sizes.std() > 0  # "randomly sized" sub-datasets
+
+    def test_infeasible_request_rejected(self, rng):
+        with pytest.raises(ValueError):
+            random_sizes(5, 4, rng, min_size=2)
+
+    def test_zero_parties_rejected(self, rng):
+        with pytest.raises(ValueError):
+            random_sizes(10, 0, rng)
+
+
+class TestUniformPartition:
+    def test_parts_are_disjoint_and_cover(self, small_dataset, rng):
+        parts = partition_uniform(small_dataset, 4, rng)
+        combined = np.sort(np.concatenate(parts))
+        np.testing.assert_array_equal(combined, np.arange(small_dataset.n_rows))
+
+    def test_class_mix_roughly_global(self, small_dataset, rng):
+        parts = partition_uniform(small_dataset, 3, rng)
+        global_fraction = (small_dataset.y == 1).mean()
+        for part in parts:
+            local_fraction = (small_dataset.y[part] == 1).mean()
+            assert abs(local_fraction - global_fraction) < 0.35
+
+    def test_indices_sorted_within_parts(self, small_dataset, rng):
+        for part in partition_uniform(small_dataset, 3, rng):
+            assert np.all(np.diff(part) > 0)
+
+
+class TestClassPartition:
+    def test_parts_are_disjoint_and_cover(self, multiclass_dataset, rng):
+        parts = partition_by_class(multiclass_dataset, 4, rng)
+        combined = np.sort(np.concatenate(parts))
+        np.testing.assert_array_equal(
+            combined, np.arange(multiclass_dataset.n_rows)
+        )
+
+    def test_min_size_respected(self, multiclass_dataset, rng):
+        parts = partition_by_class(multiclass_dataset, 5, rng, min_size=4)
+        for part in parts:
+            assert len(part) >= 4
+
+    def test_skew_exceeds_uniform(self, multiclass_dataset):
+        """Class partitions are measurably more skewed than uniform ones."""
+
+        def mean_imbalance(parts):
+            imbalances = []
+            global_mix = np.bincount(multiclass_dataset.y, minlength=3) / len(
+                multiclass_dataset.y
+            )
+            for part in parts:
+                mix = np.bincount(
+                    multiclass_dataset.y[part], minlength=3
+                ) / max(len(part), 1)
+                imbalances.append(np.abs(mix - global_mix).sum())
+            return np.mean(imbalances)
+
+        uniform_scores = []
+        class_scores = []
+        for seed in range(5):
+            rng = np.random.default_rng(seed)
+            uniform_scores.append(
+                mean_imbalance(partition_uniform(multiclass_dataset, 4, rng))
+            )
+            rng = np.random.default_rng(seed)
+            class_scores.append(
+                mean_imbalance(partition_by_class(multiclass_dataset, 4, rng))
+            )
+        assert np.mean(class_scores) > np.mean(uniform_scores)
+
+    def test_infeasible_request_rejected(self, small_dataset, rng):
+        with pytest.raises(ValueError):
+            partition_by_class(small_dataset, 40, rng)
+
+
+class TestDispatch:
+    def test_partition_by_name(self, small_dataset):
+        parts = partition(small_dataset, 3, "uniform", seed=0)
+        assert len(parts) == 3
+        parts = partition(small_dataset, 3, "class", seed=0)
+        assert len(parts) == 3
+
+    def test_partition_by_enum(self, small_dataset):
+        parts = partition(small_dataset, 3, PartitionScheme.CLASS, seed=1)
+        assert len(parts) == 3
+
+    def test_partition_requires_rng_or_seed(self, small_dataset):
+        with pytest.raises(ValueError):
+            partition(small_dataset, 3, "uniform")
+
+    def test_partition_seed_reproducible(self, small_dataset):
+        a = partition(small_dataset, 3, "uniform", seed=5)
+        b = partition(small_dataset, 3, "uniform", seed=5)
+        for pa, pb in zip(a, b):
+            np.testing.assert_array_equal(pa, pb)
+
+
+def test_describe_partition_lists_all_parties(small_dataset, rng):
+    parts = partition_uniform(small_dataset, 3, rng)
+    text = describe_partition(small_dataset, parts)
+    assert text.count("party") == 3

@@ -1,0 +1,107 @@
+"""Tests for DatasetSpec and Dataset."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.schema import Dataset, DatasetSpec, FeatureKind
+
+
+def make_spec(**overrides):
+    base = dict(
+        name="t",
+        n_rows=50,
+        n_features=3,
+        n_classes=2,
+        class_priors=(0.6, 0.4),
+        feature_kinds=(FeatureKind.CONTINUOUS,) * 3,
+    )
+    base.update(overrides)
+    return DatasetSpec(**base)
+
+
+class TestDatasetSpec:
+    def test_valid_spec_constructs(self):
+        spec = make_spec()
+        assert spec.n_rows == 50
+
+    def test_priors_must_match_classes(self):
+        with pytest.raises(ValueError):
+            make_spec(class_priors=(1.0,))
+
+    def test_priors_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            make_spec(class_priors=(0.6, 0.6))
+
+    def test_feature_kinds_length_checked(self):
+        with pytest.raises(ValueError):
+            make_spec(feature_kinds=(FeatureKind.CONTINUOUS,))
+
+    def test_single_class_rejected(self):
+        with pytest.raises(ValueError):
+            make_spec(n_classes=1, class_priors=(1.0,))
+
+    def test_noise_dims_bounds(self):
+        with pytest.raises(ValueError):
+            make_spec(noise_dims=3)
+        with pytest.raises(ValueError):
+            make_spec(noise_dims=-1)
+
+
+class TestDataset:
+    def test_shapes_and_defaults(self, rng):
+        X = rng.normal(size=(10, 3))
+        ds = Dataset(name="d", X=X, y=np.zeros(10, dtype=int))
+        assert ds.n_rows == 10
+        assert ds.n_features == 3
+        assert ds.feature_names == ("f0", "f1", "f2")
+
+    def test_label_shape_mismatch_rejected(self, rng):
+        with pytest.raises(ValueError):
+            Dataset(name="d", X=rng.normal(size=(10, 3)), y=np.zeros(9))
+
+    def test_one_dimensional_X_rejected(self, rng):
+        with pytest.raises(ValueError):
+            Dataset(name="d", X=rng.normal(size=10), y=np.zeros(10))
+
+    def test_columns_is_transpose_copy(self, small_dataset):
+        cols = small_dataset.columns()
+        assert cols.shape == (small_dataset.n_features, small_dataset.n_rows)
+        cols[0, 0] = 999.0
+        assert small_dataset.X[0, 0] != 999.0
+
+    def test_classes_sorted_unique(self, multiclass_dataset):
+        np.testing.assert_array_equal(multiclass_dataset.classes, [0, 1, 2])
+
+    def test_subset_copies_rows(self, small_dataset):
+        sub = small_dataset.subset([0, 2, 4])
+        assert sub.n_rows == 3
+        sub.X[0, 0] = 123.0
+        assert small_dataset.X[0, 0] != 123.0
+
+    def test_subset_rename(self, small_dataset):
+        assert small_dataset.subset([0], name="renamed").name == "renamed"
+
+    def test_train_test_split_partitions_rows(self, small_dataset, rng):
+        train, test = small_dataset.train_test_split(0.25, rng)
+        assert train.n_rows + test.n_rows == small_dataset.n_rows
+        assert test.n_rows == pytest.approx(small_dataset.n_rows * 0.25, abs=2)
+
+    def test_train_test_split_is_stratified(self, small_dataset, rng):
+        train, test = small_dataset.train_test_split(0.3, rng)
+        for label in small_dataset.classes:
+            assert (train.y == label).sum() > 0
+            assert (test.y == label).sum() > 0
+
+    def test_train_test_split_keeps_singleton_in_train(self, rng):
+        X = rng.normal(size=(11, 2))
+        y = np.array([0] * 10 + [1])
+        ds = Dataset(name="d", X=X, y=y)
+        train, test = ds.train_test_split(0.3, rng)
+        assert (train.y == 1).sum() == 1
+        assert (test.y == 1).sum() == 0
+
+    def test_split_fraction_bounds(self, small_dataset, rng):
+        with pytest.raises(ValueError):
+            small_dataset.train_test_split(0.0, rng)
+        with pytest.raises(ValueError):
+            small_dataset.train_test_split(1.0, rng)

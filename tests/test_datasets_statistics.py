@@ -1,0 +1,79 @@
+"""Tests for the dataset statistics module."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.registry import load_dataset
+from repro.datasets.schema import Dataset
+from repro.datasets.statistics import (
+    ColumnStats,
+    class_balance,
+    column_statistics,
+    describe,
+)
+
+
+class TestColumnStatistics:
+    def test_one_entry_per_column(self, small_dataset):
+        stats = column_statistics(small_dataset)
+        assert len(stats) == small_dataset.n_features
+        assert all(isinstance(s, ColumnStats) for s in stats)
+
+    def test_values_match_numpy(self, small_dataset):
+        stats = column_statistics(small_dataset)
+        column = small_dataset.X[:, 0]
+        assert stats[0].minimum == pytest.approx(column.min())
+        assert stats[0].maximum == pytest.approx(column.max())
+        assert stats[0].mean == pytest.approx(column.mean())
+        assert stats[0].std == pytest.approx(column.std())
+
+    def test_binary_detection(self):
+        X = np.column_stack([np.array([0.0, 1.0, 0.0, 1.0]), np.arange(4.0)])
+        ds = Dataset(name="b", X=X, y=np.zeros(4, dtype=int))
+        stats = column_statistics(ds)
+        assert stats[0].looks_binary
+        assert not stats[1].looks_binary
+
+    def test_constant_column_has_zero_skew(self):
+        X = np.column_stack([np.ones(5), np.arange(5.0)])
+        ds = Dataset(name="c", X=X, y=np.zeros(5, dtype=int))
+        stats = column_statistics(ds)
+        assert stats[0].skewness == 0.0
+        assert stats[0].std == 0.0
+
+    def test_votes_columns_are_binary(self):
+        stats = column_statistics(load_dataset("votes"))
+        assert all(s.looks_binary for s in stats)
+
+
+class TestClassBalance:
+    def test_fractions_sum_to_one(self, multiclass_dataset):
+        balance = class_balance(multiclass_dataset)
+        assert sum(balance.values()) == pytest.approx(1.0)
+        assert set(balance) == {0, 1, 2}
+
+    def test_shuttle_skew_visible(self):
+        balance = class_balance(load_dataset("shuttle"))
+        assert balance[0] > 0.7
+
+
+class TestDescribe:
+    def test_contains_shape_and_columns(self, small_dataset):
+        text = describe(small_dataset)
+        assert f"{small_dataset.n_rows} rows" in text
+        assert "f0" in text
+        assert "classes" in text
+
+    def test_truncates_wide_tables(self):
+        ds = load_dataset("ionosphere")
+        text = describe(ds, max_columns=5)
+        assert "more columns" in text
+
+
+class TestCLIDetail:
+    def test_datasets_detail_command(self, capsys):
+        from repro.cli import main
+
+        assert main(["datasets", "--detail", "iris"]) == 0
+        out = capsys.readouterr().out
+        assert "150 rows x 4 columns" in out

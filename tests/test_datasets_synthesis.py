@@ -1,0 +1,114 @@
+"""Tests for the Gaussian-mixture synthesizer."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.schema import DatasetSpec, FeatureKind
+from repro.datasets.synthesis import class_means, sample_covariance_factor, synthesize
+
+
+def make_spec(**overrides):
+    base = dict(
+        name="syn",
+        n_rows=200,
+        n_features=6,
+        n_classes=3,
+        class_priors=(0.5, 0.3, 0.2),
+        feature_kinds=(FeatureKind.CONTINUOUS,) * 6,
+        class_separation=3.0,
+    )
+    base.update(overrides)
+    return DatasetSpec(**base)
+
+
+def test_shape_matches_spec():
+    ds = synthesize(make_spec(), seed=0)
+    assert ds.X.shape == (200, 6)
+    assert ds.y.shape == (200,)
+
+
+def test_class_counts_follow_priors():
+    ds = synthesize(make_spec(), seed=0)
+    counts = np.bincount(ds.y)
+    assert counts.tolist() == [100, 60, 40]
+
+
+def test_determinism_same_seed():
+    a = synthesize(make_spec(), seed=5)
+    b = synthesize(make_spec(), seed=5)
+    np.testing.assert_array_equal(a.X, b.X)
+    np.testing.assert_array_equal(a.y, b.y)
+
+
+def test_different_seeds_differ():
+    a = synthesize(make_spec(), seed=5)
+    b = synthesize(make_spec(), seed=6)
+    assert not np.array_equal(a.X, b.X)
+
+
+def test_classes_are_separated():
+    """With separation 3 a nearest-centroid rule should beat chance easily."""
+    ds = synthesize(make_spec(class_separation=4.0), seed=1)
+    centroids = np.vstack([ds.X[ds.y == c].mean(axis=0) for c in range(3)])
+    distances = np.linalg.norm(ds.X[:, None, :] - centroids[None], axis=2)
+    predictions = np.argmin(distances, axis=1)
+    assert (predictions == ds.y).mean() > 0.85
+
+
+def test_binary_features_are_binary():
+    spec = make_spec(
+        feature_kinds=(FeatureKind.BINARY,) * 6,
+    )
+    ds = synthesize(spec, seed=2)
+    assert set(np.unique(ds.X)).issubset({0.0, 1.0})
+
+
+def test_integer_features_are_small_integers():
+    spec = make_spec(feature_kinds=(FeatureKind.INTEGER,) * 6)
+    ds = synthesize(spec, seed=3)
+    assert np.allclose(ds.X, np.rint(ds.X))
+    assert ds.X.min() >= 1 and ds.X.max() <= 10
+
+
+def test_noise_dims_carry_no_class_signal():
+    spec = make_spec(noise_dims=2, class_separation=5.0)
+    ds = synthesize(spec, seed=4)
+    # Noise columns are the last two: class-conditional means should differ
+    # far less than on informative columns.
+    def mean_gap(col):
+        means = [ds.X[ds.y == c, col].mean() for c in range(3)]
+        return max(means) - min(means)
+
+    informative_gap = max(mean_gap(c) for c in range(4))
+    noise_gap = max(mean_gap(c) for c in (4, 5))
+    assert noise_gap < informative_gap / 2
+
+
+def test_minimum_two_rows_per_class():
+    spec = make_spec(
+        n_rows=30,
+        class_priors=(0.97, 0.02, 0.01),
+    )
+    ds = synthesize(spec, seed=5)
+    counts = np.bincount(ds.y, minlength=3)
+    assert counts.min() >= 2
+
+
+class TestClassMeans:
+    def test_minimum_separation_honoured(self, rng):
+        means = class_means(4, 6, separation=2.5, rng=rng)
+        for i in range(4):
+            for j in range(i + 1, 4):
+                assert np.linalg.norm(means[i] - means[j]) >= 2.5 - 1e-9
+
+    def test_shape(self, rng):
+        assert class_means(3, 5, 1.0, rng).shape == (3, 5)
+
+
+class TestCovarianceFactor:
+    def test_produces_well_conditioned_covariance(self, rng):
+        factor = sample_covariance_factor(5, rng, condition=3.0)
+        covariance = factor @ factor.T
+        eigenvalues = np.linalg.eigvalsh(covariance)
+        assert eigenvalues.min() > 0
+        assert eigenvalues.max() / eigenvalues.min() < 3.0**2 + 1e-6

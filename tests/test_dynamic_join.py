@@ -1,0 +1,125 @@
+"""Tests for the dynamic-membership extension (provider joins post-run).
+
+The published protocol is static: k providers, one round.  The extension
+lets the coordinator admit a provider after the initial mining round — the
+joiner adapts into the already-fixed target space, routes its table through
+a random existing forwarder, and the miner incrementally re-mines.
+"""
+
+import numpy as np
+import pytest
+
+from repro.parties.provider import DataProvider
+from repro.simnet.messages import MessageKind
+from tests.test_failure_injection import build_protocol
+
+
+@pytest.fixture
+def completed_run(small_dataset):
+    config, network, providers, coordinator, miner = build_protocol(
+        small_dataset, k=3, seed=7
+    )
+    network.simulator.schedule(0.0, coordinator.start)
+    network.run()
+    assert miner.result is not None
+    return config, network, providers, coordinator, miner
+
+
+def admit_joiner(completed_run, joiner_dataset, seed=123):
+    config, network, providers, coordinator, miner = completed_run
+    test_mask = np.zeros(joiner_dataset.n_rows, dtype=bool)
+    test_mask[: max(1, joiner_dataset.n_rows // 4)] = True
+    joiner = DataProvider(
+        name="provider-99",
+        network=network,
+        dataset=joiner_dataset,
+        test_mask=test_mask,
+        config=config,
+        seed=seed,
+    )
+    tag = coordinator.admit_provider("provider-99")
+    network.run()
+    return joiner, tag
+
+
+class TestDynamicJoin:
+    def test_miner_remines_with_joiner_rows(self, completed_run, small_dataset):
+        config, network, providers, coordinator, miner = completed_run
+        before_rows = miner.result.pooled_labels.shape[0]
+        joiner_data = small_dataset.subset(np.arange(20), name="joiner")
+        admit_joiner(completed_run, joiner_data)
+        after_rows = miner.result.pooled_labels.shape[0]
+        assert after_rows == before_rows + 20
+
+    def test_joiner_table_is_in_target_space(self, completed_run, small_dataset):
+        """The joiner's adapted rows must be geometrically consistent with
+        the pool: with zero noise its adapted table equals the target
+        transform of its raw table."""
+        config, network, providers, coordinator, miner = completed_run
+        joiner_data = small_dataset.subset(np.arange(12), name="joiner")
+        joiner, tag = admit_joiner(completed_run, joiner_data)
+
+        adapted = miner._adaptors_by_tag[tag].apply(
+            miner._datasets_by_tag[tag]["features"]
+        )
+        expected = coordinator.target.transform_clean(joiner_data.columns())
+        # The joiner's perturbation carries noise_sigma=0.05, so the match
+        # is up to the inherited (rotated) noise.
+        residual = adapted - expected
+        assert float(np.abs(residual).mean()) < 4 * 0.05
+
+    def test_joiner_never_contacts_miner_directly(self, completed_run, small_dataset):
+        config, network, providers, coordinator, miner = completed_run
+        joiner_data = small_dataset.subset(np.arange(10), name="joiner")
+        admit_joiner(completed_run, joiner_data)
+        direct = [
+            obs
+            for obs in network.ledger.wire_traffic(sender="provider-99")
+            if obs.recipient == config.miner_name
+        ]
+        assert direct == []
+
+    def test_incremental_adaptor_sequence_sent(self, completed_run, small_dataset):
+        config, network, providers, coordinator, miner = completed_run
+        joiner_data = small_dataset.subset(np.arange(10), name="joiner")
+        admit_joiner(completed_run, joiner_data)
+        sequences = network.ledger.plaintexts_seen_by(
+            config.miner_name, MessageKind.ADAPTOR_SEQUENCE
+        )
+        assert len(sequences) == 2
+        assert len(sequences[1].payload["adaptors"]) == 1
+
+    def test_admission_before_start_rejected(self, small_dataset):
+        config, network, providers, coordinator, miner = build_protocol(
+            small_dataset, k=3
+        )
+        with pytest.raises(RuntimeError):
+            coordinator.admit_provider("provider-99")
+
+    def test_multiple_joiners(self, completed_run, small_dataset):
+        config, network, providers, coordinator, miner = completed_run
+        before_rows = miner.result.pooled_labels.shape[0]
+        for index in range(2):
+            data = small_dataset.subset(
+                np.arange(10 * index, 10 * index + 10), name=f"joiner{index}"
+            )
+            test_mask = np.zeros(10, dtype=bool)
+            test_mask[:2] = True
+            DataProvider(
+                name=f"joiner-{index}",
+                network=network,
+                dataset=data,
+                test_mask=test_mask,
+                config=config,
+                seed=1000 + index,
+            )
+            coordinator.admit_provider(f"joiner-{index}")
+        network.run()
+        assert miner.result.pooled_labels.shape[0] == before_rows + 20
+        assert coordinator.admitted == ["joiner-0", "joiner-1"]
+
+    def test_accuracy_stays_reasonable_after_join(self, completed_run, small_dataset):
+        config, network, providers, coordinator, miner = completed_run
+        joiner_data = small_dataset.subset(np.arange(30), name="joiner")
+        admit_joiner(completed_run, joiner_data)
+        assert miner.result.accuracy > 0.6

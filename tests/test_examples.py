@@ -1,0 +1,81 @@
+"""Smoke tests: every shipped example must run end to end.
+
+Examples are deliverables, not decoration — these tests execute each one's
+``main()`` and sanity-check the narrative output so the examples cannot rot
+as the library evolves.
+"""
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+EXAMPLES = [
+    "quickstart",
+    "attack_resilience",
+    "classifier_invariance",
+    "multiparty_collaboration",
+    "dynamic_membership",
+    "federation_planning",
+]
+
+
+def load_example(name):
+    path = EXAMPLES_DIR / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"example_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.mark.parametrize("name", EXAMPLES)
+def test_example_runs(name, capsys):
+    module = load_example(name)
+    module.main()
+    out = capsys.readouterr().out
+    assert out.strip(), f"{name} produced no output"
+
+
+def test_quickstart_reports_cost_of_privacy(capsys):
+    load_example("quickstart").main()
+    out = capsys.readouterr().out
+    assert "accuracy cost of privacy" in out
+    assert "forwarded the dataset" in out
+
+
+def test_attack_resilience_shows_strongest_adversary(capsys):
+    load_example("attack_resilience").main()
+    out = capsys.readouterr().out
+    assert "binding adversary" in out
+    assert "optimality rate" in out
+
+
+def test_classifier_invariance_contrasts_learners(capsys):
+    load_example("classifier_invariance").main()
+    out = capsys.readouterr().out
+    assert "1.000" in out  # exact invariance rows
+    assert "Space Adaptation Protocol" in out
+
+
+def test_multiparty_collaboration_audits_views(capsys):
+    load_example("multiparty_collaboration").main()
+    out = capsys.readouterr().out
+    assert "miner's view" in out
+    assert "identifiability" in out
+
+
+def test_dynamic_membership_joins_late_provider(capsys):
+    load_example("dynamic_membership").main()
+    out = capsys.readouterr().out
+    assert "phase 2" in out
+    assert "direct transmissions: 0" in out
+
+
+def test_federation_planning_recommends_a_size(capsys):
+    load_example("federation_planning").main()
+    out = capsys.readouterr().out
+    assert "minimum k" in out
+    assert "verification run" in out

@@ -1,0 +1,176 @@
+"""Failure-injection tests: message loss, partitions, and stalling safely.
+
+SAP as published has no retransmission layer (it assumes reliable encrypted
+links), so the correct behaviour under loss is to *stall without partial
+disclosure or partial mining* — the miner must never train on an incomplete
+pool, and nothing a principal already observed should exceed its normal
+view.  These tests inject faults at the network layer and verify exactly
+that.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.session import stratified_test_mask
+from repro.datasets.partition import partition_uniform
+from repro.parties.config import ClassifierSpec, SAPConfig
+from repro.parties.coordinator import Coordinator
+from repro.parties.miner import ServiceProvider
+from repro.parties.provider import DataProvider
+from repro.simnet.channel import Network
+from repro.simnet.messages import MessageKind
+from repro.simnet.node import Node
+
+
+def build_protocol(dataset, k=3, seed=5, drop_rate=0.0):
+    """Wire up a protocol run by hand on a (possibly lossy) network."""
+    config = SAPConfig(
+        k=k,
+        noise_sigma=0.05,
+        classifier=ClassifierSpec("knn", {"n_neighbors": 3}),
+        seed=seed,
+    )
+    master = np.random.default_rng(seed)
+    parts = partition_uniform(dataset, k, master)
+    locals_ = [dataset.subset(p) for p in parts]
+    masks = [stratified_test_mask(d.y, 0.3, master) for d in locals_]
+
+    network = Network(seed=seed, drop_rate=drop_rate)
+    providers = [
+        DataProvider(
+            name=config.provider_name(i),
+            network=network,
+            dataset=locals_[i],
+            test_mask=masks[i],
+            config=config,
+            seed=int(master.integers(2**32)),
+        )
+        for i in range(k - 1)
+    ]
+    coordinator = Coordinator(
+        name=config.provider_name(k - 1),
+        network=network,
+        dataset=locals_[k - 1],
+        test_mask=masks[k - 1],
+        config=config,
+        seed=int(master.integers(2**32)),
+    )
+    providers.append(coordinator)
+    miner = ServiceProvider(
+        name=config.miner_name, network=network, config=config,
+        seed=int(master.integers(2**32)),
+    )
+    return config, network, providers, coordinator, miner
+
+
+class TestTotalLoss:
+    def test_nothing_delivered_at_full_drop(self, small_dataset):
+        _, network, _, coordinator, miner = build_protocol(
+            small_dataset, drop_rate=1.0
+        )
+        network.simulator.schedule(0.0, coordinator.start)
+        network.run()
+        assert miner.result is None
+        assert miner.inbox == []
+        assert network.messages_dropped == network.messages_sent
+        # The eavesdropper still saw the transmissions.
+        assert len(network.ledger.wire) == network.messages_sent
+
+
+class TestPartition:
+    def test_blocked_miner_link_stalls_mining(self, small_dataset):
+        config, network, providers, coordinator, miner = build_protocol(
+            small_dataset
+        )
+        # Partition one forwarder from the miner: the pool stays incomplete.
+        for index in range(config.k):
+            network.block_link(config.provider_name(index), config.miner_name)
+        network.simulator.schedule(0.0, coordinator.start)
+        network.run()
+        assert miner.result is None
+        # The adaptor sequence may have arrived, but no dataset did.
+        assert miner.received(MessageKind.FORWARDED_DATASET) == []
+
+    def test_blocked_adaptor_link_stalls_mining(self, small_dataset):
+        config, network, providers, coordinator, miner = build_protocol(
+            small_dataset
+        )
+        network.block_link("coordinator", config.miner_name)
+        network.simulator.schedule(0.0, coordinator.start)
+        network.run()
+        assert miner.result is None
+        # All datasets arrived but the tag->adaptor join never did.
+        assert len(miner.received(MessageKind.FORWARDED_DATASET)) == config.k
+
+    def test_healed_link_lets_run_complete(self, small_dataset):
+        config, network, providers, coordinator, miner = build_protocol(
+            small_dataset
+        )
+        network.block_link("coordinator", config.miner_name)
+        network.simulator.schedule(0.0, coordinator.start)
+        network.run()
+        assert miner.result is None
+        # Heal and let the coordinator retransmit the sequence.
+        network.unblock_link("coordinator", config.miner_name)
+        coordinator._sequence_sent = False
+        coordinator._maybe_send_sequence()
+        network.run()
+        assert miner.result is not None
+
+
+class TestPartialLoss:
+    def test_lost_single_dataset_blocks_partial_mining(self, small_dataset):
+        """If one provider's submission is lost, the miner trains on
+        nothing rather than on a partial pool."""
+        config, network, providers, coordinator, miner = build_protocol(
+            small_dataset
+        )
+        victim = config.provider_name(0)
+        network.block_link(victim, config.miner_name)
+        network.simulator.schedule(0.0, coordinator.start)
+        network.run()
+        if any(f == victim for f, _ in _pairs(config, coordinator)):
+            assert miner.result is None
+
+    def test_drop_rate_statistics(self, small_dataset):
+        _, network, _, coordinator, miner = build_protocol(
+            small_dataset, drop_rate=0.5, seed=3
+        )
+        network.simulator.schedule(0.0, coordinator.start)
+        network.run()
+        assert 0 < network.messages_dropped <= network.messages_sent
+
+
+class TestAbortHandling:
+    def test_abort_message_recorded(self, small_dataset):
+        config, network, providers, coordinator, miner = build_protocol(
+            small_dataset
+        )
+
+        class Canary(Node):
+            pass
+
+        canary = Canary("canary", network)
+        canary.send(
+            MessageKind.ABORT, config.provider_name(0), {"reason": "test"}
+        )
+        network.run()
+        assert providers[0].model_report == {"aborted": True, "reason": "test"}
+
+
+class TestNetworkValidation:
+    def test_invalid_drop_rate(self):
+        with pytest.raises(ValueError):
+            Network(drop_rate=1.5)
+        with pytest.raises(ValueError):
+            Network(drop_rate=-0.1)
+
+
+def _pairs(config, coordinator):
+    pairs = []
+    for source in range(config.k):
+        forwarder = coordinator.plan.receiver_of_source(source)
+        pairs.append(
+            (config.provider_name(forwarder), config.provider_name(source))
+        )
+    return pairs

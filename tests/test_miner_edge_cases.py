@@ -1,0 +1,158 @@
+"""Edge-case tests for the miner and provider state machines."""
+
+import numpy as np
+import pytest
+
+from repro.simnet.errors import ProtocolViolationError
+from repro.simnet.messages import MessageKind
+from tests.test_failure_injection import build_protocol
+
+
+class TestMinerDuplicates:
+    def test_duplicate_dataset_tag_rejected(self, small_dataset):
+        config, network, providers, coordinator, miner = build_protocol(
+            small_dataset, k=3
+        )
+        payload = {
+            "tag": "t1",
+            "features": np.zeros((4, 3)),
+            "labels": np.zeros(3, dtype=np.int64),
+            "test_mask": np.zeros(3, dtype=np.int8),
+        }
+        providers[0].send(MessageKind.FORWARDED_DATASET, "miner", payload)
+        providers[0].send(MessageKind.FORWARDED_DATASET, "miner", dict(payload))
+        with pytest.raises(ValueError):
+            network.run()
+
+    def test_duplicate_adaptor_tag_rejected(self, small_dataset):
+        config, network, providers, coordinator, miner = build_protocol(
+            small_dataset, k=3
+        )
+        from repro.core.rotation import haar_orthogonal
+
+        entry = {
+            "tag": "t1",
+            "rotation_adaptor": haar_orthogonal(4, np.random.default_rng(0)),
+            "translation_adaptor": np.zeros(4),
+        }
+        providers[0].send(
+            MessageKind.ADAPTOR_SEQUENCE, "miner", {"adaptors": [entry]}
+        )
+        providers[0].send(
+            MessageKind.ADAPTOR_SEQUENCE, "miner", {"adaptors": [dict(entry)]}
+        )
+        with pytest.raises(ValueError):
+            network.run()
+
+    def test_adaptor_for_unknown_tag_waits_gracefully(self, small_dataset):
+        """An adaptor whose dataset never arrives must not crash mining of
+        the complete remainder... but also must not allow mining with a
+        dataset that lacks its own adaptor."""
+        config, network, providers, coordinator, miner = build_protocol(
+            small_dataset, k=3
+        )
+        network.simulator.schedule(0.0, coordinator.start)
+        network.run()
+        assert miner.result is not None  # normal run unaffected
+
+
+class TestCoordinatorDuplicates:
+    def test_duplicate_space_adaptor_rejected(self, small_dataset):
+        config, network, providers, coordinator, miner = build_protocol(
+            small_dataset, k=3
+        )
+        from repro.core.rotation import haar_orthogonal
+
+        payload = {
+            "tag": "dup",
+            "rotation_adaptor": haar_orthogonal(4, np.random.default_rng(0)),
+            "translation_adaptor": np.zeros(4),
+        }
+        providers[0].send(MessageKind.SPACE_ADAPTOR, "coordinator", payload)
+        providers[0].send(MessageKind.SPACE_ADAPTOR, "coordinator", dict(payload))
+        with pytest.raises(ValueError):
+            network.run()
+
+    def test_duplicate_vote_rejected(self, small_dataset):
+        config, network, providers, coordinator, miner = build_protocol(
+            small_dataset, k=3
+        )
+        coordinator.candidates = [None, None]  # two phantom candidates
+        providers[0].send(
+            MessageKind.TARGET_VOTE, "coordinator", {"scores": np.zeros(2)}
+        )
+        providers[0].send(
+            MessageKind.TARGET_VOTE, "coordinator", {"scores": np.zeros(2)}
+        )
+        with pytest.raises(ValueError):
+            network.run()
+
+    def test_malformed_vote_rejected(self, small_dataset):
+        config, network, providers, coordinator, miner = build_protocol(
+            small_dataset, k=3
+        )
+        coordinator.candidates = [None, None]
+        providers[0].send(
+            MessageKind.TARGET_VOTE, "coordinator", {"scores": np.zeros(5)}
+        )
+        with pytest.raises(ValueError):
+            network.run()
+
+
+class TestProviderEdgeCases:
+    def test_unknown_message_kind_raises(self, small_dataset):
+        config, network, providers, coordinator, miner = build_protocol(
+            small_dataset, k=3
+        )
+        providers[0].send(
+            MessageKind.SESSION_ANNOUNCE, config.provider_name(1), {}
+        )
+        with pytest.raises(ProtocolViolationError):
+            network.run()
+
+    def test_provider_state_before_protocol(self, small_dataset):
+        config, network, providers, coordinator, miner = build_protocol(
+            small_dataset, k=3
+        )
+        provider = providers[0]
+        assert provider.tag is None
+        assert provider.target is None
+        assert provider.model_report is None
+        # Perturbation exists from construction; raw data never equals the
+        # perturbed payload.
+        assert provider.perturbed_features.shape == (
+            provider.dataset.n_features,
+            provider.dataset.n_rows,
+        )
+        assert not np.allclose(
+            provider.perturbed_features, provider.dataset.columns()
+        )
+
+    def test_test_mask_shape_validated(self, small_dataset):
+        config, network, providers, coordinator, miner = build_protocol(
+            small_dataset, k=3
+        )
+        from repro.parties.provider import DataProvider
+
+        with pytest.raises(ValueError):
+            DataProvider(
+                name="bad-mask",
+                network=network,
+                dataset=small_dataset,
+                test_mask=np.zeros(3, dtype=bool),
+                config=config,
+            )
+
+    def test_dataset_sent_exactly_once(self, small_dataset):
+        config, network, providers, coordinator, miner = build_protocol(
+            small_dataset, k=3
+        )
+        network.simulator.schedule(0.0, coordinator.start)
+        network.run()
+        for provider in providers:
+            sent = [
+                obs
+                for obs in network.ledger.wire_traffic(sender=provider.name)
+                if obs.kind == MessageKind.PERTURBED_DATASET
+            ]
+            assert len(sent) == 1

@@ -1,0 +1,153 @@
+"""Tests for Naive Bayes, LDA, and the decision tree — including the
+invariance/non-invariance contrast the ICDM'05 companion paper draws."""
+
+import numpy as np
+import pytest
+
+from repro.core.perturbation import perturb_rows, sample_perturbation
+from repro.mining.bayes import GaussianNaiveBayes
+from repro.mining.lda import LinearDiscriminantAnalysis
+from repro.mining.tree import DecisionTreeClassifier
+
+
+class TestGaussianNaiveBayes:
+    def test_separable(self, small_dataset):
+        model = GaussianNaiveBayes().fit(small_dataset.X, small_dataset.y)
+        assert model.score(small_dataset.X, small_dataset.y) > 0.9
+
+    def test_multiclass(self, multiclass_dataset):
+        model = GaussianNaiveBayes().fit(
+            multiclass_dataset.X, multiclass_dataset.y
+        )
+        assert model.score(multiclass_dataset.X, multiclass_dataset.y) > 0.85
+
+    def test_log_proba_shape(self, small_dataset):
+        model = GaussianNaiveBayes().fit(small_dataset.X, small_dataset.y)
+        scores = model.predict_log_proba(small_dataset.X)
+        assert scores.shape == (small_dataset.n_rows, 2)
+
+    def test_constant_column_tolerated(self, rng):
+        X = np.hstack([rng.normal(size=(40, 2)), np.ones((40, 1))])
+        y = np.array([0] * 20 + [1] * 20)
+        X[y == 1, 0] += 4
+        model = GaussianNaiveBayes().fit(X, y)
+        assert model.score(X, y) > 0.9
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GaussianNaiveBayes(var_smoothing=-1)
+
+    def test_predict_before_fit(self, rng):
+        with pytest.raises(RuntimeError):
+            GaussianNaiveBayes().predict(rng.normal(size=(2, 2)))
+
+
+class TestLDA:
+    def test_separable(self, small_dataset):
+        model = LinearDiscriminantAnalysis().fit(
+            small_dataset.X, small_dataset.y
+        )
+        assert model.score(small_dataset.X, small_dataset.y) > 0.9
+
+    def test_multiclass(self, multiclass_dataset):
+        model = LinearDiscriminantAnalysis().fit(
+            multiclass_dataset.X, multiclass_dataset.y
+        )
+        assert model.score(multiclass_dataset.X, multiclass_dataset.y) > 0.85
+
+    def test_decision_scores_shape(self, multiclass_dataset):
+        model = LinearDiscriminantAnalysis().fit(
+            multiclass_dataset.X, multiclass_dataset.y
+        )
+        scores = model.decision_scores(multiclass_dataset.X)
+        assert scores.shape == (multiclass_dataset.n_rows, 3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LinearDiscriminantAnalysis(shrinkage=1.5)
+
+    def test_collinear_columns_tolerated(self, rng):
+        base = rng.normal(size=(30, 2))
+        X = np.hstack([base, base[:, :1]])  # duplicated column
+        y = (base[:, 0] > 0).astype(int)
+        model = LinearDiscriminantAnalysis(shrinkage=0.2).fit(X, y)
+        assert model.score(X, y) > 0.8
+
+
+class TestDecisionTree:
+    def test_axis_aligned_problem_is_easy(self, rng):
+        X = rng.uniform(size=(200, 3))
+        y = (X[:, 1] > 0.5).astype(int)
+        model = DecisionTreeClassifier(max_depth=3).fit(X, y)
+        assert model.score(X, y) > 0.98
+        assert model.depth_ <= 3
+
+    def test_multiclass(self, multiclass_dataset):
+        model = DecisionTreeClassifier(max_depth=6).fit(
+            multiclass_dataset.X, multiclass_dataset.y
+        )
+        assert model.score(multiclass_dataset.X, multiclass_dataset.y) > 0.85
+
+    def test_pure_node_stops_splitting(self, rng):
+        X = rng.normal(size=(20, 2))
+        y = np.zeros(20, dtype=int)
+        model = DecisionTreeClassifier().fit(X, y)
+        assert model.n_nodes_ == 1
+
+    def test_depth_limit_respected(self, rng):
+        X = rng.uniform(size=(300, 4))
+        y = ((X[:, 0] > 0.5) ^ (X[:, 1] > 0.5)).astype(int)
+        model = DecisionTreeClassifier(max_depth=2).fit(X, y)
+        assert model.depth_ <= 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier(max_depth=0)
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier(min_samples_split=1)
+
+    def test_deterministic(self, small_dataset):
+        a = DecisionTreeClassifier().fit(small_dataset.X, small_dataset.y)
+        b = DecisionTreeClassifier().fit(small_dataset.X, small_dataset.y)
+        np.testing.assert_array_equal(
+            a.predict(small_dataset.X), b.predict(small_dataset.X)
+        )
+
+
+class TestInvarianceContrast:
+    """The ICDM'05 taxonomy: LDA invariant; NB and trees not."""
+
+    def agreement(self, factory, dataset, rng, probes):
+        perturbation = sample_perturbation(dataset.n_features, rng)
+        X_p = perturb_rows(perturbation, dataset.X)
+        probes_p = perturb_rows(perturbation, probes)
+        plain = factory().fit(dataset.X, dataset.y)
+        rotated = factory().fit(X_p, dataset.y)
+        return float(np.mean(plain.predict(probes) == rotated.predict(probes_p)))
+
+    def test_lda_is_invariant(self, small_dataset, rng):
+        probes = rng.uniform(0, 1, size=(60, small_dataset.n_features))
+        score = self.agreement(
+            lambda: LinearDiscriminantAnalysis(shrinkage=0.1),
+            small_dataset,
+            rng,
+            probes,
+        )
+        assert score == pytest.approx(1.0)
+
+    def test_naive_bayes_is_not_invariant(self, multiclass_dataset, rng):
+        probes = rng.uniform(0, 1, size=(120, multiclass_dataset.n_features))
+        score = self.agreement(
+            GaussianNaiveBayes, multiclass_dataset, rng, probes
+        )
+        assert score < 0.999  # the model demonstrably changed
+
+    def test_tree_is_not_invariant(self, multiclass_dataset, rng):
+        probes = rng.uniform(0, 1, size=(120, multiclass_dataset.n_features))
+        score = self.agreement(
+            lambda: DecisionTreeClassifier(max_depth=4),
+            multiclass_dataset,
+            rng,
+            probes,
+        )
+        assert score < 0.999

@@ -1,0 +1,101 @@
+"""Tests for kernel functions."""
+
+import numpy as np
+import pytest
+
+from repro.mining.kernels import (
+    linear_kernel,
+    pairwise_sq_distances,
+    polynomial_kernel,
+    rbf_kernel,
+    resolve_gamma,
+)
+
+
+@pytest.fixture
+def X(rng):
+    return rng.normal(size=(10, 4))
+
+
+@pytest.fixture
+def Z(rng):
+    return rng.normal(size=(6, 4))
+
+
+class TestPairwiseDistances:
+    def test_matches_naive_computation(self, X, Z):
+        sq = pairwise_sq_distances(X, Z)
+        for i in range(len(X)):
+            for j in range(len(Z)):
+                expected = np.sum((X[i] - Z[j]) ** 2)
+                assert sq[i, j] == pytest.approx(expected)
+
+    def test_self_distances_zero_diagonal(self, X):
+        sq = pairwise_sq_distances(X, X)
+        np.testing.assert_allclose(np.diag(sq), 0.0, atol=1e-9)
+
+    def test_never_negative(self, rng):
+        X = rng.normal(size=(50, 3)) * 1e-8  # cancellation-prone scale
+        sq = pairwise_sq_distances(X, X)
+        assert (sq >= 0).all()
+
+
+class TestRBF:
+    def test_range_and_diagonal(self, X):
+        K = rbf_kernel(X, X, gamma=0.5)
+        assert (K > 0).all() and (K <= 1).all()
+        np.testing.assert_allclose(np.diag(K), 1.0)
+
+    def test_symmetry(self, X):
+        K = rbf_kernel(X, X, gamma=1.0)
+        np.testing.assert_allclose(K, K.T)
+
+    def test_positive_semidefinite(self, X):
+        K = rbf_kernel(X, X, gamma=1.0)
+        eigenvalues = np.linalg.eigvalsh(K)
+        assert eigenvalues.min() > -1e-10
+
+    def test_gamma_controls_locality(self, X, Z):
+        near = rbf_kernel(X, Z, gamma=0.1)
+        far = rbf_kernel(X, Z, gamma=10.0)
+        assert far.mean() < near.mean()
+
+    def test_invalid_gamma(self, X):
+        with pytest.raises(ValueError):
+            rbf_kernel(X, X, gamma=0.0)
+
+
+class TestLinearAndPoly:
+    def test_linear_matches_dot(self, X, Z):
+        np.testing.assert_allclose(linear_kernel(X, Z), X @ Z.T)
+
+    def test_poly_degree_one_is_shifted_linear(self, X, Z):
+        np.testing.assert_allclose(
+            polynomial_kernel(X, Z, degree=1, coef0=0.0), X @ Z.T
+        )
+
+    def test_poly_invalid_degree(self, X):
+        with pytest.raises(ValueError):
+            polynomial_kernel(X, X, degree=0)
+
+
+class TestResolveGamma:
+    def test_float_passthrough(self, X):
+        assert resolve_gamma(2.5, X) == 2.5
+
+    def test_scale_heuristic_uses_mean_column_variance(self, X):
+        expected = 1.0 / (X.shape[1] * X.var(axis=0).mean())
+        assert resolve_gamma("scale", X) == pytest.approx(expected)
+
+    def test_auto_heuristic(self, X):
+        assert resolve_gamma("auto", X) == pytest.approx(1.0 / X.shape[1])
+
+    def test_constant_data_does_not_blow_up(self):
+        X = np.ones((5, 3))
+        assert resolve_gamma("scale", X) == pytest.approx(1.0 / 3)
+
+    def test_invalid_specs(self, X):
+        with pytest.raises(ValueError):
+            resolve_gamma("bananas", X)
+        with pytest.raises(ValueError):
+            resolve_gamma(-1.0, X)

@@ -1,0 +1,114 @@
+"""Tests for linear learners and the one-vs-one reducer."""
+
+import numpy as np
+import pytest
+
+from repro.mining.knn import KNNClassifier
+from repro.mining.linear import AveragedPerceptron, LinearSVMClassifier, PegasosSVM
+from repro.mining.multiclass import OneVsOneClassifier
+
+
+@pytest.fixture
+def separable(rng):
+    X = np.vstack([rng.normal(size=(40, 3)) - 2, rng.normal(size=(40, 3)) + 2])
+    y = np.array([0] * 40 + [1] * 40)
+    return X, y
+
+
+class TestPerceptron:
+    def test_separable(self, separable):
+        X, y = separable
+        model = AveragedPerceptron(epochs=10, seed=0).fit(X, y)
+        assert model.score(X, y) > 0.95
+
+    def test_updates_counted(self, separable):
+        X, y = separable
+        model = AveragedPerceptron(epochs=5, seed=0).fit(X, y)
+        assert model.n_updates_ >= 1
+
+    def test_single_class_constant(self, rng):
+        X = rng.normal(size=(8, 2))
+        y = np.zeros(8, dtype=int)
+        model = AveragedPerceptron().fit(X, y)
+        np.testing.assert_array_equal(model.predict(X), y)
+
+    def test_multiclass_rejected(self, rng):
+        X = rng.normal(size=(9, 2))
+        with pytest.raises(ValueError):
+            AveragedPerceptron().fit(X, np.array([0, 1, 2] * 3))
+
+    def test_invalid_epochs(self):
+        with pytest.raises(ValueError):
+            AveragedPerceptron(epochs=0)
+
+    def test_deterministic(self, separable):
+        X, y = separable
+        a = AveragedPerceptron(seed=1).fit(X, y)
+        b = AveragedPerceptron(seed=1).fit(X, y)
+        np.testing.assert_allclose(a._w, b._w)
+
+
+class TestPegasos:
+    def test_separable(self, separable):
+        X, y = separable
+        model = PegasosSVM(lam=1e-3, epochs=20, seed=0).fit(X, y)
+        assert model.score(X, y) > 0.95
+
+    def test_decision_function_sign(self, separable):
+        X, y = separable
+        model = PegasosSVM(seed=0).fit(X, y)
+        margins = model.decision_function(X)
+        np.testing.assert_array_equal(
+            model.predict(X) == model.classes_[1], margins >= 0
+        )
+
+    def test_invalid_lambda(self):
+        with pytest.raises(ValueError):
+            PegasosSVM(lam=0.0)
+
+    def test_multiclass_wrapper(self, multiclass_dataset):
+        model = LinearSVMClassifier(epochs=15, seed=0).fit(
+            multiclass_dataset.X, multiclass_dataset.y
+        )
+        assert model.score(multiclass_dataset.X, multiclass_dataset.y) > 0.8
+
+
+class TestOneVsOne:
+    def test_trains_one_model_per_pair(self, multiclass_dataset):
+        model = OneVsOneClassifier(
+            lambda seed: AveragedPerceptron(epochs=5, seed=seed)
+        ).fit(multiclass_dataset.X, multiclass_dataset.y)
+        assert model.n_pairs_ == 3  # C(3,2)
+
+    def test_binary_case_single_pair(self, separable):
+        X, y = separable
+        model = OneVsOneClassifier(
+            lambda seed: AveragedPerceptron(epochs=5, seed=seed)
+        ).fit(X, y)
+        assert model.n_pairs_ == 1
+
+    def test_predictions_are_known_labels(self, multiclass_dataset):
+        model = OneVsOneClassifier(
+            lambda seed: PegasosSVM(epochs=10, seed=seed)
+        ).fit(multiclass_dataset.X, multiclass_dataset.y)
+        assert set(model.predict(multiclass_dataset.X)) <= {0, 1, 2}
+
+    def test_single_class_dataset(self, rng):
+        X = rng.normal(size=(6, 2))
+        y = np.full(6, 4)
+        model = OneVsOneClassifier(
+            lambda seed: AveragedPerceptron(seed=seed)
+        ).fit(X, y)
+        np.testing.assert_array_equal(model.predict(X), y)
+
+    def test_works_with_nondecision_learners(self, multiclass_dataset):
+        """KNN has no decision_function; voting must still work."""
+        model = OneVsOneClassifier(
+            lambda seed: KNNClassifier(n_neighbors=3)
+        ).fit(multiclass_dataset.X, multiclass_dataset.y)
+        assert model.score(multiclass_dataset.X, multiclass_dataset.y) > 0.85
+
+    def test_predict_before_fit(self, rng):
+        model = OneVsOneClassifier(lambda seed: AveragedPerceptron(seed=seed))
+        with pytest.raises(RuntimeError):
+            model.predict(rng.normal(size=(2, 2)))

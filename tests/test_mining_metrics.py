@@ -1,0 +1,99 @@
+"""Tests for accuracy metrics and resampling."""
+
+import numpy as np
+import pytest
+
+from repro.mining.knn import KNNClassifier
+from repro.mining.metrics import (
+    accuracy_deviation,
+    accuracy_score,
+    confusion_matrix,
+    cross_val_accuracy,
+    holdout_accuracy,
+    stratified_kfold_indices,
+)
+
+
+class TestAccuracy:
+    def test_perfect(self):
+        assert accuracy_score([1, 2, 3], [1, 2, 3]) == 1.0
+
+    def test_partial(self):
+        assert accuracy_score([1, 1, 0, 0], [1, 0, 0, 0]) == 0.75
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            accuracy_score([1, 2], [1])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            accuracy_score([], [])
+
+
+class TestDeviation:
+    def test_percentage_points(self):
+        assert accuracy_deviation(0.90, 0.95) == pytest.approx(-5.0)
+        assert accuracy_deviation(0.95, 0.90) == pytest.approx(5.0)
+
+    def test_zero_when_equal(self):
+        assert accuracy_deviation(0.8, 0.8) == 0.0
+
+
+class TestConfusion:
+    def test_counts(self):
+        labels, matrix = confusion_matrix([0, 0, 1, 1], [0, 1, 1, 1])
+        np.testing.assert_array_equal(labels, [0, 1])
+        np.testing.assert_array_equal(matrix, [[1, 1], [0, 2]])
+
+    def test_unseen_predicted_label_included(self):
+        labels, matrix = confusion_matrix([0, 0], [0, 5])
+        np.testing.assert_array_equal(labels, [0, 5])
+        assert matrix.sum() == 2
+
+
+class TestStratifiedKFold:
+    def test_folds_partition_data(self, rng):
+        y = np.array([0] * 20 + [1] * 10)
+        seen = []
+        for train_idx, test_idx in stratified_kfold_indices(y, 5, rng):
+            assert len(np.intersect1d(train_idx, test_idx)) == 0
+            assert len(train_idx) + len(test_idx) == 30
+            seen.extend(test_idx.tolist())
+        assert sorted(seen) == list(range(30))
+
+    def test_folds_keep_class_balance(self, rng):
+        y = np.array([0] * 40 + [1] * 20)
+        for _, test_idx in stratified_kfold_indices(y, 4, rng):
+            fraction = (y[test_idx] == 1).mean()
+            assert fraction == pytest.approx(1 / 3, abs=0.1)
+
+    def test_rare_class_never_dropped_from_training(self, rng):
+        y = np.array([0] * 29 + [1])
+        for train_idx, test_idx in stratified_kfold_indices(y, 5, rng):
+            assert ((y[train_idx] == 1).sum() + (y[test_idx] == 1).sum()) == 1
+
+    def test_requires_two_splits(self, rng):
+        with pytest.raises(ValueError):
+            list(stratified_kfold_indices(np.zeros(5), 1, rng))
+
+
+class TestEvaluators:
+    def test_cross_val_on_separable_data(self, small_dataset):
+        accuracy = cross_val_accuracy(
+            lambda: KNNClassifier(n_neighbors=3),
+            small_dataset.X,
+            small_dataset.y,
+            n_splits=4,
+        )
+        assert accuracy > 0.85
+
+    def test_holdout(self, small_dataset, rng):
+        train, test = small_dataset.train_test_split(0.3, rng)
+        accuracy = holdout_accuracy(
+            lambda: KNNClassifier(n_neighbors=3),
+            train.X,
+            train.y,
+            test.X,
+            test.y,
+        )
+        assert accuracy > 0.8

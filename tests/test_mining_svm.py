@@ -1,0 +1,128 @@
+"""Tests for the SMO-trained SVM."""
+
+import numpy as np
+import pytest
+
+from repro.core.perturbation import perturb_rows, sample_perturbation
+from repro.mining.svm import BinarySVM, SVMClassifier
+
+
+@pytest.fixture
+def linearly_separable(rng):
+    X = np.vstack(
+        [rng.normal(size=(40, 2)) - 2.0, rng.normal(size=(40, 2)) + 2.0]
+    )
+    y = np.array([0] * 40 + [1] * 40)
+    return X, y
+
+
+@pytest.fixture
+def xor_data(rng):
+    """The classic non-linear problem an RBF kernel must solve."""
+    X = rng.uniform(-1, 1, size=(240, 2))
+    y = ((X[:, 0] > 0) ^ (X[:, 1] > 0)).astype(int)
+    # push points away from the decision boundary for trainability
+    X = X + 0.25 * np.sign(X)
+    return X, y
+
+
+class TestBinarySVM:
+    def test_separable_problem_solved(self, linearly_separable):
+        X, y = linearly_separable
+        model = BinarySVM(kernel="linear", C=1.0).fit(X, y)
+        assert model.score(X, y) > 0.97
+
+    def test_rbf_solves_xor(self, xor_data):
+        X, y = xor_data
+        model = BinarySVM(kernel="rbf", gamma=2.0, C=5.0).fit(X, y)
+        assert model.score(X, y) > 0.9
+
+    def test_polynomial_kernel_runs(self, linearly_separable):
+        X, y = linearly_separable
+        model = BinarySVM(kernel="poly", degree=2).fit(X, y)
+        assert model.score(X, y) > 0.9
+
+    def test_support_vectors_are_subset(self, linearly_separable):
+        X, y = linearly_separable
+        model = BinarySVM(kernel="linear").fit(X, y)
+        assert 0 < model.n_support_ <= len(y)
+
+    def test_decision_function_sign_matches_predict(self, xor_data):
+        X, y = xor_data
+        model = BinarySVM(kernel="rbf", gamma=2.0).fit(X, y)
+        margins = model.decision_function(X)
+        predictions = model.predict(X)
+        np.testing.assert_array_equal(
+            predictions == model.classes_[1], margins >= 0
+        )
+
+    def test_single_class_degenerates_to_constant(self, rng):
+        X = rng.normal(size=(10, 3))
+        y = np.full(10, 7)
+        model = BinarySVM().fit(X, y)
+        np.testing.assert_array_equal(model.predict(X), np.full(10, 7))
+
+    def test_three_classes_rejected(self, rng):
+        X = rng.normal(size=(9, 2))
+        y = np.array([0, 1, 2] * 3)
+        with pytest.raises(ValueError):
+            BinarySVM().fit(X, y)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            BinarySVM(C=0.0)
+        with pytest.raises(ValueError):
+            BinarySVM(kernel="sigmoid")
+
+    def test_predict_before_fit(self, rng):
+        with pytest.raises(RuntimeError):
+            BinarySVM().predict(rng.normal(size=(3, 2)))
+
+    def test_deterministic_under_seed(self, xor_data):
+        X, y = xor_data
+        a = BinarySVM(kernel="rbf", gamma=2.0, seed=3).fit(X, y)
+        b = BinarySVM(kernel="rbf", gamma=2.0, seed=3).fit(X, y)
+        np.testing.assert_array_equal(a.predict(X), b.predict(X))
+
+
+class TestSVMClassifierFactory:
+    def test_binary_dataset(self, small_dataset):
+        model = SVMClassifier(C=2.0).fit(small_dataset.X, small_dataset.y)
+        assert model.score(small_dataset.X, small_dataset.y) > 0.9
+
+    def test_multiclass_dataset(self, multiclass_dataset):
+        model = SVMClassifier(C=2.0).fit(
+            multiclass_dataset.X, multiclass_dataset.y
+        )
+        assert model.score(multiclass_dataset.X, multiclass_dataset.y) > 0.85
+
+
+class TestDistanceInvariance:
+    """SVM with RBF kernel depends only on pairwise distances, so rotation +
+    translation leave its predictions exactly unchanged."""
+
+    def test_exact_invariance_without_noise(self, small_dataset, rng):
+        perturbation = sample_perturbation(small_dataset.n_features, rng)
+        X_p = perturb_rows(perturbation, small_dataset.X)
+
+        plain = BinarySVM(kernel="rbf", gamma=1.5, seed=0).fit(
+            small_dataset.X, small_dataset.y
+        )
+        rotated = BinarySVM(kernel="rbf", gamma=1.5, seed=0).fit(
+            X_p, small_dataset.y
+        )
+        probes = rng.uniform(0, 1, size=(30, small_dataset.n_features))
+        probes_p = perturb_rows(perturbation, probes)
+        np.testing.assert_array_equal(
+            plain.predict(probes), rotated.predict(probes_p)
+        )
+
+    def test_gamma_scale_is_rotation_invariant(self, small_dataset, rng):
+        """gamma='scale' uses total variance, preserved by rotation."""
+        from repro.mining.kernels import resolve_gamma
+
+        perturbation = sample_perturbation(small_dataset.n_features, rng)
+        X_p = perturb_rows(perturbation, small_dataset.X)
+        g_plain = resolve_gamma("scale", small_dataset.X)
+        g_rotated = resolve_gamma("scale", X_p)
+        assert g_plain == pytest.approx(g_rotated, rel=1e-9)

@@ -1,0 +1,68 @@
+"""Tests for SAPConfig and the classifier factory."""
+
+import pytest
+
+from repro.mining.knn import KNNClassifier
+from repro.mining.multiclass import OneVsOneClassifier
+from repro.parties.config import ClassifierSpec, SAPConfig, make_classifier
+
+
+class TestClassifierSpec:
+    def test_default_is_knn(self):
+        assert ClassifierSpec().name == "knn"
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError):
+            ClassifierSpec("random_forest")
+
+    def test_factory_builds_knn_with_params(self):
+        model = make_classifier(ClassifierSpec("knn", {"n_neighbors": 7}))
+        assert isinstance(model, KNNClassifier)
+        assert model.n_neighbors == 7
+
+    def test_factory_builds_svm(self):
+        model = make_classifier(ClassifierSpec("svm_rbf", {"C": 2.0}))
+        assert isinstance(model, OneVsOneClassifier)
+
+    def test_factory_builds_linear_svm(self):
+        model = make_classifier(ClassifierSpec("linear_svm"))
+        assert isinstance(model, OneVsOneClassifier)
+
+    def test_factory_builds_perceptron(self):
+        model = make_classifier(ClassifierSpec("perceptron", {"epochs": 3}))
+        assert isinstance(model, OneVsOneClassifier)
+
+    def test_perceptron_rejects_unknown_params(self):
+        with pytest.raises(TypeError):
+            make_classifier(ClassifierSpec("perceptron", {"bogus": 1}))
+
+    def test_each_call_returns_fresh_instance(self):
+        spec = ClassifierSpec("knn")
+        assert make_classifier(spec) is not make_classifier(spec)
+
+
+class TestSAPConfig:
+    def test_defaults_valid(self):
+        config = SAPConfig()
+        assert config.k == 5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SAPConfig(k=1)
+        with pytest.raises(ValueError):
+            SAPConfig(noise_sigma=-0.1)
+        with pytest.raises(ValueError):
+            SAPConfig(test_fraction=0.0)
+        with pytest.raises(ValueError):
+            SAPConfig(test_fraction=1.0)
+
+    def test_provider_names(self):
+        config = SAPConfig(k=4)
+        assert config.provider_names == (
+            "provider-0",
+            "provider-1",
+            "provider-2",
+            "coordinator",
+        )
+        assert config.provider_name(3) == "coordinator"
+        assert config.miner_name == "miner"

@@ -1,0 +1,388 @@
+"""Property-based tests (hypothesis) on the core invariants.
+
+Each property here is one of the paper's load-bearing identities, checked
+over generated inputs rather than hand-picked examples:
+
+* orthogonality and isometry of sampled rotations;
+* the space-adaptation identity ``Y_{i->t} = G_t(X) + Delta_it``;
+* exchange-plan structural invariants for every k;
+* risk-model monotonicity;
+* serializer round-trips;
+* partitioner partition-of-the-rows invariants.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.adaptation import complementary_noise, compute_adaptor
+from repro.core.normalization import MinMaxNormalizer, ZScoreNormalizer
+from repro.core.perturbation import sample_perturbation
+from repro.core.privacy import (
+    average_privacy_guarantee,
+    minimum_privacy_guarantee,
+)
+from repro.core.protocol import draw_exchange_plan
+from repro.core.risk import minimum_parties, risk_of_breach, sap_risk
+from repro.core.rotation import haar_orthogonal, is_orthogonal, swap_rows
+from repro.datasets.partition import partition_by_class, partition_uniform
+from repro.datasets.schema import Dataset
+from repro.simnet import crypto
+from repro.simnet.messages import deserialize_payload, serialize_payload
+
+# Bounded, deterministic profiles keep the suite fast.
+FAST = settings(max_examples=25, deadline=None)
+
+
+# ----------------------------------------------------------------------
+# rotations
+# ----------------------------------------------------------------------
+@FAST
+@given(d=st.integers(1, 12), seed=st.integers(0, 10_000))
+def test_haar_rotations_are_orthogonal(d, seed):
+    R = haar_orthogonal(d, np.random.default_rng(seed))
+    assert is_orthogonal(R)
+
+
+@FAST
+@given(d=st.integers(2, 10), seed=st.integers(0, 10_000))
+def test_rotations_preserve_distances(d, seed):
+    rng = np.random.default_rng(seed)
+    R = haar_orthogonal(d, rng)
+    x, z = rng.normal(size=d), rng.normal(size=d)
+    assert np.isclose(np.linalg.norm(R @ x - R @ z), np.linalg.norm(x - z))
+
+
+@FAST
+@given(
+    d=st.integers(2, 10),
+    seed=st.integers(0, 10_000),
+    data=st.data(),
+)
+def test_row_swaps_preserve_orthogonality(d, seed, data):
+    R = haar_orthogonal(d, np.random.default_rng(seed))
+    i = data.draw(st.integers(0, d - 1))
+    j = data.draw(st.integers(0, d - 1))
+    assert is_orthogonal(swap_rows(R, i, j))
+
+
+# ----------------------------------------------------------------------
+# space adaptation identity
+# ----------------------------------------------------------------------
+@FAST
+@given(
+    d=st.integers(2, 8),
+    n=st.integers(2, 30),
+    seed=st.integers(0, 10_000),
+    sigma=st.floats(0.0, 0.3),
+)
+def test_adaptation_identity(d, n, seed, sigma):
+    """Adapting a perturbed table equals perturbing with the target plus the
+    complementary noise — for any dimensions, sizes, and noise levels."""
+    rng = np.random.default_rng(seed)
+    X = rng.uniform(0, 1, size=(d, n))
+    source = sample_perturbation(d, rng, noise_sigma=sigma)
+    target = sample_perturbation(d, rng, noise_sigma=0.0)
+    if sigma > 0:
+        Y, noise = source.apply(X, rng=rng, return_noise=True)
+    else:
+        Y = source.apply(X)
+        noise = np.zeros_like(np.asarray(Y))
+    adapted = compute_adaptor(source, target).apply(np.asarray(Y))
+    expected = target.transform_clean(X) + complementary_noise(
+        source, target, noise
+    )
+    np.testing.assert_allclose(adapted, expected, atol=1e-8)
+
+
+@FAST
+@given(d=st.integers(2, 8), seed=st.integers(0, 10_000))
+def test_adaptor_inverse_roundtrip(d, seed):
+    """Adapting i->t then t->i is the identity map."""
+    rng = np.random.default_rng(seed)
+    X = rng.uniform(0, 1, size=(d, 10))
+    a = sample_perturbation(d, rng)
+    b = sample_perturbation(d, rng)
+    Y = a.transform_clean(X)
+    roundtrip = compute_adaptor(b, a).apply(compute_adaptor(a, b).apply(Y))
+    np.testing.assert_allclose(roundtrip, Y, atol=1e-8)
+
+
+# ----------------------------------------------------------------------
+# exchange plan
+# ----------------------------------------------------------------------
+@FAST
+@given(k=st.integers(2, 20), seed=st.integers(0, 10_000))
+def test_exchange_plan_invariants(k, seed):
+    plan = draw_exchange_plan(k, np.random.default_rng(seed))
+    plan.validate()
+    # Delivered exactly once, coordinator starved, tags unique.
+    delivered = [
+        s for r in range(k) for s in plan.sources_received_by(r)
+    ]
+    assert sorted(delivered) == list(range(k))
+    assert plan.sources_received_by(plan.coordinator) == []
+    assert len(set(plan.tags)) == k
+
+
+# ----------------------------------------------------------------------
+# risk model
+# ----------------------------------------------------------------------
+@FAST
+@given(
+    pi=st.floats(0.0, 1.0),
+    s=st.floats(0.0, 2.0),
+    rho=st.floats(0.0, 1.0),
+    b=st.floats(0.01, 1.0),
+)
+def test_risk_is_a_probability(pi, s, rho, b):
+    risk = risk_of_breach(pi, s, rho, b)
+    assert 0.0 <= risk <= 1.0
+
+
+@FAST
+@given(
+    b=st.floats(0.1, 1.0),
+    rho_fraction=st.floats(0.0, 1.0),
+    s=st.floats(0.0, 1.5),
+    k=st.integers(2, 50),
+)
+def test_sap_risk_non_increasing_in_k(b, rho_fraction, s, k):
+    rho = b * rho_fraction
+    assert sap_risk(b, rho, s, k + 1) <= sap_risk(b, rho, s, k) + 1e-12
+
+
+@FAST
+@given(
+    s0=st.floats(0.0, 0.99),
+    opt_rate=st.floats(0.01, 1.0),
+)
+def test_minimum_parties_bound_is_sufficient(s0, opt_rate):
+    """At the returned k, the miner-view risk is within the tolerance
+    implied by s0 (the defining property of the bound)."""
+    k = minimum_parties(s0, opt_rate, k_cap=10**6)
+    assert k >= 2
+    miner_view = (1 - s0 * opt_rate) / (k - 1)
+    assert miner_view <= (1 - s0) + 1e-9
+
+
+@FAST
+@given(
+    s0=st.floats(0.5, 0.99),
+    opt_rate=st.floats(0.5, 1.0),
+)
+def test_minimum_parties_bound_is_tight(s0, opt_rate):
+    """k-1 parties would violate the tolerance (unless already at the
+    k=2 floor)."""
+    k = minimum_parties(s0, opt_rate, k_cap=10**6)
+    if k > 2:
+        miner_view = (1 - s0 * opt_rate) / (k - 2)
+        assert miner_view > (1 - s0) - 1e-9
+
+
+# ----------------------------------------------------------------------
+# serialization
+# ----------------------------------------------------------------------
+json_like = st.recursive(
+    st.one_of(
+        st.none(),
+        st.booleans(),
+        st.integers(-(2**40), 2**40),
+        st.floats(allow_nan=False, allow_infinity=False, width=64),
+        st.text(max_size=20),
+        st.binary(max_size=20),
+    ),
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.dictionaries(st.text(max_size=8), children, max_size=4),
+    ),
+    max_leaves=12,
+)
+
+
+@FAST
+@given(payload=st.dictionaries(st.text(max_size=8), json_like, max_size=5))
+def test_payload_roundtrip(payload):
+    assert deserialize_payload(serialize_payload(payload)) == payload
+
+
+@FAST
+@given(
+    rows=st.integers(1, 20),
+    cols=st.integers(0, 10),
+    seed=st.integers(0, 1000),
+)
+def test_array_roundtrip(rows, cols, seed):
+    array = np.random.default_rng(seed).normal(size=(rows, cols))
+    result = deserialize_payload(serialize_payload({"a": array}))
+    np.testing.assert_array_equal(result["a"], array)
+
+
+# ----------------------------------------------------------------------
+# partitioners
+# ----------------------------------------------------------------------
+def _toy_dataset(n_rows, n_classes, seed):
+    rng = np.random.default_rng(seed)
+    X = rng.uniform(size=(n_rows, 3))
+    y = np.concatenate(
+        [np.full(n_rows // n_classes, c) for c in range(n_classes)]
+        + [np.zeros(n_rows % n_classes, dtype=int)]
+    ).astype(int)
+    return Dataset(name="hyp", X=X, y=y[rng.permutation(n_rows)])
+
+
+@FAST
+@given(
+    n_rows=st.integers(20, 120),
+    k=st.integers(2, 6),
+    seed=st.integers(0, 1000),
+)
+def test_uniform_partition_is_a_partition(n_rows, k, seed):
+    ds = _toy_dataset(n_rows, 2, seed)
+    parts = partition_uniform(ds, k, np.random.default_rng(seed))
+    combined = np.sort(np.concatenate(parts))
+    np.testing.assert_array_equal(combined, np.arange(n_rows))
+
+
+@FAST
+@given(
+    n_rows=st.integers(30, 120),
+    k=st.integers(2, 5),
+    n_classes=st.integers(2, 4),
+    seed=st.integers(0, 1000),
+)
+def test_class_partition_is_a_partition(n_rows, k, n_classes, seed):
+    ds = _toy_dataset(n_rows, n_classes, seed)
+    parts = partition_by_class(ds, k, np.random.default_rng(seed))
+    combined = np.sort(np.concatenate(parts))
+    np.testing.assert_array_equal(combined, np.arange(n_rows))
+    assert all(len(p) >= 2 for p in parts)
+
+
+# ----------------------------------------------------------------------
+# transport cipher
+# ----------------------------------------------------------------------
+@FAST
+@given(
+    plaintext=st.binary(max_size=4096),
+    a=st.text(min_size=1, max_size=12),
+    b=st.text(min_size=1, max_size=12),
+    seed=st.integers(0, 10_000),
+)
+def test_cipher_roundtrip(plaintext, a, b, seed):
+    key = crypto.derive_key(a, b)
+    ciphertext = crypto.encrypt(key, plaintext, np.random.default_rng(seed))
+    assert crypto.decrypt(key, ciphertext) == plaintext
+
+
+@FAST
+@given(
+    plaintext=st.binary(min_size=1, max_size=512),
+    seed=st.integers(0, 10_000),
+    flip=st.integers(0, 10**9),
+)
+def test_cipher_detects_any_single_bit_flip(plaintext, seed, flip):
+    key = crypto.derive_key("x", "y")
+    ciphertext = crypto.encrypt(key, plaintext, np.random.default_rng(seed))
+    position = flip % (len(ciphertext.body) * 8)
+    byte_index, bit = divmod(position, 8)
+    tampered_body = bytearray(ciphertext.body)
+    tampered_body[byte_index] ^= 1 << bit
+    tampered = crypto.Ciphertext(
+        nonce=ciphertext.nonce, body=bytes(tampered_body), tag=ciphertext.tag
+    )
+    try:
+        crypto.decrypt(key, tampered)
+    except Exception:
+        return
+    raise AssertionError("bit flip went undetected")
+
+
+# ----------------------------------------------------------------------
+# normalization
+# ----------------------------------------------------------------------
+@FAST
+@given(
+    rows=st.integers(2, 40),
+    cols=st.integers(1, 8),
+    seed=st.integers(0, 10_000),
+    scale=st.floats(0.1, 100.0),
+)
+def test_minmax_roundtrip_and_range(rows, cols, seed, scale):
+    X = np.random.default_rng(seed).normal(size=(rows, cols)) * scale
+    normalizer = MinMaxNormalizer().fit(X)
+    out = normalizer.transform(X)
+    assert out.min() >= -1e-12 and out.max() <= 1.0 + 1e-12
+    np.testing.assert_allclose(
+        normalizer.inverse_transform(out), X, atol=1e-8 * scale
+    )
+
+
+@FAST
+@given(
+    rows=st.integers(3, 40),
+    cols=st.integers(1, 8),
+    seed=st.integers(0, 10_000),
+)
+def test_zscore_roundtrip(rows, cols, seed):
+    X = np.random.default_rng(seed).normal(size=(rows, cols)) * 7 + 3
+    normalizer = ZScoreNormalizer().fit(X)
+    np.testing.assert_allclose(
+        normalizer.inverse_transform(normalizer.transform(X)), X, atol=1e-8
+    )
+
+
+# ----------------------------------------------------------------------
+# end-to-end classifier invariance (the paper's utility claim)
+# ----------------------------------------------------------------------
+@settings(max_examples=10, deadline=None)
+@given(
+    d=st.integers(2, 6),
+    n_per_class=st.integers(8, 20),
+    seed=st.integers(0, 10_000),
+)
+def test_knn_rotation_invariance_property(d, n_per_class, seed):
+    """For ANY dataset shape and ANY rotation+translation, KNN predictions
+    on transformed probes match exactly — the paper's core utility claim as
+    a universally-quantified property."""
+    from repro.core.perturbation import perturb_rows
+    from repro.mining.knn import KNNClassifier
+
+    rng = np.random.default_rng(seed)
+    X = np.vstack(
+        [
+            rng.normal(size=(n_per_class, d)),
+            rng.normal(size=(n_per_class, d)) + 2.0,
+        ]
+    )
+    y = np.array([0] * n_per_class + [1] * n_per_class)
+    perturbation = sample_perturbation(d, rng, noise_sigma=0.0)
+    probes = rng.normal(size=(15, d))
+
+    plain = KNNClassifier(n_neighbors=3).fit(X, y)
+    rotated = KNNClassifier(n_neighbors=3).fit(perturb_rows(perturbation, X), y)
+    np.testing.assert_array_equal(
+        plain.predict(probes),
+        rotated.predict(perturb_rows(perturbation, probes)),
+    )
+
+
+# ----------------------------------------------------------------------
+# privacy metrics
+# ----------------------------------------------------------------------
+@FAST
+@given(
+    d=st.integers(1, 8),
+    n=st.integers(2, 60),
+    seed=st.integers(0, 10_000),
+    sigma=st.floats(0.0, 2.0),
+)
+def test_privacy_metric_bounds(d, n, seed, sigma):
+    rng = np.random.default_rng(seed)
+    X = rng.uniform(size=(d, n))
+    X_hat = X + rng.normal(scale=sigma or 1e-12, size=(d, n))
+    minimum = minimum_privacy_guarantee(X, X_hat)
+    average = average_privacy_guarantee(X, X_hat)
+    assert 0.0 <= minimum <= average
+    # Perfect reconstruction is always zero privacy.
+    assert minimum_privacy_guarantee(X, X.copy()) == 0.0

@@ -1,0 +1,88 @@
+"""Quality gates on the public API surface.
+
+Two checks a downstream user implicitly relies on:
+
+1. everything README/docs name is importable from the top level;
+2. every public module, class, and function carries a docstring.
+"""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+TOP_LEVEL_API = [
+    # core
+    "GeometricPerturbation", "sample_perturbation", "MinMaxNormalizer",
+    "ZScoreNormalizer", "haar_orthogonal", "column_privacy",
+    "minimum_privacy_guarantee", "PrivacyReport", "PerturbationOptimizer",
+    "OptimizationResult", "SpaceAdaptor", "compute_adaptor",
+    "complementary_noise", "ExchangePlan", "draw_exchange_plan",
+    "source_identifiability", "optimality_rate", "satisfaction_level",
+    "risk_of_breach", "standalone_risk", "sap_risk", "minimum_parties",
+    "PartyRiskProfile", "SAPSessionResult", "run_sap_session",
+    # attacks
+    "AttackSuite", "NaiveEstimationAttack", "ICAAttack", "KnownSampleAttack",
+    "DistanceInferenceAttack", "default_suite", "fast_suite",
+    "evaluate_perturbation",
+    # datasets
+    "Dataset", "DatasetSpec", "DATASET_NAMES", "load_dataset", "partition",
+    "PartitionScheme",
+    # mining
+    "KNNClassifier", "SVMClassifier", "LinearSVMClassifier",
+    "accuracy_score", "accuracy_deviation",
+    # parties
+    "SAPConfig", "ClassifierSpec",
+]
+
+
+@pytest.mark.parametrize("name", TOP_LEVEL_API)
+def test_top_level_name_importable(name):
+    assert hasattr(repro, name), f"repro.{name} missing from the public API"
+
+
+def test_version_is_exposed():
+    assert repro.__version__
+
+
+def _public_modules():
+    for module_info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        if "._" not in module_info.name:
+            yield module_info.name
+
+
+@pytest.mark.parametrize("module_name", sorted(_public_modules()))
+def test_every_module_has_docstring(module_name):
+    module = importlib.import_module(module_name)
+    assert module.__doc__, f"{module_name} lacks a module docstring"
+
+
+@pytest.mark.parametrize("module_name", sorted(_public_modules()))
+def test_public_items_have_docstrings(module_name):
+    module = importlib.import_module(module_name)
+    exported = getattr(module, "__all__", None)
+    if exported is None:
+        return
+    for name in exported:
+        item = getattr(module, name)
+        if inspect.isclass(item) or inspect.isfunction(item):
+            assert inspect.getdoc(item), f"{module_name}.{name} lacks a docstring"
+            if inspect.isclass(item):
+                for method_name, method in vars(item).items():
+                    if method_name.startswith("_"):
+                        continue
+                    if inspect.isfunction(method):
+                        assert inspect.getdoc(method), (
+                            f"{module_name}.{name}.{method_name} lacks a docstring"
+                        )
+
+
+def test_quickstart_docstring_example_runs():
+    """The module docstring promises a working quickstart; hold it to it."""
+    from repro import SAPConfig, load_dataset, run_sap_session
+
+    result = run_sap_session(load_dataset("iris"), SAPConfig(k=5, seed=7))
+    assert -10 < result.deviation < 10

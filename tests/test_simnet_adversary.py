@@ -1,0 +1,83 @@
+"""Tests for adversary views and identifiability estimation."""
+
+import numpy as np
+import pytest
+
+from repro.core.protocol import draw_exchange_plan
+from repro.simnet.adversary import (
+    ObservationLedger,
+    empirical_identifiability,
+    posterior_over_sources,
+)
+from repro.simnet.messages import Message, MessageKind
+
+
+def make_message(sender="a", recipient="b", kind=MessageKind.SESSION_ANNOUNCE):
+    return Message(kind=kind, sender=sender, recipient=recipient, payload={"k": 1})
+
+
+def test_ledger_records_and_filters_views():
+    ledger = ObservationLedger()
+    ledger.record_endpoint(0.1, "b", make_message())
+    ledger.record_endpoint(0.2, "c", make_message(recipient="c"))
+    assert len(ledger.view_of("b")) == 1
+    assert len(ledger.view_of("c")) == 1
+    assert ledger.view_of("nobody") == []
+
+
+def test_ledger_principals():
+    ledger = ObservationLedger()
+    ledger.record_endpoint(0.1, "b", make_message())
+    ledger.record_endpoint(0.2, "c", make_message(recipient="c"))
+    assert ledger.principals() == ("b", "c")
+
+
+def test_plaintexts_seen_by_filters_kind():
+    ledger = ObservationLedger()
+    ledger.record_endpoint(0.1, "b", make_message())
+    ledger.record_endpoint(0.2, "b", make_message(kind=MessageKind.ABORT))
+    announces = ledger.plaintexts_seen_by("b", MessageKind.SESSION_ANNOUNCE)
+    assert len(announces) == 1
+
+
+def test_posterior_over_sources_normalizes():
+    pairs = [("f1", "s1"), ("f1", "s2"), ("f1", "s2"), ("f2", "s3")]
+    posterior = posterior_over_sources(pairs)
+    assert posterior["f1"]["s1"] == pytest.approx(1 / 3)
+    assert posterior["f1"]["s2"] == pytest.approx(2 / 3)
+    assert posterior["f2"]["s3"] == 1.0
+
+
+def test_empirical_identifiability_picks_worst_forwarder():
+    pairs = [("f1", "s1")] * 9 + [("f2", "s1")] + [("f2", "s2")] * 9
+    result = empirical_identifiability(pairs)
+    assert result["s1"] == pytest.approx(1.0)  # f1 always forwards s1
+    assert result["s2"] == pytest.approx(0.9)
+
+
+@pytest.mark.parametrize("k", [3, 5, 8])
+def test_exchange_plan_identifiability_bounded(k):
+    """Monte-Carlo over plans: attribution never beats the paper's 1/(k-1)."""
+    rng = np.random.default_rng(0)
+    pairs = []
+    for _ in range(4000):
+        plan = draw_exchange_plan(k, rng)
+        for source in range(k):
+            pairs.append((str(plan.receiver_of_source(source)), str(source)))
+    worst = max(empirical_identifiability(pairs).values())
+    assert worst <= 1.0 / (k - 1) + 0.05
+
+
+def test_exchange_plan_identifiability_near_uniform():
+    """With the redirect, per-pair attribution is ~1/k for every source."""
+    k = 5
+    rng = np.random.default_rng(1)
+    pairs = []
+    for _ in range(6000):
+        plan = draw_exchange_plan(k, rng)
+        for source in range(k):
+            pairs.append((str(plan.receiver_of_source(source)), str(source)))
+    posterior = posterior_over_sources(pairs)
+    for per_forwarder in posterior.values():
+        for probability in per_forwarder.values():
+            assert probability == pytest.approx(1.0 / k, abs=0.03)

@@ -1,0 +1,144 @@
+"""Tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.simnet.errors import SchedulingError
+from repro.simnet.kernel import Simulator
+
+
+def test_events_run_in_time_order():
+    sim = Simulator()
+    seen = []
+    sim.schedule(3.0, lambda: seen.append("c"))
+    sim.schedule(1.0, lambda: seen.append("a"))
+    sim.schedule(2.0, lambda: seen.append("b"))
+    sim.run()
+    assert seen == ["a", "b", "c"]
+
+
+def test_ties_break_in_scheduling_order():
+    sim = Simulator()
+    seen = []
+    for label in "abcde":
+        sim.schedule(1.0, lambda l=label: seen.append(l))
+    sim.run()
+    assert seen == list("abcde")
+
+
+def test_clock_advances_to_event_times():
+    sim = Simulator()
+    times = []
+    sim.schedule(0.5, lambda: times.append(sim.now))
+    sim.schedule(2.5, lambda: times.append(sim.now))
+    sim.run()
+    assert times == [0.5, 2.5]
+    assert sim.now == 2.5
+
+
+def test_start_time_offset():
+    sim = Simulator(start_time=10.0)
+    sim.schedule(1.0, lambda: None)
+    sim.run()
+    assert sim.now == 11.0
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(SchedulingError):
+        sim.schedule(-0.1, lambda: None)
+
+
+def test_nan_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(SchedulingError):
+        sim.schedule(float("nan"), lambda: None)
+
+
+def test_schedule_at_absolute_time():
+    sim = Simulator()
+    seen = []
+    sim.schedule_at(4.0, lambda: seen.append(sim.now))
+    sim.run()
+    assert seen == [4.0]
+
+
+def test_schedule_at_past_rejected():
+    sim = Simulator(start_time=5.0)
+    with pytest.raises(SchedulingError):
+        sim.schedule_at(4.0, lambda: None)
+
+
+def test_cancelled_event_is_skipped():
+    sim = Simulator()
+    seen = []
+    event = sim.schedule(1.0, lambda: seen.append("cancelled"))
+    sim.schedule(2.0, lambda: seen.append("kept"))
+    event.cancel()
+    executed = sim.run()
+    assert seen == ["kept"]
+    assert executed == 1
+
+
+def test_run_until_stops_and_fast_forwards():
+    sim = Simulator()
+    seen = []
+    sim.schedule(1.0, lambda: seen.append(1))
+    sim.schedule(5.0, lambda: seen.append(5))
+    executed = sim.run(until=3.0)
+    assert executed == 1
+    assert seen == [1]
+    assert sim.now == 3.0
+    sim.run()
+    assert seen == [1, 5]
+
+
+def test_run_until_with_empty_queue_advances_clock():
+    sim = Simulator()
+    sim.run(until=7.0)
+    assert sim.now == 7.0
+
+
+def test_max_events_limits_execution():
+    sim = Simulator()
+    seen = []
+    for i in range(10):
+        sim.schedule(float(i), lambda i=i: seen.append(i))
+    executed = sim.run(max_events=4)
+    assert executed == 4
+    assert seen == [0, 1, 2, 3]
+
+
+def test_events_scheduled_during_run_are_processed():
+    sim = Simulator()
+    seen = []
+
+    def first():
+        seen.append("first")
+        sim.schedule(1.0, lambda: seen.append("nested"))
+
+    sim.schedule(1.0, first)
+    sim.run()
+    assert seen == ["first", "nested"]
+    assert sim.now == 2.0
+
+
+def test_step_returns_false_on_empty_queue():
+    sim = Simulator()
+    assert sim.step() is False
+
+
+def test_events_processed_counter():
+    sim = Simulator()
+    for _ in range(3):
+        sim.schedule(1.0, lambda: None)
+    sim.run()
+    assert sim.events_processed == 3
+
+
+def test_pending_events_property():
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    assert sim.pending_events == 2
+    sim.run()
+    assert sim.pending_events == 0

@@ -1,0 +1,70 @@
+"""Tests for the protocol trace renderer."""
+
+import pytest
+
+from repro.core.session import run_sap_session
+from repro.parties.config import ClassifierSpec, SAPConfig
+from repro.simnet.adversary import ObservationLedger
+from repro.simnet.messages import Message, MessageKind
+from repro.simnet.trace import message_flow_summary, render_trace
+
+
+@pytest.fixture
+def ledger(small_dataset):
+    config = SAPConfig(k=3, classifier=ClassifierSpec("knn"), seed=4)
+    result = run_sap_session(small_dataset, config, keep_network=True)
+    return result.network.ledger
+
+
+def test_render_trace_lists_every_delivery(ledger):
+    text = render_trace(ledger)
+    assert text.count("\n") + 1 == len(ledger.endpoint)
+    assert "target_params" in text
+    assert "forwarded_dataset" in text
+
+
+def test_render_trace_is_time_ordered(ledger):
+    lines = render_trace(ledger).splitlines()
+    times = [float(line.split("ms")[0].split("=")[1]) for line in lines]
+    assert times == sorted(times)
+
+
+def test_render_trace_kind_filter(ledger):
+    text = render_trace(ledger, kinds=[MessageKind.SPACE_ADAPTOR])
+    assert "space_adaptor" in text
+    assert "forwarded_dataset" not in text
+
+
+def test_render_trace_truncation(ledger):
+    text = render_trace(ledger, max_messages=3)
+    lines = text.splitlines()
+    assert len(lines) == 4
+    assert lines[-1].startswith("...")
+
+
+def test_render_trace_sizes_toggle(ledger):
+    with_sizes = render_trace(ledger, max_messages=2)
+    without = render_trace(ledger, max_messages=2, show_sizes=False)
+    assert " B)" in with_sizes
+    assert " B)" not in without
+
+
+def test_render_trace_empty_ledger():
+    assert render_trace(ObservationLedger()) == "(no messages)"
+
+
+def test_flow_summary_collapses_roles(ledger):
+    text = message_flow_summary(ledger)
+    assert "provider" in text
+    assert "provider-0" not in text
+    assert "x" in text  # counts rendered
+
+
+def test_flow_summary_counts_are_complete(ledger):
+    text = message_flow_summary(ledger)
+    total = sum(int(part.split("x")[-1]) for part in text.splitlines())
+    assert total == len(ledger.endpoint)
+
+
+def test_flow_summary_empty():
+    assert message_flow_summary(ObservationLedger()) == "(no messages)"

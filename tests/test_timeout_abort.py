@@ -1,0 +1,139 @@
+"""Tests for the round-timeout watchdog (liveness extension)."""
+
+import numpy as np
+import pytest
+
+from repro.parties.config import SAPConfig
+from repro.simnet.messages import MessageKind
+from tests.test_failure_injection import build_protocol
+
+
+def build_with_timeout(dataset, timeout=5.0, **kwargs):
+    config, network, providers, coordinator, miner = build_protocol(
+        dataset, **kwargs
+    )
+    # Rebuild config with the timeout; roles share the frozen config object,
+    # so construct the protocol directly with the right one instead.
+    return config, network, providers, coordinator, miner
+
+
+class TestTimeoutConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SAPConfig(round_timeout=0.0)
+        with pytest.raises(ValueError):
+            SAPConfig(round_timeout=-1.0)
+
+    def test_default_is_disabled(self):
+        assert SAPConfig().round_timeout is None
+
+
+def _build(dataset, timeout, drop_all=False, seed=5):
+    """Build a protocol whose config carries a round timeout."""
+    import dataclasses
+
+    from repro.core.session import stratified_test_mask
+    from repro.datasets.partition import partition_uniform
+    from repro.parties.config import ClassifierSpec
+    from repro.parties.coordinator import Coordinator
+    from repro.parties.miner import ServiceProvider
+    from repro.parties.provider import DataProvider
+    from repro.simnet.channel import Network
+
+    config = SAPConfig(
+        k=3,
+        noise_sigma=0.05,
+        classifier=ClassifierSpec("knn", {"n_neighbors": 3}),
+        round_timeout=timeout,
+        seed=seed,
+    )
+    master = np.random.default_rng(seed)
+    parts = partition_uniform(dataset, 3, master)
+    locals_ = [dataset.subset(p) for p in parts]
+    masks = [stratified_test_mask(d.y, 0.3, master) for d in locals_]
+    network = Network(seed=seed)
+    providers = [
+        DataProvider(
+            name=config.provider_name(i),
+            network=network,
+            dataset=locals_[i],
+            test_mask=masks[i],
+            config=config,
+            seed=int(master.integers(2**32)),
+        )
+        for i in range(2)
+    ]
+    coordinator = Coordinator(
+        name=config.provider_name(2),
+        network=network,
+        dataset=locals_[2],
+        test_mask=masks[2],
+        config=config,
+        seed=int(master.integers(2**32)),
+    )
+    providers.append(coordinator)
+    miner = ServiceProvider("miner", network, config, seed=0)
+    if drop_all:
+        # Block the dataset path (only non-coordinator providers ever
+        # forward datasets); the coordinator's control link stays up so the
+        # abort can reach the miner — a partition of the data plane.
+        for i in range(2):
+            network.block_link(config.provider_name(i), "miner")
+    return config, network, providers, coordinator, miner
+
+
+class TestHealthyRunUnaffected:
+    def test_no_abort_when_run_completes(self, small_dataset):
+        config, network, providers, coordinator, miner = _build(
+            small_dataset, timeout=30.0
+        )
+        network.simulator.schedule(0.0, coordinator.start)
+        network.run()
+        assert miner.result is not None
+        assert miner.abort_reason is None
+        assert coordinator.model_report.get("aborted") is None
+
+
+class TestStalledRunAborts:
+    def test_abort_fires_and_cleans_miner(self, small_dataset):
+        config, network, providers, coordinator, miner = _build(
+            small_dataset, timeout=2.0, drop_all=True
+        )
+        network.simulator.schedule(0.0, coordinator.start)
+        network.run()
+        assert miner.result is None
+        assert miner.abort_reason is not None
+        assert "timed out" in miner.abort_reason
+        # Partial state wiped: no stranded tables at the miner.
+        assert miner._datasets_by_tag == {}
+
+    def test_all_providers_learn_of_abort(self, small_dataset):
+        config, network, providers, coordinator, miner = _build(
+            small_dataset, timeout=2.0, drop_all=True
+        )
+        network.simulator.schedule(0.0, coordinator.start)
+        network.run()
+        for provider in providers:
+            assert provider.model_report is not None
+            assert provider.model_report.get("aborted") is True
+
+    def test_abort_recorded_on_the_wire(self, small_dataset):
+        config, network, providers, coordinator, miner = _build(
+            small_dataset, timeout=2.0, drop_all=True
+        )
+        network.simulator.schedule(0.0, coordinator.start)
+        network.run()
+        aborts = [
+            obs
+            for obs in network.ledger.wire_traffic(sender="coordinator")
+            if obs.kind == MessageKind.ABORT
+        ]
+        assert len(aborts) == 3  # 2 providers + the miner
+
+    def test_virtual_time_reaches_deadline(self, small_dataset):
+        config, network, providers, coordinator, miner = _build(
+            small_dataset, timeout=2.0, drop_all=True
+        )
+        network.simulator.schedule(0.0, coordinator.start)
+        network.run()
+        assert network.simulator.now >= 2.0

@@ -1,0 +1,81 @@
+"""Streaming benchmarks — sustained throughput and re-adaptation latency.
+
+Two measurements for the online subsystem:
+
+1. records/second of the full streaming pipeline (windowing, incremental
+   normalization, per-party perturbation + adaptation, reservoir-KNN
+   prequential mining) on a stationary stream, privacy evaluation off —
+   the pure data-path number;
+2. wall-clock latency of one space re-negotiation (simnet exchange of
+   target parameters and adaptors, model migration included) measured on
+   an abrupt-drift stream, privacy refresh on — the cost a drift event
+   adds to the pipeline.
+"""
+
+import numpy as np
+
+from repro.analysis.reporting import format_mapping, series_block
+from repro.streaming import StreamConfig, make_stream, run_stream_session
+
+from _util import budget_from_env, save_block
+
+N_WINDOWS = budget_from_env("REPRO_BENCH_STREAM_WINDOWS", 40)
+WINDOW_SIZE = budget_from_env("REPRO_BENCH_STREAM_WINDOW_SIZE", 64)
+
+
+def test_stream_throughput(benchmark):
+    source = make_stream(
+        "wine", kind="stationary", n_records=N_WINDOWS * WINDOW_SIZE, seed=0
+    )
+    config = StreamConfig(
+        k=3, window_size=WINDOW_SIZE, compute_privacy=False, seed=0
+    )
+
+    result = benchmark(lambda: run_stream_session(source, config))
+    save_block(
+        "streaming_throughput",
+        series_block(
+            "Streaming - sustained throughput (wine, stationary, k=3, KNN)",
+            format_mapping(
+                {
+                    "records": result.records_processed,
+                    "windows": result.windows and len(result.windows),
+                    "records/sec": result.throughput,
+                    "re-adaptations": result.readaptations,
+                    "deviation (points)": result.deviation,
+                }
+            ),
+        ),
+    )
+    assert result.readaptations == 0
+    assert len(result.windows) == N_WINDOWS
+
+
+def test_stream_readaptation_latency(benchmark):
+    source = make_stream(
+        "wine", kind="abrupt", n_records=N_WINDOWS * WINDOW_SIZE, seed=0
+    )
+    config = StreamConfig(k=3, window_size=WINDOW_SIZE, seed=0)
+
+    result = benchmark.pedantic(
+        lambda: run_stream_session(source, config), rounds=1, iterations=1
+    )
+    latencies = [e.latency for e in result.events]
+    save_block(
+        "streaming_readaptation",
+        series_block(
+            "Streaming - re-adaptation latency (wine, abrupt drift, k=3)",
+            format_mapping(
+                {
+                    "negotiations": len(result.events),
+                    "re-adaptations": result.readaptations,
+                    "mean latency (ms)": 1000 * float(np.mean(latencies)),
+                    "max latency (ms)": 1000 * float(np.max(latencies)),
+                    "negotiation msgs": result.messages_sent,
+                    "negotiation bytes": result.bytes_sent,
+                    "deviation (points)": result.deviation,
+                }
+            ),
+        ),
+    )
+    assert result.readaptations >= 1

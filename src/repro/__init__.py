@@ -6,6 +6,8 @@ machinery it builds on: the perturbation ``G(X) = RX + Psi + Delta``, the
 attack-resilience privacy metrics and randomized optimizer, the Space
 Adaptation Protocol over a simulated multiparty network, from-scratch KNN
 and SVM(RBF) classifiers, and synthetic stand-ins for the 12 UCI datasets.
+:mod:`repro.streaming` extends the batch pipeline to *data streams*:
+windowed online mining with drift-triggered space re-adaptation.
 
 Quickstart
 ----------
@@ -70,8 +72,20 @@ from .mining import (
     accuracy_score,
 )
 from .parties import ClassifierSpec, SAPConfig
+from .streaming import (
+    OnlineLinearSVM,
+    ReservoirKNN,
+    RunningMinMaxNormalizer,
+    RunningZScoreNormalizer,
+    StreamConfig,
+    StreamSessionResult,
+    StreamSource,
+    TrustChange,
+    make_stream,
+    run_stream_session,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
@@ -128,4 +142,15 @@ __all__ = [
     # parties
     "SAPConfig",
     "ClassifierSpec",
+    # streaming
+    "StreamSource",
+    "make_stream",
+    "StreamConfig",
+    "StreamSessionResult",
+    "TrustChange",
+    "run_stream_session",
+    "RunningMinMaxNormalizer",
+    "RunningZScoreNormalizer",
+    "ReservoirKNN",
+    "OnlineLinearSVM",
 ]

@@ -1,4 +1,10 @@
-"""``python -m repro`` — dispatches to the CLI (see :mod:`repro.cli`)."""
+"""``python -m repro`` — dispatches to the CLI (see :mod:`repro.cli`).
+
+User-input mistakes (unknown dataset, unknown subcommand, malformed flag
+values) exit with code 2 and a one-line message — never a traceback; an
+interrupt exits with the conventional 130.  Both behaviours live in
+:func:`repro.cli.main`, which the installed ``repro`` script shares.
+"""
 
 import sys
 

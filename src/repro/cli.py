@@ -10,9 +10,12 @@ Usage (after ``pip install -e .``)::
     repro fig6 --repeats 1         # SVM(RBF) accuracy deviations
     repro risk                     # eq.(1)/(2) sweep + identifiability MC
     repro session --dataset wine   # one verbose end-to-end protocol run
+    repro stream --dataset wine --windows 20 --drift abrupt
+                                   # online SAP over a drifting stream
 
 Every command accepts ``--seed``; heavier ones accept budget flags so a
-quick look stays quick.
+quick look stays quick.  Errors such as an unknown dataset name exit with
+code 2 and a one-line message rather than a traceback.
 """
 
 from __future__ import annotations
@@ -41,6 +44,13 @@ from .analysis.reporting import ascii_table, format_mapping, series_block, text_
 from .core.session import run_sap_session
 from .datasets.registry import dataset_summary, load_dataset
 from .parties.config import ClassifierSpec, SAPConfig
+from .streaming import (
+    STREAM_KINDS,
+    StreamConfig,
+    TrustChange,
+    make_stream,
+    run_stream_session,
+)
 
 __all__ = ["main", "build_parser"]
 
@@ -114,6 +124,42 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["optimizer", "noise", "attacks"],
     )
     p.add_argument("--dataset", default="diabetes")
+    p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser(
+        "stream", help="online SAP over a synthetic record stream"
+    )
+    p.add_argument("--dataset", default="wine")
+    p.add_argument(
+        "--drift",
+        default="stationary",
+        choices=list(STREAM_KINDS),
+        help="stream scenario (drift schedule / arrival process)",
+    )
+    p.add_argument("--windows", type=int, default=20, help="windows to process")
+    p.add_argument("--window-size", type=int, default=64)
+    p.add_argument(
+        "--window-kind", default="tumbling", choices=["tumbling", "sliding"]
+    )
+    p.add_argument(
+        "--window-step",
+        type=int,
+        default=None,
+        help="sliding-window stride (< size gives overlap; default: size)",
+    )
+    p.add_argument("--k", type=int, default=3)
+    p.add_argument(
+        "--classifier", default="knn", choices=["knn", "linear_svm"]
+    )
+    p.add_argument("--noise", type=float, default=0.05)
+    p.add_argument("--detector", default="meanvar", choices=["meanvar", "ks"])
+    p.add_argument(
+        "--trust-change",
+        action="append",
+        default=[],
+        metavar="WINDOW:PARTY:TRUST",
+        help="schedule a trust-level change, e.g. 10:0:0.5 (repeatable)",
+    )
     p.add_argument("--seed", type=int, default=0)
 
     return parser
@@ -241,6 +287,85 @@ def _cmd_session(args: argparse.Namespace) -> str:
     )
 
 
+def _parse_trust_changes(specs: List[str]) -> List[TrustChange]:
+    changes = []
+    for spec in specs:
+        parts = spec.split(":")
+        if len(parts) != 3:
+            raise ValueError(
+                f"bad --trust-change {spec!r}; expected WINDOW:PARTY:TRUST "
+                f"(e.g. 10:0:0.5)"
+            )
+        try:
+            changes.append(
+                TrustChange(
+                    window=int(parts[0]), party=int(parts[1]), trust=float(parts[2])
+                )
+            )
+        except ValueError as exc:
+            raise ValueError(f"bad --trust-change {spec!r}: {exc}") from None
+    return changes
+
+
+def _cmd_stream(args: argparse.Namespace) -> str:
+    source = make_stream(
+        args.dataset,
+        kind=args.drift,
+        n_records=args.windows * args.window_size,
+        seed=args.seed,
+    )
+    config = StreamConfig(
+        k=args.k,
+        window_size=args.window_size,
+        window_kind=args.window_kind,
+        window_step=args.window_step,
+        noise_sigma=args.noise,
+        classifier=args.classifier,
+        detector=args.detector,
+        trust_changes=tuple(_parse_trust_changes(args.trust_change)),
+        seed=args.seed,
+    )
+    result = run_stream_session(source, config)
+
+    headers = ["window", "records", "acc (SAP)", "acc (std)", "deviation",
+               "drift stat", "readapted"]
+    rows = []
+    for w in result.windows:
+        rows.append(
+            [
+                w.index,
+                w.n_records,
+                w.accuracy_perturbed,
+                w.accuracy_baseline,
+                f"{w.deviation:+.2f}",
+                f"{w.drift_statistic:.3f} ({w.drift_kind})",
+                "*" if w.readapted else "",
+            ]
+        )
+    event_lines = [
+        f"window {e.window:>3}  {e.reason:<8} stat={e.statistic:.3f}  "
+        f"negotiation={e.latency * 1000:.1f} ms  msgs={e.messages}"
+        + (
+            f"  guarantee={e.privacy_guarantee:.4f}"
+            if e.privacy_guarantee is not None
+            else ""
+        )
+        for e in result.events
+    ]
+    body = "\n\n".join(
+        [
+            result.summary(),
+            "accuracy deviation over time\n" + ascii_table(headers, rows),
+            "space (re-)negotiations\n" + "\n".join(event_lines),
+        ]
+    )
+    return series_block(
+        f"Streaming SAP - {args.dataset} ({args.drift}, {args.classifier}, "
+        f"k={args.k})",
+        body,
+    )
+
+
 def _cmd_ablation(args: argparse.Namespace) -> str:
     if args.which == "optimizer":
         stats = optimizer_ablation(dataset=args.dataset, seed=args.seed)
@@ -270,14 +395,30 @@ _COMMANDS = {
     "risk": _cmd_risk,
     "session": _cmd_session,
     "ablation": _cmd_ablation,
+    "stream": _cmd_stream,
 }
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    """CLI entry point; returns the process exit code."""
+    """CLI entry point; returns the process exit code.
+
+    User-input errors (unknown dataset, malformed flag values) print a
+    one-line ``error:`` message and return 2 — the same exit code argparse
+    uses for an unknown subcommand — instead of dumping a traceback.
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
-    output = _COMMANDS[args.command](args)
+    try:
+        output = _COMMANDS[args.command](args)
+    except (KeyError, ValueError) as exc:
+        message = exc.args[0] if exc.args else str(exc)
+        print(f"error: {message}", file=sys.stderr)
+        return 2
+    except KeyboardInterrupt:
+        # Both entry points (`python -m repro` and the installed `repro`
+        # script) share this handler.
+        print("interrupted", file=sys.stderr)
+        return 130
     print(output)
     return 0
 

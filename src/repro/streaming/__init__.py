@@ -1,0 +1,89 @@
+"""Online privacy-preserving mining over data streams.
+
+The batch pipeline (:mod:`repro.core.session`) perturbs once and mines
+once.  This subsystem turns it into a continuously running one:
+
+* :mod:`~repro.streaming.windows` — tumbling/sliding window buffers;
+* :mod:`~repro.streaming.normalizer` — incremental normalizers that
+  converge to their batch counterparts;
+* :mod:`~repro.streaming.drift` — mean/variance and KS drift detectors
+  that trigger space re-adaptation;
+* :mod:`~repro.streaming.online_miner` — reservoir KNN and SGD linear SVM
+  that survive a space migration;
+* :mod:`~repro.streaming.sources` — synthetic stationary/drifting/bursty
+  stream generators over the registry datasets;
+* :mod:`~repro.streaming.stream_session` — the online session driver,
+  re-negotiating the perturbed space over :mod:`repro.simnet` whenever
+  drift fires or a party's trust level changes.
+"""
+
+from .drift import (
+    DriftDetector,
+    DriftReport,
+    KSDetector,
+    MeanVarianceDetector,
+    make_detector,
+)
+from .normalizer import (
+    RunningMinMaxNormalizer,
+    RunningZScoreNormalizer,
+    make_normalizer,
+)
+from .online_miner import (
+    OnlineClassifier,
+    OnlineLinearSVM,
+    ReservoirKNN,
+    make_online_classifier,
+)
+from .sources import STREAM_KINDS, StreamRecord, StreamSource, make_stream
+from .stream_session import (
+    ReadaptationEvent,
+    StreamConfig,
+    StreamSessionResult,
+    StreamWindowStats,
+    TrustChange,
+    run_stream_session,
+)
+from .windows import (
+    SlidingWindow,
+    TumblingWindow,
+    Window,
+    WindowBuffer,
+    make_window_buffer,
+)
+
+__all__ = [
+    # windows
+    "Window",
+    "WindowBuffer",
+    "TumblingWindow",
+    "SlidingWindow",
+    "make_window_buffer",
+    # normalizers
+    "RunningMinMaxNormalizer",
+    "RunningZScoreNormalizer",
+    "make_normalizer",
+    # drift
+    "DriftReport",
+    "DriftDetector",
+    "MeanVarianceDetector",
+    "KSDetector",
+    "make_detector",
+    # online miners
+    "OnlineClassifier",
+    "ReservoirKNN",
+    "OnlineLinearSVM",
+    "make_online_classifier",
+    # sources
+    "StreamRecord",
+    "StreamSource",
+    "STREAM_KINDS",
+    "make_stream",
+    # session
+    "TrustChange",
+    "StreamConfig",
+    "ReadaptationEvent",
+    "StreamWindowStats",
+    "StreamSessionResult",
+    "run_stream_session",
+]

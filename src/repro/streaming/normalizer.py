@@ -1,0 +1,153 @@
+"""Incremental normalizers for streams.
+
+The batch pipeline normalizes once, up front, because the providers agree
+on common domain bounds before perturbing (:mod:`repro.core.normalization`).
+A stream has no "up front": bounds and moments must be maintained as
+records arrive.  Two incremental normalizers mirror the two batch ones:
+
+* :class:`RunningMinMaxNormalizer` — running per-column min/max; after
+  seeing the full stream its transform is *exactly* the batch
+  :class:`~repro.core.normalization.MinMaxNormalizer` fitted on the same
+  rows;
+* :class:`RunningZScoreNormalizer` — Welford/Chan parallel updates of
+  (count, mean, M2); converges to the batch
+  :class:`~repro.core.normalization.ZScoreNormalizer` up to floating-point
+  rounding regardless of how the stream was chunked.
+
+Both expose ``to_batch()`` so downstream code (and the equivalence tests)
+can hand the frozen state to the existing batch machinery.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..core.normalization import MinMaxNormalizer, ZScoreNormalizer
+
+__all__ = ["RunningMinMaxNormalizer", "RunningZScoreNormalizer", "make_normalizer"]
+
+
+class RunningMinMaxNormalizer:
+    """Stream counterpart of :class:`MinMaxNormalizer`.
+
+    ``update`` folds a batch of rows into the running bounds; ``transform``
+    maps into ``[0, 1]`` under the *current* bounds (values beyond them
+    extrapolate linearly, exactly like the batch normalizer).  Constant
+    columns map to 0.5.
+    """
+
+    def __init__(self) -> None:
+        self.minimums: Optional[np.ndarray] = None
+        self.maximums: Optional[np.ndarray] = None
+        self.n_seen = 0
+
+    def update(self, X: np.ndarray) -> "RunningMinMaxNormalizer":
+        """Fold a ``(n, d)`` batch of new rows into the running bounds."""
+        X = np.asarray(X, dtype=float)
+        if X.ndim != 2:
+            raise ValueError("X must be 2-D")
+        if X.shape[0] == 0:
+            return self
+        if self.minimums is None:
+            self.minimums = X.min(axis=0)
+            self.maximums = X.max(axis=0)
+        else:
+            if X.shape[1] != self.minimums.shape[0]:
+                raise ValueError(
+                    f"X has {X.shape[1]} columns, normalizer tracks "
+                    f"{self.minimums.shape[0]}"
+                )
+            self.minimums = np.minimum(self.minimums, X.min(axis=0))
+            self.maximums = np.maximum(self.maximums, X.max(axis=0))
+        self.n_seen += X.shape[0]
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        """Scale rows into ``[0, 1]`` under the bounds seen so far."""
+        return self.to_batch().transform(X)
+
+    def update_transform(self, X: np.ndarray) -> np.ndarray:
+        """Fold the batch in, then transform it (the per-window hot path)."""
+        return self.update(X).transform(X)
+
+    def to_batch(self) -> MinMaxNormalizer:
+        """Freeze the running bounds into a fitted batch normalizer."""
+        if self.minimums is None or self.maximums is None:
+            raise RuntimeError("normalizer has seen no data")
+        return MinMaxNormalizer(
+            minimums=self.minimums.copy(), maximums=self.maximums.copy()
+        )
+
+
+class RunningZScoreNormalizer:
+    """Stream counterpart of :class:`ZScoreNormalizer` (Welford/Chan).
+
+    Maintains per-column ``(n, mean, M2)`` and merges whole batches at a
+    time with Chan's parallel-update formula, which is numerically stable
+    under any chunking of the stream.
+    """
+
+    def __init__(self) -> None:
+        self.means: Optional[np.ndarray] = None
+        self._m2: Optional[np.ndarray] = None
+        self.n_seen = 0
+
+    def update(self, X: np.ndarray) -> "RunningZScoreNormalizer":
+        """Merge a ``(n, d)`` batch into the running moments."""
+        X = np.asarray(X, dtype=float)
+        if X.ndim != 2:
+            raise ValueError("X must be 2-D")
+        n_b = X.shape[0]
+        if n_b == 0:
+            return self
+        mean_b = X.mean(axis=0)
+        m2_b = ((X - mean_b) ** 2).sum(axis=0)
+        if self.means is None:
+            self.means = mean_b
+            self._m2 = m2_b
+            self.n_seen = n_b
+            return self
+        if X.shape[1] != self.means.shape[0]:
+            raise ValueError(
+                f"X has {X.shape[1]} columns, normalizer tracks "
+                f"{self.means.shape[0]}"
+            )
+        n_a = self.n_seen
+        delta = mean_b - self.means
+        total = n_a + n_b
+        self.means = self.means + delta * (n_b / total)
+        self._m2 = self._m2 + m2_b + delta**2 * (n_a * n_b / total)
+        self.n_seen = total
+        return self
+
+    @property
+    def stds(self) -> np.ndarray:
+        """Population standard deviations (``ddof=0``, matching the batch)."""
+        if self._m2 is None:
+            raise RuntimeError("normalizer has seen no data")
+        return np.sqrt(self._m2 / self.n_seen)
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        """Standardize rows under the moments seen so far."""
+        return self.to_batch().transform(X)
+
+    def update_transform(self, X: np.ndarray) -> np.ndarray:
+        """Merge the batch in, then transform it (the per-window hot path)."""
+        return self.update(X).transform(X)
+
+    def to_batch(self) -> ZScoreNormalizer:
+        """Freeze the running moments into a fitted batch normalizer."""
+        if self.means is None:
+            raise RuntimeError("normalizer has seen no data")
+        return ZScoreNormalizer(means=self.means.copy(), stds=self.stds)
+
+
+def make_normalizer(kind: str):
+    """Factory keyed by the batch normalizer it mirrors."""
+    if kind == "minmax":
+        return RunningMinMaxNormalizer()
+    if kind == "zscore":
+        return RunningZScoreNormalizer()
+    raise ValueError(f"unknown normalizer kind {kind!r}; use 'minmax' or 'zscore'")

@@ -1,0 +1,215 @@
+"""Incremental classifiers for mining in the unified perturbed space.
+
+The batch miners in :mod:`repro.mining` retrain from scratch; a stream
+needs models that absorb one window at a time *and* survive a space
+re-adaptation.  Both learners here support the second requirement through
+:meth:`OnlineClassifier.adapt_space`: when the session negotiates a new
+target perturbation, the model's state is migrated with the same
+rotation/translation adaptor algebra the protocol uses for data
+(:mod:`repro.core.adaptation`), so nothing ever needs to be un-perturbed:
+
+* :class:`ReservoirKNN` — Vitter reservoir sampling over the stream,
+  wrapping the batch :class:`~repro.mining.knn.KNNClassifier`; the stored
+  reservoir rows are simply pushed through the adaptor;
+* :class:`OnlineLinearSVM` — one-vs-rest Pegasos-style SGD hinge updates;
+  under ``x' = R x + psi`` the weight vectors rotate (``w' = R w``) and the
+  biases absorb the translation (``b' = b - w' . psi``), which preserves
+  every decision value exactly — the linear-invariance argument of the
+  companion paper, applied online.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..core.adaptation import SpaceAdaptor
+from ..mining.base import validate_Xy
+from ..mining.knn import KNNClassifier
+
+__all__ = ["OnlineClassifier", "ReservoirKNN", "OnlineLinearSVM", "make_online_classifier"]
+
+
+class OnlineClassifier(abc.ABC):
+    """Contract for incremental learners used by the stream session."""
+
+    @abc.abstractmethod
+    def partial_fit(self, X: np.ndarray, y: np.ndarray) -> "OnlineClassifier":
+        """Absorb one window of rows ``(n, d)`` with labels ``y``."""
+
+    @abc.abstractmethod
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Predict a label per row; rows seen before any fit get label 0."""
+
+    @abc.abstractmethod
+    def adapt_space(self, adaptor: SpaceAdaptor) -> None:
+        """Migrate internal state from the old target space to the new one."""
+
+    @property
+    @abc.abstractmethod
+    def n_seen(self) -> int:
+        """Total records absorbed so far."""
+
+
+class ReservoirKNN(OnlineClassifier):
+    """KNN over a bounded uniform sample of the stream (Vitter's R).
+
+    Parameters
+    ----------
+    capacity:
+        Reservoir size; memory and prediction cost stay bounded by it.
+    n_neighbors:
+        Forwarded to the wrapped batch KNN.
+    seed:
+        Reservoir-replacement seed (the *only* randomness; the same seed
+        on perturbed and baseline copies keeps their reservoirs row-aligned
+        so accuracy deviation isolates the perturbation's effect).
+    """
+
+    def __init__(self, capacity: int = 256, n_neighbors: int = 5, seed: int = 0) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self.n_neighbors = n_neighbors
+        self.rng = np.random.default_rng(seed)
+        self._rows: List[np.ndarray] = []
+        self._labels: List[object] = []
+        self._n_seen = 0
+        self._model: Optional[KNNClassifier] = None
+
+    @property
+    def n_seen(self) -> int:
+        return self._n_seen
+
+    @property
+    def reservoir_size(self) -> int:
+        """Rows currently held (<= capacity)."""
+        return len(self._rows)
+
+    def partial_fit(self, X: np.ndarray, y: np.ndarray) -> "ReservoirKNN":
+        X, y = validate_Xy(X, y)
+        for i in range(X.shape[0]):
+            self._n_seen += 1
+            if len(self._rows) < self.capacity:
+                self._rows.append(X[i].copy())
+                self._labels.append(y[i])
+            else:
+                slot = int(self.rng.integers(self._n_seen))
+                if slot < self.capacity:
+                    self._rows[slot] = X[i].copy()
+                    self._labels[slot] = y[i]
+        self._model = None  # refit lazily on next predict
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        X, _ = validate_Xy(X)
+        if not self._rows:
+            return np.zeros(X.shape[0], dtype=int)
+        if self._model is None:
+            self._model = KNNClassifier(n_neighbors=self.n_neighbors).fit(
+                np.vstack(self._rows), np.asarray(self._labels)
+            )
+        return self._model.predict(X)
+
+    def adapt_space(self, adaptor: SpaceAdaptor) -> None:
+        if not self._rows:
+            return
+        adapted = np.asarray(adaptor.apply(np.vstack(self._rows).T)).T
+        self._rows = [row for row in adapted]
+        self._model = None
+
+
+class OnlineLinearSVM(OnlineClassifier):
+    """One-vs-rest linear SVM trained by Pegasos-style SGD, one window at a
+    time.
+
+    Classes are discovered online: the first time a label appears a fresh
+    zero weight vector is added for it.  The global step counter ``t``
+    spans windows, so the learning-rate schedule matches a single long
+    Pegasos run over the concatenated stream.
+    """
+
+    def __init__(self, lam: float = 1e-3, seed: int = 0) -> None:
+        if lam <= 0:
+            raise ValueError("lam must be positive")
+        self.lam = lam
+        self.rng = np.random.default_rng(seed)
+        self._weights: Dict[object, np.ndarray] = {}
+        self._biases: Dict[object, float] = {}
+        self._t = 0
+        self._n_seen = 0
+        self._dim: Optional[int] = None
+
+    @property
+    def n_seen(self) -> int:
+        return self._n_seen
+
+    @property
+    def classes_(self) -> np.ndarray:
+        """Labels discovered so far, sorted."""
+        return np.asarray(sorted(self._weights, key=str))
+
+    def partial_fit(self, X: np.ndarray, y: np.ndarray) -> "OnlineLinearSVM":
+        X, y = validate_Xy(X, y)
+        if self._dim is None:
+            self._dim = X.shape[1]
+        elif X.shape[1] != self._dim:
+            raise ValueError(f"expected {self._dim} features, got {X.shape[1]}")
+        for label in np.unique(y):
+            if label not in self._weights:
+                self._weights[label] = np.zeros(self._dim)
+                self._biases[label] = 0.0
+        for i in self.rng.permutation(X.shape[0]):
+            self._t += 1
+            self._n_seen += 1
+            eta = 1.0 / (self.lam * self._t)
+            for label, w in self._weights.items():
+                sign = 1.0 if y[i] == label else -1.0
+                margin = sign * (X[i] @ w + self._biases[label])
+                w *= 1.0 - eta * self.lam
+                if margin < 1:
+                    w += eta * sign * X[i]
+                    self._biases[label] += eta * sign
+        return self
+
+    def decision_matrix(self, X: np.ndarray) -> np.ndarray:
+        """Per-class decision values, columns ordered like :attr:`classes_`."""
+        X, _ = validate_Xy(X)
+        classes = self.classes_
+        scores = np.empty((X.shape[0], len(classes)))
+        for c, label in enumerate(classes):
+            scores[:, c] = X @ self._weights[label] + self._biases[label]
+        return scores
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        X, _ = validate_Xy(X)
+        if not self._weights:
+            return np.zeros(X.shape[0], dtype=int)
+        classes = self.classes_
+        return classes[np.argmax(self.decision_matrix(X), axis=1)]
+
+    def adapt_space(self, adaptor: SpaceAdaptor) -> None:
+        if not self._weights:
+            return
+        R = adaptor.rotation_adaptor
+        psi = adaptor.translation_adaptor
+        for label, w in list(self._weights.items()):
+            w_new = R @ w
+            self._weights[label] = w_new
+            self._biases[label] = self._biases[label] - float(w_new @ psi)
+
+
+def make_online_classifier(
+    name: str, seed: int = 0, **params
+) -> OnlineClassifier:
+    """Factory: ``"knn"`` -> :class:`ReservoirKNN`, ``"linear_svm"`` ->
+    :class:`OnlineLinearSVM`."""
+    if name == "knn":
+        return ReservoirKNN(seed=seed, **params)
+    if name == "linear_svm":
+        return OnlineLinearSVM(seed=seed, **params)
+    raise ValueError(
+        f"unknown online classifier {name!r}; use 'knn' or 'linear_svm'"
+    )

@@ -1,0 +1,635 @@
+"""Online counterpart of :func:`repro.core.session.run_sap_session`.
+
+:func:`run_stream_session` drives one continuous privacy-preserving mining
+run: records arrive from a :class:`~repro.streaming.sources.StreamSource`,
+are batched into windows, normalized incrementally, perturbed per-party,
+adapted into the negotiated target space, and mined by an incremental
+classifier — while a drift detector watches for distribution shift.
+
+Space (re-)negotiation reuses the multiparty machinery:
+
+* every epoch's negotiation runs over a fresh :class:`repro.simnet` network
+  — the coordinator draws the target perturbation and a new exchange plan,
+  broadcasts ``TARGET_PARAMS`` / ``EXCHANGE_ASSIGNMENT``, and collects each
+  provider's tagged ``SPACE_ADAPTOR`` — so message/byte costs are charged
+  exactly like in the batch protocol;
+* when drift fires (or a party's trust level changes — Li et al.'s
+  multi-level-trust setting, mapped to a per-party noise level), the session
+  re-negotiates and *migrates* the online model from the old target space to
+  the new one with :func:`repro.core.adaptation.compute_adaptor` — raw data
+  is never revisited, and the inherited noise is never removed;
+* every epoch refreshes the privacy guarantee with the fast attack suite,
+  evaluated on the current window in the new space's parameters.
+
+Accuracy is scored prequentially (test-then-train) against a baseline copy
+of the same online learner fed the *un*-perturbed normalized records, so
+the reported deviation isolates what perturbation costs — the streaming
+analogue of the paper's Figures 5/6.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.adaptation import SpaceAdaptor, compute_adaptor
+from ..core.perturbation import GeometricPerturbation, sample_perturbation
+from ..core.protocol import ExchangePlan, draw_exchange_plan
+from ..mining.metrics import accuracy_deviation, accuracy_score
+from ..simnet.channel import Network
+from ..simnet.messages import Message, MessageKind
+from ..simnet.node import Node
+from .drift import DriftReport, make_detector
+from .normalizer import make_normalizer
+from .online_miner import make_online_classifier
+from .sources import StreamSource
+from .windows import make_window_buffer
+
+__all__ = [
+    "TrustChange",
+    "StreamConfig",
+    "ReadaptationEvent",
+    "StreamWindowStats",
+    "StreamSessionResult",
+    "run_stream_session",
+]
+
+
+@dataclass(frozen=True)
+class TrustChange:
+    """A scheduled change of one party's trust level.
+
+    Following the multi-level-trust model, ``trust`` in ``(0, 1]`` scales
+    the noise the party must apply: a fully trusted party (1.0) uses the
+    base ``noise_sigma``; lower trust doubles toward ``2 x noise_sigma``.
+    A change always triggers a space re-negotiation at ``window``.
+    """
+
+    window: int
+    party: int
+    trust: float
+
+    def __post_init__(self) -> None:
+        if self.window < 0:
+            raise ValueError("window must be >= 0")
+        if not 0.0 < self.trust <= 1.0:
+            raise ValueError("trust must be in (0, 1]")
+
+
+@dataclass(frozen=True)
+class StreamConfig:
+    """Knobs for one online SAP run.
+
+    Attributes
+    ----------
+    k:
+        Number of data providers (incoming records are attributed to
+        providers round-robin; coordinator included, as in the batch
+        protocol).
+    window_size / window_kind / window_step:
+        Windowing policy (see :mod:`repro.streaming.windows`).
+    noise_sigma:
+        Base common-noise level; per-party effective noise is scaled by
+        trust (see :class:`TrustChange`).
+    classifier:
+        ``"knn"`` (reservoir) or ``"linear_svm"`` (SGD) — the incremental
+        miners of :mod:`repro.streaming.online_miner`.
+    normalizer:
+        ``"minmax"`` or ``"zscore"`` incremental normalizer.
+    detector / detector_params:
+        Drift detector (``"meanvar"`` or ``"ks"``) and its thresholds.
+    readapt_cooldown:
+        Minimum number of windows between two *drift-triggered*
+        re-adaptations (trust changes always fire); prevents thrash while a
+        gradual drift crosses the threshold repeatedly.
+    trust_changes:
+        Scheduled :class:`TrustChange` events.
+    compute_privacy:
+        Refresh the fast-suite privacy guarantee at every negotiation
+        (small cost per epoch; disable for pure throughput benchmarks).
+    seed:
+        Master seed; all node and miner seeds derive from it.
+    """
+
+    k: int = 3
+    window_size: int = 64
+    window_kind: str = "tumbling"
+    window_step: Optional[int] = None
+    noise_sigma: float = 0.05
+    classifier: str = "knn"
+    classifier_params: Tuple[Tuple[str, object], ...] = ()
+    normalizer: str = "minmax"
+    detector: str = "meanvar"
+    detector_params: Tuple[Tuple[str, object], ...] = ()
+    readapt_cooldown: int = 2
+    trust_changes: Tuple[TrustChange, ...] = ()
+    compute_privacy: bool = True
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.k < 2:
+            raise ValueError("streaming SAP requires k >= 2 providers")
+        if self.window_size < 2:
+            raise ValueError("window_size must be >= 2")
+        if self.noise_sigma < 0:
+            raise ValueError("noise_sigma must be >= 0")
+        if self.readapt_cooldown < 0:
+            raise ValueError("readapt_cooldown must be >= 0")
+
+    def provider_name(self, index: int) -> str:
+        """Node names, matching the batch convention (coordinator last)."""
+        if index == self.k - 1:
+            return "coordinator"
+        return f"provider-{index}"
+
+
+@dataclass(frozen=True)
+class ReadaptationEvent:
+    """One space re-negotiation."""
+
+    window: int
+    reason: str  # "initial" | "drift" | "trust"
+    statistic: float
+    latency: float  # wall-clock seconds spent negotiating
+    messages: int
+    bytes: int
+    virtual_duration: float
+    privacy_guarantee: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class StreamWindowStats:
+    """Prequential metrics for one window.
+
+    ``n_records`` counts the window's *fresh* records — the ones scored
+    and learned from exactly once (equal to the window size for tumbling
+    windows, to the step for overlapping sliding windows).
+    """
+
+    index: int
+    n_records: int
+    accuracy_perturbed: float
+    accuracy_baseline: float
+    drift_statistic: float
+    drift_kind: str
+    readapted: bool
+
+    @property
+    def deviation(self) -> float:
+        """Per-window accuracy deviation in percentage points."""
+        return accuracy_deviation(self.accuracy_perturbed, self.accuracy_baseline)
+
+
+@dataclass
+class StreamSessionResult:
+    """Everything measured over one streaming run."""
+
+    config: StreamConfig
+    source_name: str
+    source_kind: str
+    records_processed: int
+    windows: List[StreamWindowStats]
+    events: List[ReadaptationEvent]
+    accuracy_perturbed: float
+    accuracy_baseline: float
+    wall_seconds: float
+    messages_sent: int
+    bytes_sent: int
+
+    @property
+    def deviation(self) -> float:
+        """Cumulative prequential accuracy deviation (percentage points)."""
+        return accuracy_deviation(self.accuracy_perturbed, self.accuracy_baseline)
+
+    @property
+    def readaptations(self) -> int:
+        """Re-negotiations after the initial one (drift- or trust-triggered)."""
+        return sum(1 for e in self.events if e.reason != "initial")
+
+    @property
+    def throughput(self) -> float:
+        """Records per wall-clock second, end to end."""
+        if self.wall_seconds <= 0:
+            return float("inf")
+        return self.records_processed / self.wall_seconds
+
+    @property
+    def mean_readapt_latency(self) -> float:
+        """Mean wall-clock seconds per negotiation."""
+        if not self.events:
+            return 0.0
+        return float(np.mean([e.latency for e in self.events]))
+
+    def deviation_series(self) -> List[float]:
+        """Per-window deviation trajectory (for reports and figures)."""
+        return [w.deviation for w in self.windows]
+
+    def summary(self) -> str:
+        """Multi-line run report, mirroring ``SAPSessionResult.summary``."""
+        guarantees = [
+            e.privacy_guarantee for e in self.events if e.privacy_guarantee is not None
+        ]
+        lines = [
+            f"stream            : {self.source_name} ({self.source_kind})",
+            f"providers (k)     : {self.config.k}",
+            f"classifier        : {self.config.classifier}",
+            f"records / windows : {self.records_processed} / {len(self.windows)}",
+            f"re-adaptations    : {self.readaptations}",
+            f"baseline accuracy : {self.accuracy_baseline:.4f}",
+            f"stream accuracy   : {self.accuracy_perturbed:.4f}",
+            f"deviation         : {self.deviation:+.2f} points",
+            f"throughput        : {self.throughput:,.0f} records/s",
+            f"readapt latency   : {self.mean_readapt_latency * 1000:.1f} ms (mean)",
+            f"messages / bytes  : {self.messages_sent} / {self.bytes_sent}",
+        ]
+        if guarantees:
+            lines.append(
+                f"privacy guarantee : {min(guarantees):.4f} (min over epochs)"
+            )
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# negotiation roles (one fresh simnet network per epoch)
+# ----------------------------------------------------------------------
+class _NegotiationProvider(Node):
+    """A provider's view of one negotiation epoch.
+
+    Draws its local perturbation ``G_i`` up front; on receiving the target
+    parameters it answers with its tagged space adaptor, exactly like the
+    batch :class:`repro.parties.provider.DataProvider` — minus the dataset
+    exchange, which the streaming session performs window by window.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        network: Network,
+        dimension: int,
+        noise_sigma: float,
+        coordinator_name: str,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(name, network, seed=seed)
+        self.coordinator_name = coordinator_name
+        self.perturbation = sample_perturbation(
+            dimension, self.rng, noise_sigma=noise_sigma
+        )
+        self.adaptor: Optional[SpaceAdaptor] = None
+        self.tag: Optional[str] = None
+        self.exchange_receiver: Optional[str] = None
+
+    def on_exchange_assignment(self, message: Message) -> None:
+        self.tag = message.payload["tag"]
+        self.exchange_receiver = message.payload["receiver"]
+
+    def on_target_params(self, message: Message) -> None:
+        target = GeometricPerturbation(
+            rotation=message.payload["rotation"],
+            translation=message.payload["translation"],
+            noise_sigma=0.0,
+        )
+        self.adaptor = compute_adaptor(self.perturbation, target)
+        self.send(
+            MessageKind.SPACE_ADAPTOR,
+            self.coordinator_name,
+            {
+                "tag": self.tag if self.tag is not None else "",
+                "rotation_adaptor": self.adaptor.rotation_adaptor,
+                "translation_adaptor": self.adaptor.translation_adaptor,
+            },
+        )
+
+
+class _NegotiationCoordinator(_NegotiationProvider):
+    """The coordinating provider: draws the target + plan, collects adaptors."""
+
+    def __init__(
+        self,
+        name: str,
+        network: Network,
+        dimension: int,
+        noise_sigma: float,
+        k: int,
+        provider_names: Sequence[str],
+        seed: int = 0,
+    ) -> None:
+        super().__init__(
+            name, network, dimension, noise_sigma, coordinator_name=name, seed=seed
+        )
+        self.k = k
+        self.provider_names = list(provider_names)
+        self.target: Optional[GeometricPerturbation] = None
+        self.plan: Optional[ExchangePlan] = None
+        self.adaptors_received = 0
+
+    def start(self) -> None:
+        """Draw target + plan, then broadcast assignments and parameters."""
+        d = self.perturbation.dimension
+        self.target = sample_perturbation(d, self.rng, noise_sigma=0.0)
+        self.plan = draw_exchange_plan(self.k, self.rng)
+        for index, peer in enumerate(self.provider_names):
+            receiver = self.provider_names[self.plan.receiver_of_source(index)]
+            if peer == self.name:
+                self.tag = self.plan.tag_of_source(index)
+                self.exchange_receiver = receiver
+                continue
+            self.send(
+                MessageKind.EXCHANGE_ASSIGNMENT,
+                peer,
+                {"tag": self.plan.tag_of_source(index), "receiver": receiver},
+            )
+            self.send(
+                MessageKind.TARGET_PARAMS,
+                peer,
+                {
+                    "rotation": self.target.rotation,
+                    "translation": self.target.translation,
+                },
+            )
+        # The coordinator adapts locally (no self-addressed message).
+        self.adaptor = compute_adaptor(self.perturbation, self.target)
+        self.adaptors_received += 1
+
+    def on_space_adaptor(self, message: Message) -> None:
+        self.adaptors_received += 1
+
+
+@dataclass
+class _Epoch:
+    """One negotiated space: target, plan, and per-party perturbations."""
+
+    target: GeometricPerturbation
+    plan: ExchangePlan
+    perturbations: List[GeometricPerturbation]
+    adaptors: List[SpaceAdaptor]
+
+
+def _negotiate(
+    config: StreamConfig,
+    dimension: int,
+    sigmas: Sequence[float],
+    master: np.random.Generator,
+) -> Tuple[_Epoch, int, int, float]:
+    """Run one negotiation over a fresh simnet network.
+
+    Returns the epoch plus the network's message/byte counts and the
+    virtual duration of the exchange.
+    """
+    network = Network(seed=int(master.integers(2**32)))
+    names = [config.provider_name(i) for i in range(config.k)]
+    providers: List[_NegotiationProvider] = []
+    for index in range(config.k - 1):
+        providers.append(
+            _NegotiationProvider(
+                names[index],
+                network,
+                dimension,
+                float(sigmas[index]),
+                coordinator_name=names[-1],
+                seed=int(master.integers(2**32)),
+            )
+        )
+    coordinator = _NegotiationCoordinator(
+        names[-1],
+        network,
+        dimension,
+        float(sigmas[-1]),
+        k=config.k,
+        provider_names=names,
+        seed=int(master.integers(2**32)),
+    )
+    providers.append(coordinator)
+
+    network.simulator.schedule(0.0, coordinator.start)
+    network.run()
+
+    if coordinator.adaptors_received != config.k:
+        raise RuntimeError(
+            f"negotiation incomplete: {coordinator.adaptors_received}/"
+            f"{config.k} adaptors"
+        )
+    assert coordinator.target is not None and coordinator.plan is not None
+    epoch = _Epoch(
+        target=coordinator.target,
+        plan=coordinator.plan,
+        perturbations=[p.perturbation for p in providers],
+        adaptors=[p.adaptor for p in providers],
+    )
+    return epoch, network.messages_sent, network.bytes_sent, network.simulator.now
+
+
+def _epoch_guarantee(
+    epoch: _Epoch,
+    X_normalized: np.ndarray,
+    sigmas: Sequence[float],
+    rng: np.random.Generator,
+) -> float:
+    """Fast-suite guarantee of the epoch's effective global perturbation.
+
+    As in the batch session, the miner holds data in the target space with
+    the inherited noise, so the effective perturbation is the target's
+    rotation/translation at the worst (smallest) per-party noise level.
+    """
+    from ..attacks.resilience import fast_suite
+
+    effective = GeometricPerturbation(
+        rotation=epoch.target.rotation,
+        translation=epoch.target.translation,
+        noise_sigma=float(min(sigmas)),
+    )
+    return fast_suite().guarantee(effective, X_normalized.T, rng)
+
+
+# ----------------------------------------------------------------------
+# the session driver
+# ----------------------------------------------------------------------
+def run_stream_session(
+    source: StreamSource, config: Optional[StreamConfig] = None
+) -> StreamSessionResult:
+    """Mine a stream privately, re-adapting the space when the data drifts.
+
+    Parameters
+    ----------
+    source:
+        The record stream (see :func:`repro.streaming.sources.make_stream`).
+    config:
+        Streaming knobs; defaults to :class:`StreamConfig()`.
+    """
+    config = config if config is not None else StreamConfig()
+    master = np.random.default_rng(config.seed)
+
+    buffer = make_window_buffer(
+        config.window_kind, config.window_size, config.window_step
+    )
+    normalizer = make_normalizer(config.normalizer)
+    detector = make_detector(config.detector, **dict(config.detector_params))
+    params = dict(config.classifier_params)
+    miner_seed = int(master.integers(2**32))
+    miner = make_online_classifier(config.classifier, seed=miner_seed, **params)
+    baseline = make_online_classifier(config.classifier, seed=miner_seed, **params)
+    party_rngs = [
+        np.random.default_rng(int(master.integers(2**32))) for _ in range(config.k)
+    ]
+    trust = {party: 1.0 for party in range(config.k)}
+    trust_by_window: Dict[int, List[TrustChange]] = {}
+    for change in config.trust_changes:
+        if not 0 <= change.party < config.k:
+            raise ValueError(f"trust change names party {change.party}, k={config.k}")
+        trust_by_window.setdefault(change.window, []).append(change)
+
+    epoch: Optional[_Epoch] = None
+    events: List[ReadaptationEvent] = []
+    window_stats: List[StreamWindowStats] = []
+    messages_total = 0
+    bytes_total = 0
+    correct_perturbed = 0
+    correct_baseline = 0
+    scored = 0
+    records = 0
+    last_readapt_window = -(10**9)
+
+    def sigmas() -> List[float]:
+        return [config.noise_sigma * (2.0 - trust[p]) for p in range(config.k)]
+
+    def negotiate(reason: str, window_index: int, statistic: float,
+                  X_normalized: Optional[np.ndarray]) -> _Epoch:
+        nonlocal messages_total, bytes_total
+        began = time.perf_counter()
+        new_epoch, n_msgs, n_bytes, virtual = _negotiate(
+            config, source.dimension, sigmas(), master
+        )
+        latency = time.perf_counter() - began
+        messages_total += n_msgs
+        bytes_total += n_bytes
+        guarantee = None
+        if config.compute_privacy and X_normalized is not None:
+            guarantee = _epoch_guarantee(
+                new_epoch,
+                X_normalized,
+                sigmas(),
+                np.random.default_rng(int(master.integers(2**32))),
+            )
+        events.append(
+            ReadaptationEvent(
+                window=window_index,
+                reason=reason,
+                statistic=statistic,
+                latency=latency,
+                messages=n_msgs,
+                bytes=n_bytes,
+                virtual_duration=virtual,
+                privacy_guarantee=guarantee,
+            )
+        )
+        return new_epoch
+
+    start = time.perf_counter()
+    for record in source:
+        records += 1
+        for window in buffer.push(record.x, record.y, record.time):
+            # Only the fresh tail rows are new to the stream (sliding
+            # windows overlap); incremental state — normalizer moments,
+            # model updates, prequential scoring — must touch each record
+            # exactly once, while drift statistics use the whole window.
+            X_fresh = window.X[-window.fresh :]
+            y_fresh = window.y[-window.fresh :]
+
+            # ----- normalization (incremental, converges to batch) -------
+            normalizer.update(X_fresh)
+            X_norm = normalizer.transform(X_fresh)
+
+            # ----- trust schedule (applies from this window on) ----------
+            changes = trust_by_window.get(window.index, ())
+            for change in changes:
+                trust[change.party] = change.trust
+
+            # ----- space (re-)negotiation --------------------------------
+            readapted = False
+            if epoch is None:
+                # A trust change scheduled at the first window is folded
+                # into the initial negotiation's noise levels above.
+                epoch = negotiate("initial", window.index, 0.0, X_norm)
+                last_readapt_window = window.index
+                detector.observe(window.X)  # installs the reference
+                report = DriftReport(fired=False, statistic=0.0, threshold=np.inf)
+            else:
+                if changes:
+                    old_target = epoch.target
+                    epoch = negotiate("trust", window.index, 0.0, X_norm)
+                    migration = compute_adaptor(old_target, epoch.target)
+                    miner.adapt_space(migration)
+                    last_readapt_window = window.index
+                    readapted = True
+                report = detector.observe(window.X)
+                cooled = (
+                    window.index - last_readapt_window >= config.readapt_cooldown
+                )
+                if report.fired and cooled and not readapted:
+                    old_target = epoch.target
+                    epoch = negotiate(
+                        "drift", window.index, report.statistic, X_norm
+                    )
+                    migration = compute_adaptor(old_target, epoch.target)
+                    miner.adapt_space(migration)
+                    detector.rebase(window.X)
+                    last_readapt_window = window.index
+                    readapted = True
+                elif report.fired and readapted:
+                    # Trust already renegotiated this window; just rebase.
+                    detector.rebase(window.X)
+
+            # ----- perturb + adapt into the unified space ----------------
+            X_target = np.empty_like(X_norm)
+            parties = np.arange(window.fresh) % config.k
+            for party in range(config.k):
+                rows = parties == party
+                if not rows.any():
+                    continue
+                perturbed = epoch.perturbations[party].apply(
+                    X_norm[rows].T, rng=party_rngs[party]
+                )
+                X_target[rows] = np.asarray(
+                    epoch.adaptors[party].apply(np.asarray(perturbed))
+                ).T
+
+            # ----- prequential mining (test, then train) -----------------
+            pred_perturbed = miner.predict(X_target)
+            pred_baseline = baseline.predict(X_norm)
+            acc_perturbed = accuracy_score(y_fresh, pred_perturbed)
+            acc_baseline = accuracy_score(y_fresh, pred_baseline)
+            miner.partial_fit(X_target, y_fresh)
+            baseline.partial_fit(X_norm, y_fresh)
+
+            correct_perturbed += int(round(acc_perturbed * window.fresh))
+            correct_baseline += int(round(acc_baseline * window.fresh))
+            scored += window.fresh
+            window_stats.append(
+                StreamWindowStats(
+                    index=window.index,
+                    n_records=window.fresh,
+                    accuracy_perturbed=acc_perturbed,
+                    accuracy_baseline=acc_baseline,
+                    drift_statistic=report.statistic,
+                    drift_kind=report.kind,
+                    readapted=readapted,
+                )
+            )
+    wall = time.perf_counter() - start
+
+    return StreamSessionResult(
+        config=config,
+        source_name=source.name,
+        source_kind=source.kind,
+        records_processed=records,
+        windows=window_stats,
+        events=events,
+        accuracy_perturbed=correct_perturbed / scored if scored else 0.0,
+        accuracy_baseline=correct_baseline / scored if scored else 0.0,
+        wall_seconds=wall,
+        messages_sent=messages_total,
+        bytes_sent=bytes_total,
+    )

@@ -1,0 +1,212 @@
+"""Window buffers: batching a record stream into per-window tables.
+
+Stream mining operates on *windows* — bounded batches of the most recent
+records — rather than on the full history (Chhinkaniwala & Garg apply
+multiplicative perturbation per sliding window for exactly this reason:
+the perturbation, the drift statistics, and the miner update all need a
+finite table to work on).  Two policies are provided:
+
+* **tumbling** — non-overlapping windows of ``size`` records; every record
+  belongs to exactly one window;
+* **sliding** — a window of the last ``size`` records emitted every
+  ``step`` records (``step < size`` gives overlap; ``step == size``
+  degenerates to tumbling).
+
+Buffers are transport-agnostic: they accept one record at a time via
+:meth:`WindowBuffer.push` and hand back completed :class:`Window` objects
+holding row-major feature blocks, labels, and the virtual time span —
+everything downstream (normalizers, drift detectors, online miners) is
+window-at-a-time.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, List, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["Window", "WindowBuffer", "TumblingWindow", "SlidingWindow", "make_window_buffer"]
+
+
+@dataclass(frozen=True)
+class Window:
+    """One completed batch of stream records.
+
+    Attributes
+    ----------
+    index:
+        0-based emission counter (the first completed window is 0).
+    X / y:
+        Row-major ``(n, d)`` features and the ``n`` labels.
+    start / end:
+        Virtual timestamps of the oldest and newest record in the window.
+    fresh:
+        How many of the window's *last* rows were not part of any earlier
+        window.  Equals ``n_rows`` for tumbling windows; for sliding
+        windows with ``step < size`` only the newest ``step`` rows are
+        fresh — consumers that must touch each record exactly once
+        (incremental normalizers, prequential scoring, model updates)
+        should operate on ``X[-fresh:]``, while whole-window statistics
+        (drift detection) use all rows.
+    """
+
+    index: int
+    X: np.ndarray
+    y: np.ndarray
+    start: float
+    end: float
+    fresh: int = -1
+
+    def __post_init__(self) -> None:
+        X = np.asarray(self.X, dtype=float)
+        y = np.asarray(self.y)
+        object.__setattr__(self, "X", X)
+        object.__setattr__(self, "y", y)
+        if X.ndim != 2:
+            raise ValueError("window features must be 2-D (rows are records)")
+        if y.shape != (X.shape[0],):
+            raise ValueError(
+                f"window labels have shape {y.shape}, expected ({X.shape[0]},)"
+            )
+        if self.end < self.start:
+            raise ValueError("window end time precedes its start time")
+        if self.fresh == -1:
+            object.__setattr__(self, "fresh", X.shape[0])
+        if not 0 < self.fresh <= X.shape[0]:
+            raise ValueError("fresh must be in [1, n_rows]")
+
+    @property
+    def n_rows(self) -> int:
+        """Number of records in the window."""
+        return self.X.shape[0]
+
+    @property
+    def n_features(self) -> int:
+        """Data dimensionality."""
+        return self.X.shape[1]
+
+    @property
+    def duration(self) -> float:
+        """Virtual time span covered by the window."""
+        return self.end - self.start
+
+
+class WindowBuffer:
+    """Base class: accumulate records, emit completed windows.
+
+    Subclasses decide *when* a window completes and *which* records it
+    holds; the base class owns the record queue and emission bookkeeping.
+    """
+
+    def __init__(self, size: int) -> None:
+        if size < 1:
+            raise ValueError("window size must be >= 1")
+        self.size = size
+        self._records: Deque[Tuple[np.ndarray, object, float]] = deque()
+        self._emitted = 0
+        self._since_emit = 0
+
+    @property
+    def windows_emitted(self) -> int:
+        """How many windows have been completed so far."""
+        return self._emitted
+
+    @property
+    def pending(self) -> int:
+        """Records currently buffered (not yet part of an emitted window)."""
+        return len(self._records)
+
+    def push(self, x: np.ndarray, y: object, time: float = 0.0) -> List[Window]:
+        """Add one record; return the windows it completed (0 or 1)."""
+        x = np.asarray(x, dtype=float).ravel()
+        self._records.append((x, y, float(time)))
+        self._since_emit += 1
+        return self._maybe_emit()
+
+    def flush(self) -> Optional[Window]:
+        """Emit whatever is buffered as a final (possibly short) window."""
+        if not self._records or self._since_emit == 0:
+            return None
+        window = self._build(
+            list(self._records), fresh=min(self._since_emit, len(self._records))
+        )
+        self._records.clear()
+        self._since_emit = 0
+        return window
+
+    # ------------------------------------------------------------------
+    # subclass hooks
+    # ------------------------------------------------------------------
+    def _maybe_emit(self) -> List[Window]:
+        raise NotImplementedError
+
+    def _build(
+        self, records: List[Tuple[np.ndarray, object, float]], fresh: int = -1
+    ) -> Window:
+        X = np.vstack([r[0] for r in records])
+        y = np.asarray([r[1] for r in records])
+        times = [r[2] for r in records]
+        window = Window(
+            index=self._emitted,
+            X=X,
+            y=y,
+            start=min(times),
+            end=max(times),
+            fresh=fresh,
+        )
+        self._emitted += 1
+        return window
+
+
+class TumblingWindow(WindowBuffer):
+    """Non-overlapping fixed-size windows: emit and clear every ``size``."""
+
+    def _maybe_emit(self) -> List[Window]:
+        if len(self._records) < self.size:
+            return []
+        window = self._build(list(self._records))
+        self._records.clear()
+        self._since_emit = 0
+        return [window]
+
+
+class SlidingWindow(WindowBuffer):
+    """Overlapping windows: the last ``size`` records, every ``step`` records.
+
+    The first window is emitted once ``size`` records have arrived; after
+    that one window per ``step`` further records.  ``step`` must not exceed
+    ``size`` (a larger step would silently drop records from every window).
+    """
+
+    def __init__(self, size: int, step: Optional[int] = None) -> None:
+        super().__init__(size)
+        step = size if step is None else step
+        if not 1 <= step <= size:
+            raise ValueError("step must be in [1, size]")
+        self.step = step
+
+    def _maybe_emit(self) -> List[Window]:
+        if len(self._records) < self.size:
+            return []
+        if self._emitted > 0 and self._since_emit < self.step:
+            return []
+        window = self._build(
+            list(self._records)[-self.size :],
+            fresh=min(self._since_emit, self.size),
+        )
+        self._since_emit = 0
+        # Keep only what future windows can still include.
+        while len(self._records) > self.size - self.step:
+            self._records.popleft()
+        return [window]
+
+
+def make_window_buffer(kind: str, size: int, step: Optional[int] = None) -> WindowBuffer:
+    """Factory keyed by policy name (``"tumbling"`` or ``"sliding"``)."""
+    if kind == "tumbling":
+        return TumblingWindow(size)
+    if kind == "sliding":
+        return SlidingWindow(size, step)
+    raise ValueError(f"unknown window kind {kind!r}; use 'tumbling' or 'sliding'")

@@ -71,3 +71,53 @@ def test_fig3_command_small(capsys):
     )
     assert "Figure 3" in out
     assert "diabetes" in out
+
+
+def test_stream_command(capsys):
+    out = run_cli(
+        capsys, "stream", "--dataset", "iris", "--windows", "6",
+        "--window-size", "32", "--seed", "0",
+    )
+    assert "Streaming SAP" in out
+    assert "re-adaptations" in out
+    assert "throughput" in out
+    assert "accuracy deviation over time" in out
+    assert "initial" in out
+
+
+def test_stream_command_with_trust_change(capsys):
+    out = run_cli(
+        capsys, "stream", "--dataset", "iris", "--windows", "6",
+        "--window-size", "32", "--trust-change", "3:0:0.5",
+    )
+    assert "trust" in out
+
+
+def test_unknown_dataset_exits_cleanly(capsys):
+    code = main(["session", "--dataset", "atlantis"])
+    captured = capsys.readouterr()
+    assert code == 2
+    assert captured.err.startswith("error:")
+    assert "unknown dataset" in captured.err
+    assert "Traceback" not in captured.err
+
+
+def test_unknown_dataset_in_stream_exits_cleanly(capsys):
+    code = main(["stream", "--dataset", "atlantis", "--windows", "2"])
+    captured = capsys.readouterr()
+    assert code == 2
+    assert "unknown dataset" in captured.err
+
+
+def test_malformed_trust_change_exits_cleanly(capsys):
+    code = main(["stream", "--dataset", "iris", "--trust-change", "nonsense"])
+    captured = capsys.readouterr()
+    assert code == 2
+    assert "trust-change" in captured.err
+
+
+def test_unknown_subcommand_exits_with_usage(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["not-a-command"])
+    assert excinfo.value.code == 2
+    assert "invalid choice" in capsys.readouterr().err

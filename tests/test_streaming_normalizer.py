@@ -1,0 +1,97 @@
+"""Incremental-vs-batch normalizer equivalence (property tests)."""
+
+import numpy as np
+import pytest
+
+from repro.core.normalization import MinMaxNormalizer, ZScoreNormalizer
+from repro.streaming.normalizer import (
+    RunningMinMaxNormalizer,
+    RunningZScoreNormalizer,
+    make_normalizer,
+)
+
+
+def random_chunks(X, rng):
+    """Split rows of X into a random sequence of non-empty chunks."""
+    n = X.shape[0]
+    cuts = np.sort(rng.choice(np.arange(1, n), size=rng.integers(1, 8), replace=False))
+    return np.split(X, cuts)
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2, 3])
+def test_running_minmax_matches_batch_exactly(seed):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(200, 6)) * rng.uniform(0.1, 10, size=6) + rng.normal(size=6)
+    running = RunningMinMaxNormalizer()
+    for chunk in random_chunks(X, rng):
+        running.update(chunk)
+    batch = MinMaxNormalizer().fit(X)
+    frozen = running.to_batch()
+    assert np.array_equal(frozen.minimums, batch.minimums)
+    assert np.array_equal(frozen.maximums, batch.maximums)
+    probe = rng.normal(size=(40, 6))
+    assert np.allclose(running.transform(probe), batch.transform(probe))
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2, 3])
+def test_running_zscore_converges_to_batch(seed):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(300, 5)) * rng.uniform(0.1, 5, size=5) + rng.normal(size=5)
+    running = RunningZScoreNormalizer()
+    for chunk in random_chunks(X, rng):
+        running.update(chunk)
+    batch = ZScoreNormalizer().fit(X)
+    assert np.allclose(running.means, batch.means, atol=1e-10)
+    assert np.allclose(running.stds, batch.stds, atol=1e-10)
+    probe = rng.normal(size=(40, 5))
+    assert np.allclose(running.transform(probe), batch.transform(probe))
+
+
+def test_chunking_is_irrelevant():
+    rng = np.random.default_rng(7)
+    X = rng.normal(size=(128, 4))
+    one_shot = RunningZScoreNormalizer().update(X)
+    row_by_row = RunningZScoreNormalizer()
+    for row in X:
+        row_by_row.update(row.reshape(1, -1))
+    assert np.allclose(one_shot.means, row_by_row.means)
+    assert np.allclose(one_shot.stds, row_by_row.stds, atol=1e-9)
+    assert one_shot.n_seen == row_by_row.n_seen == 128
+
+
+def test_minmax_constant_column_maps_to_half():
+    X = np.column_stack([np.full(10, 3.0), np.arange(10.0)])
+    running = RunningMinMaxNormalizer().update(X)
+    out = running.transform(X)
+    assert np.all(out[:, 0] == 0.5)
+    assert out[:, 1].min() == 0.0 and out[:, 1].max() == 1.0
+
+
+def test_update_transform_includes_current_batch():
+    running = RunningMinMaxNormalizer()
+    out = running.update_transform(np.array([[0.0], [10.0]]))
+    assert out.min() == 0.0 and out.max() == 1.0
+    assert running.n_seen == 2
+
+
+def test_unfitted_and_mismatch_errors():
+    for kind in ("minmax", "zscore"):
+        norm = make_normalizer(kind)
+        with pytest.raises(RuntimeError):
+            norm.to_batch()
+        norm.update(np.zeros((3, 4)))
+        with pytest.raises(ValueError):
+            norm.update(np.zeros((3, 5)))
+        with pytest.raises(ValueError):
+            norm.update(np.zeros(4))
+    with pytest.raises(ValueError):
+        make_normalizer("unit")
+
+
+def test_empty_batch_is_a_no_op():
+    norm = RunningZScoreNormalizer()
+    norm.update(np.zeros((0, 3)))
+    assert norm.n_seen == 0
+    norm.update(np.ones((2, 3)))
+    norm.update(np.zeros((0, 3)))
+    assert norm.n_seen == 2

@@ -1,0 +1,167 @@
+"""End-to-end streaming session: drift response, trust, accuracy bound."""
+
+import numpy as np
+import pytest
+
+from repro.streaming import (
+    StreamConfig,
+    TrustChange,
+    make_stream,
+    run_stream_session,
+)
+
+N_WINDOWS = 16
+WINDOW = 48
+
+
+def run(kind, config=None, dataset="wine", seed=0, **stream_kwargs):
+    source = make_stream(
+        dataset, kind=kind, n_records=N_WINDOWS * WINDOW, seed=seed, **stream_kwargs
+    )
+    return run_stream_session(
+        source, config or StreamConfig(k=3, window_size=WINDOW, seed=0)
+    )
+
+
+def test_stationary_stream_never_readapts():
+    result = run("stationary")
+    assert result.readaptations == 0
+    assert len(result.events) == 1 and result.events[0].reason == "initial"
+    assert len(result.windows) == N_WINDOWS
+    assert result.records_processed == N_WINDOWS * WINDOW
+
+
+def test_abrupt_drift_triggers_readaptation():
+    result = run("abrupt")
+    assert result.readaptations >= 1
+    drift_events = [e for e in result.events if e.reason == "drift"]
+    assert drift_events
+    expected_window = (N_WINDOWS * WINDOW // 2) // WINDOW
+    assert drift_events[0].window == expected_window
+    assert drift_events[0].statistic > 0
+
+
+def test_deviation_stays_within_paper_style_bound():
+    """Online prequential deviation after re-adaptation stays small for the
+    rotation-invariant KNN miner (the paper's Figures 5/6 band is a few
+    points; allow a conservative 5 for the smaller online windows)."""
+    for kind in ("stationary", "abrupt"):
+        result = run(kind)
+        assert abs(result.deviation) < 5.0
+        # Post-drift windows individually stay reasonable too.
+        post = [w for w in result.windows if w.index > N_WINDOWS // 2 + 1]
+        for w in post:
+            assert abs(w.deviation) < 15.0
+
+
+def test_trust_change_forces_renegotiation_on_schedule():
+    config = StreamConfig(
+        k=3,
+        window_size=WINDOW,
+        trust_changes=(TrustChange(window=5, party=0, trust=0.5),),
+        seed=0,
+    )
+    result = run("stationary", config)
+    assert result.readaptations == 1
+    event = [e for e in result.events if e.reason == "trust"][0]
+    assert event.window == 5
+
+
+def test_trust_change_at_window_zero_shapes_initial_negotiation():
+    """A trust change scheduled at the very first window is not dropped:
+    it is folded into the initial negotiation's noise levels (there is no
+    separate 'trust' event because only one negotiation happens)."""
+    config = StreamConfig(
+        k=3,
+        window_size=WINDOW,
+        trust_changes=tuple(
+            TrustChange(window=0, party=p, trust=0.5) for p in range(3)
+        ),
+        seed=0,
+    )
+    result = run("stationary", config)
+    assert [e.reason for e in result.events] == ["initial"]
+    baseline = run("stationary")
+    # Lower trust means more noise for every party, which the fast-suite
+    # guarantee of the initial epoch reflects.
+    assert result.events[0].privacy_guarantee is not None
+    assert (
+        result.events[0].privacy_guarantee
+        != baseline.events[0].privacy_guarantee
+    )
+
+
+def test_sliding_windows_score_each_record_once():
+    config = StreamConfig(
+        k=3, window_size=WINDOW, window_kind="sliding",
+        window_step=WINDOW // 3, seed=0,
+    )
+    result = run("stationary", config)
+    scored = sum(w.n_records for w in result.windows)
+    assert scored <= result.records_processed
+    assert result.windows[0].n_records == WINDOW
+    assert all(w.n_records == WINDOW // 3 for w in result.windows[1:])
+
+
+def test_negotiations_are_charged_to_the_network():
+    result = run("abrupt")
+    # Each negotiation sends 2 messages to each non-coordinator provider
+    # (assignment + target params) and receives one adaptor back.
+    per_negotiation = 3 * (result.config.k - 1)
+    assert result.messages_sent == per_negotiation * len(result.events)
+    assert result.bytes_sent > 0
+    assert all(e.virtual_duration > 0 for e in result.events)
+
+
+def test_privacy_guarantee_refreshed_per_epoch():
+    result = run("abrupt")
+    guarantees = [e.privacy_guarantee for e in result.events]
+    assert all(g is not None and 0.0 <= g for g in guarantees)
+    off = StreamConfig(k=3, window_size=WINDOW, compute_privacy=False, seed=0)
+    result_off = run("abrupt", off)
+    assert all(e.privacy_guarantee is None for e in result_off.events)
+
+
+def test_linear_svm_stream_runs_and_stays_close():
+    config = StreamConfig(k=3, window_size=WINDOW, classifier="linear_svm", seed=0)
+    result = run("stationary", config, dataset="iris")
+    assert len(result.windows) == N_WINDOWS
+    assert abs(result.deviation) < 10.0
+
+
+def test_result_summary_and_series():
+    result = run("abrupt")
+    text = result.summary()
+    for fragment in ("re-adaptations", "throughput", "deviation", "privacy"):
+        assert fragment in text
+    series = result.deviation_series()
+    assert len(series) == N_WINDOWS
+    assert result.throughput > 0
+    assert result.mean_readapt_latency >= 0
+
+
+def test_deterministic_under_seeds():
+    a = run("abrupt")
+    b = run("abrupt")
+    assert a.accuracy_perturbed == b.accuracy_perturbed
+    assert a.accuracy_baseline == b.accuracy_baseline
+    assert [w.drift_statistic for w in a.windows] == [
+        w.drift_statistic for w in b.windows
+    ]
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        StreamConfig(k=1)
+    with pytest.raises(ValueError):
+        StreamConfig(window_size=1)
+    with pytest.raises(ValueError):
+        TrustChange(window=0, party=0, trust=0.0)
+    with pytest.raises(ValueError):
+        TrustChange(window=-1, party=0, trust=0.5)
+    config = StreamConfig(
+        k=3, trust_changes=(TrustChange(window=0, party=7, trust=0.5),)
+    )
+    source = make_stream("iris", n_records=64, seed=0)
+    with pytest.raises(ValueError):
+        run_stream_session(source, config)

@@ -1,0 +1,95 @@
+"""Stream-source behaviour: determinism, drift schedules, arrival times."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.registry import load_dataset
+from repro.streaming.sources import STREAM_KINDS, StreamSource, make_stream
+
+
+def collect(source):
+    xs, ys, ts = [], [], []
+    for record in source:
+        xs.append(record.x)
+        ys.append(record.y)
+        ts.append(record.time)
+    return np.vstack(xs), np.asarray(ys), np.asarray(ts)
+
+
+def test_shapes_labels_and_monotone_time():
+    source = make_stream("iris", n_records=200, seed=0)
+    X, y, t = collect(source)
+    pool = load_dataset("iris")
+    assert X.shape == (200, pool.n_features)
+    assert set(np.unique(y)) <= set(int(c) for c in pool.classes)
+    assert np.all(np.diff(t) > 0)
+
+
+def test_deterministic_under_seed():
+    a = collect(make_stream("wine", kind="abrupt", n_records=100, seed=3))
+    b = collect(make_stream("wine", kind="abrupt", n_records=100, seed=3))
+    c = collect(make_stream("wine", kind="abrupt", n_records=100, seed=4))
+    assert np.array_equal(a[0], b[0]) and np.array_equal(a[1], b[1])
+    assert not np.array_equal(a[0], c[0])
+
+
+def test_stationary_mean_matches_pool():
+    pool = load_dataset("wine")
+    X, _, _ = collect(make_stream(pool, n_records=4000, seed=0))
+    pool_std = pool.X.std(axis=0)
+    shift = np.abs(X.mean(axis=0) - pool.X.mean(axis=0)) / np.where(
+        pool_std > 0, pool_std, 1.0
+    )
+    assert shift.max() < 0.15
+
+
+def test_abrupt_drift_shifts_the_tail():
+    source = make_stream("wine", kind="abrupt", n_records=1000, seed=0, magnitude=2.0)
+    X, _, _ = collect(source)
+    split = source.drift_index
+    pool_std = source.pool.X.std(axis=0)
+    delta = np.abs(X[split:].mean(axis=0) - X[:split].mean(axis=0)) / np.where(
+        pool_std > 0, pool_std, 1.0
+    )
+    assert delta.max() > 0.8
+
+
+def test_gradual_drift_ramps():
+    source = make_stream(
+        "wine", kind="gradual", n_records=1000, seed=0,
+        drift_at=0.4, transition=0.4, magnitude=2.0,
+    )
+    X, _, _ = collect(source)
+    pre = X[:400].mean(axis=0)
+    mid = X[500:600].mean(axis=0)
+    post = X[850:].mean(axis=0)
+    pool_std = source.pool.X.std(axis=0)
+    safe = np.where(pool_std > 0, pool_std, 1.0)
+    mid_shift = np.abs(mid - pre).max() / safe.max()
+    post_shift = (np.abs(post - pre) / safe).max()
+    assert 0 < mid_shift < post_shift
+
+
+def test_bursty_rate_alternates():
+    source = make_stream(
+        "iris", kind="bursty", n_records=800, seed=0, rate=100.0, burst_factor=10.0
+    )
+    _, _, t = collect(source)
+    gaps = np.diff(t)
+    period = 800 // 8
+    fast = np.concatenate([gaps[i : i + period] for i in (0, 2 * period)])
+    slow = np.concatenate([gaps[period : 2 * period], gaps[3 * period : 4 * period]])
+    assert slow.mean() > 3.0 * fast.mean()
+
+
+def test_validation_errors():
+    pool = load_dataset("iris")
+    with pytest.raises(ValueError):
+        StreamSource(name="x", kind="wiggly", pool=pool, n_records=10)
+    with pytest.raises(ValueError):
+        StreamSource(name="x", kind="abrupt", pool=pool, n_records=0)
+    with pytest.raises(ValueError):
+        StreamSource(name="x", kind="abrupt", pool=pool, n_records=10, drift_at=1.5)
+    with pytest.raises(KeyError):
+        make_stream("not-a-dataset", n_records=10)
+    assert STREAM_KINDS == ("stationary", "abrupt", "gradual", "bursty")

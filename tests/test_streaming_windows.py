@@ -1,0 +1,109 @@
+"""Tests for the stream window buffers."""
+
+import numpy as np
+import pytest
+
+from repro.streaming.windows import (
+    SlidingWindow,
+    TumblingWindow,
+    Window,
+    make_window_buffer,
+)
+
+
+def push_range(buffer, n, d=3, t0=0.0):
+    """Push n deterministic records; return every emitted window."""
+    out = []
+    for i in range(n):
+        out.extend(buffer.push(np.full(d, float(i)), i % 2, t0 + i))
+    return out
+
+
+def test_tumbling_emits_disjoint_full_windows():
+    buf = TumblingWindow(4)
+    windows = push_range(buf, 10)
+    assert len(windows) == 2
+    assert [w.index for w in windows] == [0, 1]
+    assert np.array_equal(windows[0].X[:, 0], [0.0, 1.0, 2.0, 3.0])
+    assert np.array_equal(windows[1].X[:, 0], [4.0, 5.0, 6.0, 7.0])
+    assert buf.pending == 2
+    assert buf.windows_emitted == 2
+
+
+def test_tumbling_flush_emits_partial_window():
+    buf = TumblingWindow(4)
+    push_range(buf, 6)
+    tail = buf.flush()
+    assert tail is not None and tail.n_rows == 2
+    assert np.array_equal(tail.X[:, 0], [4.0, 5.0])
+    assert buf.flush() is None
+
+
+def test_window_timestamps_and_duration():
+    buf = TumblingWindow(3)
+    (window,) = push_range(buf, 3, t0=10.0)
+    assert window.start == 10.0 and window.end == 12.0
+    assert window.duration == pytest.approx(2.0)
+
+
+def test_sliding_overlap_and_step():
+    buf = SlidingWindow(4, step=2)
+    windows = push_range(buf, 8)
+    assert len(windows) == 3
+    assert np.array_equal(windows[0].X[:, 0], [0.0, 1.0, 2.0, 3.0])
+    assert np.array_equal(windows[1].X[:, 0], [2.0, 3.0, 4.0, 5.0])
+    assert np.array_equal(windows[2].X[:, 0], [4.0, 5.0, 6.0, 7.0])
+
+
+def test_fresh_counts_each_record_exactly_once():
+    buf = SlidingWindow(4, step=2)
+    windows = push_range(buf, 9)
+    assert [w.fresh for w in windows] == [4, 2, 2]
+    # The fresh tails tile the stream with no overlap and no gaps.
+    tails = np.concatenate([w.X[-w.fresh :, 0] for w in windows])
+    assert np.array_equal(tails, np.arange(8.0))
+    tail = buf.flush()
+    assert tail is not None and tail.fresh == 1
+    # Nothing new since that flush: a second flush emits nothing.
+    assert buf.flush() is None
+
+
+def test_tumbling_fresh_is_whole_window():
+    buf = TumblingWindow(4)
+    windows = push_range(buf, 8)
+    assert all(w.fresh == w.n_rows == 4 for w in windows)
+
+
+def test_sliding_default_step_is_tumbling():
+    sliding = SlidingWindow(3)
+    tumbling = TumblingWindow(3)
+    got = push_range(sliding, 9)
+    want = push_range(tumbling, 9)
+    assert len(got) == len(want) == 3
+    for a, b in zip(got, want):
+        assert np.array_equal(a.X, b.X)
+        assert np.array_equal(a.y, b.y)
+
+
+def test_window_validation():
+    with pytest.raises(ValueError):
+        Window(index=0, X=np.zeros((3, 2)), y=np.zeros(2), start=0.0, end=1.0)
+    with pytest.raises(ValueError):
+        Window(index=0, X=np.zeros((2, 2)), y=np.zeros(2), start=1.0, end=0.0)
+
+
+def test_buffer_validation():
+    with pytest.raises(ValueError):
+        TumblingWindow(0)
+    with pytest.raises(ValueError):
+        SlidingWindow(4, step=5)
+    with pytest.raises(ValueError):
+        SlidingWindow(4, step=0)
+    with pytest.raises(ValueError):
+        make_window_buffer("hopping", 4)
+
+
+def test_factory_kinds():
+    assert isinstance(make_window_buffer("tumbling", 4), TumblingWindow)
+    sliding = make_window_buffer("sliding", 4, 2)
+    assert isinstance(sliding, SlidingWindow) and sliding.step == 2

@@ -1,6 +1,6 @@
 """Streaming benchmarks — sustained throughput and re-adaptation latency.
 
-Two measurements for the online subsystem:
+Three measurements for the online subsystem:
 
 1. records/second of the full streaming pipeline (windowing, incremental
    normalization, per-party perturbation + adaptation, reservoir-KNN
@@ -9,12 +9,22 @@ Two measurements for the online subsystem:
 2. wall-clock latency of one space re-negotiation (simnet exchange of
    target parameters and adaptors, model migration included) measured on
    an abrupt-drift stream, privacy refresh on — the cost a drift event
-   adds to the pipeline.
+   adds to the pipeline;
+3. the window transform before/after: the original per-party
+   perturb-then-adapt loop vs the stacked single-matmul transform the
+   sharded engine runs (``A_it(G_i(x)) = R_t x + t_t + noise``), with an
+   equivalence check on the noise-free part.
 """
+
+import time
 
 import numpy as np
 
 from repro.analysis.reporting import format_mapping, series_block
+from repro.core.adaptation import compute_adaptor
+from repro.core.normalization import MinMaxNormalizer
+from repro.core.perturbation import sample_perturbation
+from repro.sharding import transform_window
 from repro.streaming import StreamConfig, make_stream, run_stream_session
 
 from _util import budget_from_env, save_block
@@ -79,3 +89,67 @@ def test_stream_readaptation_latency(benchmark):
         ),
     )
     assert result.readaptations >= 1
+
+
+def test_window_transform_stacked_vs_looped(benchmark):
+    """Before/after of the per-window transform: party loop vs stacked matmul."""
+    k, n, d = 3, 512, 13
+    rng = np.random.default_rng(0)
+    X = rng.normal(size=(n, d))
+    minimums, maximums = X.min(axis=0), X.max(axis=0)
+    perturbations = [sample_perturbation(d, rng) for _ in range(k)]
+    target = sample_perturbation(d, rng, noise_sigma=0.0)
+    adaptors = [compute_adaptor(p, target) for p in perturbations]
+    task = {
+        "X": X,
+        "norm_kind": "minmax",
+        "norm_a": minimums,
+        "norm_b": maximums,
+        "rotation": target.rotation,
+        "translation": target.translation,
+        "adaptor_rotations": np.stack([a.rotation_adaptor for a in adaptors]),
+        "sigmas": np.zeros(k),  # noise-free so both paths are comparable
+        "noise_root": 0,
+        "window_index": 0,
+    }
+
+    def looped():
+        # The seed implementation: normalize, then per party perturb the
+        # party's rows and adapt them into the target space.
+        X_norm = MinMaxNormalizer(minimums=minimums, maximums=maximums).transform(X)
+        X_target = np.empty_like(X_norm)
+        parties = np.arange(n) % k
+        for party in range(k):
+            rows = parties == party
+            perturbed = perturbations[party].without_noise().apply(X_norm[rows].T)
+            X_target[rows] = np.asarray(
+                adaptors[party].apply(np.asarray(perturbed))
+            ).T
+        return X_target
+
+    np.testing.assert_allclose(
+        transform_window(task)["X_target"], looped(), atol=1e-9
+    )
+
+    rounds = 300
+    began = time.perf_counter()
+    for _ in range(rounds):
+        looped()
+    looped_seconds = (time.perf_counter() - began) / rounds
+    stacked = benchmark(lambda: transform_window(task))
+    stacked_seconds = benchmark.stats.stats.mean
+    save_block(
+        "streaming_transform_stacked",
+        series_block(
+            "Streaming - window transform, per-party loop vs stacked matmul",
+            format_mapping(
+                {
+                    "rows x dims": f"{n} x {d} (k={k})",
+                    "looped (us)": looped_seconds * 1e6,
+                    "stacked (us)": stacked_seconds * 1e6,
+                    "speedup": looped_seconds / stacked_seconds,
+                }
+            ),
+        ),
+    )
+    assert stacked is not None

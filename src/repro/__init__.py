@@ -8,6 +8,8 @@ Adaptation Protocol over a simulated multiparty network, from-scratch KNN
 and SVM(RBF) classifiers, and synthetic stand-ins for the 12 UCI datasets.
 :mod:`repro.streaming` extends the batch pipeline to *data streams*:
 windowed online mining with drift-triggered space re-adaptation.
+:mod:`repro.sharding` runs both pipelines across parallel worker shards
+(serial/thread/process backends) with deterministic, bit-identical merges.
 
 Quickstart
 ----------
@@ -72,6 +74,7 @@ from .mining import (
     accuracy_score,
 )
 from .parties import ClassifierSpec, SAPConfig
+from .sharding import ShardPlan, make_backend
 from .streaming import (
     OnlineLinearSVM,
     ReservoirKNN,
@@ -153,4 +156,7 @@ __all__ = [
     "RunningZScoreNormalizer",
     "ReservoirKNN",
     "OnlineLinearSVM",
+    # sharding
+    "ShardPlan",
+    "make_backend",
 ]

@@ -12,6 +12,8 @@ Usage (after ``pip install -e .``)::
     repro session --dataset wine   # one verbose end-to-end protocol run
     repro stream --dataset wine --windows 20 --drift abrupt
                                    # online SAP over a drifting stream
+    repro stream --dataset wine --shards 4 --shard-backend process
+                                   # same pipeline, sharded across workers
 
 Every command accepts ``--seed``; heavier ones accept budget flags so a
 quick look stays quick.  Errors such as an unknown dataset name exit with
@@ -153,6 +155,24 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--noise", type=float, default=0.05)
     p.add_argument("--detector", default="meanvar", choices=["meanvar", "ks"])
+    p.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="worker shards for the parallel execution engine",
+    )
+    p.add_argument(
+        "--shard-backend",
+        default="serial",
+        choices=["serial", "thread", "process"],
+        help="executor running the shard tasks (results are identical)",
+    )
+    p.add_argument(
+        "--shard-plan",
+        default="round_robin",
+        choices=["round_robin", "hash", "party"],
+        help="window/batch-to-shard assignment strategy",
+    )
     p.add_argument(
         "--trust-change",
         action="append",
@@ -307,7 +327,17 @@ def _parse_trust_changes(specs: List[str]) -> List[TrustChange]:
     return changes
 
 
+def _require_positive(name: str, value: Optional[int]) -> None:
+    """Reject zero/negative budget flags with the friendly exit-2 message."""
+    if value is not None and value < 1:
+        raise ValueError(f"{name} must be a positive integer, got {value}")
+
+
 def _cmd_stream(args: argparse.Namespace) -> str:
+    _require_positive("--windows", args.windows)
+    _require_positive("--window-size", args.window_size)
+    _require_positive("--window-step", args.window_step)
+    _require_positive("--shards", args.shards)
     source = make_stream(
         args.dataset,
         kind=args.drift,
@@ -323,6 +353,9 @@ def _cmd_stream(args: argparse.Namespace) -> str:
         classifier=args.classifier,
         detector=args.detector,
         trust_changes=tuple(_parse_trust_changes(args.trust_change)),
+        shards=args.shards,
+        shard_backend=args.shard_backend,
+        shard_plan=args.shard_plan,
         seed=args.seed,
     )
     result = run_stream_session(source, config)

@@ -23,14 +23,22 @@ why providers may hand adaptors to the coordinator.
 
 from __future__ import annotations
 
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
 
 import numpy as np
 
 from .perturbation import GeometricPerturbation
 from .rotation import is_orthogonal
 
-__all__ = ["SpaceAdaptor", "compute_adaptor", "complementary_noise"]
+__all__ = [
+    "SpaceAdaptor",
+    "AdaptorCache",
+    "compute_adaptor",
+    "complementary_noise",
+]
 
 
 @dataclass(frozen=True)
@@ -93,6 +101,110 @@ def compute_adaptor(
         rotation_adaptor=rotation_adaptor,
         translation_adaptor=translation_adaptor,
     )
+
+
+class AdaptorCache:
+    """LRU cache of negotiated :class:`SpaceAdaptor` objects.
+
+    Keys are ``(target_id, party_id)``: an opaque identifier of the
+    negotiated target space (the streaming session uses the epoch counter)
+    and the adapting party's index.  Long-running sessions — the streaming
+    engine consults the per-party adaptors every window, and every shard
+    task needs the stacked adaptor rotations — hit the cache instead of
+    re-deriving ``<R_t R_i^{-1}, Psi_it>`` from the perturbation parameters,
+    which cuts repeat re-adaptation latency to a dictionary lookup.
+
+    The cache is bounded (``maxsize`` entries, least-recently-used
+    eviction) and thread-safe, so a thread-backend engine may probe it
+    concurrently.  :meth:`invalidate` is the re-negotiation hook: when a
+    target space is re-drawn, dropping its ``target_id`` evicts every
+    stale adaptor at once.
+    """
+
+    def __init__(self, maxsize: int = 64) -> None:
+        if maxsize < 1:
+            raise ValueError("maxsize must be >= 1")
+        self.maxsize = maxsize
+        self._entries: "OrderedDict[Tuple[object, object], SpaceAdaptor]" = (
+            OrderedDict()
+        )
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        """Number of cached adaptors."""
+        with self._lock:
+            return len(self._entries)
+
+    def get(self, target_id: object, party_id: object) -> Optional[SpaceAdaptor]:
+        """Return the cached adaptor for ``(target_id, party_id)`` or ``None``."""
+        key = (target_id, party_id)
+        with self._lock:
+            adaptor = self._entries.get(key)
+            if adaptor is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return adaptor
+
+    def put(self, target_id: object, party_id: object, adaptor: SpaceAdaptor) -> None:
+        """Insert (or refresh) one adaptor, evicting the LRU entry if full."""
+        key = (target_id, party_id)
+        with self._lock:
+            self._entries[key] = adaptor
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+
+    def get_or_compute(
+        self,
+        target_id: object,
+        party_id: object,
+        factory: Callable[[], SpaceAdaptor],
+    ) -> SpaceAdaptor:
+        """Cached lookup with fallback to ``factory`` (result is cached)."""
+        adaptor = self.get(target_id, party_id)
+        if adaptor is None:
+            adaptor = factory()
+            self.put(target_id, party_id, adaptor)
+        return adaptor
+
+    def invalidate(
+        self,
+        target_id: Optional[object] = None,
+        party_id: Optional[object] = None,
+    ) -> int:
+        """Drop matching entries; the re-negotiation hook.
+
+        ``invalidate(target_id=e)`` evicts every party's adaptor for a
+        stale target; ``invalidate(party_id=p)`` evicts one party across
+        targets (e.g. after its trust level — and thus its effective
+        perturbation — changes); no arguments clears the cache.  Returns
+        the number of evicted entries.
+        """
+        with self._lock:
+            keys = [
+                key
+                for key in self._entries
+                if (target_id is None or key[0] == target_id)
+                and (party_id is None or key[1] == party_id)
+            ]
+            for key in keys:
+                del self._entries[key]
+            return len(keys)
+
+    @property
+    def stats(self) -> Dict[str, int]:
+        """Hit/miss/size counters (for reports and tests)."""
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "size": len(self._entries),
+                "maxsize": self.maxsize,
+            }
 
 
 def complementary_noise(

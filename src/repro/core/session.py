@@ -25,10 +25,11 @@ from ..parties.config import SAPConfig, make_classifier
 from ..parties.coordinator import Coordinator
 from ..parties.miner import MinerResult, ServiceProvider
 from ..parties.provider import DataProvider
+from ..sharding.engine import ShardPool
+from ..sharding.plan import ShardPlan
+from ..sharding.worker import party_risk_task
 from ..simnet.channel import Network
 from .normalization import MinMaxNormalizer
-from .optimizer import PerturbationOptimizer
-from .perturbation import GeometricPerturbation
 from .risk import PartyRiskProfile
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (attacks -> core)
@@ -210,10 +211,8 @@ def run_sap_session(
     # --- optional privacy/risk profiles ------------------------------------
     profiles: List[PartyRiskProfile] = []
     if compute_privacy:
-        if privacy_suite is None:
-            from ..attacks.resilience import fast_suite
-
-            privacy_suite = fast_suite()
+        # ``privacy_suite=None`` is resolved to the fast suite inside the
+        # shard workers, so the default never crosses a pickle boundary.
         profiles = _privacy_profiles(
             providers, coordinator, config, privacy_suite, master
         )
@@ -237,47 +236,45 @@ def _privacy_profiles(
     providers: List[DataProvider],
     coordinator: Coordinator,
     config: SAPConfig,
-    suite: "AttackSuite",
+    suite: Optional["AttackSuite"],
     master: np.random.Generator,
 ) -> List[PartyRiskProfile]:
-    """Per-party rho_local / rho_global / b estimates and risk numbers."""
+    """Per-party rho_local / rho_global / b estimates and risk numbers.
+
+    The per-party work — two attack-suite guarantees and a small optimizer
+    run each — is independent across providers, so it fans out over a
+    :class:`~repro.sharding.engine.ShardPool` (``config.shards`` workers on
+    ``config.shard_backend``).  Seeds are pre-drawn from ``master`` in
+    provider order and results are merged in the same order, so every
+    backend returns exactly the serial profiles.  ``suite=None`` lets each
+    worker build the default fast suite locally (nothing to pickle); a
+    custom suite is shipped to the workers and must be picklable when the
+    process backend is selected.
+    """
     assert coordinator.target is not None
-    profiles = []
+    tasks = []
     for provider in providers:
-        X_cols = provider.dataset.columns()
-        eval_rng = np.random.default_rng(master.integers(2**32))
-        rho_local = suite.guarantee(provider.perturbation, X_cols, eval_rng)
-
-        # The miner holds the provider's table in the target space with the
-        # inherited noise, so the effective global perturbation is the
-        # target's rotation/translation at the provider's noise level.
-        global_perturbation = GeometricPerturbation(
-            rotation=coordinator.target.rotation,
-            translation=coordinator.target.translation,
-            noise_sigma=config.noise_sigma,
+        tasks.append(
+            {
+                "party": provider.name,
+                "X_cols": provider.dataset.columns(),
+                "perturbation": provider.perturbation,
+                # The miner holds the provider's table in the target space
+                # with the inherited noise, so the effective global
+                # perturbation is the target's rotation/translation at the
+                # provider's noise level (applied in the worker).
+                "target": coordinator.target,
+                "noise_sigma": config.noise_sigma,
+                "k": config.k,
+                "optimizer_rounds": config.optimizer_rounds,
+                "optimizer_local_steps": config.optimizer_local_steps,
+                "rho_local_seed": int(master.integers(2**32)),
+                "rho_global_seed": int(master.integers(2**32)),
+                "optimizer_seed": int(master.integers(2**32)),
+                "suite": suite,
+            }
         )
-        eval_rng = np.random.default_rng(master.integers(2**32))
-        rho_global = suite.guarantee(global_perturbation, X_cols, eval_rng)
-
-        # Estimate the provider's empirical bound b-hat with a small
-        # optimizer run (the paper estimates b the same way).
-        optimizer = PerturbationOptimizer(
-            n_rounds=max(4, config.optimizer_rounds // 2),
-            local_steps=config.optimizer_local_steps,
-            noise_sigma=config.noise_sigma,
-            suite=suite,
-            seed=int(master.integers(2**32)),
-        )
-        result = optimizer.optimize(X_cols)
-        b_hat = max(result.b_hat, rho_local, 1e-9)
-
-        profiles.append(
-            PartyRiskProfile(
-                party=provider.name,
-                rho_local=max(rho_local, 1e-9),
-                rho_global=rho_global,
-                b=b_hat,
-                k=config.k,
-            )
-        )
-    return profiles
+    with ShardPool(
+        ShardPlan(config.shards, n_parties=config.k), config.shard_backend
+    ) as pool:
+        return pool.map(party_risk_task, tasks)

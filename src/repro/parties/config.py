@@ -131,6 +131,13 @@ class SAPConfig:
         an ``abort`` to every principal when the run has not completed in
         time, so a lossy or partitioned deployment terminates cleanly
         instead of stalling forever.
+    shards / shard_backend:
+        Worker-shard count and executor backend (``"serial"``,
+        ``"thread"``, or ``"process"``; see :mod:`repro.sharding`) used for
+        the embarrassingly parallel tails of the session — currently the
+        per-party privacy/risk profiling of ``compute_privacy`` runs.
+        Results are identical for every choice; the default is the
+        single-shard serial reference.
     seed:
         Master seed; all role seeds are derived from it.
     """
@@ -144,9 +151,13 @@ class SAPConfig:
     optimizer_local_steps: int = 5
     target_candidates: int = 1
     round_timeout: Optional[float] = None
+    shards: int = 1
+    shard_backend: str = "serial"
     seed: int = 0
 
     def __post_init__(self) -> None:
+        from ..sharding.backends import BACKENDS
+
         if self.k < 2:
             raise ValueError("SAP requires k >= 2 providers")
         if self.noise_sigma < 0:
@@ -157,6 +168,13 @@ class SAPConfig:
             raise ValueError("target_candidates must be >= 1")
         if self.round_timeout is not None and self.round_timeout <= 0:
             raise ValueError("round_timeout must be positive when set")
+        if self.shards < 1:
+            raise ValueError("shards must be >= 1")
+        if self.shard_backend not in BACKENDS:
+            raise ValueError(
+                f"unknown shard backend {self.shard_backend!r}; available: "
+                f"{', '.join(BACKENDS)}"
+            )
 
     def provider_name(self, index: int) -> str:
         """Canonical node name for provider ``index`` (coordinator is k-1)."""

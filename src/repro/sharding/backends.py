@@ -1,0 +1,147 @@
+"""Worker-pool executors behind the sharded engine.
+
+Three interchangeable backends run the per-shard task functions of
+:mod:`repro.sharding.worker`:
+
+* :class:`SerialBackend` — runs tasks inline, in submission order.  The
+  deterministic reference: every other backend must produce byte-identical
+  results (guaranteed because tasks are pure functions of their arguments
+  and results are always collected in submission order).
+* :class:`ThreadBackend` — ``concurrent.futures.ThreadPoolExecutor``.
+  Cheap to spin up and effective when tasks spend their time inside numpy
+  (which releases the GIL for BLAS work).
+* :class:`ProcessBackend` — ``concurrent.futures.ProcessPoolExecutor``.
+  True multi-core parallelism; tasks and results cross a pickle boundary,
+  so task functions must be module-level and arguments picklable (the
+  worker module is written to that contract).
+
+All backends expose the same two operations — ordered :meth:`map` and
+:meth:`close` — plus context-manager sugar.  Ordered collection is the
+load-bearing property: completion order may vary wildly across backends
+and runs, but ``map`` always returns ``[fn(t) for t in tasks]`` in task
+order, which is what makes the engine's merge step deterministic.
+"""
+
+from __future__ import annotations
+
+import abc
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Callable, List, Optional, Sequence, TypeVar
+
+__all__ = [
+    "BACKENDS",
+    "ShardBackend",
+    "SerialBackend",
+    "ThreadBackend",
+    "ProcessBackend",
+    "make_backend",
+]
+
+BACKENDS = ("serial", "thread", "process")
+
+_Task = TypeVar("_Task")
+_Result = TypeVar("_Result")
+
+
+class ShardBackend(abc.ABC):
+    """Common contract: ordered map over pure task functions."""
+
+    #: backend identifier, matching the :func:`make_backend` key
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def map(
+        self, fn: Callable[[_Task], _Result], tasks: Sequence[_Task]
+    ) -> List[_Result]:
+        """Apply ``fn`` to every task and return results in *task* order."""
+
+    def close(self) -> None:
+        """Release pooled workers (idempotent; no-op for serial)."""
+
+    def __enter__(self) -> "ShardBackend":
+        """Context-manager entry: the backend itself."""
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        """Context-manager exit: shut the pool down."""
+        self.close()
+
+
+class SerialBackend(ShardBackend):
+    """Inline execution — the deterministic reference backend."""
+
+    name = "serial"
+
+    def map(
+        self, fn: Callable[[_Task], _Result], tasks: Sequence[_Task]
+    ) -> List[_Result]:
+        """Run every task in the calling thread, in order."""
+        return [fn(task) for task in tasks]
+
+
+class _PoolBackend(ShardBackend):
+    """Shared submit/collect logic for the two ``concurrent.futures`` pools."""
+
+    def __init__(self, n_workers: int) -> None:
+        if n_workers < 1:
+            raise ValueError("n_workers must be >= 1")
+        self.n_workers = n_workers
+        self._pool: Optional[Executor] = None
+
+    def _make_pool(self) -> Executor:
+        raise NotImplementedError
+
+    def map(
+        self, fn: Callable[[_Task], _Result], tasks: Sequence[_Task]
+    ) -> List[_Result]:
+        """Submit all tasks, then gather results in submission order."""
+        if not tasks:
+            return []
+        if self._pool is None:
+            self._pool = self._make_pool()
+        futures = [self._pool.submit(fn, task) for task in tasks]
+        return [future.result() for future in futures]
+
+    def close(self) -> None:
+        """Shut the pool down and drop the worker handles."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+
+class ThreadBackend(_PoolBackend):
+    """Thread-pool execution; parallel where numpy releases the GIL."""
+
+    name = "thread"
+
+    def _make_pool(self) -> Executor:
+        return ThreadPoolExecutor(
+            max_workers=self.n_workers, thread_name_prefix="repro-shard"
+        )
+
+
+class ProcessBackend(_PoolBackend):
+    """Process-pool execution; requires picklable tasks and results."""
+
+    name = "process"
+
+    def _make_pool(self) -> Executor:
+        return ProcessPoolExecutor(max_workers=self.n_workers)
+
+
+def make_backend(kind: str, n_workers: Optional[int] = None) -> ShardBackend:
+    """Factory keyed by backend name.
+
+    ``n_workers`` defaults to the shard count the engine passes in; it is
+    ignored by the serial backend.
+    """
+    if kind == "serial":
+        return SerialBackend()
+    workers = 1 if n_workers is None else n_workers
+    if kind == "thread":
+        return ThreadBackend(workers)
+    if kind == "process":
+        return ProcessBackend(workers)
+    raise ValueError(
+        f"unknown shard backend {kind!r}; available: {', '.join(BACKENDS)}"
+    )

@@ -1,0 +1,199 @@
+"""The sharded execution engine's data plane and executor facade.
+
+Compute and accounting are deliberately split:
+
+* **Compute** runs through a :class:`ShardPool` — a :class:`ShardPlan`
+  plus a worker-pool backend.  Tasks are the pure functions of
+  :mod:`repro.sharding.worker`; results always come back in task order,
+  and per-window merge happens in window order, so the numbers a session
+  produces are bit-identical across shard counts and backends.
+* **Accounting** runs through a :class:`DataPlane` — a persistent
+  :mod:`repro.simnet` network with one gate node per data provider, one
+  node per logical shard, and a miner sink.  Every per-window party batch
+  is serialized, encrypted, and delivered over it (``SHARD_BATCH``, plus a
+  ``SHARD_FORWARD`` hop when the plan's batch affinity differs from the
+  window's owner, and a ``SHARD_RESULT`` submission of the merged window
+  to the miner), so the message/byte cost of sharded ingestion is charged
+  exactly like the negotiation traffic — nothing moves off the books.
+
+The data plane's counters are kept separate from the negotiation
+network's: a session reports control-plane and shard-traffic costs
+side by side rather than blending them.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, TypeVar
+
+import numpy as np
+
+from ..simnet.channel import Network
+from ..simnet.messages import Message, MessageKind
+from ..simnet.node import Node
+from .backends import ShardBackend, make_backend
+from .plan import ShardPlan
+
+__all__ = ["ShardPool", "DataPlane"]
+
+_Task = TypeVar("_Task")
+_Result = TypeVar("_Result")
+
+
+class ShardPool:
+    """A shard plan bound to an executor backend.
+
+    The pool is the engine's single compute entry point: ``map`` fans a
+    list of pure tasks out to the backend and returns results in task
+    order.  Logical shard ids (from the plan) decide data routing and
+    merge order; the backend decides physical placement — the two are
+    independent, which is why results cannot depend on scheduling.
+    """
+
+    def __init__(self, plan: ShardPlan, backend: str = "serial") -> None:
+        self.plan = plan
+        self.backend: ShardBackend = make_backend(backend, plan.n_shards)
+
+    def map(
+        self, fn: Callable[[_Task], _Result], tasks: Sequence[_Task]
+    ) -> List[_Result]:
+        """Ordered map over the backend (see :meth:`ShardBackend.map`)."""
+        return self.backend.map(fn, tasks)
+
+    def close(self) -> None:
+        """Release the backend's worker pool."""
+        self.backend.close()
+
+    def __enter__(self) -> "ShardPool":
+        """Context-manager entry: the pool itself."""
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        """Context-manager exit: release the workers."""
+        self.close()
+
+
+class _PartyGate(Node):
+    """A data provider's ingest gate: sends batches, expects no replies."""
+
+
+class _ShardWorkerNode(Node):
+    """A logical shard's network presence: receives (and forwards) batches."""
+
+    def __init__(self, name: str, network: Network, index: int, seed: int = 0) -> None:
+        super().__init__(name, network, seed=seed)
+        self.index = index
+        self.records_received = 0
+        self.batches_received = 0
+
+    def on_shard_batch(self, message: Message) -> None:
+        """Accept a party batch, forwarding it when another shard owns it."""
+        owner = int(message.payload["owner"])
+        if owner != self.index:
+            # Party-affine routing delivered the batch here; hand it to the
+            # window's owner (an extra, fully accounted network hop).
+            self.send(
+                MessageKind.SHARD_FORWARD,
+                f"shard-{owner}",
+                dict(message.payload),
+            )
+            return
+        self._absorb(message)
+
+    def on_shard_forward(self, message: Message) -> None:
+        """Accept a batch forwarded from a party-affine shard."""
+        self._absorb(message)
+
+    def _absorb(self, message: Message) -> None:
+        self.records_received += int(
+            np.asarray(message.payload["X"]).shape[0]
+        )
+        self.batches_received += 1
+
+
+class _MinerSink(Node):
+    """The miner's ingest endpoint for merged per-window result batches."""
+
+    def __init__(self, name: str, network: Network, seed: int = 0) -> None:
+        super().__init__(name, network, seed=seed)
+        self.windows_received = 0
+        self.records_received = 0
+
+    def on_shard_result(self, message: Message) -> None:
+        """Account one merged window batch."""
+        self.windows_received += 1
+        self.records_received += int(np.asarray(message.payload["X"]).shape[0])
+
+
+class DataPlane:
+    """Persistent simnet network carrying the sharded session's data traffic.
+
+    One instance lives for a whole streaming session (unlike the
+    per-epoch negotiation networks), so latency, bandwidth, and adversary
+    ledgers accumulate over the run exactly as they would on a long-lived
+    deployment.
+    """
+
+    def __init__(
+        self,
+        plan: ShardPlan,
+        provider_names: Sequence[str],
+        seed: int = 0,
+        miner_name: str = "stream-miner",
+    ) -> None:
+        self.plan = plan
+        self.network = Network(seed=seed)
+        self.gates = [_PartyGate(name, self.network) for name in provider_names]
+        self.shards = [
+            _ShardWorkerNode(f"shard-{index}", self.network, index=index)
+            for index in range(plan.n_shards)
+        ]
+        self.sink = _MinerSink(miner_name, self.network)
+
+    def route_window(
+        self,
+        window_index: int,
+        party_slices: Sequence[Optional[np.ndarray]],
+        merged: np.ndarray,
+    ) -> None:
+        """Charge one window's data movement to the network.
+
+        ``party_slices[p]`` is party ``p``'s share of the window's
+        target-space batch (``None``/empty when the party contributed no
+        rows); ``merged`` is the full window the owner submits to the
+        miner.  Providers adapt locally — they hold their own adaptors —
+        so the wire carries target-space rows.
+        """
+        owner = self.plan.shard_of_window(window_index)
+        for party, rows in enumerate(party_slices):
+            if rows is None or rows.shape[0] == 0:
+                continue
+            destination = self.plan.shard_of_batch(window_index, party)
+            self.gates[party].send(
+                MessageKind.SHARD_BATCH,
+                f"shard-{destination}",
+                {"window": window_index, "owner": owner, "X": rows},
+            )
+        self.shards[owner].send(
+            MessageKind.SHARD_RESULT,
+            self.sink.name,
+            {"window": window_index, "X": merged},
+        )
+
+    def flush(self) -> None:
+        """Deliver everything in flight (runs the discrete-event kernel)."""
+        self.network.run()
+
+    @property
+    def messages_sent(self) -> int:
+        """Data-plane messages accepted for transmission so far."""
+        return self.network.messages_sent
+
+    @property
+    def bytes_sent(self) -> int:
+        """Data-plane payload bytes accepted for transmission so far."""
+        return self.network.bytes_sent
+
+    @property
+    def shard_records(self) -> List[int]:
+        """Records absorbed per logical shard, in fixed shard order."""
+        return [shard.records_received for shard in self.shards]

@@ -1,0 +1,174 @@
+"""Deterministic partitioning of stream/batch work across worker shards.
+
+A :class:`ShardPlan` decides *where* a unit of work lives: which logical
+shard owns a window of stream records, where a party's per-window batch is
+routed, and how a flat index range is split for batch-parallel work.  The
+plan is pure arithmetic over indices — it never looks at data values — so
+the assignment is reproducible across runs, processes, and executor
+backends, which is what lets the engine merge per-shard results in a fixed
+order and produce bit-identical output regardless of how work was
+physically scheduled.
+
+Three strategies mirror the partitioning modes named in the roadmap:
+
+* ``round_robin`` — ``key % n_shards``; perfectly balanced, the default;
+* ``hash``        — a splitmix64 finalizer over ``key ^ salt``; balanced in
+  expectation and independent of key *order*, so interleaving or renaming
+  streams never skews placement (resizing ``n_shards`` remaps keys, as
+  with any modulo hash);
+* ``party``       — per-party affinity: every batch from data provider
+  ``p`` lands on shard ``p % n_shards``, modelling deployments where each
+  provider maintains a dedicated ingest link.  Window ownership stays
+  round-robin, so a non-owner shard *forwards* party batches to the owner
+  (the engine charges that extra hop to the simulated network).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+__all__ = ["ShardPlan", "SHARD_STRATEGIES"]
+
+SHARD_STRATEGIES = ("round_robin", "hash", "party")
+
+_MASK64 = (1 << 64) - 1
+
+
+def _splitmix64(value: int) -> int:
+    """The splitmix64 finalizer: a fast, well-mixed 64-bit permutation.
+
+    Used instead of Python's ``hash`` because the builtin is salted per
+    process — worthless for an assignment that must agree across the
+    process-pool backend's workers.
+    """
+    value = (value + 0x9E3779B97F4A7C15) & _MASK64
+    value = ((value ^ (value >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    value = ((value ^ (value >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return (value ^ (value >> 31)) & _MASK64
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """Assignment of windows, records, and party batches to ``n_shards``.
+
+    Attributes
+    ----------
+    n_shards:
+        Number of logical shards (>= 1).  Logical shards are merge slots,
+        not OS threads: the executor backend decides physical placement,
+        and the merge step always iterates shards ``0..n_shards-1``.
+    strategy:
+        One of :data:`SHARD_STRATEGIES`.
+    n_parties:
+        Number of data providers; required by the ``party`` strategy so
+        batch routing can validate party indices.
+    salt:
+        Mixed into the ``hash`` strategy's key so two concurrent sessions
+        shard independently.
+    """
+
+    n_shards: int
+    strategy: str = "round_robin"
+    n_parties: Optional[int] = None
+    salt: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_shards < 1:
+            raise ValueError("n_shards must be >= 1")
+        if self.strategy not in SHARD_STRATEGIES:
+            raise ValueError(
+                f"unknown shard strategy {self.strategy!r}; available: "
+                f"{', '.join(SHARD_STRATEGIES)}"
+            )
+        if self.strategy == "party" and (
+            self.n_parties is None or self.n_parties < 1
+        ):
+            raise ValueError("the 'party' strategy requires n_parties >= 1")
+
+    # ------------------------------------------------------------------
+    # assignment
+    # ------------------------------------------------------------------
+    def shard_of_window(self, window_index: int) -> int:
+        """Logical shard that *owns* window ``window_index``.
+
+        The owner runs the window's transform, merges its party batches,
+        and submits the result batch to the miner.  Ownership is
+        round-robin for the ``party`` strategy too — party affinity applies
+        to batch *routing*, not window compute (see :meth:`shard_of_batch`).
+        """
+        if window_index < 0:
+            raise ValueError("window_index must be >= 0")
+        if self.strategy == "hash":
+            return int(_splitmix64(window_index ^ self.salt) % self.n_shards)
+        return window_index % self.n_shards
+
+    def shard_of_record(self, record_index: int, party: Optional[int] = None) -> int:
+        """Logical shard a raw record would be routed to.
+
+        Exposed for record-granular pipelines (the streaming engine shards
+        at window granularity so that window contents — and therefore all
+        downstream numerics — are independent of the shard count).
+        """
+        if record_index < 0:
+            raise ValueError("record_index must be >= 0")
+        if self.strategy == "party":
+            if party is None:
+                raise ValueError("the 'party' strategy needs the record's party")
+            return self._party_shard(party)
+        if self.strategy == "hash":
+            return int(_splitmix64(record_index ^ self.salt) % self.n_shards)
+        return record_index % self.n_shards
+
+    def shard_of_batch(self, window_index: int, party: int) -> int:
+        """Shard that *receives* party ``party``'s batch of one window.
+
+        Under ``round_robin``/``hash`` batches go straight to the window's
+        owner.  Under ``party`` they go to the party's affine shard, which
+        forwards to the owner when the two differ.
+        """
+        if self.strategy == "party":
+            return self._party_shard(party)
+        return self.shard_of_window(window_index)
+
+    def _party_shard(self, party: int) -> int:
+        assert self.n_parties is not None
+        if not 0 <= party < self.n_parties:
+            raise ValueError(
+                f"party {party} out of range for n_parties={self.n_parties}"
+            )
+        return party % self.n_shards
+
+    # ------------------------------------------------------------------
+    # batch-parallel helpers
+    # ------------------------------------------------------------------
+    def partition_indices(
+        self, n_items: int, parties: Optional[np.ndarray] = None
+    ) -> List[np.ndarray]:
+        """Split ``range(n_items)`` into per-shard index arrays.
+
+        Used by batch-parallel callers (e.g. the batch session's per-party
+        risk profiling) to hand each shard a contiguous work list.  The
+        returned arrays are sorted, disjoint, and cover every index; their
+        concatenation in shard order is the canonical merge order.
+        """
+        if n_items < 0:
+            raise ValueError("n_items must be >= 0")
+        if self.strategy == "party" and parties is None:
+            # Default attribution matches the stream session's round-robin
+            # record-to-provider mapping.
+            parties = np.arange(n_items) % int(self.n_parties)
+        owners = np.array(
+            [
+                self.shard_of_record(
+                    i, None if parties is None else int(parties[i])
+                )
+                for i in range(n_items)
+            ],
+            dtype=int,
+        )
+        return [
+            np.flatnonzero(owners == shard) for shard in range(self.n_shards)
+        ]

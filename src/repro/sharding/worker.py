@@ -1,0 +1,177 @@
+"""Pure task functions executed on worker shards.
+
+Every function here is a *pure* function of one picklable ``task`` dict —
+no shared state, no live objects — so the same task produces bit-identical
+results on the serial, thread, and process backends, and results can be
+merged in plan order regardless of completion order.  That purity is the
+whole determinism story of :mod:`repro.sharding`: the engine never lets a
+task's content depend on *where* or *when* it runs.
+
+Three task families:
+
+* :func:`transform_window` — normalize one window's fresh rows and move
+  them into the negotiated target space with a **single stacked matmul**.
+  The per-party loop of the original streaming session is gone: composing
+  a party's perturbation ``G_i : (R_i, t_i, sigma_i)`` with its adaptor
+  ``A_it = <R_t R_i^{-1}, t_t - R_t R_i^{-1} t_i>`` collapses analytically,
+
+      ``A_it(G_i(x)) = R_t x + t_t + R_t R_i^{-1} Delta_i``,
+
+  so the rotation/translation part is *party-independent* — one
+  ``X_norm @ R_t'`` covers every provider's rows at once — and only the
+  (cheap, additive) complementary-noise term stays per-party.  The noise
+  is drawn from a generator seeded by ``(root, window, party)``, never
+  from a sequentially shared stream, so realizations are independent of
+  the shard count and backend.
+* :func:`predict_window` — prequential prediction from a frozen miner
+  snapshot (:func:`repro.streaming.online_miner.predict_from_state`).
+* :func:`party_risk_task` — one party's privacy/risk profile for the
+  batch session (attack-suite guarantees plus the bound estimate), the
+  embarrassingly parallel tail of ``run_sap_session(compute_privacy=True)``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+import numpy as np
+
+from ..core.normalization import MinMaxNormalizer, ZScoreNormalizer
+from ..core.perturbation import GeometricPerturbation
+
+__all__ = ["transform_window", "predict_window", "party_risk_task"]
+
+
+def _frozen_normalizer(task: Dict[str, Any]):
+    """Rebuild the frozen batch normalizer shipped with a transform task."""
+    kind = task["norm_kind"]
+    if kind == "minmax":
+        return MinMaxNormalizer(
+            minimums=task["norm_a"], maximums=task["norm_b"]
+        )
+    if kind == "zscore":
+        return ZScoreNormalizer(means=task["norm_a"], stds=task["norm_b"])
+    raise ValueError(f"unknown normalizer kind {kind!r}")
+
+
+def transform_window(task: Dict[str, Any]) -> Dict[str, np.ndarray]:
+    """Normalize + perturb + adapt one window's fresh rows.
+
+    Task fields
+    -----------
+    ``X`` (n, d)
+        The window's fresh raw rows.
+    ``norm_kind`` / ``norm_a`` / ``norm_b``
+        Frozen normalizer state (window-order-merged, so identical for
+        every shard count).
+    ``rotation`` (d, d) / ``translation`` (d,)
+        The epoch's target perturbation ``G_t``.
+    ``adaptor_rotations`` (k, d, d)
+        Stacked per-party rotation adaptors ``R_t R_i^{-1}`` (the
+        complementary-noise maps).
+    ``sigmas`` (k,)
+        Per-party effective noise levels fixed at negotiation time.
+    ``noise_root`` / ``window_index``
+        Seed material: party ``p``'s noise generator is
+        ``default_rng([noise_root, window_index, p])``.
+
+    Returns ``{"X_norm": (n, d), "X_target": (n, d)}`` — the normalized
+    rows (the baseline miner's view) and the unified-target-space rows
+    (the SAP miner's view).  Rows keep their arrival order; record ``i``
+    belongs to party ``i % k``, matching the stream session's round-robin
+    attribution.
+    """
+    X = np.asarray(task["X"], dtype=float)
+    X_norm = _frozen_normalizer(task).transform(X)
+
+    rotation = np.asarray(task["rotation"], dtype=float)
+    translation = np.asarray(task["translation"], dtype=float)
+    # The stacked matmul: every party's rows share the target map.
+    X_target = X_norm @ rotation.T + translation
+
+    adaptor_rotations = np.asarray(task["adaptor_rotations"], dtype=float)
+    sigmas = np.asarray(task["sigmas"], dtype=float)
+    k = adaptor_rotations.shape[0]
+    parties = np.arange(X.shape[0]) % k
+    for party in range(k):
+        sigma = float(sigmas[party])
+        if sigma <= 0.0:
+            continue
+        rows = parties == party
+        n_p = int(rows.sum())
+        if n_p == 0:
+            continue
+        rng = np.random.default_rng(
+            [int(task["noise_root"]), int(task["window_index"]), party]
+        )
+        # Same orientation as GeometricPerturbation.apply: (d, n) columns.
+        noise = rng.normal(scale=sigma, size=(X.shape[1], n_p))
+        X_target[rows] += (adaptor_rotations[party] @ noise).T
+    return {"X_norm": X_norm, "X_target": X_target}
+
+
+def predict_window(task: Dict[str, Any]) -> np.ndarray:
+    """Predict labels for one window from a frozen miner snapshot.
+
+    ``task`` holds ``state`` (see ``OnlineClassifier.export_predict_state``)
+    and ``X``, the rows to score.  Pure and stateless: the snapshot was
+    taken *before* the window's training step, so prequential
+    test-then-train semantics survive the parallel dispatch.
+    """
+    # Imported lazily: repro.streaming itself builds on repro.sharding, so
+    # a module-level import would be circular.
+    from ..streaming.online_miner import predict_from_state
+
+    return predict_from_state(task["state"], np.asarray(task["X"], dtype=float))
+
+
+def party_risk_task(task: Dict[str, Any]) -> Any:
+    """Compute one party's :class:`~repro.core.risk.PartyRiskProfile`.
+
+    Task fields: ``party`` (node name), ``X_cols`` (d, n) local table,
+    ``perturbation`` (the party's ``G_i``), ``target`` (the negotiated
+    ``G_t``), ``noise_sigma``, ``k``, optimizer budget
+    (``optimizer_rounds`` / ``optimizer_local_steps``), three seeds
+    (``rho_local_seed`` / ``rho_global_seed`` / ``optimizer_seed``), and an
+    optional ``suite`` (``None`` selects the fast attack suite, built
+    inside the worker so process backends never pickle it).
+
+    Heavy imports happen lazily here both to dodge the ``attacks -> core``
+    import cycle and to keep fork-based worker start cheap.
+    """
+    from ..attacks.resilience import fast_suite
+    from ..core.optimizer import PerturbationOptimizer
+    from ..core.risk import PartyRiskProfile
+
+    suite = task.get("suite") or fast_suite()
+    X_cols = np.asarray(task["X_cols"], dtype=float)
+    perturbation: GeometricPerturbation = task["perturbation"]
+    target: GeometricPerturbation = task["target"]
+
+    rho_local = suite.guarantee(
+        perturbation, X_cols, np.random.default_rng(task["rho_local_seed"])
+    )
+    global_perturbation = GeometricPerturbation(
+        rotation=target.rotation,
+        translation=target.translation,
+        noise_sigma=task["noise_sigma"],
+    )
+    rho_global = suite.guarantee(
+        global_perturbation, X_cols, np.random.default_rng(task["rho_global_seed"])
+    )
+    optimizer = PerturbationOptimizer(
+        n_rounds=max(4, int(task["optimizer_rounds"]) // 2),
+        local_steps=int(task["optimizer_local_steps"]),
+        noise_sigma=task["noise_sigma"],
+        suite=suite,
+        seed=int(task["optimizer_seed"]),
+    )
+    result = optimizer.optimize(X_cols)
+    b_hat = max(result.b_hat, rho_local, 1e-9)
+    return PartyRiskProfile(
+        party=task["party"],
+        rho_local=max(rho_local, 1e-9),
+        rho_global=rho_global,
+        b=b_hat,
+        k=int(task["k"]),
+    )

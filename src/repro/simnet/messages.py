@@ -58,6 +58,10 @@ class MessageKind(enum.Enum):
     # model service: classify new records in the unified space
     CLASSIFY_REQUEST = "classify_request"
     CLASSIFY_RESPONSE = "classify_response"
+    # sharded execution: per-window party batches routed to worker shards
+    SHARD_BATCH = "shard_batch"
+    SHARD_FORWARD = "shard_forward"
+    SHARD_RESULT = "shard_result"
     # generic control
     ABORT = "abort"
 

@@ -15,7 +15,10 @@ records arrive.  Two incremental normalizers mirror the two batch ones:
   rounding regardless of how the stream was chunked.
 
 Both expose ``to_batch()`` so downstream code (and the equivalence tests)
-can hand the frozen state to the existing batch machinery.
+can hand the frozen state to the existing batch machinery, and ``merge()``
+— the Welford/Chan and min/max merge algebra — so per-shard states built
+by :mod:`repro.sharding` can be combined into exactly the state one
+unsharded normalizer would hold.
 """
 
 from __future__ import annotations
@@ -50,19 +53,36 @@ class RunningMinMaxNormalizer:
             raise ValueError("X must be 2-D")
         if X.shape[0] == 0:
             return self
-        if self.minimums is None:
-            self.minimums = X.min(axis=0)
-            self.maximums = X.max(axis=0)
-        else:
-            if X.shape[1] != self.minimums.shape[0]:
-                raise ValueError(
-                    f"X has {X.shape[1]} columns, normalizer tracks "
-                    f"{self.minimums.shape[0]}"
-                )
-            self.minimums = np.minimum(self.minimums, X.min(axis=0))
-            self.maximums = np.maximum(self.maximums, X.max(axis=0))
-        self.n_seen += X.shape[0]
+        self._merge_bounds(X.min(axis=0), X.max(axis=0), X.shape[0])
         return self
+
+    def merge(self, other: "RunningMinMaxNormalizer") -> "RunningMinMaxNormalizer":
+        """Fold another running normalizer's state into this one.
+
+        The min/max merge algebra is exact and order-insensitive: merging
+        per-shard states (in any order) yields bit-identical bounds to one
+        normalizer fed every row — the property the sharded engine's
+        normalizer merge step relies on.
+        """
+        if other.minimums is None or other.maximums is None:
+            return self
+        self._merge_bounds(other.minimums, other.maximums, other.n_seen)
+        return self
+
+    def _merge_bounds(self, minimums: np.ndarray, maximums: np.ndarray, n: int) -> None:
+        """Shared merge step for :meth:`update` and :meth:`merge`."""
+        if self.minimums is None:
+            self.minimums = np.array(minimums, dtype=float, copy=True)
+            self.maximums = np.array(maximums, dtype=float, copy=True)
+        else:
+            if minimums.shape[0] != self.minimums.shape[0]:
+                raise ValueError(
+                    f"cannot fold {minimums.shape[0]} columns into a "
+                    f"normalizer tracking {self.minimums.shape[0]}"
+                )
+            self.minimums = np.minimum(self.minimums, minimums)
+            self.maximums = np.maximum(self.maximums, maximums)
+        self.n_seen += int(n)
 
     def transform(self, X: np.ndarray) -> np.ndarray:
         """Scale rows into ``[0, 1]`` under the bounds seen so far."""
@@ -104,23 +124,40 @@ class RunningZScoreNormalizer:
             return self
         mean_b = X.mean(axis=0)
         m2_b = ((X - mean_b) ** 2).sum(axis=0)
-        if self.means is None:
-            self.means = mean_b
-            self._m2 = m2_b
-            self.n_seen = n_b
+        self._merge_moments(n_b, mean_b, m2_b)
+        return self
+
+    def merge(self, other: "RunningZScoreNormalizer") -> "RunningZScoreNormalizer":
+        """Fold another running normalizer's ``(n, mean, M2)`` into this one.
+
+        Chan's parallel-update formula — the same step :meth:`update` takes
+        for each batch, so merging a chain of per-shard states in stream
+        order reproduces the unsharded state bit for bit, and merging them
+        in *any* order agrees up to floating-point rounding.
+        """
+        if other.means is None or other._m2 is None:
             return self
-        if X.shape[1] != self.means.shape[0]:
+        self._merge_moments(other.n_seen, other.means, other._m2)
+        return self
+
+    def _merge_moments(self, n_b: int, mean_b: np.ndarray, m2_b: np.ndarray) -> None:
+        """Shared Chan merge for :meth:`update` and :meth:`merge`."""
+        if self.means is None:
+            self.means = np.array(mean_b, dtype=float, copy=True)
+            self._m2 = np.array(m2_b, dtype=float, copy=True)
+            self.n_seen = int(n_b)
+            return
+        if mean_b.shape[0] != self.means.shape[0]:
             raise ValueError(
-                f"X has {X.shape[1]} columns, normalizer tracks "
-                f"{self.means.shape[0]}"
+                f"cannot fold {mean_b.shape[0]} columns into a "
+                f"normalizer tracking {self.means.shape[0]}"
             )
         n_a = self.n_seen
         delta = mean_b - self.means
         total = n_a + n_b
         self.means = self.means + delta * (n_b / total)
         self._m2 = self._m2 + m2_b + delta**2 * (n_a * n_b / total)
-        self.n_seen = total
-        return self
+        self.n_seen = int(total)
 
     @property
     def stds(self) -> np.ndarray:

@@ -21,7 +21,7 @@ rotation/translation adaptor algebra the protocol uses for data
 from __future__ import annotations
 
 import abc
-from typing import Dict, List, Optional
+from typing import Dict, Optional
 
 import numpy as np
 
@@ -29,7 +29,13 @@ from ..core.adaptation import SpaceAdaptor
 from ..mining.base import validate_Xy
 from ..mining.knn import KNNClassifier
 
-__all__ = ["OnlineClassifier", "ReservoirKNN", "OnlineLinearSVM", "make_online_classifier"]
+__all__ = [
+    "OnlineClassifier",
+    "ReservoirKNN",
+    "OnlineLinearSVM",
+    "make_online_classifier",
+    "predict_from_state",
+]
 
 
 class OnlineClassifier(abc.ABC):
@@ -51,6 +57,17 @@ class OnlineClassifier(abc.ABC):
     @abc.abstractmethod
     def n_seen(self) -> int:
         """Total records absorbed so far."""
+
+    @abc.abstractmethod
+    def export_predict_state(self) -> Dict[str, object]:
+        """Freeze everything :func:`predict_from_state` needs into a dict.
+
+        The dict holds only plain numpy arrays and scalars, so it crosses
+        the process-pool pickle boundary of :mod:`repro.sharding.backends`
+        cheaply; it is a *copy* — later ``partial_fit`` calls never mutate
+        an exported snapshot (the sharded engine snapshots before training,
+        preserving prequential test-then-train semantics).
+        """
 
 
 class ReservoirKNN(OnlineClassifier):
@@ -74,8 +91,14 @@ class ReservoirKNN(OnlineClassifier):
         self.capacity = capacity
         self.n_neighbors = n_neighbors
         self.rng = np.random.default_rng(seed)
-        self._rows: List[np.ndarray] = []
-        self._labels: List[object] = []
+        # Pre-allocated row buffer: appends and replacements are O(1) writes
+        # and snapshots are one memcpy, instead of growing/stacking a list
+        # of row objects on the per-window hot path.  Labels stay in a plain
+        # list so arbitrary label types (mixed widths, strings) are kept
+        # exactly; converting them per snapshot is cheap.
+        self._X_buf: Optional[np.ndarray] = None
+        self._labels: list = []
+        self._size = 0
         self._n_seen = 0
         self._model: Optional[KNNClassifier] = None
 
@@ -86,39 +109,79 @@ class ReservoirKNN(OnlineClassifier):
     @property
     def reservoir_size(self) -> int:
         """Rows currently held (<= capacity)."""
-        return len(self._rows)
+        return self._size
+
+    @property
+    def reservoir_rows(self) -> np.ndarray:
+        """The retained sample, ``(reservoir_size, d)`` (a view; don't mutate)."""
+        if self._X_buf is None:
+            return np.empty((0, 0))
+        return self._X_buf[: self._size]
 
     def partial_fit(self, X: np.ndarray, y: np.ndarray) -> "ReservoirKNN":
         X, y = validate_Xy(X, y)
-        for i in range(X.shape[0]):
-            self._n_seen += 1
-            if len(self._rows) < self.capacity:
-                self._rows.append(X[i].copy())
-                self._labels.append(y[i])
-            else:
-                slot = int(self.rng.integers(self._n_seen))
-                if slot < self.capacity:
-                    self._rows[slot] = X[i].copy()
-                    self._labels[slot] = y[i]
+        n = X.shape[0]
+        if n == 0:
+            return self
+        if self._X_buf is None:
+            self._X_buf = np.empty((self.capacity, X.shape[1]))
+
+        # Fill phase: the first `capacity` records are always kept.
+        take = min(self.capacity - self._size, n)
+        if take:
+            self._X_buf[self._size : self._size + take] = X[:take]
+            self._labels.extend(y[:take])
+            self._size += take
+            self._n_seen += take
+
+        # Replacement phase (Vitter's R): record number m keeps a slot with
+        # probability capacity/m.  The slot draws are batched into a single
+        # vectorized call — one uniform integer in [0, m) per record, with
+        # the per-record upper bound supplied as an array — and only the
+        # (increasingly rare) accepted replacements touch the buffer, in
+        # stream order so later records overwrite earlier ones as in the
+        # sequential algorithm.
+        rest = n - take
+        if rest:
+            highs = np.arange(self._n_seen + 1, self._n_seen + rest + 1)
+            slots = self.rng.integers(highs)
+            self._n_seen += rest
+            for offset in np.flatnonzero(slots < self.capacity):
+                slot = int(slots[offset])
+                self._X_buf[slot] = X[take + offset]
+                self._labels[slot] = y[take + offset]
         self._model = None  # refit lazily on next predict
         return self
 
     def predict(self, X: np.ndarray) -> np.ndarray:
         X, _ = validate_Xy(X)
-        if not self._rows:
+        if self._size == 0:
             return np.zeros(X.shape[0], dtype=int)
         if self._model is None:
             self._model = KNNClassifier(n_neighbors=self.n_neighbors).fit(
-                np.vstack(self._rows), np.asarray(self._labels)
+                self._X_buf[: self._size], np.asarray(self._labels)
             )
         return self._model.predict(X)
 
     def adapt_space(self, adaptor: SpaceAdaptor) -> None:
-        if not self._rows:
+        if self._size == 0:
             return
-        adapted = np.asarray(adaptor.apply(np.vstack(self._rows).T)).T
-        self._rows = [row for row in adapted]
+        self._X_buf[: self._size] = np.asarray(
+            adaptor.apply(self._X_buf[: self._size].T)
+        ).T
         self._model = None
+
+    def export_predict_state(self) -> Dict[str, object]:
+        """Snapshot the reservoir for out-of-process prediction."""
+        if self._size == 0:
+            return {"kind": "knn", "rows": None, "labels": None,
+                    "n_neighbors": self.n_neighbors}
+        return {
+            "kind": "knn",
+            "rows": self._X_buf[: self._size].copy(),
+            "labels": np.asarray(self._labels),
+            "n_neighbors": self.n_neighbors,
+        }
 
 
 class OnlineLinearSVM(OnlineClassifier):
@@ -199,6 +262,53 @@ class OnlineLinearSVM(OnlineClassifier):
             w_new = R @ w
             self._weights[label] = w_new
             self._biases[label] = self._biases[label] - float(w_new @ psi)
+
+    def export_predict_state(self) -> Dict[str, object]:
+        """Snapshot the per-class weights/biases for out-of-process prediction."""
+        if not self._weights:
+            return {"kind": "linear_svm", "classes": None,
+                    "weights": None, "biases": None}
+        classes = self.classes_
+        return {
+            "kind": "linear_svm",
+            "classes": classes,
+            "weights": np.vstack([self._weights[label] for label in classes]),
+            "biases": np.asarray([self._biases[label] for label in classes]),
+        }
+
+
+def predict_from_state(state: Dict[str, object], X: np.ndarray) -> np.ndarray:
+    """Predict from a frozen :meth:`OnlineClassifier.export_predict_state` dict.
+
+    A pure function of ``(state, X)`` — the sharded engine runs it inside
+    worker shards (any backend) and the result is bit-identical to calling
+    ``predict`` on the live model the state was exported from, because it
+    performs the same operations on the same arrays:
+
+    * ``knn`` states rebuild the batch :class:`KNNClassifier` exactly like
+      :meth:`ReservoirKNN.predict` does on a reservoir change;
+    * ``linear_svm`` states replay the one-vs-rest argmax over
+      ``X @ W' + b`` with the class columns in the same sorted order.
+
+    Rows predicted before any training data exists get label 0, matching
+    the live models.
+    """
+    X, _ = validate_Xy(X)
+    kind = state["kind"]
+    if kind == "knn":
+        if state["rows"] is None:
+            return np.zeros(X.shape[0], dtype=int)
+        model = KNNClassifier(n_neighbors=int(state["n_neighbors"])).fit(
+            np.asarray(state["rows"]), np.asarray(state["labels"])
+        )
+        return model.predict(X)
+    if kind == "linear_svm":
+        if state["classes"] is None:
+            return np.zeros(X.shape[0], dtype=int)
+        classes = np.asarray(state["classes"])
+        scores = X @ np.asarray(state["weights"]).T + np.asarray(state["biases"])
+        return classes[np.argmax(scores, axis=1)]
+    raise ValueError(f"unknown predict-state kind {kind!r}")
 
 
 def make_online_classifier(

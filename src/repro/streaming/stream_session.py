@@ -21,6 +21,17 @@ Space (re-)negotiation reuses the multiparty machinery:
 * every epoch refreshes the privacy guarantee with the fast attack suite,
   evaluated on the current window in the new space's parameters.
 
+Execution is **sharded** (:mod:`repro.sharding`): windows are grouped into
+rounds of ``config.shards``, the per-window transform (one stacked matmul
+into the target space plus per-party complementary noise) and the
+prequential predictions fan out across a worker pool, and every per-shard
+record batch travels a persistent :class:`~repro.sharding.engine.DataPlane`
+network so message accounting stays complete.  Control decisions — window
+order, normalizer merges, drift detection, trust schedules, negotiation,
+model updates — stay on the driver in window order, which is why the
+results are bit-identical for every ``(shards, backend, plan)`` choice;
+``shards=1`` on the serial backend is simply the degenerate round size.
+
 Accuracy is scored prequentially (test-then-train) against a baseline copy
 of the same online learner fed the *un*-perturbed normalized records, so
 the reported deviation isolates what perturbation costs — the streaming
@@ -30,15 +41,24 @@ analogue of the paper's Figures 5/6.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..core.adaptation import SpaceAdaptor, compute_adaptor
+from ..core.adaptation import AdaptorCache, SpaceAdaptor, compute_adaptor
 from ..core.perturbation import GeometricPerturbation, sample_perturbation
 from ..core.protocol import ExchangePlan, draw_exchange_plan
 from ..mining.metrics import accuracy_deviation, accuracy_score
+from ..sharding import (
+    BACKENDS,
+    SHARD_STRATEGIES,
+    DataPlane,
+    ShardPlan,
+    ShardPool,
+    predict_window,
+    transform_window,
+)
 from ..simnet.channel import Network
 from ..simnet.messages import Message, MessageKind
 from ..simnet.node import Node
@@ -46,7 +66,7 @@ from .drift import DriftReport, make_detector
 from .normalizer import make_normalizer
 from .online_miner import make_online_classifier
 from .sources import StreamSource
-from .windows import make_window_buffer
+from .windows import Window, make_window_buffer
 
 __all__ = [
     "TrustChange",
@@ -110,6 +130,18 @@ class StreamConfig:
     compute_privacy:
         Refresh the fast-suite privacy guarantee at every negotiation
         (small cost per epoch; disable for pure throughput benchmarks).
+    shards:
+        Number of logical worker shards; windows are processed in rounds
+        of this many, with transforms and predictions fanned out across
+        the pool.  Results are bit-identical for every shard count.
+    shard_backend:
+        ``"serial"``, ``"thread"``, or ``"process"`` — see
+        :mod:`repro.sharding.backends`.
+    shard_plan:
+        ``"round_robin"``, ``"hash"``, or ``"party"`` — see
+        :class:`repro.sharding.ShardPlan`.  Affects placement and
+        data-plane routing (the ``party`` strategy adds forward hops),
+        never results.
     seed:
         Master seed; all node and miner seeds derive from it.
     """
@@ -127,6 +159,9 @@ class StreamConfig:
     readapt_cooldown: int = 2
     trust_changes: Tuple[TrustChange, ...] = ()
     compute_privacy: bool = True
+    shards: int = 1
+    shard_backend: str = "serial"
+    shard_plan: str = "round_robin"
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -138,6 +173,18 @@ class StreamConfig:
             raise ValueError("noise_sigma must be >= 0")
         if self.readapt_cooldown < 0:
             raise ValueError("readapt_cooldown must be >= 0")
+        if self.shards < 1:
+            raise ValueError("shards must be >= 1")
+        if self.shard_backend not in BACKENDS:
+            raise ValueError(
+                f"unknown shard backend {self.shard_backend!r}; available: "
+                f"{', '.join(BACKENDS)}"
+            )
+        if self.shard_plan not in SHARD_STRATEGIES:
+            raise ValueError(
+                f"unknown shard plan {self.shard_plan!r}; available: "
+                f"{', '.join(SHARD_STRATEGIES)}"
+            )
 
     def provider_name(self, index: int) -> str:
         """Node names, matching the batch convention (coordinator last)."""
@@ -198,6 +245,9 @@ class StreamSessionResult:
     wall_seconds: float
     messages_sent: int
     bytes_sent: int
+    data_messages_sent: int = 0
+    data_bytes_sent: int = 0
+    shard_records: Tuple[int, ...] = ()
 
     @property
     def deviation(self) -> float:
@@ -236,6 +286,8 @@ class StreamSessionResult:
             f"stream            : {self.source_name} ({self.source_kind})",
             f"providers (k)     : {self.config.k}",
             f"classifier        : {self.config.classifier}",
+            f"shards            : {self.config.shards} "
+            f"({self.config.shard_backend} backend, {self.config.shard_plan} plan)",
             f"records / windows : {self.records_processed} / {len(self.windows)}",
             f"re-adaptations    : {self.readaptations}",
             f"baseline accuracy : {self.accuracy_baseline:.4f}",
@@ -244,6 +296,8 @@ class StreamSessionResult:
             f"throughput        : {self.throughput:,.0f} records/s",
             f"readapt latency   : {self.mean_readapt_latency * 1000:.1f} ms (mean)",
             f"messages / bytes  : {self.messages_sent} / {self.bytes_sent}",
+            f"shard traffic     : {self.data_messages_sent} msgs / "
+            f"{self.data_bytes_sent} bytes",
         ]
         if guarantees:
             lines.append(
@@ -360,12 +414,19 @@ class _NegotiationCoordinator(_NegotiationProvider):
 
 @dataclass
 class _Epoch:
-    """One negotiated space: target, plan, and per-party perturbations."""
+    """One negotiated space: target, plan, per-party perturbations, sigmas.
 
+    ``sigmas`` are the per-party effective noise levels *at negotiation
+    time*; a trust change always re-negotiates, so they stay accurate for
+    the epoch's whole lifetime.  Adaptors are held in the session's
+    :class:`~repro.core.adaptation.AdaptorCache`, keyed by ``epoch_id``.
+    """
+
+    epoch_id: int
     target: GeometricPerturbation
     plan: ExchangePlan
     perturbations: List[GeometricPerturbation]
-    adaptors: List[SpaceAdaptor]
+    sigmas: Tuple[float, ...]
 
 
 def _negotiate(
@@ -373,11 +434,20 @@ def _negotiate(
     dimension: int,
     sigmas: Sequence[float],
     master: np.random.Generator,
-) -> Tuple[_Epoch, int, int, float]:
+) -> Tuple[
+    GeometricPerturbation,
+    ExchangePlan,
+    List[GeometricPerturbation],
+    List[SpaceAdaptor],
+    int,
+    int,
+    float,
+]:
     """Run one negotiation over a fresh simnet network.
 
-    Returns the epoch plus the network's message/byte counts and the
-    virtual duration of the exchange.
+    Returns the negotiated target, exchange plan, per-party perturbations
+    and adaptors, plus the network's message/byte counts and the virtual
+    duration of the exchange.
     """
     network = Network(seed=int(master.integers(2**32)))
     names = [config.provider_name(i) for i in range(config.k)]
@@ -413,13 +483,15 @@ def _negotiate(
             f"{config.k} adaptors"
         )
     assert coordinator.target is not None and coordinator.plan is not None
-    epoch = _Epoch(
-        target=coordinator.target,
-        plan=coordinator.plan,
-        perturbations=[p.perturbation for p in providers],
-        adaptors=[p.adaptor for p in providers],
+    return (
+        coordinator.target,
+        coordinator.plan,
+        [p.perturbation for p in providers],
+        [p.adaptor for p in providers],
+        network.messages_sent,
+        network.bytes_sent,
+        network.simulator.now,
     )
-    return epoch, network.messages_sent, network.bytes_sent, network.simulator.now
 
 
 def _epoch_guarantee(
@@ -444,6 +516,25 @@ def _epoch_guarantee(
     return fast_suite().guarantee(effective, X_normalized.T, rng)
 
 
+@dataclass
+class _WindowWork:
+    """Driver-side record of one window's control-plane decisions."""
+
+    window: Window
+    X_fresh: np.ndarray
+    y_fresh: np.ndarray
+    norm_a: np.ndarray
+    norm_b: np.ndarray
+    epoch: _Epoch
+    migration: Optional[SpaceAdaptor]
+    report: DriftReport
+    readapted: bool
+    shard: int
+    # filled by the transform stage
+    X_norm: Optional[np.ndarray] = field(default=None)
+    X_target: Optional[np.ndarray] = field(default=None)
+
+
 # ----------------------------------------------------------------------
 # the session driver
 # ----------------------------------------------------------------------
@@ -466,14 +557,32 @@ def run_stream_session(
         config.window_kind, config.window_size, config.window_step
     )
     normalizer = make_normalizer(config.normalizer)
+    shard_normalizers = [
+        make_normalizer(config.normalizer) for _ in range(config.shards)
+    ]
     detector = make_detector(config.detector, **dict(config.detector_params))
     params = dict(config.classifier_params)
     miner_seed = int(master.integers(2**32))
     miner = make_online_classifier(config.classifier, seed=miner_seed, **params)
     baseline = make_online_classifier(config.classifier, seed=miner_seed, **params)
-    party_rngs = [
-        np.random.default_rng(int(master.integers(2**32))) for _ in range(config.k)
-    ]
+    # Noise is keyed by (root, window, party) rather than drawn from shared
+    # sequential streams, so realizations are independent of sharding.
+    noise_root = int(master.integers(2**32))
+
+    plan = ShardPlan(
+        config.shards,
+        config.shard_plan,
+        n_parties=config.k,
+        salt=abs(int(config.seed)),
+    )
+    data_plane = DataPlane(
+        plan,
+        [config.provider_name(i) for i in range(config.k)],
+        seed=int(master.integers(2**32)),
+    )
+    pool = ShardPool(plan, config.shard_backend)
+    adaptor_cache = AdaptorCache(maxsize=max(4 * config.k, 16))
+
     trust = {party: 1.0 for party in range(config.k)}
     trust_by_window: Dict[int, List[TrustChange]] = {}
     for change in config.trust_changes:
@@ -482,6 +591,7 @@ def run_stream_session(
         trust_by_window.setdefault(change.window, []).append(change)
 
     epoch: Optional[_Epoch] = None
+    epoch_seq = 0
     events: List[ReadaptationEvent] = []
     window_stats: List[StreamWindowStats] = []
     messages_total = 0
@@ -497,20 +607,34 @@ def run_stream_session(
 
     def negotiate(reason: str, window_index: int, statistic: float,
                   X_normalized: Optional[np.ndarray]) -> _Epoch:
-        nonlocal messages_total, bytes_total
+        nonlocal messages_total, bytes_total, epoch_seq
         began = time.perf_counter()
-        new_epoch, n_msgs, n_bytes, virtual = _negotiate(
-            config, source.dimension, sigmas(), master
+        levels = sigmas()
+        target, exchange, perturbations, adaptors, n_msgs, n_bytes, virtual = (
+            _negotiate(config, source.dimension, levels, master)
         )
         latency = time.perf_counter() - began
         messages_total += n_msgs
         bytes_total += n_bytes
+        epoch_seq += 1
+        new_epoch = _Epoch(
+            epoch_id=epoch_seq,
+            target=target,
+            plan=exchange,
+            perturbations=perturbations,
+            sigmas=tuple(levels),
+        )
+        # The providers already derived their adaptors during the exchange;
+        # cache them under the new epoch so every window (and shard task)
+        # of the epoch reuses them instead of re-deriving.
+        for party, adaptor in enumerate(adaptors):
+            adaptor_cache.put(new_epoch.epoch_id, party, adaptor)
         guarantee = None
         if config.compute_privacy and X_normalized is not None:
             guarantee = _epoch_guarantee(
                 new_epoch,
                 X_normalized,
-                sigmas(),
+                levels,
                 np.random.default_rng(int(master.integers(2**32))),
             )
         events.append(
@@ -527,20 +651,51 @@ def run_stream_session(
         )
         return new_epoch
 
-    start = time.perf_counter()
-    for record in source:
-        records += 1
-        for window in buffer.push(record.x, record.y, record.time):
-            # Only the fresh tail rows are new to the stream (sliding
-            # windows overlap); incremental state — normalizer moments,
-            # model updates, prequential scoring — must touch each record
-            # exactly once, while drift statistics use the whole window.
+    def stacked_adaptor_rotations(current: _Epoch) -> np.ndarray:
+        """Per-party ``R_t R_i^{-1}`` maps, stacked ``(k, d, d)``, via cache."""
+        return np.stack(
+            [
+                adaptor_cache.get_or_compute(
+                    current.epoch_id,
+                    party,
+                    lambda party=party: compute_adaptor(
+                        current.perturbations[party], current.target
+                    ),
+                ).rotation_adaptor
+                for party in range(config.k)
+            ]
+        )
+
+    def run_round(round_windows: List[Window]) -> None:
+        """Process one round: control plane, transforms, mining, predictions."""
+        nonlocal epoch, last_readapt_window
+        nonlocal correct_perturbed, correct_baseline, scored
+
+        # ----- stage 1: control plane, strictly in window order ----------
+        work: List[_WindowWork] = []
+        stale_epoch_ids: List[int] = []
+        for window in round_windows:
             X_fresh = window.X[-window.fresh :]
             y_fresh = window.y[-window.fresh :]
 
-            # ----- normalization (incremental, converges to batch) -------
-            normalizer.update(X_fresh)
-            X_norm = normalizer.transform(X_fresh)
+            # Normalizer state flows through the merge algebra: the
+            # window's moment contribution is folded into the owner
+            # shard's running state and (in window order) into the global
+            # one, whose frozen snapshot the transform task will use.
+            contribution = make_normalizer(config.normalizer).update(X_fresh)
+            shard = plan.shard_of_window(window.index)
+            shard_normalizers[shard].merge(contribution)
+            normalizer.merge(contribution)
+            frozen = normalizer.to_batch()
+            if config.normalizer == "minmax":
+                norm_a, norm_b = frozen.minimums, frozen.maximums
+            else:
+                norm_a, norm_b = frozen.means, frozen.stds
+
+            def privacy_view() -> Optional[np.ndarray]:
+                if not config.compute_privacy:
+                    return None
+                return frozen.transform(X_fresh)
 
             # ----- trust schedule (applies from this window on) ----------
             changes = trust_by_window.get(window.index, ())
@@ -548,20 +703,21 @@ def run_stream_session(
                 trust[change.party] = change.trust
 
             # ----- space (re-)negotiation --------------------------------
+            migration: Optional[SpaceAdaptor] = None
             readapted = False
             if epoch is None:
                 # A trust change scheduled at the first window is folded
                 # into the initial negotiation's noise levels above.
-                epoch = negotiate("initial", window.index, 0.0, X_norm)
+                epoch = negotiate("initial", window.index, 0.0, privacy_view())
                 last_readapt_window = window.index
                 detector.observe(window.X)  # installs the reference
                 report = DriftReport(fired=False, statistic=0.0, threshold=np.inf)
             else:
                 if changes:
-                    old_target = epoch.target
-                    epoch = negotiate("trust", window.index, 0.0, X_norm)
-                    migration = compute_adaptor(old_target, epoch.target)
-                    miner.adapt_space(migration)
+                    old_epoch = epoch
+                    epoch = negotiate("trust", window.index, 0.0, privacy_view())
+                    migration = compute_adaptor(old_epoch.target, epoch.target)
+                    stale_epoch_ids.append(old_epoch.epoch_id)
                     last_readapt_window = window.index
                     readapted = True
                 report = detector.observe(window.X)
@@ -569,12 +725,12 @@ def run_stream_session(
                     window.index - last_readapt_window >= config.readapt_cooldown
                 )
                 if report.fired and cooled and not readapted:
-                    old_target = epoch.target
+                    old_epoch = epoch
                     epoch = negotiate(
-                        "drift", window.index, report.statistic, X_norm
+                        "drift", window.index, report.statistic, privacy_view()
                     )
-                    migration = compute_adaptor(old_target, epoch.target)
-                    miner.adapt_space(migration)
+                    migration = compute_adaptor(old_epoch.target, epoch.target)
+                    stale_epoch_ids.append(old_epoch.epoch_id)
                     detector.rebase(window.X)
                     last_readapt_window = window.index
                     readapted = True
@@ -582,43 +738,134 @@ def run_stream_session(
                     # Trust already renegotiated this window; just rebase.
                     detector.rebase(window.X)
 
-            # ----- perturb + adapt into the unified space ----------------
-            X_target = np.empty_like(X_norm)
-            parties = np.arange(window.fresh) % config.k
-            for party in range(config.k):
-                rows = parties == party
-                if not rows.any():
-                    continue
-                perturbed = epoch.perturbations[party].apply(
-                    X_norm[rows].T, rng=party_rngs[party]
-                )
-                X_target[rows] = np.asarray(
-                    epoch.adaptors[party].apply(np.asarray(perturbed))
-                ).T
-
-            # ----- prequential mining (test, then train) -----------------
-            pred_perturbed = miner.predict(X_target)
-            pred_baseline = baseline.predict(X_norm)
-            acc_perturbed = accuracy_score(y_fresh, pred_perturbed)
-            acc_baseline = accuracy_score(y_fresh, pred_baseline)
-            miner.partial_fit(X_target, y_fresh)
-            baseline.partial_fit(X_norm, y_fresh)
-
-            correct_perturbed += int(round(acc_perturbed * window.fresh))
-            correct_baseline += int(round(acc_baseline * window.fresh))
-            scored += window.fresh
-            window_stats.append(
-                StreamWindowStats(
-                    index=window.index,
-                    n_records=window.fresh,
-                    accuracy_perturbed=acc_perturbed,
-                    accuracy_baseline=acc_baseline,
-                    drift_statistic=report.statistic,
-                    drift_kind=report.kind,
+            work.append(
+                _WindowWork(
+                    window=window,
+                    X_fresh=X_fresh,
+                    y_fresh=y_fresh,
+                    norm_a=norm_a,
+                    norm_b=norm_b,
+                    epoch=epoch,
+                    migration=migration,
+                    report=report,
                     readapted=readapted,
+                    shard=shard,
                 )
             )
+
+        # ----- stage 2: transforms fan out across the pool ---------------
+        round_epochs = {item.epoch.epoch_id: item.epoch for item in work}
+        stacks = {
+            epoch_id: stacked_adaptor_rotations(round_epoch)
+            for epoch_id, round_epoch in round_epochs.items()
+        }
+        # Re-negotiation invalidation is deferred to here: windows earlier
+        # in the round still belong to the replaced epoch, and their stack
+        # must come from the cache, not a re-derivation.
+        for epoch_id in stale_epoch_ids:
+            adaptor_cache.invalidate(target_id=epoch_id)
+        tasks = [
+            {
+                "X": item.X_fresh,
+                "norm_kind": config.normalizer,
+                "norm_a": item.norm_a,
+                "norm_b": item.norm_b,
+                "rotation": item.epoch.target.rotation,
+                "translation": item.epoch.target.translation,
+                "adaptor_rotations": stacks[item.epoch.epoch_id],
+                "sigmas": np.asarray(item.epoch.sigmas),
+                "noise_root": noise_root,
+                "window_index": item.window.index,
+            }
+            for item in work
+        ]
+        for item, result in zip(work, pool.map(transform_window, tasks)):
+            item.X_norm = result["X_norm"]
+            item.X_target = result["X_target"]
+
+        # ----- stage 2b: charge the data movement to the network ---------
+        for item in work:
+            parties = np.arange(item.X_fresh.shape[0]) % config.k
+            slices = [
+                item.X_target[parties == party] for party in range(config.k)
+            ]
+            data_plane.route_window(item.window.index, slices, item.X_target)
+        data_plane.flush()
+
+        # ----- stage 3: sequential model bookkeeping + snapshots ---------
+        predict_tasks = []
+        for item in work:
+            if item.migration is not None:
+                miner.adapt_space(item.migration)
+            predict_tasks.append(
+                {"state": miner.export_predict_state(), "X": item.X_target}
+            )
+            predict_tasks.append(
+                {"state": baseline.export_predict_state(), "X": item.X_norm}
+            )
+            miner.partial_fit(item.X_target, item.y_fresh)
+            baseline.partial_fit(item.X_norm, item.y_fresh)
+
+        # ----- stage 4: prequential predictions fan out ------------------
+        predictions = pool.map(predict_window, predict_tasks)
+
+        # ----- stage 5: merge stats, strictly in window order ------------
+        for index, item in enumerate(work):
+            pred_perturbed = predictions[2 * index]
+            pred_baseline = predictions[2 * index + 1]
+            acc_perturbed = accuracy_score(item.y_fresh, pred_perturbed)
+            acc_baseline = accuracy_score(item.y_fresh, pred_baseline)
+            correct_perturbed += int(round(acc_perturbed * item.window.fresh))
+            correct_baseline += int(round(acc_baseline * item.window.fresh))
+            scored += item.window.fresh
+            window_stats.append(
+                StreamWindowStats(
+                    index=item.window.index,
+                    n_records=item.window.fresh,
+                    accuracy_perturbed=acc_perturbed,
+                    accuracy_baseline=acc_baseline,
+                    drift_statistic=item.report.statistic,
+                    drift_kind=item.report.kind,
+                    readapted=item.readapted,
+                )
+            )
+
+    start = time.perf_counter()
+    try:
+        pending: List[Window] = []
+        for record in source:
+            records += 1
+            pending.extend(buffer.push(record.x, record.y, record.time))
+            if len(pending) >= config.shards:
+                run_round(pending)
+                pending = []
+        if pending:
+            run_round(pending)
+    finally:
+        pool.close()
     wall = time.perf_counter() - start
+
+    # Invariant of the merge algebra: folding the per-shard normalizer
+    # states together (fixed shard order) must reproduce the unsharded
+    # state — exactly for min/max bounds, to fp rounding for Welford
+    # moments (shard order vs window order merge).
+    if normalizer.n_seen:
+        merged = make_normalizer(config.normalizer)
+        for shard_state in shard_normalizers:
+            merged.merge(shard_state)
+        consistent = merged.n_seen == normalizer.n_seen
+        if consistent and config.normalizer == "minmax":
+            consistent = np.array_equal(
+                merged.minimums, normalizer.minimums
+            ) and np.array_equal(merged.maximums, normalizer.maximums)
+        elif consistent:
+            consistent = np.allclose(
+                merged.means, normalizer.means, rtol=1e-8, atol=1e-12
+            )
+        if not consistent:
+            raise RuntimeError(
+                "per-shard normalizer states diverged from the unsharded state"
+            )
 
     return StreamSessionResult(
         config=config,
@@ -632,4 +879,7 @@ def run_stream_session(
         wall_seconds=wall,
         messages_sent=messages_total,
         bytes_sent=bytes_total,
+        data_messages_sent=data_plane.messages_sent,
+        data_bytes_sent=data_plane.bytes_sent,
+        shard_records=tuple(data_plane.shard_records),
     )

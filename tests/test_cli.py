@@ -116,6 +116,36 @@ def test_malformed_trust_change_exits_cleanly(capsys):
     assert "trust-change" in captured.err
 
 
+def test_stream_command_with_shards(capsys):
+    out = run_cli(
+        capsys, "stream", "--dataset", "iris", "--windows", "4",
+        "--window-size", "32", "--shards", "2", "--shard-backend", "thread",
+    )
+    assert "shards            : 2" in out
+    assert "shard traffic" in out
+
+
+@pytest.mark.parametrize(
+    "flag,value",
+    [
+        ("--windows", "0"),
+        ("--windows", "-3"),
+        ("--window-size", "0"),
+        ("--window-step", "0"),
+        ("--shards", "0"),
+        ("--shards", "-1"),
+    ],
+)
+def test_non_positive_stream_budgets_exit_cleanly(capsys, flag, value):
+    code = main(["stream", "--dataset", "iris", flag, value])
+    captured = capsys.readouterr()
+    assert code == 2
+    assert captured.err.startswith("error:")
+    assert flag in captured.err
+    assert "positive integer" in captured.err
+    assert "Traceback" not in captured.err
+
+
 def test_unknown_subcommand_exits_with_usage(capsys):
     with pytest.raises(SystemExit) as excinfo:
         main(["not-a-command"])

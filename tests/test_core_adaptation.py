@@ -121,3 +121,94 @@ class TestValidation:
     def test_complementary_noise_shape_checked(self, source, target):
         with pytest.raises(ValueError):
             complementary_noise(source, target, np.zeros((3, 10)))
+
+
+class TestAdaptorCache:
+    """LRU adaptor cache keyed by (target_id, party_id)."""
+
+    def _adaptor(self, rng, d=5):
+        return compute_adaptor(
+            sample_perturbation(d, rng, noise_sigma=0.05),
+            sample_perturbation(d, rng, noise_sigma=0.0),
+        )
+
+    def test_get_or_compute_caches_and_counts(self, rng):
+        from repro.core.adaptation import AdaptorCache
+
+        cache = AdaptorCache(maxsize=8)
+        calls = []
+
+        def factory():
+            calls.append(1)
+            return self._adaptor(rng)
+
+        first = cache.get_or_compute("epoch-1", 0, factory)
+        second = cache.get_or_compute("epoch-1", 0, factory)
+        assert first is second  # repeat lookups skip re-derivation
+        assert len(calls) == 1
+        assert cache.stats["hits"] == 1 and cache.stats["misses"] == 1
+
+    def test_lru_bound_evicts_oldest(self, rng):
+        from repro.core.adaptation import AdaptorCache
+
+        cache = AdaptorCache(maxsize=2)
+        a, b, c = (self._adaptor(rng) for _ in range(3))
+        cache.put(1, 0, a)
+        cache.put(1, 1, b)
+        assert cache.get(1, 0) is a  # refreshes (1, 0)
+        cache.put(1, 2, c)  # evicts (1, 1), the least recently used
+        assert cache.get(1, 1) is None
+        assert cache.get(1, 0) is a and cache.get(1, 2) is c
+        assert len(cache) == 2
+
+    def test_invalidate_is_the_renegotiation_hook(self, rng):
+        from repro.core.adaptation import AdaptorCache
+
+        cache = AdaptorCache(maxsize=16)
+        for epoch in (1, 2):
+            for party in range(3):
+                cache.put(epoch, party, self._adaptor(rng))
+        # Re-negotiation: every adaptor of the stale target goes at once.
+        assert cache.invalidate(target_id=1) == 3
+        assert all(cache.get(1, party) is None for party in range(3))
+        assert all(cache.get(2, party) is not None for party in range(3))
+        # A single party can be dropped across targets too.
+        assert cache.invalidate(party_id=0) == 1
+        assert cache.invalidate() == 2  # clears the rest
+        assert len(cache) == 0
+
+    def test_maxsize_validated(self):
+        from repro.core.adaptation import AdaptorCache
+
+        with pytest.raises(ValueError):
+            AdaptorCache(maxsize=0)
+
+    def test_stream_session_reuses_cached_adaptors(self):
+        """End to end: a multi-epoch stream run hits the cache instead of
+        re-deriving per-party adaptors every window."""
+        from unittest.mock import patch
+
+        from repro.streaming import StreamConfig, make_stream, run_stream_session
+        from repro.streaming import stream_session as session_module
+
+        # shards=3 puts the drift re-negotiation (window 4) mid-round
+        # (round = windows 3-5), exercising the deferred invalidation.
+        for shards in (1, 3):
+            source = make_stream("iris", kind="abrupt", n_records=8 * 32, seed=0)
+            config = StreamConfig(
+                k=3, window_size=32, compute_privacy=False, seed=0,
+                shards=shards,
+            )
+            with patch.object(
+                session_module, "compute_adaptor", wraps=compute_adaptor
+            ) as spy:
+                result = run_stream_session(source, config)
+            # Derivations: k per negotiation (inside the protocol roles)
+            # plus one migration adaptor per re-negotiation.  Every *window*
+            # consults the cache instead — with 8 windows and cold caches
+            # this count would exceed the bound, and so would invalidating
+            # the replaced epoch before the round's stacks are built.
+            epochs = len(result.events)
+            assert epochs >= 2  # abrupt drift re-negotiates at least once
+            assert spy.call_count == 3 * epochs + (epochs - 1)
+            assert len(result.windows) == 8

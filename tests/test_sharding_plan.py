@@ -1,0 +1,83 @@
+"""ShardPlan: deterministic assignment, strategies, partitioning."""
+
+import numpy as np
+import pytest
+
+from repro.sharding import SHARD_STRATEGIES, ShardPlan
+
+
+def test_round_robin_windows_balanced():
+    plan = ShardPlan(4)
+    owners = [plan.shard_of_window(w) for w in range(16)]
+    assert owners[:8] == [0, 1, 2, 3, 0, 1, 2, 3]
+    assert all(owners.count(s) == 4 for s in range(4))
+
+
+def test_hash_strategy_is_deterministic_and_covers_shards():
+    plan = ShardPlan(4, "hash", salt=7)
+    owners = [plan.shard_of_window(w) for w in range(256)]
+    assert owners == [ShardPlan(4, "hash", salt=7).shard_of_window(w)
+                      for w in range(256)]
+    assert set(owners) == {0, 1, 2, 3}
+    # Balanced in expectation: no shard may hog the keys.
+    counts = np.bincount(owners, minlength=4)
+    assert counts.min() > 256 // 16
+
+
+def test_hash_salt_changes_assignment():
+    a = [ShardPlan(8, "hash", salt=0).shard_of_window(w) for w in range(64)]
+    b = [ShardPlan(8, "hash", salt=1).shard_of_window(w) for w in range(64)]
+    assert a != b
+
+
+def test_party_strategy_routes_batches_by_party():
+    plan = ShardPlan(2, "party", n_parties=3)
+    # Every window's batch from party p goes to shard p % 2 ...
+    for window in range(6):
+        assert plan.shard_of_batch(window, 0) == 0
+        assert plan.shard_of_batch(window, 1) == 1
+        assert plan.shard_of_batch(window, 2) == 0
+    # ... while window ownership stays round-robin.
+    assert [plan.shard_of_window(w) for w in range(4)] == [0, 1, 0, 1]
+
+
+def test_record_assignment_matches_strategy():
+    rr = ShardPlan(3)
+    assert [rr.shard_of_record(i) for i in range(6)] == [0, 1, 2, 0, 1, 2]
+    party = ShardPlan(2, "party", n_parties=4)
+    assert party.shard_of_record(17, party=3) == 1
+    with pytest.raises(ValueError):
+        party.shard_of_record(0)  # party strategy needs the party index
+
+
+def test_partition_indices_cover_and_are_disjoint():
+    for strategy in SHARD_STRATEGIES:
+        plan = ShardPlan(3, strategy, n_parties=3)
+        parts = plan.partition_indices(20)
+        merged = np.concatenate(parts)
+        assert sorted(merged.tolist()) == list(range(20))
+        assert len(merged) == len(set(merged.tolist()))
+
+
+def test_validation_errors():
+    with pytest.raises(ValueError):
+        ShardPlan(0)
+    with pytest.raises(ValueError):
+        ShardPlan(2, "bogus")
+    with pytest.raises(ValueError):
+        ShardPlan(2, "party")  # n_parties missing
+    plan = ShardPlan(2)
+    with pytest.raises(ValueError):
+        plan.shard_of_window(-1)
+    with pytest.raises(ValueError):
+        plan.shard_of_record(-1)
+    party = ShardPlan(2, "party", n_parties=2)
+    with pytest.raises(ValueError):
+        party.shard_of_batch(0, 5)
+
+
+def test_single_shard_owns_everything():
+    for strategy in SHARD_STRATEGIES:
+        plan = ShardPlan(1, strategy, n_parties=3)
+        assert {plan.shard_of_window(w) for w in range(10)} == {0}
+        assert {plan.shard_of_batch(w, p) for w in range(5) for p in range(3)} == {0}

@@ -95,3 +95,108 @@ def test_empty_batch_is_a_no_op():
     norm.update(np.ones((2, 3)))
     norm.update(np.zeros((0, 3)))
     assert norm.n_seen == 2
+
+
+# ----------------------------------------------------------------------
+# merge algebra (the sharded engine's per-shard state combination)
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("seed", [0, 1, 2, 3, 4, 5])
+def test_minmax_shard_merge_equals_unsharded_exactly(seed):
+    """Random splits across per-shard normalizers, merged in any order,
+    reproduce the unsharded incremental state bit for bit."""
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(240, 5)) * rng.uniform(0.1, 8, size=5)
+    chunks = random_chunks(X, rng)
+
+    unsharded = RunningMinMaxNormalizer()
+    for chunk in chunks:
+        unsharded.update(chunk)
+
+    n_shards = int(rng.integers(2, 5))
+    shards = [RunningMinMaxNormalizer() for _ in range(n_shards)]
+    for index, chunk in enumerate(chunks):
+        shards[index % n_shards].update(chunk)
+    merged = RunningMinMaxNormalizer()
+    for order in rng.permutation(n_shards):  # min/max merge is order-free
+        merged.merge(shards[order])
+
+    assert merged.n_seen == unsharded.n_seen == X.shape[0]
+    assert np.array_equal(merged.minimums, unsharded.minimums)
+    assert np.array_equal(merged.maximums, unsharded.maximums)
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2, 3, 4, 5])
+def test_zscore_shard_merge_equals_unsharded(seed):
+    """Chan's parallel merge of per-shard Welford states agrees with the
+    unsharded incremental moments (exactly in exact arithmetic; to tight
+    float tolerance here)."""
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(300, 4)) * rng.uniform(0.1, 5, size=4) + rng.normal(size=4)
+    chunks = random_chunks(X, rng)
+
+    unsharded = RunningZScoreNormalizer()
+    for chunk in chunks:
+        unsharded.update(chunk)
+
+    n_shards = int(rng.integers(2, 5))
+    shards = [RunningZScoreNormalizer() for _ in range(n_shards)]
+    for index, chunk in enumerate(chunks):
+        shards[index % n_shards].update(chunk)
+    merged = RunningZScoreNormalizer()
+    for shard in shards:
+        merged.merge(shard)
+
+    assert merged.n_seen == unsharded.n_seen == X.shape[0]
+    assert np.allclose(merged.means, unsharded.means, atol=1e-12)
+    assert np.allclose(merged.stds, unsharded.stds, atol=1e-10)
+
+
+def test_window_order_merge_is_bit_identical_to_update():
+    """Merging per-window contribution states in window order performs the
+    same float operations as updating with each window — the exact
+    guarantee the sharded stream session relies on."""
+    rng = np.random.default_rng(9)
+    windows = [rng.normal(size=(32, 6)) for _ in range(7)]
+    for kind in ("minmax", "zscore"):
+        updated = make_normalizer(kind)
+        merged = make_normalizer(kind)
+        for window in windows:
+            updated.update(window)
+            merged.merge(make_normalizer(kind).update(window))
+        a, b = updated.to_batch(), merged.to_batch()
+        if kind == "minmax":
+            assert np.array_equal(a.minimums, b.minimums)
+            assert np.array_equal(a.maximums, b.maximums)
+        else:
+            assert np.array_equal(a.means, b.means)
+            assert np.array_equal(a.stds, b.stds)
+
+
+def test_merging_empty_state_is_a_no_op():
+    rng = np.random.default_rng(3)
+    X = rng.normal(size=(20, 3))
+    for kind in ("minmax", "zscore"):
+        populated = make_normalizer(kind).update(X)
+        before = populated.to_batch()
+        populated.merge(make_normalizer(kind))  # empty other
+        after = populated.to_batch()
+        empty = make_normalizer(kind)
+        empty.merge(populated)  # empty self adopts the other's state
+        assert empty.n_seen == populated.n_seen == 20
+        if kind == "minmax":
+            assert np.array_equal(before.minimums, after.minimums)
+            assert np.array_equal(empty.to_batch().minimums, after.minimums)
+        else:
+            assert np.array_equal(before.means, after.means)
+            assert np.array_equal(empty.to_batch().means, after.means)
+
+
+def test_merge_rejects_mismatched_dimensions():
+    a = RunningMinMaxNormalizer().update(np.zeros((4, 3)))
+    b = RunningMinMaxNormalizer().update(np.zeros((4, 5)))
+    with pytest.raises(ValueError):
+        a.merge(b)
+    za = RunningZScoreNormalizer().update(np.zeros((4, 3)))
+    zb = RunningZScoreNormalizer().update(np.ones((4, 5)))
+    with pytest.raises(ValueError):
+        za.merge(zb)

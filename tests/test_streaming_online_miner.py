@@ -52,7 +52,7 @@ def test_reservoir_is_uniform_enough(rng):
     model = ReservoirKNN(capacity=100, seed=1)
     values = np.arange(1000, dtype=float).reshape(-1, 1)
     model.partial_fit(values, np.zeros(1000, dtype=int))
-    kept = np.vstack(model._rows).ravel()
+    kept = model.reservoir_rows.ravel()
     assert 350 < kept.mean() < 650
 
 
@@ -113,3 +113,19 @@ def test_validation_errors(rng):
     model.partial_fit(rng.normal(size=(10, 3)), np.zeros(10, dtype=int))
     with pytest.raises(ValueError):
         model.partial_fit(rng.normal(size=(10, 4)), np.zeros(10, dtype=int))
+
+
+def test_reservoir_preserves_arbitrary_label_types():
+    """Labels must never be coerced to the first batch's dtype: a later
+    wider string (or a float after ints) has to survive intact."""
+    model = ReservoirKNN(capacity=8, n_neighbors=1, seed=0)
+    model.partial_fit(np.zeros((2, 2)), np.array(["a", "b"]))
+    model.partial_fit(np.ones((1, 2)) * 9, np.array(["abc"]))
+    assert model.predict(np.ones((1, 2)) * 9)[0] == "abc"
+    state = model.export_predict_state()
+    assert "abc" in state["labels"].tolist()
+
+    mixed = ReservoirKNN(capacity=8, n_neighbors=1, seed=0)
+    mixed.partial_fit(np.zeros((2, 2)), np.array([1, 2]))
+    mixed.partial_fit(np.ones((1, 2)) * 9, np.array([2.7]))
+    assert float(mixed.predict(np.ones((1, 2)) * 9)[0]) == 2.7

@@ -10,6 +10,10 @@ and SVM(RBF) classifiers, and synthetic stand-ins for the 12 UCI datasets.
 windowed online mining with drift-triggered space re-adaptation.
 :mod:`repro.sharding` runs both pipelines across parallel worker shards
 (serial/thread/process backends) with deterministic, bit-identical merges.
+:mod:`repro.serve` is the serving layer on top: one declarative
+:class:`SessionSpec` for batch and stream workloads, and a
+:class:`MiningService` engine that runs many concurrent sessions over a
+shared worker pool with admission control and per-tenant seeds/budgets.
 
 Quickstart
 ----------
@@ -17,6 +21,18 @@ Quickstart
 >>> result = run_sap_session(load_dataset("iris"), SAPConfig(k=5, seed=7))
 >>> -10 < result.deviation < 10
 True
+
+Serving quickstart
+------------------
+>>> from repro import MiningService, SessionSpec
+>>> with MiningService(max_inflight=2) as service:
+...     results = service.run([
+...         SessionSpec(kind="batch", dataset="iris", k=3, tenant="acme"),
+...         SessionSpec(kind="stream", dataset="wine", windows=2,
+...                     window_size=32, tenant="globex"),
+...     ])
+>>> len(results)
+2
 """
 
 from .attacks import (
@@ -74,6 +90,16 @@ from .mining import (
     accuracy_score,
 )
 from .parties import ClassifierSpec, SAPConfig
+from .serve import (
+    AdmissionError,
+    Engine,
+    MiningService,
+    ServiceStats,
+    SessionHandle,
+    SessionSpec,
+    TenantPolicy,
+    execute_spec,
+)
 from .sharding import ShardPlan, make_backend
 from .streaming import (
     OnlineLinearSVM,
@@ -88,7 +114,7 @@ from .streaming import (
     run_stream_session,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "__version__",
@@ -159,4 +185,13 @@ __all__ = [
     # sharding
     "ShardPlan",
     "make_backend",
+    # serve
+    "SessionSpec",
+    "execute_spec",
+    "MiningService",
+    "Engine",
+    "SessionHandle",
+    "TenantPolicy",
+    "ServiceStats",
+    "AdmissionError",
 ]

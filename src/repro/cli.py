@@ -14,17 +14,24 @@ Usage (after ``pip install -e .``)::
                                    # online SAP over a drifting stream
     repro stream --dataset wine --shards 4 --shard-backend process
                                    # same pipeline, sharded across workers
+    repro serve --sessions 8 --shards 4
+                                   # many concurrent sessions, one shared pool
+    repro serve --workload workload.json --json
+                                   # run a JSON workload file, emit JSON
 
 Every command accepts ``--seed``; heavier ones accept budget flags so a
-quick look stays quick.  Errors such as an unknown dataset name exit with
-code 2 and a one-line message rather than a traceback.
+quick look stays quick.  ``session``, ``stream``, and ``serve`` accept
+``--json`` for machine-readable output.  Errors such as an unknown dataset
+name exit with code 2 and a one-line message rather than a traceback.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-from typing import List, Optional
+from concurrent.futures import CancelledError
+from typing import Dict, List, Optional
 
 import numpy as np
 
@@ -46,6 +53,7 @@ from .analysis.reporting import ascii_table, format_mapping, series_block, text_
 from .core.session import run_sap_session
 from .datasets.registry import dataset_summary, load_dataset
 from .parties.config import ClassifierSpec, SAPConfig
+from .serve import AdmissionError, MiningService, SessionSpec
 from .streaming import (
     STREAM_KINDS,
     StreamConfig,
@@ -118,6 +126,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--noise", type=float, default=0.05)
     p.add_argument("--privacy", action="store_true", help="also compute risk profiles")
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--json", action="store_true", help="emit a machine-readable JSON result"
+    )
 
     p = sub.add_parser("ablation", help="design-choice ablations")
     p.add_argument(
@@ -181,6 +192,55 @@ def build_parser() -> argparse.ArgumentParser:
         help="schedule a trust-level change, e.g. 10:0:0.5 (repeatable)",
     )
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--json", action="store_true", help="emit a machine-readable JSON result"
+    )
+
+    p = sub.add_parser(
+        "serve", help="run a multi-session workload on the serving engine"
+    )
+    p.add_argument(
+        "--workload",
+        metavar="FILE",
+        default=None,
+        help="JSON workload file (a list of session specs, or "
+        '{"sessions": [...]}); omitted: a built-in mixed demo workload',
+    )
+    p.add_argument(
+        "--sessions",
+        type=int,
+        default=8,
+        help="demo-workload size (ignored with --workload)",
+    )
+    p.add_argument(
+        "--dataset", default="iris", help="demo-workload dataset"
+    )
+    p.add_argument(
+        "--max-inflight", type=int, default=4, help="concurrent session drivers"
+    )
+    p.add_argument(
+        "--queue-limit",
+        type=int,
+        default=None,
+        help="sessions allowed to queue beyond the in-flight ones "
+        "(default: unbounded)",
+    )
+    p.add_argument(
+        "--shards",
+        type=int,
+        default=2,
+        help="workers in the shared shard pool",
+    )
+    p.add_argument(
+        "--shard-backend",
+        default="thread",
+        choices=["serial", "thread", "process"],
+        help="shared pool executor (results are identical)",
+    )
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--json", action="store_true", help="emit a machine-readable JSON report"
+    )
 
     return parser
 
@@ -301,6 +361,8 @@ def _cmd_session(args: argparse.Namespace) -> str:
         optimize_locally=args.privacy,
     )
     result = run_sap_session(table, config, compute_privacy=args.privacy)
+    if args.json:
+        return json.dumps(result.to_dict(), indent=2)
     return series_block(
         f"SAP session - {args.dataset} ({args.classifier}, k={args.k})",
         result.summary(),
@@ -359,6 +421,8 @@ def _cmd_stream(args: argparse.Namespace) -> str:
         seed=args.seed,
     )
     result = run_stream_session(source, config)
+    if args.json:
+        return json.dumps(result.to_dict(), indent=2)
 
     headers = ["window", "records", "acc (SAP)", "acc (std)", "deviation",
                "drift stat", "readapted"]
@@ -399,6 +463,171 @@ def _cmd_stream(args: argparse.Namespace) -> str:
     )
 
 
+def _demo_workload(n_sessions: int, dataset: str, seed: int) -> List[Dict[str, object]]:
+    """A mixed batch+stream workload across two tenants (the serve demo)."""
+    workload: List[Dict[str, object]] = []
+    for index in range(n_sessions):
+        tenant = "acme" if index % 2 == 0 else "globex"
+        if index % 2 == 0:
+            workload.append(
+                {
+                    "kind": "batch",
+                    "dataset": dataset,
+                    "tenant": tenant,
+                    "k": 3,
+                    "seed": seed + index,
+                }
+            )
+        else:
+            workload.append(
+                {
+                    "kind": "stream",
+                    "dataset": dataset,
+                    "tenant": tenant,
+                    "k": 3,
+                    "stream": "abrupt" if index % 4 == 1 else "stationary",
+                    "windows": 4,
+                    "window_size": 32,
+                    "compute_privacy": False,
+                    "seed": seed + index,
+                }
+            )
+    return workload
+
+
+def _load_workload(path: str) -> List[Dict[str, object]]:
+    """Read a workload file: a JSON list or ``{"sessions": [...]}``."""
+    try:
+        with open(path) as handle:
+            payload = json.load(handle)
+    except OSError as exc:
+        raise ValueError(f"cannot read workload file {path!r}: {exc}") from None
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"workload file {path!r} is not valid JSON: {exc}") from None
+    if isinstance(payload, dict):
+        payload = payload.get("sessions")
+    if not isinstance(payload, list) or not payload:
+        raise ValueError(
+            f"workload file {path!r} must contain a non-empty list of session "
+            f'specs (or {{"sessions": [...]}})'
+        )
+    return payload
+
+
+def _session_row(handle, result) -> List[object]:
+    """One per-session report row (shared by text and JSON output)."""
+    spec = handle.spec
+    if result is None:
+        outcome = "-"
+    elif spec.kind == "batch":
+        outcome = f"{result.deviation:+.2f} pts"
+    else:
+        outcome = f"{result.deviation:+.2f} pts / {result.records_processed} rec"
+    return [
+        handle.session_id,
+        spec.tenant,
+        spec.kind,
+        spec.dataset_name,
+        handle.poll(),
+        outcome,
+        f"{handle.wall_seconds * 1000:.0f} ms",
+    ]
+
+
+def _cmd_serve(args: argparse.Namespace) -> str:
+    _require_positive("--sessions", args.sessions)
+    _require_positive("--max-inflight", args.max_inflight)
+    _require_positive("--shards", args.shards)
+    if args.queue_limit is not None and args.queue_limit < 0:
+        raise ValueError(
+            f"--queue-limit must be >= 0, got {args.queue_limit}"
+        )
+    if args.workload:
+        entries = _load_workload(args.workload)
+    else:
+        entries = _demo_workload(args.sessions, args.dataset, args.seed)
+    specs = [SessionSpec.from_mapping(entry) for entry in entries]
+
+    rejections: List[str] = []
+    with MiningService(
+        max_inflight=args.max_inflight,
+        queue_limit=args.queue_limit,
+        shard_backend=args.shard_backend,
+        shard_workers=args.shards,
+    ) as service:
+        handles = []
+        for spec in specs:
+            try:
+                handles.append(service.submit(spec))
+            except AdmissionError as exc:
+                rejections.append(f"{spec.display_label}: {exc}")
+        service.drain()
+        results, errors = [], []
+        for handle in handles:
+            if handle.poll() == "completed":
+                results.append(handle.result())
+                errors.append(None)
+            else:
+                results.append(None)
+                try:
+                    handle.result(timeout=0)
+                except (Exception, CancelledError) as exc:  # surfaced below
+                    errors.append(f"{type(exc).__name__}: {exc}")
+                else:  # pragma: no cover - completed raced the poll above
+                    errors.append(None)
+        stats = service.stats()
+    failures = [
+        f"{h.spec.display_label}: {message}"
+        for h, message in zip(handles, errors)
+        if message is not None
+    ]
+    # Failed or admission-rejected sessions make the command exit 1 (vs 2
+    # for usage errors): the workload did not fully run, and scripted
+    # callers must not mistake that for success.
+    exit_code = 1 if failures or rejections else 0
+
+    if args.json:
+        return (
+            json.dumps(
+                {
+                    "sessions": [
+                        {
+                            "id": h.session_id,
+                            "label": h.spec.display_label,
+                            "status": h.poll(),
+                            "queue_seconds": h.queue_seconds,
+                            "wall_seconds": h.wall_seconds,
+                            "error": e,
+                            "result": None if r is None else r.to_dict(),
+                        }
+                        for h, r, e in zip(handles, results, errors)
+                    ],
+                    "rejections": rejections,
+                    "service": stats.to_dict(),
+                },
+                indent=2,
+            ),
+            exit_code,
+        )
+
+    headers = ["id", "tenant", "kind", "dataset", "status", "outcome", "wall"]
+    rows = [_session_row(h, r) for h, r in zip(handles, results)]
+    body = [ascii_table(headers, rows), stats.summary()]
+    if failures:
+        body.append("failed\n" + "\n".join(f"  {line}" for line in failures))
+    if rejections:
+        body.append("rejected\n" + "\n".join(f"  {line}" for line in rejections))
+    return (
+        series_block(
+            f"Serving engine - {len(handles)} sessions "
+            f"({args.shard_backend} pool, {args.shards} workers, "
+            f"max_inflight={args.max_inflight})",
+            "\n\n".join(body),
+        ),
+        exit_code,
+    )
+
+
 def _cmd_ablation(args: argparse.Namespace) -> str:
     if args.which == "optimizer":
         stats = optimizer_ablation(dataset=args.dataset, seed=args.seed)
@@ -429,6 +658,7 @@ _COMMANDS = {
     "session": _cmd_session,
     "ablation": _cmd_ablation,
     "stream": _cmd_stream,
+    "serve": _cmd_serve,
 }
 
 
@@ -438,6 +668,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     User-input errors (unknown dataset, malformed flag values) print a
     one-line ``error:`` message and return 2 — the same exit code argparse
     uses for an unknown subcommand — instead of dumping a traceback.
+    Commands may return ``(output, exit_code)`` to report partial failures
+    (``repro serve`` exits 1 when any session failed).
     """
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -452,8 +684,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         # script) share this handler.
         print("interrupted", file=sys.stderr)
         return 130
+    code = 0
+    if isinstance(output, tuple):
+        output, code = output
     print(output)
-    return 0
+    return code
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -9,12 +9,20 @@ everything the paper's figures need:
   train/test rows (Figures 5/6 deviations);
 * the ``(forwarder, source)`` pairs of the run (identifiability audits);
 * optional per-party privacy/risk profiles (satisfaction, eq. (1)/(2)).
+
+Since the serving redesign, :func:`run_sap_session` is a thin wrapper: it
+lifts its arguments into a :class:`repro.serve.SessionSpec` and executes
+it through :func:`repro.serve.execute_spec`, the same path a
+:class:`repro.serve.MiningService` drives many concurrent sessions
+through.  The protocol internals live in :func:`_execute_sap_session`,
+which optionally fans its shard work out to an externally owned (shared)
+worker backend.  Results are bit-identical either way.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -25,6 +33,7 @@ from ..parties.config import SAPConfig, make_classifier
 from ..parties.coordinator import Coordinator
 from ..parties.miner import MinerResult, ServiceProvider
 from ..parties.provider import DataProvider
+from ..sharding.backends import ShardBackend
 from ..sharding.engine import ShardPool
 from ..sharding.plan import ShardPlan
 from ..sharding.worker import party_risk_task
@@ -75,6 +84,36 @@ class SAPSessionResult:
             lines.append(profile.summary())
         return "\n".join(lines)
 
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-friendly view of the run (``repro session --json``)."""
+        return {
+            "kind": "batch",
+            "scheme": self.scheme.value,
+            "k": self.config.k,
+            "classifier": self.config.classifier.name,
+            "noise_sigma": self.config.noise_sigma,
+            "seed": self.config.seed,
+            "accuracy_perturbed": self.accuracy_perturbed,
+            "accuracy_standard": self.accuracy_standard,
+            "deviation": self.deviation,
+            "messages_sent": self.messages_sent,
+            "bytes_sent": self.bytes_sent,
+            "virtual_duration": self.virtual_duration,
+            "forwarder_source_pairs": [list(p) for p in self.forwarder_source_pairs],
+            "risk_profiles": [
+                {
+                    "party": p.party,
+                    "rho_local": p.rho_local,
+                    "rho_global": p.rho_global,
+                    "b": p.b,
+                    "satisfaction": p.satisfaction,
+                    "breach_risk": p.breach_risk,
+                    "overall_risk": p.overall_risk,
+                }
+                for p in self.risk_profiles
+            ],
+        }
+
 
 def stratified_test_mask(
     y: np.ndarray, test_fraction: float, rng: np.random.Generator
@@ -104,6 +143,11 @@ def run_sap_session(
 ) -> SAPSessionResult:
     """Run the full protocol on one dataset and measure the outcome.
 
+    A thin wrapper over the serving layer: the arguments are lifted into a
+    :class:`repro.serve.SessionSpec` (under the seed-preserving
+    ``"default"`` tenant) and executed inline — bit-identical to the
+    pre-serving API for any fixed seed.
+
     Parameters
     ----------
     dataset:
@@ -124,6 +168,34 @@ def run_sap_session(
     keep_network:
         Attach the network (with its observation ledger) to the result for
         information-flow inspection.
+    """
+    # Imported here: repro.serve sits above this module in the layering.
+    from ..serve.engine import execute_spec
+    from ..serve.spec import SessionSpec
+
+    spec = SessionSpec.from_batch(
+        dataset, config, scheme=scheme, compute_privacy=compute_privacy
+    )
+    return execute_spec(
+        spec, dataset=dataset, privacy_suite=privacy_suite, keep_network=keep_network
+    )
+
+
+def _execute_sap_session(
+    dataset: Dataset,
+    config: SAPConfig,
+    scheme: PartitionScheme | str = PartitionScheme.UNIFORM,
+    compute_privacy: bool = False,
+    privacy_suite: Optional["AttackSuite"] = None,
+    keep_network: bool = False,
+    backend: Optional[ShardBackend] = None,
+) -> SAPSessionResult:
+    """The batch protocol internals (see :func:`run_sap_session`).
+
+    ``backend`` optionally points the privacy-profiling fan-out at an
+    externally owned worker pool (the serving engine's shared one) instead
+    of building a fresh pool from ``config.shard_backend``; the choice
+    cannot affect results.
     """
     scheme = PartitionScheme(scheme) if isinstance(scheme, str) else scheme
     master = np.random.default_rng(config.seed)
@@ -214,7 +286,7 @@ def run_sap_session(
         # ``privacy_suite=None`` is resolved to the fast suite inside the
         # shard workers, so the default never crosses a pickle boundary.
         profiles = _privacy_profiles(
-            providers, coordinator, config, privacy_suite, master
+            providers, coordinator, config, privacy_suite, master, backend
         )
 
     return SAPSessionResult(
@@ -238,6 +310,7 @@ def _privacy_profiles(
     config: SAPConfig,
     suite: Optional["AttackSuite"],
     master: np.random.Generator,
+    backend: Optional[ShardBackend] = None,
 ) -> List[PartyRiskProfile]:
     """Per-party rho_local / rho_global / b estimates and risk numbers.
 
@@ -275,6 +348,7 @@ def _privacy_profiles(
             }
         )
     with ShardPool(
-        ShardPlan(config.shards, n_parties=config.k), config.shard_backend
+        ShardPlan(config.shards, n_parties=config.k),
+        config.shard_backend if backend is None else backend,
     ) as pool:
         return pool.map(party_risk_task, tasks)

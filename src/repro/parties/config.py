@@ -14,7 +14,7 @@ from ..mining.multiclass import OneVsOneClassifier
 from ..mining.svm import SVMClassifier
 from ..mining.tree import DecisionTreeClassifier
 
-__all__ = ["ClassifierSpec", "SAPConfig", "make_classifier"]
+__all__ = ["CLASSIFIER_NAMES", "ClassifierSpec", "SAPConfig", "make_classifier"]
 
 
 @dataclass(frozen=True)
@@ -86,6 +86,10 @@ _FACTORIES = {
     "lda": _make_lda,
     "decision_tree": _make_decision_tree,
 }
+
+
+#: names accepted by :class:`ClassifierSpec` / :func:`make_classifier`
+CLASSIFIER_NAMES = tuple(sorted(_FACTORIES))
 
 
 def make_classifier(spec: ClassifierSpec) -> Classifier:
@@ -164,6 +168,10 @@ class SAPConfig:
             raise ValueError("noise_sigma must be >= 0")
         if not 0.0 < self.test_fraction < 1.0:
             raise ValueError("test_fraction must be in (0, 1)")
+        if self.optimizer_rounds < 1:
+            raise ValueError("optimizer_rounds must be a positive integer")
+        if self.optimizer_local_steps < 1:
+            raise ValueError("optimizer_local_steps must be a positive integer")
         if self.target_candidates < 1:
             raise ValueError("target_candidates must be >= 1")
         if self.round_timeout is not None and self.round_timeout <= 0:

@@ -1,0 +1,698 @@
+"""The multi-session serving engine.
+
+:class:`MiningService` (alias :data:`Engine`) is the long-lived front door
+the ROADMAP's serving milestone asks for: it owns **one** shared, metered
+shard-worker pool and runs many concurrent :class:`~repro.serve.spec.SessionSpec`
+workloads over it — batch protocol runs and stream sessions side by side —
+with
+
+* **admission control**: at most ``max_inflight`` sessions execute
+  concurrently, at most ``queue_limit`` more may wait, and anything beyond
+  that is rejected with a friendly :class:`AdmissionError` instead of an
+  unbounded backlog;
+* **per-tenant isolation**: every spec's seed is namespaced by its tenant
+  (see :meth:`SessionSpec.resolved_seed`), and each tenant can carry a
+  :class:`TenantPolicy` bounding its concurrent sessions, total accepted
+  sessions, and privacy/attack-suite evaluations;
+* **deterministic results**: a session executed by the service is
+  bit-identical to running the same spec alone through the legacy
+  one-shot entry points, because the shared pool only changes *where*
+  pure shard tasks run, never what they compute or how results merge.
+
+:func:`execute_spec` is the single execution path underneath everything:
+the legacy :func:`repro.run_sap_session` / :func:`repro.run_stream_session`
+wrappers call it inline with no service around them, and the service calls
+it on a driver thread with the shared pool plugged in.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import CancelledError, Future, ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from ..core.session import SAPSessionResult, _execute_sap_session
+from ..datasets.partition import PartitionScheme
+from ..datasets.registry import load_dataset
+from ..datasets.schema import Dataset
+from ..sharding.backends import MeteredBackend, ShardBackend, make_backend
+from ..streaming.sources import StreamSource
+from ..streaming.stream_session import StreamSessionResult, _execute_stream_session
+from .spec import SessionSpec
+
+__all__ = [
+    "AdmissionError",
+    "TenantPolicy",
+    "SessionHandle",
+    "TenantStats",
+    "PoolStats",
+    "ServiceStats",
+    "MiningService",
+    "Engine",
+    "execute_spec",
+]
+
+#: result type either kind of session produces
+SessionResult = Union[SAPSessionResult, StreamSessionResult]
+
+
+class AdmissionError(ValueError):
+    """A session was refused admission (capacity or tenant budget).
+
+    Subclasses :class:`ValueError` so the CLI's friendly exit-2 handling
+    applies without special-casing.
+    """
+
+
+@dataclass(frozen=True)
+class TenantPolicy:
+    """Per-tenant admission budgets (``None`` means unbounded).
+
+    Attributes
+    ----------
+    max_active:
+        Most sessions the tenant may have queued or running at once.
+    max_sessions:
+        Most sessions the service will ever accept from the tenant.
+    privacy_budget:
+        Most sessions *with privacy/attack-suite evaluation enabled* the
+        service will accept — the attack suite is the expensive, revealing
+        part of a run, so it is budgeted separately, in the spirit of
+        per-trust-level perturbation budgets.
+    """
+
+    max_active: Optional[int] = None
+    max_sessions: Optional[int] = None
+    privacy_budget: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        for name in ("max_active", "max_sessions", "privacy_budget"):
+            value = getattr(self, name)
+            if value is not None and value < 0:
+                raise ValueError(f"{name} must be >= 0 when set, got {value}")
+
+
+def execute_spec(
+    spec: SessionSpec,
+    backend: Optional[ShardBackend] = None,
+    dataset: Optional[Dataset] = None,
+    source: Optional[StreamSource] = None,
+    privacy_suite: Optional[Any] = None,
+    keep_network: bool = False,
+) -> SessionResult:
+    """Run one spec to completion and return its native result object.
+
+    Parameters
+    ----------
+    spec:
+        What to run.
+    backend:
+        Optional already-built shard backend to fan shard tasks out to —
+        the sharing hook of :class:`MiningService`.  ``None`` lets the
+        session build (and own) the backend the spec names.  Results are
+        identical either way.
+    dataset / source:
+        Optional pre-built inputs (the legacy wrappers pass the objects
+        they were handed); by default they are materialized from the spec.
+    privacy_suite / keep_network:
+        Batch-only runtime extras, forwarded verbatim to the session
+        internals (not part of the declarative spec).
+    """
+    if spec.kind == "batch":
+        if dataset is None:
+            dataset = (
+                spec.dataset
+                if isinstance(spec.dataset, Dataset)
+                else load_dataset(spec.dataset)
+            )
+        return _execute_sap_session(
+            dataset,
+            spec.to_sap_config(),
+            scheme=PartitionScheme(spec.scheme),
+            compute_privacy=spec.effective_privacy,
+            privacy_suite=privacy_suite,
+            keep_network=keep_network,
+            backend=backend,
+        )
+    if source is None:
+        source = spec.make_source()
+    return _execute_stream_session(source, spec.to_stream_config(), backend=backend)
+
+
+def _result_traffic(result: SessionResult) -> Tuple[int, int, int]:
+    """``(records, messages, bytes)`` of one result, both kinds unified."""
+    if isinstance(result, StreamSessionResult):
+        return (
+            result.records_processed,
+            result.messages_sent + result.data_messages_sent,
+            result.bytes_sent + result.data_bytes_sent,
+        )
+    records = result.miner_result.n_train + result.miner_result.n_test
+    return (records, result.messages_sent, result.bytes_sent)
+
+
+class SessionHandle:
+    """One submitted session's lifecycle: ``submit -> poll -> result/cancel``.
+
+    Handles are created by :meth:`MiningService.submit`; they expose the
+    session's status, block on its result, and cancel it while it is still
+    queued.  All state transitions happen under the service's lock.
+    """
+
+    def __init__(self, spec: SessionSpec, session_id: int) -> None:
+        self.spec = spec
+        self.session_id = session_id
+        self.submitted_at = time.perf_counter()
+        self.started_at: Optional[float] = None
+        self.finished_at: Optional[float] = None
+        self._future: "Future[SessionResult]" = Future()
+        self._running = False
+        # Set by the owning service; lets cancel() release the admission
+        # slot immediately instead of when a driver reaches the dead item.
+        self._on_cancel = None
+        self._cancel_accounted = False
+
+    # -- state, derived from the future plus the running flag -----------
+    def poll(self) -> str:
+        """Current status: queued | running | completed | failed | cancelled."""
+        if self._future.cancelled():
+            return "cancelled"
+        if self._future.done():
+            return "failed" if self._future.exception() is not None else "completed"
+        return "running" if self._running else "queued"
+
+    def done(self) -> bool:
+        """True once the session finished, failed, or was cancelled."""
+        return self._future.done()
+
+    def wait(self, timeout: Optional[float] = None) -> str:
+        """Block until the session leaves the queue/running states."""
+        try:
+            # ``exception`` blocks without re-raising the session's own
+            # failure (that is ``result``'s job).
+            self._future.exception(timeout=timeout)
+        except (CancelledError, FutureTimeoutError):
+            pass
+        return self.poll()
+
+    def result(self, timeout: Optional[float] = None) -> SessionResult:
+        """Block for, then return, the session's result.
+
+        Re-raises the session's exception if it failed and
+        :class:`concurrent.futures.CancelledError` if it was cancelled.
+        """
+        return self._future.result(timeout=timeout)
+
+    def cancel(self) -> bool:
+        """Cancel the session if it is still queued; returns success."""
+        cancelled = self._future.cancel()
+        if cancelled and self._on_cancel is not None:
+            self._on_cancel(self)
+        return cancelled
+
+    @property
+    def queue_seconds(self) -> float:
+        """Wall-clock time spent waiting for a driver slot."""
+        if self.started_at is None:
+            return 0.0
+        return self.started_at - self.submitted_at
+
+    @property
+    def wall_seconds(self) -> float:
+        """Wall-clock execution time (0 until the session starts)."""
+        if self.started_at is None:
+            return 0.0
+        end = self.finished_at if self.finished_at is not None else time.perf_counter()
+        return end - self.started_at
+
+
+@dataclass
+class TenantStats:
+    """One tenant's aggregate service counters."""
+
+    tenant: str
+    submitted: int = 0
+    rejected: int = 0
+    completed: int = 0
+    failed: int = 0
+    cancelled: int = 0
+    active: int = 0
+    privacy_sessions: int = 0
+    records: int = 0
+    messages: int = 0
+    bytes: int = 0
+    busy_seconds: float = 0.0
+
+    def throughput(self, elapsed_seconds: float) -> float:
+        """Completed sessions per second of service lifetime."""
+        if elapsed_seconds <= 0:
+            return 0.0
+        return self.completed / elapsed_seconds
+
+
+@dataclass(frozen=True)
+class PoolStats:
+    """The shared shard pool's demand counters."""
+
+    backend: str
+    workers: int
+    tasks: int
+    batches: int
+    busy_seconds: float
+    utilization: float
+
+
+@dataclass
+class ServiceStats:
+    """A point-in-time snapshot of the whole service."""
+
+    elapsed_seconds: float
+    submitted: int
+    rejected: int
+    completed: int
+    failed: int
+    cancelled: int
+    active: int
+    records: int
+    messages: int
+    bytes: int
+    tenants: Tuple[TenantStats, ...]
+    pool: PoolStats
+
+    @property
+    def sessions_per_second(self) -> float:
+        """Completed sessions per second of service lifetime."""
+        if self.elapsed_seconds <= 0:
+            return 0.0
+        return self.completed / self.elapsed_seconds
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-friendly snapshot (used by ``repro serve --json``)."""
+        return {
+            "elapsed_seconds": self.elapsed_seconds,
+            "submitted": self.submitted,
+            "rejected": self.rejected,
+            "completed": self.completed,
+            "failed": self.failed,
+            "cancelled": self.cancelled,
+            "active": self.active,
+            "sessions_per_second": self.sessions_per_second,
+            "records": self.records,
+            "messages": self.messages,
+            "bytes": self.bytes,
+            "tenants": {
+                t.tenant: {
+                    "submitted": t.submitted,
+                    "rejected": t.rejected,
+                    "completed": t.completed,
+                    "failed": t.failed,
+                    "cancelled": t.cancelled,
+                    "privacy_sessions": t.privacy_sessions,
+                    "records": t.records,
+                    "messages": t.messages,
+                    "bytes": t.bytes,
+                    "busy_seconds": t.busy_seconds,
+                    "sessions_per_second": t.throughput(self.elapsed_seconds),
+                }
+                for t in self.tenants
+            },
+            "pool": {
+                "backend": self.pool.backend,
+                "workers": self.pool.workers,
+                "tasks": self.pool.tasks,
+                "batches": self.pool.batches,
+                "busy_seconds": self.pool.busy_seconds,
+                "utilization": self.pool.utilization,
+            },
+        }
+
+    def summary(self) -> str:
+        """Multi-line service report, matching the session summaries' style."""
+        lines = [
+            f"sessions          : {self.completed} completed / "
+            f"{self.failed} failed / {self.cancelled} cancelled / "
+            f"{self.rejected} rejected ({self.submitted} accepted)",
+            f"service rate      : {self.sessions_per_second:.2f} sessions/s "
+            f"over {self.elapsed_seconds:.2f} s",
+            f"records mined     : {self.records}",
+            f"simnet traffic    : {self.messages} msgs / {self.bytes} bytes",
+            f"shard pool        : {self.pool.backend}, {self.pool.workers} workers, "
+            f"{self.pool.tasks} tasks in {self.pool.batches} batches",
+            f"pool utilization  : {self.pool.utilization * 100:.1f}% "
+            f"({self.pool.busy_seconds:.2f} busy s)",
+        ]
+        for t in sorted(self.tenants, key=lambda t: t.tenant):
+            lines.append(
+                f"tenant {t.tenant:<11}: {t.completed}/{t.submitted} done, "
+                f"{t.rejected} rejected, {t.records} records, "
+                f"{t.messages} msgs / {t.bytes} bytes"
+            )
+        return "\n".join(lines)
+
+
+@dataclass
+class _TenantLedger:
+    """Mutable per-tenant accounting, guarded by the service lock."""
+
+    policy: TenantPolicy
+    stats: TenantStats
+
+
+class MiningService:
+    """Long-lived engine running many concurrent sessions over one pool.
+
+    Parameters
+    ----------
+    max_inflight:
+        Driver threads — sessions executing concurrently.
+    queue_limit:
+        Sessions allowed to wait beyond the in-flight ones; ``None`` is
+        unbounded, ``0`` rejects anything that cannot start immediately.
+    shard_backend / shard_workers:
+        The shared physical worker pool every session's shard tasks run
+        on (``serial``/``thread``/``process``; workers default to
+        ``max_inflight``).  It overrides the per-spec ``shard_backend``,
+        which is sound because session results are backend-independent.
+    tenants:
+        Optional ``{tenant: TenantPolicy}`` budgets; unlisted tenants are
+        unbounded.
+
+    Use as a context manager, or call :meth:`close` when done.
+    """
+
+    def __init__(
+        self,
+        max_inflight: int = 4,
+        queue_limit: Optional[int] = None,
+        shard_backend: str = "thread",
+        shard_workers: Optional[int] = None,
+        tenants: Optional[Mapping[str, TenantPolicy]] = None,
+    ) -> None:
+        if max_inflight < 1:
+            raise ValueError("max_inflight must be a positive integer")
+        if queue_limit is not None and queue_limit < 0:
+            raise ValueError("queue_limit must be >= 0 when set")
+        self.max_inflight = max_inflight
+        self.queue_limit = queue_limit
+        workers = max_inflight if shard_workers is None else shard_workers
+        if workers < 1:
+            raise ValueError("shard_workers must be a positive integer")
+        self.pool = MeteredBackend(make_backend(shard_backend, workers))
+        # Pre-fork/pre-start the shared pool's workers from this thread,
+        # before any driver threads exist: forking a multi-threaded process
+        # can leave child workers holding another thread's locks.
+        self.pool.warm()
+        self._drivers = ThreadPoolExecutor(
+            max_workers=max_inflight, thread_name_prefix="repro-serve"
+        )
+        self._lock = threading.Lock()
+        # Unsettled sessions only, keyed by session id: settled handles are
+        # evicted so a long-lived service does not pin every past result in
+        # memory (callers keep their own handle if they want the result).
+        self._handles: Dict[int, SessionHandle] = {}
+        self._active = 0
+        self._ledgers: Dict[str, _TenantLedger] = {}
+        for tenant, policy in dict(tenants or {}).items():
+            self._ledgers[tenant] = _TenantLedger(policy, TenantStats(tenant))
+        self._next_id = 0
+        self._records = 0
+        self._messages = 0
+        self._bytes = 0
+        self._rejected = 0
+        self._started = time.perf_counter()
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # admission + submission
+    # ------------------------------------------------------------------
+    def _ledger(self, tenant: str) -> _TenantLedger:
+        ledger = self._ledgers.get(tenant)
+        if ledger is None:
+            ledger = _TenantLedger(TenantPolicy(), TenantStats(tenant))
+            self._ledgers[tenant] = ledger
+        return ledger
+
+    def _admit(self, spec: SessionSpec) -> SessionHandle:
+        """Admission control; called under the lock.  Raises or admits."""
+        if self._closed:
+            raise AdmissionError("service is closed; no new sessions accepted")
+        ledger = self._ledger(spec.tenant)
+        stats = ledger.stats
+        policy = ledger.policy
+        capacity = (
+            None
+            if self.queue_limit is None
+            else self.max_inflight + self.queue_limit
+        )
+        if capacity is not None and self._active >= capacity:
+            stats.rejected += 1
+            self._rejected += 1
+            raise AdmissionError(
+                f"service at capacity: {self._active} sessions in flight "
+                f"(max_inflight={self.max_inflight}, "
+                f"queue_limit={self.queue_limit}); retry later"
+            )
+        if policy.max_active is not None and stats.active >= policy.max_active:
+            stats.rejected += 1
+            self._rejected += 1
+            raise AdmissionError(
+                f"tenant {spec.tenant!r} already has {stats.active} active "
+                f"sessions (max_active={policy.max_active})"
+            )
+        if policy.max_sessions is not None and stats.submitted >= policy.max_sessions:
+            stats.rejected += 1
+            self._rejected += 1
+            raise AdmissionError(
+                f"tenant {spec.tenant!r} exhausted its session budget "
+                f"({policy.max_sessions})"
+            )
+        if (
+            spec.effective_privacy
+            and policy.privacy_budget is not None
+            and stats.privacy_sessions >= policy.privacy_budget
+        ):
+            stats.rejected += 1
+            self._rejected += 1
+            raise AdmissionError(
+                f"tenant {spec.tenant!r} exhausted its privacy-evaluation "
+                f"budget ({policy.privacy_budget})"
+            )
+        handle = SessionHandle(spec, self._next_id)
+        handle._on_cancel = self._release_cancelled
+        self._next_id += 1
+        stats.submitted += 1
+        stats.active += 1
+        self._active += 1
+        if spec.effective_privacy:
+            stats.privacy_sessions += 1
+        self._handles[handle.session_id] = handle
+        return handle
+
+    def submit(
+        self,
+        spec: Union[SessionSpec, Mapping[str, Any]],
+        dataset: Optional[Dataset] = None,
+        source: Optional[StreamSource] = None,
+    ) -> SessionHandle:
+        """Admit one spec and schedule it; returns its :class:`SessionHandle`.
+
+        Raises :class:`AdmissionError` when the service or the spec's
+        tenant is out of capacity/budget.  ``spec`` may be a plain mapping
+        (one workload-file entry); ``dataset``/``source`` optionally
+        short-circuit input materialization.
+        """
+        if not isinstance(spec, SessionSpec):
+            spec = SessionSpec.from_mapping(spec)
+        with self._lock:
+            handle = self._admit(spec)
+            # Scheduled under the lock so a concurrent close() cannot shut
+            # the driver pool down between admission and scheduling.
+            self._drivers.submit(self._drive, handle, dataset, source)
+        return handle
+
+    def _drive(
+        self,
+        handle: SessionHandle,
+        dataset: Optional[Dataset],
+        source: Optional[StreamSource],
+    ) -> None:
+        """Driver-thread body: run the session, settle the handle, account."""
+        if not handle._future.set_running_or_notify_cancel():
+            # Cancelled while queued; cancel() normally accounted for it
+            # already, so this only covers a cancel that raced past it.
+            self._release_cancelled(handle)
+            return
+        handle._running = True
+        handle.started_at = time.perf_counter()
+        try:
+            result = execute_spec(
+                handle.spec, backend=self.pool, dataset=dataset, source=source
+            )
+        except BaseException as exc:
+            handle.finished_at = time.perf_counter()
+            # Ordering contract: account first (so a caller who observed the
+            # result sees consistent stats), then settle the future, then
+            # evict — drain() stops waiting on a handle once it leaves
+            # _handles, so eviction must never precede the result becoming
+            # observable.
+            with self._lock:
+                stats = self._ledger(handle.spec.tenant).stats
+                stats.active -= 1
+                stats.failed += 1
+                self._active -= 1
+            handle._future.set_exception(exc)
+            with self._lock:
+                self._settle(handle)
+            return
+        handle.finished_at = time.perf_counter()
+        records, messages, nbytes = _result_traffic(result)
+        # Same ordering contract as the failure path above.
+        with self._lock:
+            stats = self._ledger(handle.spec.tenant).stats
+            stats.active -= 1
+            stats.completed += 1
+            stats.records += records
+            stats.messages += messages
+            stats.bytes += nbytes
+            stats.busy_seconds += handle.wall_seconds
+            self._records += records
+            self._messages += messages
+            self._bytes += nbytes
+            self._active -= 1
+        handle._future.set_result(result)
+        with self._lock:
+            self._settle(handle)
+
+    # ------------------------------------------------------------------
+    # convenience drivers
+    # ------------------------------------------------------------------
+    def run(
+        self, specs: Sequence[Union[SessionSpec, Mapping[str, Any]]]
+    ) -> List[SessionResult]:
+        """Submit a whole workload, wait, and return results in order.
+
+        If a spec is refused admission mid-list, the already-admitted
+        sessions are cancelled where still queued and awaited where
+        running, then the :class:`AdmissionError` is re-raised — nothing
+        is left running unreachably.  Use :meth:`submit` directly to
+        handle rejections per session instead.
+        """
+        handles: List[SessionHandle] = []
+        try:
+            for spec in specs:
+                handles.append(self.submit(spec))
+        except AdmissionError:
+            for handle in handles:
+                handle.cancel()
+            for handle in handles:
+                handle.wait()
+            raise
+        return [handle.result() for handle in handles]
+
+    def _settle(self, handle: SessionHandle) -> None:
+        """Evict one handle whose future has settled; called under the lock."""
+        self._handles.pop(handle.session_id, None)
+
+    def _release_cancelled(self, handle: SessionHandle) -> None:
+        """Account one queued-then-cancelled session and free its slot.
+
+        Reached from :meth:`SessionHandle.cancel` (immediately) *and* from
+        the driver that later pops the dead work item; the accounting flag
+        makes the two paths idempotent.
+        """
+        with self._lock:
+            if handle._cancel_accounted:
+                return
+            handle._cancel_accounted = True
+            stats = self._ledger(handle.spec.tenant).stats
+            stats.active -= 1
+            stats.cancelled += 1
+            self._active -= 1
+            self._settle(handle)
+
+    def drain(self, timeout: Optional[float] = None) -> None:
+        """Block until every admitted session has settled."""
+        deadline = None if timeout is None else time.perf_counter() + timeout
+        with self._lock:
+            pending = list(self._handles.values())
+        for handle in pending:
+            remaining = (
+                None if deadline is None else max(0.0, deadline - time.perf_counter())
+            )
+            handle.wait(timeout=remaining)
+
+    @property
+    def handles(self) -> Tuple[SessionHandle, ...]:
+        """The *unsettled* sessions' handles, in submission order.
+
+        Settled handles are evicted from the service so a long-lived
+        deployment does not accumulate every past result; the caller's own
+        reference from :meth:`submit` stays valid forever.
+        """
+        with self._lock:
+            return tuple(self._handles.values())
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    def stats(self) -> ServiceStats:
+        """A consistent snapshot of service, tenant, and pool counters."""
+        with self._lock:
+            elapsed = time.perf_counter() - self._started
+            tenants = tuple(
+                TenantStats(**vars(ledger.stats)) for ledger in self._ledgers.values()
+            )
+            submitted = sum(t.submitted for t in tenants)
+            completed = sum(t.completed for t in tenants)
+            failed = sum(t.failed for t in tenants)
+            cancelled = sum(t.cancelled for t in tenants)
+            active = self._active
+            pool = PoolStats(
+                backend=self.pool.name,
+                workers=self.pool.n_workers,
+                tasks=self.pool.tasks_dispatched,
+                batches=self.pool.batches_dispatched,
+                busy_seconds=self.pool.busy_seconds,
+                utilization=self.pool.utilization(elapsed),
+            )
+            return ServiceStats(
+                elapsed_seconds=elapsed,
+                submitted=submitted,
+                rejected=self._rejected,
+                completed=completed,
+                failed=failed,
+                cancelled=cancelled,
+                active=active,
+                records=self._records,
+                messages=self._messages,
+                bytes=self._bytes,
+                tenants=tenants,
+                pool=pool,
+            )
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def close(self, wait: bool = True) -> None:
+        """Stop admitting, drain driver threads, release the shared pool."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        self._drivers.shutdown(wait=wait)
+        self.pool.close()
+
+    def __enter__(self) -> "MiningService":
+        """Context-manager entry: the service itself."""
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        """Context-manager exit: close the service and its pool."""
+        self.close()
+
+
+#: canonical short name for :class:`MiningService`
+Engine = MiningService

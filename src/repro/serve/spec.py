@@ -1,0 +1,472 @@
+"""The unified, declarative description of one mining session.
+
+A :class:`SessionSpec` says *what* to run — batch protocol or stream,
+which dataset or stream scenario, the protocol knobs, the classifier, and
+the shard policy — without saying *how* or *where*.  The same spec can be
+
+* executed inline (:func:`repro.serve.engine.execute_spec`), which is
+  exactly what the legacy :func:`repro.run_sap_session` /
+  :func:`repro.run_stream_session` wrappers do today;
+* submitted to a :class:`repro.serve.engine.MiningService`, which runs
+  many specs concurrently over one shared worker pool; or
+* written down in a JSON workload file (``repro serve --workload``),
+  round-tripping through :meth:`SessionSpec.from_mapping` /
+  :meth:`SessionSpec.to_mapping`.
+
+Multi-tenancy is part of the description: every spec names a ``tenant``,
+and :meth:`SessionSpec.resolved_seed` namespaces the seed per tenant —
+two tenants submitting byte-identical workloads draw disjoint randomness,
+mirroring the per-trust-level perturbation copies of the multi-level-trust
+line of work.  The ``"default"`` tenant resolves to the raw seed, which is
+what keeps the legacy wrappers bit-identical to the pre-redesign API.
+
+Every field is validated at construction with a friendly
+:class:`ValueError` (no deep tracebacks at run time), and specs are frozen
+— a submitted workload cannot be mutated behind the engine's back.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, fields, replace
+from typing import Any, Dict, Mapping, Optional, Sequence, Tuple, Union
+
+from ..datasets.partition import PartitionScheme
+from ..datasets.schema import Dataset
+from ..parties.config import CLASSIFIER_NAMES, ClassifierSpec, SAPConfig
+from ..sharding.backends import BACKENDS
+from ..sharding.plan import SHARD_STRATEGIES
+from ..streaming.drift import DETECTOR_KINDS
+from ..streaming.normalizer import NORMALIZER_KINDS
+from ..streaming.online_miner import ONLINE_CLASSIFIERS
+from ..streaming.sources import STREAM_KINDS, StreamSource, make_stream
+from ..streaming.stream_session import StreamConfig, TrustChange
+from ..streaming.windows import WINDOW_KINDS
+
+__all__ = ["SESSION_KINDS", "SessionSpec"]
+
+#: workload kinds a spec can describe
+SESSION_KINDS = ("batch", "stream")
+
+#: the tenant whose seeds are *not* namespaced (legacy-compatible)
+DEFAULT_TENANT = "default"
+
+
+def _require_positive(name: str, value: int, minimum: int = 1) -> None:
+    """Friendly shared check for integer knobs."""
+    if not isinstance(value, int) or isinstance(value, bool) or value < minimum:
+        raise ValueError(f"{name} must be an integer >= {minimum}, got {value!r}")
+
+
+def _require_choice(name: str, value: str, choices: Sequence[str]) -> None:
+    """Friendly shared check for name-keyed knobs."""
+    if value not in choices:
+        raise ValueError(
+            f"unknown {name} {value!r}; available: {', '.join(choices)}"
+        )
+
+
+@dataclass(frozen=True)
+class SessionSpec:
+    """One declarative mining-session description (batch or stream).
+
+    Attributes
+    ----------
+    kind:
+        ``"batch"`` (one-shot Space Adaptation Protocol run) or
+        ``"stream"`` (windowed online run with drift re-adaptation).
+    dataset:
+        Registry dataset name (see :data:`repro.datasets.DATASET_NAMES`),
+        or an in-memory :class:`~repro.datasets.schema.Dataset` when the
+        spec is built programmatically by the legacy wrappers.
+    tenant:
+        Namespace for seeds and service budgets; ``"default"`` keeps the
+        raw seed (legacy behaviour).
+    label:
+        Optional display name for reports; defaults to
+        ``"<tenant>/<kind>:<dataset>"``.
+    k / noise_sigma / classifier / classifier_params / seed:
+        The protocol knobs shared by both kinds.  ``classifier`` is a
+        batch classifier name for ``kind="batch"`` and an online one for
+        ``kind="stream"``; ``None`` picks the kind's default (``"knn"``
+        for both).  ``k=None`` picks the kind's default (5 batch, 3
+        stream).
+    compute_privacy:
+        Run the privacy/attack-suite evaluation.  ``None`` picks the
+        kind's legacy default — ``False`` for batch
+        (:func:`~repro.core.session.run_sap_session`'s default) and
+        ``True`` for stream (:class:`~repro.streaming.StreamConfig`'s
+        default).
+    scheme / test_fraction / compute_privacy / optimize_locally /
+    optimizer_rounds / optimizer_local_steps / target_candidates /
+    round_timeout:
+        Batch-only knobs, mirroring :class:`repro.parties.SAPConfig`.
+    stream / windows / window_size / window_kind / window_step /
+    normalizer / detector / detector_params / readapt_cooldown /
+    trust_changes / n_records:
+        Stream-only knobs, mirroring :class:`repro.streaming.StreamConfig`
+        plus the synthetic source scenario (``stream``) and length
+        (``n_records``; defaults to ``windows x window_size``).
+    shards / shard_backend / shard_plan:
+        Shard policy.  ``shards`` is the *logical* shard count (affects
+        rounds and routing, never results); ``shard_backend`` is used when
+        the spec runs standalone — a :class:`~repro.serve.engine.MiningService`
+        substitutes its own shared pool, which is sound because results
+        are backend-independent by construction.
+    """
+
+    kind: str = "batch"
+    dataset: Union[str, Dataset] = "iris"
+    tenant: str = DEFAULT_TENANT
+    label: Optional[str] = None
+    seed: int = 0
+    k: Optional[int] = None
+    noise_sigma: float = 0.05
+    classifier: Optional[str] = None
+    classifier_params: Tuple[Tuple[str, Any], ...] = ()
+    compute_privacy: Optional[bool] = None
+    # batch-only
+    scheme: str = "uniform"
+    test_fraction: float = 0.3
+    optimize_locally: bool = False
+    optimizer_rounds: int = 8
+    optimizer_local_steps: int = 5
+    target_candidates: int = 1
+    round_timeout: Optional[float] = None
+    # stream-only
+    stream: str = "stationary"
+    windows: int = 8
+    window_size: int = 64
+    window_kind: str = "tumbling"
+    window_step: Optional[int] = None
+    normalizer: str = "minmax"
+    detector: str = "meanvar"
+    detector_params: Tuple[Tuple[str, Any], ...] = ()
+    readapt_cooldown: int = 2
+    trust_changes: Tuple[TrustChange, ...] = ()
+    n_records: Optional[int] = None
+    # shard policy
+    shards: int = 1
+    shard_backend: str = "serial"
+    shard_plan: str = "round_robin"
+
+    def __post_init__(self) -> None:
+        _require_choice("session kind", self.kind, SESSION_KINDS)
+        if not isinstance(self.tenant, str) or not self.tenant:
+            raise ValueError(f"tenant must be a non-empty string, got {self.tenant!r}")
+        if self.k is not None:
+            _require_positive("k", self.k, minimum=2)
+        if self.noise_sigma < 0:
+            raise ValueError("noise_sigma must be >= 0")
+        _require_choice("partition scheme", self.scheme, [s.value for s in PartitionScheme])
+        if not 0.0 < self.test_fraction < 1.0:
+            raise ValueError(
+                f"test_fraction must be in (0, 1), got {self.test_fraction!r}"
+            )
+        _require_positive("optimizer_rounds", self.optimizer_rounds)
+        _require_positive("optimizer_local_steps", self.optimizer_local_steps)
+        _require_positive("target_candidates", self.target_candidates)
+        if self.round_timeout is not None and self.round_timeout <= 0:
+            raise ValueError("round_timeout must be positive when set")
+        _require_choice("stream kind", self.stream, STREAM_KINDS)
+        _require_positive("windows", self.windows)
+        _require_positive("window_size", self.window_size, minimum=2)
+        _require_choice("window kind", self.window_kind, WINDOW_KINDS)
+        if self.window_step is not None:
+            _require_positive("window_step", self.window_step)
+        _require_choice("normalizer", self.normalizer, NORMALIZER_KINDS)
+        _require_choice("drift detector", self.detector, DETECTOR_KINDS)
+        _require_positive("readapt_cooldown", self.readapt_cooldown, minimum=0)
+        if self.n_records is not None:
+            _require_positive("n_records", self.n_records)
+        _require_positive("shards", self.shards)
+        _require_choice("shard backend", self.shard_backend, BACKENDS)
+        _require_choice("shard plan", self.shard_plan, SHARD_STRATEGIES)
+        names = CLASSIFIER_NAMES if self.kind == "batch" else ONLINE_CLASSIFIERS
+        if self.classifier is not None:
+            _require_choice(f"{self.kind} classifier", self.classifier, names)
+        # Normalize freely-given mappings/pair-sequences to hashable tuples.
+        for name in ("classifier_params", "detector_params"):
+            value = getattr(self, name)
+            pairs = value.items() if isinstance(value, Mapping) else value
+            object.__setattr__(self, name, tuple(tuple(p) for p in pairs))
+        changes = []
+        for change in self.trust_changes:
+            if isinstance(change, TrustChange):
+                changes.append(change)
+            elif isinstance(change, Mapping):
+                changes.append(TrustChange(**change))
+            else:
+                window, party, trust = change
+                changes.append(
+                    TrustChange(window=int(window), party=int(party), trust=float(trust))
+                )
+        object.__setattr__(self, "trust_changes", tuple(changes))
+
+    # ------------------------------------------------------------------
+    # derived views
+    # ------------------------------------------------------------------
+    @property
+    def dataset_name(self) -> str:
+        """Name of the dataset, whether given by name or as an object."""
+        return self.dataset if isinstance(self.dataset, str) else self.dataset.name
+
+    @property
+    def display_label(self) -> str:
+        """Report label: the explicit one, or ``tenant/kind:dataset``."""
+        if self.label:
+            return self.label
+        return f"{self.tenant}/{self.kind}:{self.dataset_name}"
+
+    @property
+    def effective_k(self) -> int:
+        """Provider count with the kind's default applied (5 batch, 3 stream)."""
+        if self.k is not None:
+            return self.k
+        return 5 if self.kind == "batch" else 3
+
+    @property
+    def effective_classifier(self) -> str:
+        """Classifier name with the kind's default applied (``"knn"``)."""
+        return self.classifier if self.classifier is not None else "knn"
+
+    @property
+    def effective_privacy(self) -> bool:
+        """Privacy-evaluation flag with the kind's legacy default applied."""
+        if self.compute_privacy is not None:
+            return self.compute_privacy
+        return self.kind == "stream"
+
+    @property
+    def effective_records(self) -> int:
+        """Stream length: explicit ``n_records`` or ``windows x window_size``."""
+        if self.n_records is not None:
+            return self.n_records
+        return self.windows * self.window_size
+
+    def resolved_seed(self) -> int:
+        """The per-tenant namespaced master seed.
+
+        The ``"default"`` tenant keeps the raw seed, so specs built by the
+        legacy wrappers reproduce the pre-redesign randomness exactly.
+        Every other tenant folds its name into a SHA-256 digest with the
+        seed, giving each tenant an independent, deterministic seed stream
+        over the same workload.
+        """
+        if self.tenant == DEFAULT_TENANT:
+            return self.seed
+        digest = hashlib.sha256(
+            f"repro.serve/{self.tenant}\x00{self.seed}".encode()
+        ).digest()
+        return int.from_bytes(digest[:8], "big") % (2**63)
+
+    def for_tenant(self, tenant: str) -> "SessionSpec":
+        """A copy of this spec namespaced under another tenant."""
+        return replace(self, tenant=tenant)
+
+    # ------------------------------------------------------------------
+    # conversion to the execution-layer configs
+    # ------------------------------------------------------------------
+    def to_sap_config(self) -> SAPConfig:
+        """The batch :class:`~repro.parties.SAPConfig` this spec describes."""
+        if self.kind != "batch":
+            raise ValueError(f"spec {self.display_label!r} is not a batch session")
+        return SAPConfig(
+            k=self.effective_k,
+            noise_sigma=self.noise_sigma,
+            classifier=ClassifierSpec(
+                self.effective_classifier, dict(self.classifier_params)
+            ),
+            test_fraction=self.test_fraction,
+            optimize_locally=self.optimize_locally,
+            optimizer_rounds=self.optimizer_rounds,
+            optimizer_local_steps=self.optimizer_local_steps,
+            target_candidates=self.target_candidates,
+            round_timeout=self.round_timeout,
+            shards=self.shards,
+            shard_backend=self.shard_backend,
+            seed=self.resolved_seed(),
+        )
+
+    def to_stream_config(self) -> StreamConfig:
+        """The :class:`~repro.streaming.StreamConfig` this spec describes."""
+        if self.kind != "stream":
+            raise ValueError(f"spec {self.display_label!r} is not a stream session")
+        return StreamConfig(
+            k=self.effective_k,
+            window_size=self.window_size,
+            window_kind=self.window_kind,
+            window_step=self.window_step,
+            noise_sigma=self.noise_sigma,
+            classifier=self.effective_classifier,
+            classifier_params=self.classifier_params,
+            normalizer=self.normalizer,
+            detector=self.detector,
+            detector_params=self.detector_params,
+            readapt_cooldown=self.readapt_cooldown,
+            trust_changes=self.trust_changes,
+            compute_privacy=self.effective_privacy,
+            shards=self.shards,
+            shard_backend=self.shard_backend,
+            shard_plan=self.shard_plan,
+            seed=self.resolved_seed(),
+        )
+
+    def make_source(self) -> StreamSource:
+        """Build the stream source this spec describes (stream kind only)."""
+        if self.kind != "stream":
+            raise ValueError(f"spec {self.display_label!r} is not a stream session")
+        return make_stream(
+            self.dataset,
+            kind=self.stream,
+            n_records=self.effective_records,
+            seed=self.resolved_seed() % (2**32),
+        )
+
+    # ------------------------------------------------------------------
+    # construction from the legacy configs (the thin-wrapper path)
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_batch(
+        cls,
+        dataset: Union[str, Dataset],
+        config: SAPConfig,
+        scheme: Union[PartitionScheme, str] = PartitionScheme.UNIFORM,
+        compute_privacy: bool = False,
+        tenant: str = DEFAULT_TENANT,
+    ) -> "SessionSpec":
+        """Lift a legacy ``(dataset, SAPConfig)`` pair into a spec."""
+        scheme = PartitionScheme(scheme) if isinstance(scheme, str) else scheme
+        return cls(
+            kind="batch",
+            dataset=dataset,
+            tenant=tenant,
+            seed=config.seed,
+            k=config.k,
+            noise_sigma=config.noise_sigma,
+            classifier=config.classifier.name,
+            classifier_params=tuple(config.classifier.params.items()),
+            compute_privacy=compute_privacy,
+            scheme=scheme.value,
+            test_fraction=config.test_fraction,
+            optimize_locally=config.optimize_locally,
+            optimizer_rounds=config.optimizer_rounds,
+            optimizer_local_steps=config.optimizer_local_steps,
+            target_candidates=config.target_candidates,
+            round_timeout=config.round_timeout,
+            shards=config.shards,
+            shard_backend=config.shard_backend,
+        )
+
+    @classmethod
+    def from_stream(
+        cls,
+        source: StreamSource,
+        config: StreamConfig,
+        tenant: str = DEFAULT_TENANT,
+    ) -> "SessionSpec":
+        """Lift a legacy ``(source, StreamConfig)`` pair into a spec.
+
+        The session driver only requires ``name``/``kind``/``dimension``
+        and iteration from a source, so duck-typed sources remain
+        accepted: pool/record-count/scenario fields are read when present
+        and fall back to descriptive defaults otherwise (the source object
+        itself — not the spec — is what gets executed).
+        """
+        pool = getattr(source, "pool", None)
+        kind = getattr(source, "kind", "stationary")
+        return cls(
+            kind="stream",
+            dataset=pool if pool is not None else getattr(source, "name", "stream"),
+            tenant=tenant,
+            seed=config.seed,
+            k=config.k,
+            noise_sigma=config.noise_sigma,
+            classifier=config.classifier,
+            classifier_params=config.classifier_params,
+            compute_privacy=config.compute_privacy,
+            stream=kind if kind in STREAM_KINDS else "stationary",
+            n_records=getattr(source, "n_records", None),
+            window_size=config.window_size,
+            window_kind=config.window_kind,
+            window_step=config.window_step,
+            normalizer=config.normalizer,
+            detector=config.detector,
+            detector_params=config.detector_params,
+            readapt_cooldown=config.readapt_cooldown,
+            trust_changes=config.trust_changes,
+            shards=config.shards,
+            shard_backend=config.shard_backend,
+            shard_plan=config.shard_plan,
+        )
+
+    # ------------------------------------------------------------------
+    # JSON workload round trip
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_mapping(cls, mapping: Mapping[str, Any]) -> "SessionSpec":
+        """Build a spec from a plain mapping (one workload-file entry).
+
+        Unknown keys raise a friendly :class:`ValueError` naming the key,
+        so a typo in a workload file fails loudly at load time rather than
+        silently running defaults.
+        """
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(mapping) - known)
+        if unknown:
+            raise ValueError(
+                f"unknown session spec field(s): {', '.join(unknown)}; "
+                f"available: {', '.join(sorted(known))}"
+            )
+        # Mappings in *_params fields are normalized by __post_init__.
+        return cls(**dict(mapping))
+
+    def to_mapping(self) -> Dict[str, Any]:
+        """The JSON-friendly inverse of :meth:`from_mapping`."""
+        payload: Dict[str, Any] = {
+            "kind": self.kind,
+            "dataset": self.dataset_name,
+            "tenant": self.tenant,
+            "seed": self.seed,
+            "k": self.effective_k,
+            "noise_sigma": self.noise_sigma,
+            "classifier": self.effective_classifier,
+            "compute_privacy": self.effective_privacy,
+            "shards": self.shards,
+            "shard_backend": self.shard_backend,
+            "shard_plan": self.shard_plan,
+        }
+        if self.label:
+            payload["label"] = self.label
+        if self.classifier_params:
+            payload["classifier_params"] = dict(self.classifier_params)
+        if self.kind == "batch":
+            payload["scheme"] = self.scheme
+            payload["test_fraction"] = self.test_fraction
+            payload["optimize_locally"] = self.optimize_locally
+            payload["optimizer_rounds"] = self.optimizer_rounds
+            payload["optimizer_local_steps"] = self.optimizer_local_steps
+            payload["target_candidates"] = self.target_candidates
+            if self.round_timeout is not None:
+                payload["round_timeout"] = self.round_timeout
+        else:
+            payload.update(
+                stream=self.stream,
+                windows=self.windows,
+                window_size=self.window_size,
+                window_kind=self.window_kind,
+                normalizer=self.normalizer,
+                detector=self.detector,
+                readapt_cooldown=self.readapt_cooldown,
+                n_records=self.effective_records,
+            )
+            if self.window_step is not None:
+                payload["window_step"] = self.window_step
+            if self.detector_params:
+                payload["detector_params"] = dict(self.detector_params)
+            if self.trust_changes:
+                payload["trust_changes"] = [
+                    {"window": c.window, "party": c.party, "trust": c.trust}
+                    for c in self.trust_changes
+                ]
+        return payload

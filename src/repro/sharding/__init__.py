@@ -28,6 +28,7 @@ the serial one.
 
 from .backends import (
     BACKENDS,
+    MeteredBackend,
     ProcessBackend,
     SerialBackend,
     ShardBackend,
@@ -46,6 +47,7 @@ __all__ = [
     "SerialBackend",
     "ThreadBackend",
     "ProcessBackend",
+    "MeteredBackend",
     "make_backend",
     "ShardPool",
     "DataPlane",

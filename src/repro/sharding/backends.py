@@ -20,11 +20,21 @@ All backends expose the same two operations — ordered :meth:`map` and
 load-bearing property: completion order may vary wildly across backends
 and runs, but ``map`` always returns ``[fn(t) for t in tasks]`` in task
 order, which is what makes the engine's merge step deterministic.
+
+Backends are safe to share between session driver threads: the serving
+layer (:mod:`repro.serve`) hands one pool to many concurrent sessions, so
+lazy pool construction is lock-guarded and ``submit`` relies on the
+``concurrent.futures`` executors' own thread safety.  A shared pool is
+usually wrapped in a :class:`MeteredBackend`, which counts dispatched
+tasks and the wall-clock demand placed on the pool so the service can
+report utilization.
 """
 
 from __future__ import annotations
 
 import abc
+import threading
+import time
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Callable, List, Optional, Sequence, TypeVar
 
@@ -34,6 +44,7 @@ __all__ = [
     "SerialBackend",
     "ThreadBackend",
     "ProcessBackend",
+    "MeteredBackend",
     "make_backend",
 ]
 
@@ -58,6 +69,15 @@ class ShardBackend(abc.ABC):
     def close(self) -> None:
         """Release pooled workers (idempotent; no-op for serial)."""
 
+    def warm(self) -> None:
+        """Eagerly build the worker pool (no-op for serial).
+
+        Long-lived owners (the serving engine) call this from the
+        constructing thread so a process pool is forked *before* any
+        driver threads exist — forking a multi-threaded process can leave
+        child workers holding another thread's locks.
+        """
+
     def __enter__(self) -> "ShardBackend":
         """Context-manager entry: the backend itself."""
         return self
@@ -65,6 +85,10 @@ class ShardBackend(abc.ABC):
     def __exit__(self, *exc_info: object) -> None:
         """Context-manager exit: shut the pool down."""
         self.close()
+
+
+def _warm_noop() -> None:
+    """Module-level no-op task used to pre-fork pool workers (picklable)."""
 
 
 class SerialBackend(ShardBackend):
@@ -87,6 +111,7 @@ class _PoolBackend(ShardBackend):
             raise ValueError("n_workers must be >= 1")
         self.n_workers = n_workers
         self._pool: Optional[Executor] = None
+        self._lock = threading.Lock()
 
     def _make_pool(self) -> Executor:
         raise NotImplementedError
@@ -97,16 +122,36 @@ class _PoolBackend(ShardBackend):
         """Submit all tasks, then gather results in submission order."""
         if not tasks:
             return []
-        if self._pool is None:
-            self._pool = self._make_pool()
-        futures = [self._pool.submit(fn, task) for task in tasks]
+        with self._lock:
+            # Concurrent session drivers may race to the first map() call;
+            # only one of them must build the executor.
+            if self._pool is None:
+                self._pool = self._make_pool()
+            pool = self._pool
+        futures = [pool.submit(fn, task) for task in tasks]
         return [future.result() for future in futures]
 
     def close(self) -> None:
         """Shut the pool down and drop the worker handles."""
-        if self._pool is not None:
-            self._pool.shutdown(wait=True)
-            self._pool = None
+        with self._lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    def warm(self) -> None:
+        """Build the executor and pre-start its workers, on this thread.
+
+        Executors start workers lazily at submit time, so warming submits
+        one no-op per worker — a process pool forks every child here,
+        before the owner spins up any other threads.
+        """
+        with self._lock:
+            if self._pool is None:
+                self._pool = self._make_pool()
+            pool = self._pool
+        futures = [pool.submit(_warm_noop) for _ in range(self.n_workers)]
+        for future in futures:
+            future.result()
 
 
 class ThreadBackend(_PoolBackend):
@@ -127,6 +172,62 @@ class ProcessBackend(_PoolBackend):
 
     def _make_pool(self) -> Executor:
         return ProcessPoolExecutor(max_workers=self.n_workers)
+
+
+class MeteredBackend(ShardBackend):
+    """A pass-through wrapper that meters the demand placed on a backend.
+
+    Every ``map`` call is forwarded unchanged; the wrapper accumulates the
+    number of tasks dispatched, the number of ``map`` batches, and the
+    summed wall-clock time spent inside ``map``.  When several session
+    drivers share the pool their batches overlap in time, so
+    ``busy_seconds`` measures *demand* (it can exceed elapsed wall time);
+    dividing by ``workers x elapsed`` yields the utilization figure the
+    serving layer reports.
+    """
+
+    name = "metered"
+
+    def __init__(self, inner: ShardBackend) -> None:
+        self.inner = inner
+        self.name = f"metered-{inner.name}"
+        self._lock = threading.Lock()
+        self.tasks_dispatched = 0
+        self.batches_dispatched = 0
+        self.busy_seconds = 0.0
+
+    @property
+    def n_workers(self) -> int:
+        """Worker count of the wrapped backend (1 for serial)."""
+        return getattr(self.inner, "n_workers", 1)
+
+    def map(
+        self, fn: Callable[[_Task], _Result], tasks: Sequence[_Task]
+    ) -> List[_Result]:
+        """Forward to the wrapped backend, accounting tasks and wall time."""
+        began = time.perf_counter()
+        try:
+            return self.inner.map(fn, tasks)
+        finally:
+            elapsed = time.perf_counter() - began
+            with self._lock:
+                self.tasks_dispatched += len(tasks)
+                self.batches_dispatched += 1
+                self.busy_seconds += elapsed
+
+    def close(self) -> None:
+        """Close the wrapped backend."""
+        self.inner.close()
+
+    def warm(self) -> None:
+        """Eagerly build the wrapped backend's pool."""
+        self.inner.warm()
+
+    def utilization(self, elapsed_seconds: float) -> float:
+        """Fraction of ``workers x elapsed`` wall capacity that was demanded."""
+        if elapsed_seconds <= 0:
+            return 0.0
+        return self.busy_seconds / (self.n_workers * elapsed_seconds)
 
 
 def make_backend(kind: str, n_workers: Optional[int] = None) -> ShardBackend:

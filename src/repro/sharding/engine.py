@@ -47,11 +47,24 @@ class ShardPool:
     order.  Logical shard ids (from the plan) decide data routing and
     merge order; the backend decides physical placement — the two are
     independent, which is why results cannot depend on scheduling.
+
+    ``backend`` may be a backend *name* (the pool builds and owns a fresh
+    executor sized to the plan) or an already-built :class:`ShardBackend`
+    *instance* — the sharing hook the serving layer uses to run many
+    concurrent sessions over one physical worker pool.  A shared instance
+    is never shut down by :meth:`close`; its owner does that.
     """
 
-    def __init__(self, plan: ShardPlan, backend: str = "serial") -> None:
+    def __init__(
+        self, plan: ShardPlan, backend: str | ShardBackend = "serial"
+    ) -> None:
         self.plan = plan
-        self.backend: ShardBackend = make_backend(backend, plan.n_shards)
+        if isinstance(backend, ShardBackend):
+            self.backend = backend
+            self._owns_backend = False
+        else:
+            self.backend = make_backend(backend, plan.n_shards)
+            self._owns_backend = True
 
     def map(
         self, fn: Callable[[_Task], _Result], tasks: Sequence[_Task]
@@ -60,8 +73,9 @@ class ShardPool:
         return self.backend.map(fn, tasks)
 
     def close(self) -> None:
-        """Release the backend's worker pool."""
-        self.backend.close()
+        """Release the backend's worker pool (no-op for a shared backend)."""
+        if self._owns_backend:
+            self.backend.close()
 
     def __enter__(self) -> "ShardPool":
         """Context-manager entry: the pool itself."""

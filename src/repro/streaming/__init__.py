@@ -18,6 +18,7 @@ once.  This subsystem turns it into a continuously running one:
 """
 
 from .drift import (
+    DETECTOR_KINDS,
     DriftDetector,
     DriftReport,
     KSDetector,
@@ -25,11 +26,13 @@ from .drift import (
     make_detector,
 )
 from .normalizer import (
+    NORMALIZER_KINDS,
     RunningMinMaxNormalizer,
     RunningZScoreNormalizer,
     make_normalizer,
 )
 from .online_miner import (
+    ONLINE_CLASSIFIERS,
     OnlineClassifier,
     OnlineLinearSVM,
     ReservoirKNN,
@@ -45,6 +48,7 @@ from .stream_session import (
     run_stream_session,
 )
 from .windows import (
+    WINDOW_KINDS,
     SlidingWindow,
     TumblingWindow,
     Window,
@@ -59,21 +63,25 @@ __all__ = [
     "TumblingWindow",
     "SlidingWindow",
     "make_window_buffer",
+    "WINDOW_KINDS",
     # normalizers
     "RunningMinMaxNormalizer",
     "RunningZScoreNormalizer",
     "make_normalizer",
+    "NORMALIZER_KINDS",
     # drift
     "DriftReport",
     "DriftDetector",
     "MeanVarianceDetector",
     "KSDetector",
     "make_detector",
+    "DETECTOR_KINDS",
     # online miners
     "OnlineClassifier",
     "ReservoirKNN",
     "OnlineLinearSVM",
     "make_online_classifier",
+    "ONLINE_CLASSIFIERS",
     # sources
     "StreamRecord",
     "StreamSource",

@@ -34,12 +34,16 @@ from typing import Optional
 import numpy as np
 
 __all__ = [
+    "DETECTOR_KINDS",
     "DriftReport",
     "DriftDetector",
     "MeanVarianceDetector",
     "KSDetector",
     "make_detector",
 ]
+
+#: names accepted by :func:`make_detector`
+DETECTOR_KINDS = ("meanvar", "ks")
 
 
 @dataclass(frozen=True)

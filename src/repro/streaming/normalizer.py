@@ -29,7 +29,15 @@ import numpy as np
 
 from ..core.normalization import MinMaxNormalizer, ZScoreNormalizer
 
-__all__ = ["RunningMinMaxNormalizer", "RunningZScoreNormalizer", "make_normalizer"]
+__all__ = [
+    "NORMALIZER_KINDS",
+    "RunningMinMaxNormalizer",
+    "RunningZScoreNormalizer",
+    "make_normalizer",
+]
+
+#: names accepted by :func:`make_normalizer`
+NORMALIZER_KINDS = ("minmax", "zscore")
 
 
 class RunningMinMaxNormalizer:

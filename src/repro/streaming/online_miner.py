@@ -30,12 +30,16 @@ from ..mining.base import validate_Xy
 from ..mining.knn import KNNClassifier
 
 __all__ = [
+    "ONLINE_CLASSIFIERS",
     "OnlineClassifier",
     "ReservoirKNN",
     "OnlineLinearSVM",
     "make_online_classifier",
     "predict_from_state",
 ]
+
+#: names accepted by :func:`make_online_classifier`
+ONLINE_CLASSIFIERS = ("knn", "linear_svm")
 
 
 class OnlineClassifier(abc.ABC):

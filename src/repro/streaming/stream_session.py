@@ -42,7 +42,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -54,6 +54,7 @@ from ..sharding import (
     BACKENDS,
     SHARD_STRATEGIES,
     DataPlane,
+    ShardBackend,
     ShardPlan,
     ShardPool,
     predict_window,
@@ -62,11 +63,11 @@ from ..sharding import (
 from ..simnet.channel import Network
 from ..simnet.messages import Message, MessageKind
 from ..simnet.node import Node
-from .drift import DriftReport, make_detector
-from .normalizer import make_normalizer
-from .online_miner import make_online_classifier
+from .drift import DETECTOR_KINDS, DriftReport, make_detector
+from .normalizer import NORMALIZER_KINDS, make_normalizer
+from .online_miner import ONLINE_CLASSIFIERS, make_online_classifier
 from .sources import StreamSource
-from .windows import Window, make_window_buffer
+from .windows import WINDOW_KINDS, Window, make_window_buffer
 
 __all__ = [
     "TrustChange",
@@ -169,6 +170,28 @@ class StreamConfig:
             raise ValueError("streaming SAP requires k >= 2 providers")
         if self.window_size < 2:
             raise ValueError("window_size must be >= 2")
+        if self.window_kind not in WINDOW_KINDS:
+            raise ValueError(
+                f"unknown window kind {self.window_kind!r}; available: "
+                f"{', '.join(WINDOW_KINDS)}"
+            )
+        if self.window_step is not None and self.window_step < 1:
+            raise ValueError("window_step must be a positive integer when set")
+        if self.classifier not in ONLINE_CLASSIFIERS:
+            raise ValueError(
+                f"unknown online classifier {self.classifier!r}; available: "
+                f"{', '.join(ONLINE_CLASSIFIERS)}"
+            )
+        if self.normalizer not in NORMALIZER_KINDS:
+            raise ValueError(
+                f"unknown normalizer {self.normalizer!r}; available: "
+                f"{', '.join(NORMALIZER_KINDS)}"
+            )
+        if self.detector not in DETECTOR_KINDS:
+            raise ValueError(
+                f"unknown drift detector {self.detector!r}; available: "
+                f"{', '.join(DETECTOR_KINDS)}"
+            )
         if self.noise_sigma < 0:
             raise ValueError("noise_sigma must be >= 0")
         if self.readapt_cooldown < 0:
@@ -304,6 +327,43 @@ class StreamSessionResult:
                 f"privacy guarantee : {min(guarantees):.4f} (min over epochs)"
             )
         return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-friendly view of the run (``repro stream --json``)."""
+        return {
+            "kind": "stream",
+            "source": self.source_name,
+            "stream_kind": self.source_kind,
+            "k": self.config.k,
+            "classifier": self.config.classifier,
+            "seed": self.config.seed,
+            "shards": self.config.shards,
+            "records_processed": self.records_processed,
+            "n_windows": len(self.windows),
+            "readaptations": self.readaptations,
+            "accuracy_perturbed": self.accuracy_perturbed,
+            "accuracy_baseline": self.accuracy_baseline,
+            "deviation": self.deviation,
+            "deviation_series": self.deviation_series(),
+            "throughput": self.throughput,
+            "wall_seconds": self.wall_seconds,
+            "messages_sent": self.messages_sent,
+            "bytes_sent": self.bytes_sent,
+            "data_messages_sent": self.data_messages_sent,
+            "data_bytes_sent": self.data_bytes_sent,
+            "events": [
+                {
+                    "window": e.window,
+                    "reason": e.reason,
+                    "statistic": e.statistic,
+                    "latency": e.latency,
+                    "messages": e.messages,
+                    "bytes": e.bytes,
+                    "privacy_guarantee": e.privacy_guarantee,
+                }
+                for e in self.events
+            ],
+        }
 
 
 # ----------------------------------------------------------------------
@@ -543,6 +603,11 @@ def run_stream_session(
 ) -> StreamSessionResult:
     """Mine a stream privately, re-adapting the space when the data drifts.
 
+    A thin wrapper over the serving layer: the arguments are lifted into a
+    :class:`repro.serve.SessionSpec` (under the seed-preserving
+    ``"default"`` tenant) and executed inline — bit-identical to the
+    pre-serving API for any fixed seed.
+
     Parameters
     ----------
     source:
@@ -550,7 +615,28 @@ def run_stream_session(
     config:
         Streaming knobs; defaults to :class:`StreamConfig()`.
     """
+    # Imported here: repro.serve sits above this module in the layering.
+    from ..serve.engine import execute_spec
+    from ..serve.spec import SessionSpec
+
     config = config if config is not None else StreamConfig()
+    spec = SessionSpec.from_stream(source, config)
+    return execute_spec(spec, source=source)
+
+
+def _execute_stream_session(
+    source: StreamSource,
+    config: StreamConfig,
+    backend: Optional[ShardBackend] = None,
+) -> StreamSessionResult:
+    """The stream session internals (see :func:`run_stream_session`).
+
+    ``backend`` optionally points the per-round shard fan-out at an
+    externally owned worker pool (the serving engine's shared one) instead
+    of building a fresh pool from ``config.shard_backend``; the choice
+    cannot affect results because task content and merge order never
+    depend on physical placement.
+    """
     master = np.random.default_rng(config.seed)
 
     buffer = make_window_buffer(
@@ -580,7 +666,7 @@ def run_stream_session(
         [config.provider_name(i) for i in range(config.k)],
         seed=int(master.integers(2**32)),
     )
-    pool = ShardPool(plan, config.shard_backend)
+    pool = ShardPool(plan, config.shard_backend if backend is None else backend)
     adaptor_cache = AdaptorCache(maxsize=max(4 * config.k, 16))
 
     trust = {party: 1.0 for party in range(config.k)}

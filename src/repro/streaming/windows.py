@@ -27,7 +27,17 @@ from typing import Deque, List, Optional, Tuple
 
 import numpy as np
 
-__all__ = ["Window", "WindowBuffer", "TumblingWindow", "SlidingWindow", "make_window_buffer"]
+__all__ = [
+    "WINDOW_KINDS",
+    "Window",
+    "WindowBuffer",
+    "TumblingWindow",
+    "SlidingWindow",
+    "make_window_buffer",
+]
+
+#: names accepted by :func:`make_window_buffer`
+WINDOW_KINDS = ("tumbling", "sliding")
 
 
 @dataclass(frozen=True)

@@ -1,5 +1,7 @@
 """Tests for the CLI entry point."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -144,6 +146,122 @@ def test_non_positive_stream_budgets_exit_cleanly(capsys, flag, value):
     assert flag in captured.err
     assert "positive integer" in captured.err
     assert "Traceback" not in captured.err
+
+
+def test_session_json_output(capsys):
+    out = run_cli(capsys, "session", "--dataset", "iris", "--k", "3", "--json")
+    payload = json.loads(out)
+    assert payload["kind"] == "batch"
+    assert payload["k"] == 3
+    assert "accuracy_perturbed" in payload
+
+
+def test_stream_json_output(capsys):
+    out = run_cli(
+        capsys, "stream", "--dataset", "iris", "--windows", "3",
+        "--window-size", "32", "--json",
+    )
+    payload = json.loads(out)
+    assert payload["kind"] == "stream"
+    assert payload["n_windows"] == 3
+    assert len(payload["deviation_series"]) == 3
+
+
+def test_invalid_session_k_exits_cleanly(capsys):
+    code = main(["session", "--dataset", "iris", "--k", "1"])
+    captured = capsys.readouterr()
+    assert code == 2
+    assert captured.err.startswith("error:")
+    assert "k >= 2" in captured.err
+    assert "Traceback" not in captured.err
+
+
+def test_serve_demo_workload(capsys):
+    out = run_cli(
+        capsys, "serve", "--sessions", "4", "--shards", "2",
+        "--max-inflight", "2",
+    )
+    assert "Serving engine" in out
+    assert "pool utilization" in out
+    assert "tenant acme" in out and "tenant globex" in out
+    assert "completed" in out
+
+
+def test_serve_json_output(capsys):
+    out = run_cli(
+        capsys, "serve", "--sessions", "2", "--shards", "2", "--json"
+    )
+    payload = json.loads(out)
+    assert len(payload["sessions"]) == 2
+    assert all(s["status"] == "completed" for s in payload["sessions"])
+    assert payload["service"]["completed"] == 2
+    assert payload["service"]["pool"]["workers"] == 2
+
+
+def test_serve_workload_file(capsys, tmp_path):
+    workload = {
+        "sessions": [
+            {"kind": "batch", "dataset": "iris", "k": 3, "tenant": "acme"},
+            {
+                "kind": "stream", "dataset": "iris", "k": 3, "windows": 2,
+                "window_size": 32, "compute_privacy": False,
+            },
+        ]
+    }
+    path = tmp_path / "workload.json"
+    path.write_text(json.dumps(workload))
+    out = run_cli(capsys, "serve", "--workload", str(path), "--json")
+    payload = json.loads(out)
+    assert [s["status"] for s in payload["sessions"]] == ["completed"] * 2
+
+
+def test_serve_bad_workload_field_exits_cleanly(capsys, tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text(json.dumps([{"kind": "batch", "classifierr": "knn"}]))
+    code = main(["serve", "--workload", str(path)])
+    captured = capsys.readouterr()
+    assert code == 2
+    assert "classifierr" in captured.err
+    assert "Traceback" not in captured.err
+
+
+def test_serve_failed_session_exits_1_with_error_text(capsys, tmp_path):
+    # "atlantis" passes spec validation (dataset names resolve at run time)
+    # but fails inside the engine; the CLI must surface that and exit 1.
+    path = tmp_path / "failing.json"
+    path.write_text(json.dumps([
+        {"kind": "batch", "dataset": "atlantis", "k": 3},
+        {"kind": "batch", "dataset": "iris", "k": 3},
+    ]))
+    code = main(["serve", "--workload", str(path), "--json"])
+    captured = capsys.readouterr()
+    assert code == 1
+    payload = json.loads(captured.out)
+    statuses = [s["status"] for s in payload["sessions"]]
+    assert statuses == ["failed", "completed"]
+    assert "atlantis" in payload["sessions"][0]["error"]
+    assert payload["sessions"][1]["error"] is None
+
+    code = main(["serve", "--workload", str(path)])
+    captured = capsys.readouterr()
+    assert code == 1
+    assert "failed" in captured.out
+    assert "atlantis" in captured.out
+
+
+def test_serve_missing_workload_file_exits_cleanly(capsys):
+    code = main(["serve", "--workload", "/nonexistent/workload.json"])
+    captured = capsys.readouterr()
+    assert code == 2
+    assert "workload" in captured.err
+
+
+def test_serve_non_positive_budgets_exit_cleanly(capsys):
+    for flag in ("--sessions", "--max-inflight", "--shards"):
+        code = main(["serve", flag, "0"])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert flag in captured.err
 
 
 def test_unknown_subcommand_exits_with_usage(capsys):

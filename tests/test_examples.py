@@ -20,6 +20,7 @@ EXAMPLES = [
     "multiparty_collaboration",
     "dynamic_membership",
     "federation_planning",
+    "serve_mixed_workload",
 ]
 
 

@@ -1,0 +1,142 @@
+"""Backward compatibility: the redesigned wrappers are bit-identical.
+
+``run_sap_session`` / ``run_stream_session`` now route through
+``SessionSpec`` + ``execute_spec``.  These tests pin them to fingerprints
+captured from the pre-redesign implementations at fixed seeds (exact
+float equality — *bit*-identical, not approximately equal), and check the
+wrapper path against the internal execution path it delegates to.
+"""
+
+import numpy as np
+
+from repro import SAPConfig, load_dataset, run_sap_session
+from repro.core.session import _execute_sap_session
+from repro.parties.config import ClassifierSpec
+from repro.serve import SessionSpec, execute_spec
+from repro.streaming import StreamConfig, make_stream, run_stream_session
+from repro.streaming.stream_session import _execute_stream_session
+
+
+# Captured from the pre-redesign code paths (commit 851a604) at these seeds.
+BATCH_FINGERPRINT = {
+    "accuracy_perturbed": 1.0,
+    "accuracy_standard": 1.0,
+    "messages_sent": 19,
+    "bytes_sent": 16478,
+    "virtual_duration": 0.04608162987072993,
+}
+PRIVACY_FINGERPRINT = {
+    "accuracy_perturbed": 0.9230769230769231,
+    "accuracy_standard": 0.9038461538461539,
+    "messages_sent": 25,
+    "satisfactions": [
+        0.8882420590763219,
+        1.2922740201070597,
+        1.1425335426135557,
+        1.1980747331293695,
+    ],
+}
+STREAM_FINGERPRINT = {
+    "accuracy_perturbed": 0.91015625,
+    "accuracy_baseline": 0.9140625,
+    "messages_sent": 12,
+    "bytes_sent": 2532,
+    "records_processed": 256,
+    "n_windows": 8,
+    "readaptations": 1,
+    "data_messages_sent": 32,
+    "data_bytes_sent": 18984,
+    "deviation_series": [0.0, -3.125, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0],
+}
+
+
+def test_run_sap_session_matches_pre_redesign_fingerprint():
+    result = run_sap_session(load_dataset("iris"), SAPConfig(k=3, seed=7))
+    assert result.accuracy_perturbed == BATCH_FINGERPRINT["accuracy_perturbed"]
+    assert result.accuracy_standard == BATCH_FINGERPRINT["accuracy_standard"]
+    assert result.messages_sent == BATCH_FINGERPRINT["messages_sent"]
+    assert result.bytes_sent == BATCH_FINGERPRINT["bytes_sent"]
+    assert result.virtual_duration == BATCH_FINGERPRINT["virtual_duration"]
+
+
+def test_run_sap_session_privacy_matches_pre_redesign_fingerprint():
+    result = run_sap_session(
+        load_dataset("wine"),
+        SAPConfig(k=4, seed=11, classifier=ClassifierSpec("linear_svm")),
+        compute_privacy=True,
+    )
+    assert result.accuracy_perturbed == PRIVACY_FINGERPRINT["accuracy_perturbed"]
+    assert result.accuracy_standard == PRIVACY_FINGERPRINT["accuracy_standard"]
+    assert result.messages_sent == PRIVACY_FINGERPRINT["messages_sent"]
+    assert [p.satisfaction for p in result.risk_profiles] == (
+        PRIVACY_FINGERPRINT["satisfactions"]
+    )
+
+
+def test_run_stream_session_matches_pre_redesign_fingerprint():
+    source = make_stream("iris", kind="abrupt", n_records=8 * 32, seed=3)
+    result = run_stream_session(source, StreamConfig(k=3, window_size=32, seed=3))
+    assert result.accuracy_perturbed == STREAM_FINGERPRINT["accuracy_perturbed"]
+    assert result.accuracy_baseline == STREAM_FINGERPRINT["accuracy_baseline"]
+    assert result.messages_sent == STREAM_FINGERPRINT["messages_sent"]
+    assert result.bytes_sent == STREAM_FINGERPRINT["bytes_sent"]
+    assert result.records_processed == STREAM_FINGERPRINT["records_processed"]
+    assert len(result.windows) == STREAM_FINGERPRINT["n_windows"]
+    assert result.readaptations == STREAM_FINGERPRINT["readaptations"]
+    assert result.data_messages_sent == STREAM_FINGERPRINT["data_messages_sent"]
+    assert result.data_bytes_sent == STREAM_FINGERPRINT["data_bytes_sent"]
+    assert result.deviation_series() == STREAM_FINGERPRINT["deviation_series"]
+
+
+def test_wrapper_equals_internal_batch_path():
+    dataset = load_dataset("wine")
+    config = SAPConfig(k=3, seed=5)
+    wrapped = run_sap_session(dataset, config, scheme="class")
+    direct = _execute_sap_session(dataset, config, scheme="class")
+    assert wrapped.accuracy_perturbed == direct.accuracy_perturbed
+    assert wrapped.accuracy_standard == direct.accuracy_standard
+    assert wrapped.messages_sent == direct.messages_sent
+    assert wrapped.bytes_sent == direct.bytes_sent
+    assert wrapped.forwarder_source_pairs == direct.forwarder_source_pairs
+    assert wrapped.config == direct.config
+
+
+def test_wrapper_equals_internal_stream_path():
+    config = StreamConfig(k=3, window_size=32, seed=1)
+
+    def fresh_source():
+        return make_stream("iris", kind="gradual", n_records=4 * 32, seed=1)
+
+    wrapped = run_stream_session(fresh_source(), config)
+    direct = _execute_stream_session(fresh_source(), config)
+    assert wrapped.accuracy_perturbed == direct.accuracy_perturbed
+    assert wrapped.accuracy_baseline == direct.accuracy_baseline
+    assert wrapped.deviation_series() == direct.deviation_series()
+    assert wrapped.messages_sent == direct.messages_sent
+    assert wrapped.data_bytes_sent == direct.data_bytes_sent
+    assert wrapped.config == direct.config
+
+
+def test_execute_spec_equals_wrapper_for_default_tenant():
+    spec = SessionSpec(kind="batch", dataset="iris", k=3, seed=7)
+    via_spec = execute_spec(spec)
+    via_wrapper = run_sap_session(load_dataset("iris"), SAPConfig(k=3, seed=7))
+    assert via_spec.accuracy_perturbed == via_wrapper.accuracy_perturbed
+    assert via_spec.messages_sent == via_wrapper.messages_sent
+    assert via_spec.bytes_sent == via_wrapper.bytes_sent
+
+
+def test_results_expose_json_views():
+    batch = run_sap_session(load_dataset("iris"), SAPConfig(k=3, seed=7))
+    payload = batch.to_dict()
+    assert payload["kind"] == "batch"
+    assert payload["accuracy_perturbed"] == batch.accuracy_perturbed
+
+    source = make_stream("iris", n_records=2 * 32, seed=0)
+    stream = run_stream_session(
+        source, StreamConfig(k=3, window_size=32, compute_privacy=False)
+    )
+    payload = stream.to_dict()
+    assert payload["kind"] == "stream"
+    assert payload["deviation_series"] == stream.deviation_series()
+    assert np.isfinite(payload["throughput"])

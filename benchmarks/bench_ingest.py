@@ -1,0 +1,189 @@
+"""Event-time ingestion benchmark — records/sec and seal latency vs skew.
+
+Two measurements for the ingestion plane introduced by the event-time
+redesign, reported alongside ``bench_streaming.py``'s end-to-end numbers:
+
+1. **ingest throughput** — records/second through the bare
+   :class:`~repro.streaming.ingest.IngestPlane` (gates, per-shard window
+   buffers, watermark sealing; no mining), swept over arrival skew and
+   watermark delay.  This is the pure cost of the push-based data plane.
+2. **seal latency** — how long a window waits to seal, measured in
+   *records past its last sequence number* (the event-space latency an
+   operator trades against late-record risk), for the same sweep.
+
+Two entry points:
+
+* ``pytest benchmarks/bench_ingest.py`` — pytest-benchmark harness,
+  saves the rendered block under ``benchmarks/results/``;
+* ``python benchmarks/bench_ingest.py [--quick]`` — standalone sweep
+  (no pytest needed); ``--quick`` shrinks the workload for CI smoke runs.
+
+Budget knobs: ``REPRO_BENCH_INGEST_RECORDS``,
+``REPRO_BENCH_INGEST_WINDOW_SIZE``.
+"""
+
+import argparse
+import sys
+import time
+
+from repro.analysis.reporting import ascii_table, series_block
+from repro.sharding import ShardPlan
+from repro.streaming import IngestPlane, StreamConfig
+from repro.streaming import make_stream, run_stream_session, skewed
+
+from _util import budget_from_env, save_block
+
+N_RECORDS = budget_from_env("REPRO_BENCH_INGEST_RECORDS", 20_000)
+WINDOW_SIZE = budget_from_env("REPRO_BENCH_INGEST_WINDOW_SIZE", 64)
+SWEEP = ((0, 0), (4, 4), (16, 16), (16, 0), (64, 16))  # (skew, watermark)
+
+
+def _materialize(n_records):
+    """Pre-draw the stream so the sweep times ingestion, not generation."""
+    return list(make_stream("wine", n_records=n_records, seed=0))
+
+
+def _run_plane(records, skew, watermark, window_size, shards=4):
+    """Push one arrival order through a fresh plane; return measurements."""
+    arrivals = list(skewed(records, skew, seed=0)) if skew else records
+    plane = IngestPlane(
+        ShardPlan(shards, "round_robin", n_parties=3),
+        window_kind="tumbling",
+        window_size=window_size,
+        providers=["provider-0", "provider-1", "coordinator"],
+        watermark_delay=watermark,
+        late_policy="readmit",
+    )
+    seal_lags = []
+    began = time.perf_counter()
+    for record in arrivals:
+        for window in plane.push(record):
+            # Event-space seal latency: how far the frontier had to run
+            # past the window's end before it sealed.
+            seal_lags.append(
+                plane.frontier - plane.assigner.last_seq(window.index)
+            )
+    plane.finish()
+    elapsed = time.perf_counter() - began
+    stats = plane.stats()
+    return {
+        "elapsed": elapsed,
+        "records/sec": len(records) / elapsed,
+        "seal lag (records)": (
+            sum(seal_lags) / len(seal_lags) if seal_lags else 0.0
+        ),
+        "late": stats.late,
+        "max skew": stats.max_skew,
+    }
+
+
+def _sweep(n_records=N_RECORDS, window_size=WINDOW_SIZE, sweep=SWEEP,
+           records=None):
+    if records is None:
+        records = _materialize(n_records)
+    rows = []
+    for skew, watermark in sweep:
+        m = _run_plane(records, skew, watermark, window_size)
+        rows.append(
+            [
+                str(skew),
+                str(watermark),
+                f"{m['records/sec']:,.0f}",
+                f"{m['seal lag (records)']:.1f}",
+                str(m["late"]),
+                str(m["max skew"]),
+            ]
+        )
+    return rows
+
+
+_HEADERS = ["skew", "watermark", "records/sec", "seal lag", "late", "max skew"]
+
+
+def test_ingest_plane_throughput(benchmark):
+    """pytest-benchmark entry: time the in-order path, save the sweep."""
+    records = _materialize(N_RECORDS)
+    rows = _sweep(records=records)
+    result = benchmark.pedantic(
+        lambda: _run_plane(records, 0, 0, WINDOW_SIZE), rounds=1, iterations=1
+    )
+    assert result["late"] == 0
+    save_block(
+        "ingest_throughput",
+        series_block(
+            f"Event-time ingestion - records/sec and seal latency "
+            f"(wine, {N_RECORDS} records, window {WINDOW_SIZE})",
+            ascii_table(_HEADERS, rows),
+        ),
+    )
+
+
+def test_ingest_end_to_end_overhead(benchmark):
+    """Full skewed session vs the in-order one: the data-plane overhead."""
+    n_records = min(N_RECORDS, 16 * WINDOW_SIZE)
+
+    def run(skew, watermark):
+        source = make_stream("wine", n_records=n_records, seed=0)
+        config = StreamConfig(
+            k=3,
+            window_size=WINDOW_SIZE,
+            compute_privacy=False,
+            skew=skew,
+            watermark_delay=watermark,
+            late_policy="readmit",
+            seed=0,
+        )
+        return run_stream_session(source, config)
+
+    in_order = run(0, 0)
+    out_of_order = benchmark.pedantic(
+        lambda: run(16, 16), rounds=1, iterations=1
+    )
+    assert out_of_order.ingest.late == 0
+    assert out_of_order.deviation_series() == in_order.deviation_series()
+    save_block(
+        "ingest_end_to_end",
+        series_block(
+            "Event-time ingestion - end-to-end session, in-order vs skewed",
+            ascii_table(
+                ["arrival order", "records/sec", "late", "max skew"],
+                [
+                    ["in-order", f"{in_order.throughput:,.0f}", "0", "0"],
+                    [
+                        "skew 16 / watermark 16",
+                        f"{out_of_order.throughput:,.0f}",
+                        str(out_of_order.ingest.late),
+                        str(out_of_order.ingest.max_skew),
+                    ],
+                ],
+            ),
+        ),
+    )
+
+
+def main(argv=None):
+    """Standalone sweep: ``python benchmarks/bench_ingest.py [--quick]``."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke mode: a small record budget",
+    )
+    args = parser.parse_args(argv)
+
+    kwargs = {}
+    if args.quick:
+        kwargs = {"n_records": 4_000, "window_size": 64}
+    rows = _sweep(**kwargs)
+    print(
+        series_block(
+            f"Event-time ingestion - records/sec and seal latency vs skew"
+            f"{' (quick)' if args.quick else ''}",
+            ascii_table(_HEADERS, rows),
+        )
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -14,6 +14,9 @@ Usage (after ``pip install -e .``)::
                                    # online SAP over a drifting stream
     repro stream --dataset wine --shards 4 --shard-backend process
                                    # same pipeline, sharded across workers
+    repro stream --dataset wine --skew 3 --watermark 4 --late-policy readmit
+                                   # out-of-order arrivals, watermark-sealed
+                                   # windows, late records readmitted
     repro serve --sessions 8 --shards 4
                                    # many concurrent sessions, one shared pool
     repro serve --workload workload.json --json
@@ -190,6 +193,26 @@ def build_parser() -> argparse.ArgumentParser:
         default=[],
         metavar="WINDOW:PARTY:TRUST",
         help="schedule a trust-level change, e.g. 10:0:0.5 (repeatable)",
+    )
+    p.add_argument(
+        "--skew",
+        type=int,
+        default=0,
+        help="simulate an out-of-order transport: bounded arrival "
+        "displacement in records (0 = in order)",
+    )
+    p.add_argument(
+        "--watermark",
+        type=int,
+        default=0,
+        help="watermark delay in records before a window seals "
+        "(>= --skew guarantees no late records)",
+    )
+    p.add_argument(
+        "--late-policy",
+        default="drop",
+        choices=["drop", "readmit", "upsert"],
+        help="what happens to records arriving after their window sealed",
     )
     p.add_argument("--seed", type=int, default=0)
     p.add_argument(
@@ -395,11 +418,19 @@ def _require_positive(name: str, value: Optional[int]) -> None:
         raise ValueError(f"{name} must be a positive integer, got {value}")
 
 
+def _require_non_negative(name: str, value: Optional[int]) -> None:
+    """Reject negative count flags with the friendly exit-2 message."""
+    if value is not None and value < 0:
+        raise ValueError(f"{name} must be a non-negative integer, got {value}")
+
+
 def _cmd_stream(args: argparse.Namespace) -> str:
     _require_positive("--windows", args.windows)
     _require_positive("--window-size", args.window_size)
     _require_positive("--window-step", args.window_step)
     _require_positive("--shards", args.shards)
+    _require_non_negative("--skew", args.skew)
+    _require_non_negative("--watermark", args.watermark)
     source = make_stream(
         args.dataset,
         kind=args.drift,
@@ -418,6 +449,9 @@ def _cmd_stream(args: argparse.Namespace) -> str:
         shards=args.shards,
         shard_backend=args.shard_backend,
         shard_plan=args.shard_plan,
+        watermark_delay=args.watermark,
+        late_policy=args.late_policy,
+        skew=args.skew,
         seed=args.seed,
     )
     result = run_stream_session(source, config)
@@ -449,13 +483,35 @@ def _cmd_stream(args: argparse.Namespace) -> str:
         )
         for e in result.events
     ]
-    body = "\n\n".join(
-        [
-            result.summary(),
-            "accuracy deviation over time\n" + ascii_table(headers, rows),
-            "space (re-)negotiations\n" + "\n".join(event_lines),
+    blocks = [
+        result.summary(),
+        "accuracy deviation over time\n" + ascii_table(headers, rows),
+        "space (re-)negotiations\n" + "\n".join(event_lines),
+    ]
+    if result.ingest is not None and (
+        result.ingest.late > 0 or result.ingest.max_skew > 0
+    ):
+        ingest_rows = [
+            [
+                gate.name,
+                gate.records,
+                gate.late,
+                gate.dropped,
+                gate.readmitted,
+                gate.upserted,
+                gate.max_skew,
+            ]
+            for gate in result.ingest.providers
         ]
-    )
+        blocks.append(
+            "event-time ingestion per provider\n"
+            + ascii_table(
+                ["provider", "records", "late", "dropped", "readmitted",
+                 "upserted", "max skew"],
+                ingest_rows,
+            )
+        )
+    body = "\n\n".join(blocks)
     return series_block(
         f"Streaming SAP - {args.dataset} ({args.drift}, {args.classifier}, "
         f"k={args.k})",

@@ -37,6 +37,7 @@ from ..parties.config import CLASSIFIER_NAMES, ClassifierSpec, SAPConfig
 from ..sharding.backends import BACKENDS
 from ..sharding.plan import SHARD_STRATEGIES
 from ..streaming.drift import DETECTOR_KINDS
+from ..streaming.ingest import LATE_POLICIES
 from ..streaming.normalizer import NORMALIZER_KINDS
 from ..streaming.online_miner import ONLINE_CLASSIFIERS
 from ..streaming.sources import STREAM_KINDS, StreamSource, make_stream
@@ -103,10 +104,14 @@ class SessionSpec:
         Batch-only knobs, mirroring :class:`repro.parties.SAPConfig`.
     stream / windows / window_size / window_kind / window_step /
     normalizer / detector / detector_params / readapt_cooldown /
-    trust_changes / n_records:
+    trust_changes / n_records / watermark_delay / late_policy / skew:
         Stream-only knobs, mirroring :class:`repro.streaming.StreamConfig`
         plus the synthetic source scenario (``stream``) and length
         (``n_records``; defaults to ``windows x window_size``).
+        ``watermark_delay`` / ``late_policy`` / ``skew`` are the
+        event-time ingestion knobs: watermark lag before a window seals,
+        what to do with records that arrive after their window sealed,
+        and the bounded out-of-order transport simulation.
     shards / shard_backend / shard_plan:
         Shard policy.  ``shards`` is the *logical* shard count (affects
         rounds and routing, never results); ``shard_backend`` is used when
@@ -145,6 +150,9 @@ class SessionSpec:
     readapt_cooldown: int = 2
     trust_changes: Tuple[TrustChange, ...] = ()
     n_records: Optional[int] = None
+    watermark_delay: int = 0
+    late_policy: str = "drop"
+    skew: int = 0
     # shard policy
     shards: int = 1
     shard_backend: str = "serial"
@@ -179,6 +187,9 @@ class SessionSpec:
         _require_positive("readapt_cooldown", self.readapt_cooldown, minimum=0)
         if self.n_records is not None:
             _require_positive("n_records", self.n_records)
+        _require_positive("watermark_delay", self.watermark_delay, minimum=0)
+        _require_choice("late policy", self.late_policy, LATE_POLICIES)
+        _require_positive("skew", self.skew, minimum=0)
         _require_positive("shards", self.shards)
         _require_choice("shard backend", self.shard_backend, BACKENDS)
         _require_choice("shard plan", self.shard_plan, SHARD_STRATEGIES)
@@ -309,6 +320,9 @@ class SessionSpec:
             shards=self.shards,
             shard_backend=self.shard_backend,
             shard_plan=self.shard_plan,
+            watermark_delay=self.watermark_delay,
+            late_policy=self.late_policy,
+            skew=self.skew,
             seed=self.resolved_seed(),
         )
 
@@ -398,6 +412,9 @@ class SessionSpec:
             shards=config.shards,
             shard_backend=config.shard_backend,
             shard_plan=config.shard_plan,
+            watermark_delay=config.watermark_delay,
+            late_policy=config.late_policy,
+            skew=config.skew,
         )
 
     # ------------------------------------------------------------------
@@ -459,6 +476,9 @@ class SessionSpec:
                 detector=self.detector,
                 readapt_cooldown=self.readapt_cooldown,
                 n_records=self.effective_records,
+                watermark_delay=self.watermark_delay,
+                late_policy=self.late_policy,
+                skew=self.skew,
             )
             if self.window_step is not None:
                 payload["window_step"] = self.window_step

@@ -87,7 +87,16 @@ class ShardPool:
 
 
 class _PartyGate(Node):
-    """A data provider's ingest gate: sends batches, expects no replies."""
+    """A data provider's ingest gate: sends batches, expects no replies.
+
+    ``records_sent`` counts the rows this provider pushed onto the wire,
+    giving the data plane a per-provider traffic view that lines up with
+    the ingestion plane's per-provider gate counters.
+    """
+
+    def __init__(self, name: str, network: Network, seed: int = 0) -> None:
+        super().__init__(name, network, seed=seed)
+        self.records_sent = 0
 
 
 class _ShardWorkerNode(Node):
@@ -182,6 +191,7 @@ class DataPlane:
             if rows is None or rows.shape[0] == 0:
                 continue
             destination = self.plan.shard_of_batch(window_index, party)
+            self.gates[party].records_sent += int(rows.shape[0])
             self.gates[party].send(
                 MessageKind.SHARD_BATCH,
                 f"shard-{destination}",
@@ -211,3 +221,8 @@ class DataPlane:
     def shard_records(self) -> List[int]:
         """Records absorbed per logical shard, in fixed shard order."""
         return [shard.records_received for shard in self.shards]
+
+    @property
+    def provider_records(self) -> List[int]:
+        """Rows pushed per provider gate, in fixed provider order."""
+        return [gate.records_sent for gate in self.gates]

@@ -71,9 +71,14 @@ def transform_window(task: Dict[str, Any]) -> Dict[str, np.ndarray]:
         complementary-noise maps).
     ``sigmas`` (k,)
         Per-party effective noise levels fixed at negotiation time.
-    ``noise_root`` / ``window_index``
+    ``noise_root`` / ``window_index`` / ``revision``
         Seed material: party ``p``'s noise generator is
-        ``default_rng([noise_root, window_index, p])``.
+        ``default_rng([noise_root, window_index, p])`` for a window's
+        first emission (``revision`` 0 or absent — the legacy keying,
+        kept bit-identical), and
+        ``default_rng([noise_root, window_index, p, revision])`` for an
+        ``upsert`` correction, so late rows draw noise independent of the
+        sealed window's.
 
     Returns ``{"X_norm": (n, d), "X_target": (n, d)}`` — the normalized
     rows (the baseline miner's view) and the unified-target-space rows
@@ -93,6 +98,7 @@ def transform_window(task: Dict[str, Any]) -> Dict[str, np.ndarray]:
     sigmas = np.asarray(task["sigmas"], dtype=float)
     k = adaptor_rotations.shape[0]
     parties = np.arange(X.shape[0]) % k
+    revision = int(task.get("revision", 0))
     for party in range(k):
         sigma = float(sigmas[party])
         if sigma <= 0.0:
@@ -101,9 +107,13 @@ def transform_window(task: Dict[str, Any]) -> Dict[str, np.ndarray]:
         n_p = int(rows.sum())
         if n_p == 0:
             continue
-        rng = np.random.default_rng(
-            [int(task["noise_root"]), int(task["window_index"]), party]
-        )
+        seed_key = [int(task["noise_root"]), int(task["window_index"]), party]
+        if revision:
+            # Corrections extend the key instead of re-using the sealed
+            # window's stream, which would correlate the late rows' noise
+            # with rows already released.
+            seed_key.append(revision)
+        rng = np.random.default_rng(seed_key)
         # Same orientation as GeometricPerturbation.apply: (d, n) columns.
         noise = rng.normal(scale=sigma, size=(X.shape[1], n_p))
         X_target[rows] += (adaptor_rotations[party] @ noise).T

@@ -11,7 +11,11 @@ once.  This subsystem turns it into a continuously running one:
 * :mod:`~repro.streaming.online_miner` — reservoir KNN and SGD linear SVM
   that survive a space migration;
 * :mod:`~repro.streaming.sources` — synthetic stationary/drifting/bursty
-  stream generators over the registry datasets;
+  stream generators over the registry datasets, plus the bounded-skew
+  out-of-order transport simulator :func:`~repro.streaming.sources.skewed`;
+* :mod:`~repro.streaming.ingest` — the event-time ingestion plane:
+  per-provider gates pushing records into per-shard window buffers,
+  watermark-based window sealing, and drop/readmit/upsert late policies;
 * :mod:`~repro.streaming.stream_session` — the online session driver,
   re-negotiating the perturbed space over :mod:`repro.simnet` whenever
   drift fires or a party's trust level changes.
@@ -31,6 +35,13 @@ from .normalizer import (
     RunningZScoreNormalizer,
     make_normalizer,
 )
+from .ingest import (
+    LATE_POLICIES,
+    IngestPlane,
+    IngestStats,
+    ProviderGate,
+    ShardIngest,
+)
 from .online_miner import (
     ONLINE_CLASSIFIERS,
     OnlineClassifier,
@@ -38,7 +49,7 @@ from .online_miner import (
     ReservoirKNN,
     make_online_classifier,
 )
-from .sources import STREAM_KINDS, StreamRecord, StreamSource, make_stream
+from .sources import STREAM_KINDS, StreamRecord, StreamSource, make_stream, skewed
 from .stream_session import (
     ReadaptationEvent,
     StreamConfig,
@@ -49,6 +60,7 @@ from .stream_session import (
 )
 from .windows import (
     WINDOW_KINDS,
+    EventWindowAssigner,
     SlidingWindow,
     TumblingWindow,
     Window,
@@ -62,8 +74,15 @@ __all__ = [
     "WindowBuffer",
     "TumblingWindow",
     "SlidingWindow",
+    "EventWindowAssigner",
     "make_window_buffer",
     "WINDOW_KINDS",
+    # event-time ingestion
+    "IngestPlane",
+    "IngestStats",
+    "ProviderGate",
+    "ShardIngest",
+    "LATE_POLICIES",
     # normalizers
     "RunningMinMaxNormalizer",
     "RunningZScoreNormalizer",
@@ -87,6 +106,7 @@ __all__ = [
     "StreamSource",
     "STREAM_KINDS",
     "make_stream",
+    "skewed",
     # session
     "TrustChange",
     "StreamConfig",

@@ -19,29 +19,58 @@ times, and optionally pushed through a *concept drift* schedule:
 
 Streams are fully deterministic under a seed, like everything else in the
 repository.
+
+Records are **events**, not just rows: every :class:`StreamRecord` carries
+its event-order sequence number (``seq``) and an optional data-provider
+attribution (``provider``), so a transport may deliver records out of
+order without losing their identity.  :func:`skewed` is the deterministic
+out-of-order transport simulator — it re-orders any event stream with a
+hard bounded displacement, guaranteeing that when a record arrives, no
+record more than ``skew`` sequence numbers ahead of it has arrived yet
+(observed lateness ``<= skew``), which is exactly the bounded-lateness
+contract the watermark of :class:`repro.streaming.ingest.IngestPlane`
+consumes.
 """
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass
-from typing import Iterator, NamedTuple, Optional, Union
+from typing import Iterable, Iterator, NamedTuple, Optional, Union
 
 import numpy as np
 
 from ..datasets.registry import load_dataset
 from ..datasets.schema import Dataset
 
-__all__ = ["StreamRecord", "StreamSource", "make_stream", "STREAM_KINDS"]
+__all__ = [
+    "StreamRecord",
+    "StreamSource",
+    "make_stream",
+    "skewed",
+    "STREAM_KINDS",
+]
 
 STREAM_KINDS = ("stationary", "abrupt", "gradual", "bursty")
 
 
 class StreamRecord(NamedTuple):
-    """One stream arrival: features, label, virtual timestamp (seconds)."""
+    """One stream event: features, label, event timestamp, identity.
+
+    ``time`` is the *event* time (seconds on the virtual clock at which
+    the record was generated); ``seq`` is the record's position in event
+    order (``-1`` when the producer did not stamp one — the ingestion
+    layer then stamps arrival order); ``provider`` names the data
+    provider the record belongs to (``-1`` defers to the consumer's
+    round-robin attribution ``seq % k``).  Both extensions default, so
+    pre-event-time producers and consumers keep working unchanged.
+    """
 
     x: np.ndarray
     y: int
     time: float
+    seq: int = -1
+    provider: int = -1
 
 
 @dataclass
@@ -137,7 +166,54 @@ class StreamSource:
             else:
                 rate = self.rate
             now += float(rng.exponential(1.0 / rate))
-            yield StreamRecord(x=x, y=y, time=now)
+            yield StreamRecord(x=x, y=y, time=now, seq=index)
+
+
+def skewed(
+    records: Iterable[StreamRecord],
+    skew: int,
+    seed: int = 0,
+) -> Iterator[StreamRecord]:
+    """Re-order an event stream with a hard bounded displacement.
+
+    A deterministic out-of-order transport simulator: each record is
+    assigned a delivery key ``seq + jitter`` with ``jitter`` drawn
+    uniformly from ``{0, ..., skew}``, and records are delivered in key
+    order (ties broken by ``seq``, so ``skew=0`` is the identity).  Event
+    times, labels, providers, and sequence numbers travel unchanged —
+    only the *arrival order* is scrambled.
+
+    Guarantees, both deterministic under ``seed``:
+
+    * every record's delivery position differs from its sequence number
+      by at most ``skew``;
+    * when a record arrives, the arrival frontier (largest sequence
+      number seen so far) is at most ``seq + skew`` — i.e. observed
+      lateness never exceeds ``skew``.  An ingestion watermark delay
+      ``>= skew`` therefore never sees a late record.
+
+    Records without a stamped ``seq`` are stamped with their input order
+    first, so any iterable of ``(x, y, time)``-style records works.
+    """
+    if skew < 0:
+        raise ValueError(f"skew must be >= 0, got {skew}")
+    if skew == 0:
+        for index, record in enumerate(records):
+            yield record if record.seq >= 0 else record._replace(seq=index)
+        return
+    rng = np.random.default_rng([abs(int(seed)), 0x5345_5153])
+    heap: list = []
+    for index, record in enumerate(records):
+        if record.seq < 0:
+            record = record._replace(seq=index)
+        key = index + int(rng.integers(skew + 1))
+        heapq.heappush(heap, (key, record.seq, record))
+        # Every future record's key is > index, so entries keyed <= index
+        # are final and can be delivered.
+        while heap and heap[0][0] <= index:
+            yield heapq.heappop(heap)[2]
+    while heap:
+        yield heapq.heappop(heap)[2]
 
 
 def make_stream(

@@ -2,9 +2,15 @@
 
 :func:`run_stream_session` drives one continuous privacy-preserving mining
 run: records arrive from a :class:`~repro.streaming.sources.StreamSource`,
-are batched into windows, normalized incrementally, perturbed per-party,
+are **pushed through per-provider ingestion gates into per-shard window
+buffers** (:class:`~repro.streaming.ingest.IngestPlane`), sealed by a
+watermark in event order, normalized incrementally, perturbed per-party,
 adapted into the negotiated target space, and mined by an incremental
 classifier — while a drift detector watches for distribution shift.
+Out-of-order arrivals (``config.skew``) are tolerated up to
+``config.watermark_delay`` sequence numbers of lateness; later records
+fall to ``config.late_policy`` (drop / readmit / upsert), with per-provider
+counters reported on the result's ``ingest`` block.
 
 Space (re-)negotiation reuses the multiparty machinery:
 
@@ -64,10 +70,11 @@ from ..simnet.channel import Network
 from ..simnet.messages import Message, MessageKind
 from ..simnet.node import Node
 from .drift import DETECTOR_KINDS, DriftReport, make_detector
+from .ingest import LATE_POLICIES, IngestPlane, IngestStats
 from .normalizer import NORMALIZER_KINDS, make_normalizer
 from .online_miner import ONLINE_CLASSIFIERS, make_online_classifier
-from .sources import StreamSource
-from .windows import WINDOW_KINDS, Window, make_window_buffer
+from .sources import StreamSource, skewed
+from .windows import WINDOW_KINDS, Window
 
 __all__ = [
     "TrustChange",
@@ -143,6 +150,24 @@ class StreamConfig:
         :class:`repro.sharding.ShardPlan`.  Affects placement and
         data-plane routing (the ``party`` strategy adds forward hops),
         never results.
+    watermark_delay:
+        How many sequence numbers the ingestion watermark trails the
+        arrival frontier before a window seals (see
+        :class:`repro.streaming.ingest.IngestPlane`).  ``0`` — the
+        default, bit-identical to the pre-event-time pipeline on in-order
+        streams — seals a window as soon as any later record arrives; a
+        delay of ``s`` tolerates any arrival order with observed lateness
+        ``<= s`` without a single late record.
+    late_policy:
+        What happens to a record that arrives after its window sealed:
+        ``"drop"``, ``"readmit"``, or ``"upsert"`` (see
+        :data:`repro.streaming.ingest.LATE_POLICIES`).
+    skew:
+        Bounded out-of-order transport simulation: ``skew > 0`` scrambles
+        the source's arrival order with displacement (and therefore
+        observed lateness) at most ``skew`` records, deterministically
+        under the session seed (see :func:`repro.streaming.sources.skewed`).
+        ``0`` leaves the arrival order untouched.
     seed:
         Master seed; all node and miner seeds derive from it.
     """
@@ -163,6 +188,9 @@ class StreamConfig:
     shards: int = 1
     shard_backend: str = "serial"
     shard_plan: str = "round_robin"
+    watermark_delay: int = 0
+    late_policy: str = "drop"
+    skew: int = 0
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -208,6 +236,26 @@ class StreamConfig:
                 f"unknown shard plan {self.shard_plan!r}; available: "
                 f"{', '.join(SHARD_STRATEGIES)}"
             )
+        if (
+            not isinstance(self.watermark_delay, int)
+            or isinstance(self.watermark_delay, bool)
+            or self.watermark_delay < 0
+        ):
+            raise ValueError(
+                f"watermark_delay must be an integer >= 0, got "
+                f"{self.watermark_delay!r}"
+            )
+        if self.late_policy not in LATE_POLICIES:
+            raise ValueError(
+                f"unknown late policy {self.late_policy!r}; available: "
+                f"{', '.join(LATE_POLICIES)}"
+            )
+        if (
+            not isinstance(self.skew, int)
+            or isinstance(self.skew, bool)
+            or self.skew < 0
+        ):
+            raise ValueError(f"skew must be an integer >= 0, got {self.skew!r}")
 
     def provider_name(self, index: int) -> str:
         """Node names, matching the batch convention (coordinator last)."""
@@ -236,7 +284,9 @@ class StreamWindowStats:
 
     ``n_records`` counts the window's *fresh* records — the ones scored
     and learned from exactly once (equal to the window size for tumbling
-    windows, to the step for overlapping sliding windows).
+    windows, to the step for overlapping sliding windows).  ``revision``
+    is 0 for a window's first emission and ``>= 1`` for an ``upsert``
+    correction carrying that window's late arrivals.
     """
 
     index: int
@@ -246,6 +296,7 @@ class StreamWindowStats:
     drift_statistic: float
     drift_kind: str
     readapted: bool
+    revision: int = 0
 
     @property
     def deviation(self) -> float:
@@ -271,6 +322,8 @@ class StreamSessionResult:
     data_messages_sent: int = 0
     data_bytes_sent: int = 0
     shard_records: Tuple[int, ...] = ()
+    ingest: Optional[IngestStats] = None
+    provider_records: Tuple[int, ...] = ()
 
     @property
     def deviation(self) -> float:
@@ -322,6 +375,14 @@ class StreamSessionResult:
             f"shard traffic     : {self.data_messages_sent} msgs / "
             f"{self.data_bytes_sent} bytes",
         ]
+        if self.ingest is not None:
+            lines.append(
+                f"ingestion         : {self.ingest.late} late "
+                f"({self.ingest.dropped} dropped / "
+                f"{self.ingest.readmitted} readmitted / "
+                f"{self.ingest.upserted} upserted), "
+                f"max skew {self.ingest.max_skew}"
+            )
         if guarantees:
             lines.append(
                 f"privacy guarantee : {min(guarantees):.4f} (min over epochs)"
@@ -351,6 +412,8 @@ class StreamSessionResult:
             "bytes_sent": self.bytes_sent,
             "data_messages_sent": self.data_messages_sent,
             "data_bytes_sent": self.data_bytes_sent,
+            "ingest": None if self.ingest is None else self.ingest.to_dict(),
+            "provider_records": list(self.provider_records),
             "events": [
                 {
                     "window": e.window,
@@ -639,9 +702,6 @@ def _execute_stream_session(
     """
     master = np.random.default_rng(config.seed)
 
-    buffer = make_window_buffer(
-        config.window_kind, config.window_size, config.window_step
-    )
     normalizer = make_normalizer(config.normalizer)
     shard_normalizers = [
         make_normalizer(config.normalizer) for _ in range(config.shards)
@@ -668,6 +728,17 @@ def _execute_stream_session(
     )
     pool = ShardPool(plan, config.shard_backend if backend is None else backend)
     adaptor_cache = AdaptorCache(maxsize=max(4 * config.k, 16))
+    # The push-based ingestion surface: provider gates feed per-shard
+    # window buffers and the watermark seals windows in index order.
+    plane = IngestPlane(
+        plan,
+        window_kind=config.window_kind,
+        window_size=config.window_size,
+        window_step=config.window_step,
+        providers=[config.provider_name(i) for i in range(config.k)],
+        watermark_delay=config.watermark_delay,
+        late_policy=config.late_policy,
+    )
 
     trust = {party: 1.0 for party in range(config.k)}
     trust_by_window: Dict[int, List[TrustChange]] = {}
@@ -783,6 +854,37 @@ def _execute_stream_session(
                     return None
                 return frozen.transform(X_fresh)
 
+            if window.revision > 0:
+                # An ``upsert`` correction: this window's control decisions
+                # (trust schedule, drift check, negotiation) were taken when
+                # revision 0 sealed.  The late rows just flow through the
+                # current epoch's transform and the miners.
+                if epoch is None:
+                    # Heavy skew can delay every fresh row of the first
+                    # windows past the watermark, so a correction is the
+                    # first emission the driver sees.  Negotiate the
+                    # initial space for it; the drift reference waits for
+                    # a regular window.
+                    epoch = negotiate("initial", window.index, 0.0, privacy_view())
+                    last_readapt_window = window.index
+                work.append(
+                    _WindowWork(
+                        window=window,
+                        X_fresh=X_fresh,
+                        y_fresh=y_fresh,
+                        norm_a=norm_a,
+                        norm_b=norm_b,
+                        epoch=epoch,
+                        migration=None,
+                        report=DriftReport(
+                            fired=False, statistic=0.0, threshold=np.inf
+                        ),
+                        readapted=False,
+                        shard=shard,
+                    )
+                )
+                continue
+
             # ----- trust schedule (applies from this window on) ----------
             changes = trust_by_window.get(window.index, ())
             for change in changes:
@@ -791,12 +893,18 @@ def _execute_stream_session(
             # ----- space (re-)negotiation --------------------------------
             migration: Optional[SpaceAdaptor] = None
             readapted = False
+            # The detector's reference needs >= 2 rows; under skew a sealed
+            # window can be degenerate (most of its rows arrived late and
+            # fell to the late policy).  Skip the drift check for those —
+            # in-order windows always carry the full window_size rows.
+            window_checkable = window.n_rows >= 2
             if epoch is None:
                 # A trust change scheduled at the first window is folded
                 # into the initial negotiation's noise levels above.
                 epoch = negotiate("initial", window.index, 0.0, privacy_view())
                 last_readapt_window = window.index
-                detector.observe(window.X)  # installs the reference
+                if window_checkable:
+                    detector.observe(window.X)  # installs the reference
                 report = DriftReport(fired=False, statistic=0.0, threshold=np.inf)
             else:
                 if changes:
@@ -806,7 +914,11 @@ def _execute_stream_session(
                     stale_epoch_ids.append(old_epoch.epoch_id)
                     last_readapt_window = window.index
                     readapted = True
-                report = detector.observe(window.X)
+                report = (
+                    detector.observe(window.X)
+                    if window_checkable
+                    else DriftReport(fired=False, statistic=0.0, threshold=np.inf)
+                )
                 cooled = (
                     window.index - last_readapt_window >= config.readapt_cooldown
                 )
@@ -862,6 +974,7 @@ def _execute_stream_session(
                 "sigmas": np.asarray(item.epoch.sigmas),
                 "noise_root": noise_root,
                 "window_index": item.window.index,
+                "revision": item.window.revision,
             }
             for item in work
         ]
@@ -913,18 +1026,33 @@ def _execute_stream_session(
                     drift_statistic=item.report.statistic,
                     drift_kind=item.report.kind,
                     readapted=item.readapted,
+                    revision=item.window.revision,
                 )
             )
 
     start = time.perf_counter()
     try:
         pending: List[Window] = []
-        for record in source:
+        # Providers push records through their gates; the driver no longer
+        # pulls into a global buffer.  ``skew`` simulates an out-of-order
+        # transport, deterministically under the session seed.
+        arrivals = (
+            skewed(source, config.skew, seed=config.seed)
+            if config.skew
+            else source
+        )
+        for record in arrivals:
             records += 1
-            pending.extend(buffer.push(record.x, record.y, record.time))
+            pending.extend(plane.push(record))
             if len(pending) >= config.shards:
                 run_round(pending)
                 pending = []
+        # The legacy driver never flushed its buffer, so a stream whose
+        # length is not a multiple of the window size dropped the partial
+        # remainder.  Keep that behavior (it is what the pre-redesign
+        # fingerprints pin) — except rows *readmitted* into the tail,
+        # which the readmit policy promises never to lose.
+        pending.extend(plane.finish(emit_partial_tail=False))
         if pending:
             run_round(pending)
     finally:
@@ -968,4 +1096,6 @@ def _execute_stream_session(
         data_messages_sent=data_plane.messages_sent,
         data_bytes_sent=data_plane.bytes_sent,
         shard_records=tuple(data_plane.shard_records),
+        ingest=plane.stats(),
+        provider_records=tuple(data_plane.provider_records),
     )

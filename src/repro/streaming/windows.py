@@ -17,6 +17,14 @@ Buffers are transport-agnostic: they accept one record at a time via
 holding row-major feature blocks, labels, and the virtual time span —
 everything downstream (normalizers, drift detectors, online miners) is
 window-at-a-time.
+
+The arrival-driven buffers above assume records arrive *in order*.  The
+event-time ingestion plane (:mod:`repro.streaming.ingest`) instead keys
+windows by **sequence number**: :class:`EventWindowAssigner` is the pure
+arithmetic mapping a record's sequence number to the window(s) it belongs
+to, so window *contents* are a function of the event stream alone — not of
+the arrival order — and an out-of-order stream whose lateness stays under
+the watermark seals exactly the windows the sorted stream would.
 """
 
 from __future__ import annotations
@@ -33,6 +41,7 @@ __all__ = [
     "WindowBuffer",
     "TumblingWindow",
     "SlidingWindow",
+    "EventWindowAssigner",
     "make_window_buffer",
 ]
 
@@ -60,6 +69,12 @@ class Window:
         (incremental normalizers, prequential scoring, model updates)
         should operate on ``X[-fresh:]``, while whole-window statistics
         (drift detection) use all rows.
+    revision:
+        0 for a window's first (and normally only) emission.  Under the
+        event-time ingestion plane's ``upsert`` late policy, records that
+        arrive after their window sealed are re-emitted as *correction*
+        windows carrying the original index and ``revision >= 1``; every
+        row of a correction is fresh.
     """
 
     index: int
@@ -68,6 +83,7 @@ class Window:
     start: float
     end: float
     fresh: int = -1
+    revision: int = 0
 
     def __post_init__(self) -> None:
         X = np.asarray(self.X, dtype=float)
@@ -86,6 +102,8 @@ class Window:
             object.__setattr__(self, "fresh", X.shape[0])
         if not 0 < self.fresh <= X.shape[0]:
             raise ValueError("fresh must be in [1, n_rows]")
+        if self.revision < 0:
+            raise ValueError("revision must be >= 0")
 
     @property
     def n_rows(self) -> int:
@@ -182,6 +200,20 @@ class TumblingWindow(WindowBuffer):
         return [window]
 
 
+def _resolve_sliding_step(size: int, step: Optional[int]) -> int:
+    """Default and validate a sliding stride (shared by buffer + assigner)."""
+    step = size if step is None else step
+    if not 1 <= step <= size:
+        raise ValueError(
+            f"sliding step must be in [1, size]; got step={step} with "
+            f"size={size}" + (
+                " (a step larger than the size would silently skip "
+                "records between consecutive windows)" if step > size else ""
+            )
+        )
+    return step
+
+
 class SlidingWindow(WindowBuffer):
     """Overlapping windows: the last ``size`` records, every ``step`` records.
 
@@ -192,10 +224,7 @@ class SlidingWindow(WindowBuffer):
 
     def __init__(self, size: int, step: Optional[int] = None) -> None:
         super().__init__(size)
-        step = size if step is None else step
-        if not 1 <= step <= size:
-            raise ValueError("step must be in [1, size]")
-        self.step = step
+        self.step = _resolve_sliding_step(size, step)
 
     def _maybe_emit(self) -> List[Window]:
         if len(self._records) < self.size:
@@ -211,6 +240,81 @@ class SlidingWindow(WindowBuffer):
         while len(self._records) > self.size - self.step:
             self._records.popleft()
         return [window]
+
+
+@dataclass(frozen=True)
+class EventWindowAssigner:
+    """Pure sequence-number arithmetic for event-time windows.
+
+    Maps a record's sequence number (its position in the *event* order,
+    independent of arrival order) to the tumbling/sliding window(s) whose
+    range contains it.  Window ``w`` covers sequence numbers
+    ``[w * step, w * step + size)`` with ``step == size`` for tumbling
+    windows, which reproduces exactly the windows the arrival-driven
+    :class:`TumblingWindow` / :class:`SlidingWindow` buffers emit on an
+    in-order stream — the invariant the event-time ingestion plane's
+    compatibility guarantee rests on.
+
+    ``fresh_home(seq)`` is the unique window in which the record counts as
+    *fresh* (scored and learned from exactly once); the fresh regions
+    ``[fresh_start(w), last_seq(w)]`` tile the sequence line with no
+    overlap and no gaps.
+    """
+
+    kind: str
+    size: int
+    step: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in WINDOW_KINDS:
+            raise ValueError(
+                f"unknown window kind {self.kind!r}; available: "
+                f"{', '.join(WINDOW_KINDS)}"
+            )
+        if self.size < 1:
+            raise ValueError("window size must be >= 1")
+        if self.kind == "tumbling":
+            # Tumbling windows have no stride knob; a supplied step is
+            # ignored, as the legacy buffer factory ignores it.
+            object.__setattr__(self, "step", self.size)
+            return
+        object.__setattr__(
+            self, "step", _resolve_sliding_step(self.size, self.step)
+        )
+
+    # -- window ranges --------------------------------------------------
+    def start_seq(self, index: int) -> int:
+        """First sequence number of window ``index``."""
+        if index < 0:
+            raise ValueError("window index must be >= 0")
+        return index * self.step
+
+    def last_seq(self, index: int) -> int:
+        """Last (inclusive) sequence number of window ``index``."""
+        return self.start_seq(index) + self.size - 1
+
+    def fresh_start(self, index: int) -> int:
+        """First sequence number that is *fresh* in window ``index``."""
+        if index == 0:
+            return 0
+        return (index - 1) * self.step + self.size
+
+    # -- record membership ----------------------------------------------
+    def windows_of_seq(self, seq: int) -> range:
+        """All window indices whose range contains ``seq`` (ascending)."""
+        if seq < 0:
+            raise ValueError("sequence numbers must be >= 0")
+        high = seq // self.step
+        low = max(0, -(-(seq - self.size + 1) // self.step))
+        return range(low, high + 1)
+
+    def fresh_home(self, seq: int) -> int:
+        """The unique window where ``seq`` is a fresh record."""
+        if seq < 0:
+            raise ValueError("sequence numbers must be >= 0")
+        if seq < self.size:
+            return 0
+        return (seq - self.size) // self.step + 1
 
 
 def make_window_buffer(kind: str, size: int, step: Optional[int] = None) -> WindowBuffer:

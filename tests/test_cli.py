@@ -148,6 +148,55 @@ def test_non_positive_stream_budgets_exit_cleanly(capsys, flag, value):
     assert "Traceback" not in captured.err
 
 
+@pytest.mark.parametrize(
+    "flag,value",
+    [("--skew", "-1"), ("--skew", "-7"), ("--watermark", "-1")],
+)
+def test_negative_event_time_flags_exit_cleanly(capsys, flag, value):
+    code = main(["stream", "--dataset", "iris", flag, value])
+    captured = capsys.readouterr()
+    assert code == 2
+    assert captured.err.startswith("error:")
+    assert flag in captured.err
+    assert "non-negative integer" in captured.err
+    assert "Traceback" not in captured.err
+
+
+def test_unknown_late_policy_exits_with_usage(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["stream", "--dataset", "iris", "--late-policy", "vanish"])
+    assert excinfo.value.code == 2
+    assert "invalid choice" in capsys.readouterr().err
+
+
+def test_stream_out_of_order_text_output(capsys):
+    out = run_cli(
+        capsys, "stream", "--dataset", "iris", "--windows", "4",
+        "--window-size", "32", "--skew", "6", "--watermark", "2",
+        "--late-policy", "readmit",
+    )
+    assert "ingestion" in out
+    assert "event-time ingestion per provider" in out
+    assert "max skew" in out
+
+
+def test_stream_out_of_order_json_reports_ingest_counters(capsys):
+    out = run_cli(
+        capsys, "stream", "--dataset", "iris", "--windows", "4",
+        "--window-size", "32", "--skew", "6", "--watermark", "2",
+        "--late-policy", "readmit", "--json",
+    )
+    payload = json.loads(out)
+    ingest = payload["ingest"]
+    assert ingest["records"] == payload["records_processed"]
+    assert ingest["max_skew"] > 0
+    assert ingest["readmitted"] == ingest["late"]
+    assert len(ingest["providers"]) == 3
+    assert {"late", "dropped", "readmitted", "upserted", "max_skew"} <= set(
+        ingest["providers"][0]
+    )
+
+
 def test_session_json_output(capsys):
     out = run_cli(capsys, "session", "--dataset", "iris", "--k", "3", "--json")
     payload = json.loads(out)

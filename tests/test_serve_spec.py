@@ -32,6 +32,9 @@ from repro.streaming import StreamConfig, TrustChange, make_stream
         ({"shard_plan": "random"}, "shard plan"),
         ({"kind": "batch", "classifier": "resnet"}, "batch classifier"),
         ({"kind": "stream", "classifier": "svm_rbf"}, "stream classifier"),
+        ({"watermark_delay": -1}, "watermark_delay"),
+        ({"late_policy": "vanish"}, "late policy"),
+        ({"skew": -1}, "skew"),
         ({"test_fraction": 1.5}, "test_fraction"),
         ({"optimizer_rounds": 0}, "optimizer_rounds"),
         ({"optimizer_local_steps": -1}, "optimizer_local_steps"),
@@ -122,6 +125,30 @@ def test_to_stream_config_round_trips_the_legacy_config():
     assert spec.to_stream_config() == config
     assert spec.stream == "gradual"
     assert spec.effective_records == 128
+
+
+def test_event_time_knobs_round_trip_to_stream_config():
+    config = StreamConfig(
+        k=3,
+        window_size=32,
+        watermark_delay=4,
+        late_policy="readmit",
+        skew=6,
+        seed=2,
+    )
+    source = make_stream("iris", n_records=128, seed=2)
+    spec = SessionSpec.from_stream(source, config)
+    assert spec.watermark_delay == 4
+    assert spec.late_policy == "readmit"
+    assert spec.skew == 6
+    assert spec.to_stream_config() == config
+    # ...and through the JSON workload representation too.
+    again = SessionSpec.from_mapping(spec.to_mapping())
+    assert again.to_stream_config() == config
+    mapping = spec.to_mapping()
+    assert mapping["watermark_delay"] == 4
+    assert mapping["late_policy"] == "readmit"
+    assert mapping["skew"] == 6
 
 
 def test_wrong_kind_conversion_raises():

@@ -150,6 +150,132 @@ def test_deterministic_under_seeds():
     ]
 
 
+# ----------------------------------------------------------------------
+# event-time ingestion
+# ----------------------------------------------------------------------
+def event_config(**overrides):
+    base = dict(k=3, window_size=WINDOW, compute_privacy=False, seed=0)
+    base.update(overrides)
+    return StreamConfig(**base)
+
+
+def test_out_of_order_within_watermark_matches_in_order_run():
+    """Lateness <= watermark under readmit: identical session, bit for bit."""
+    in_order = run("abrupt", event_config())
+    skewed_run = run(
+        "abrupt",
+        event_config(skew=9, watermark_delay=9, late_policy="readmit"),
+    )
+    assert skewed_run.ingest.late == 0
+    assert 0 < skewed_run.ingest.max_skew <= 9
+    assert skewed_run.accuracy_perturbed == in_order.accuracy_perturbed
+    assert skewed_run.accuracy_baseline == in_order.accuracy_baseline
+    assert skewed_run.deviation_series() == in_order.deviation_series()
+    assert skewed_run.messages_sent == in_order.messages_sent
+    assert skewed_run.bytes_sent == in_order.bytes_sent
+    assert skewed_run.data_messages_sent == in_order.data_messages_sent
+    assert skewed_run.data_bytes_sent == in_order.data_bytes_sent
+    assert [w.drift_statistic for w in skewed_run.windows] == [
+        w.drift_statistic for w in in_order.windows
+    ]
+
+
+def test_skewed_session_identical_across_shard_counts_and_backends():
+    reference = run(
+        "stationary",
+        event_config(skew=12, watermark_delay=4, late_policy="readmit"),
+    )
+    assert reference.ingest.late > 0  # the scenario actually exercises lateness
+    for shards, backend in ((3, "serial"), (4, "thread")):
+        result = run(
+            "stationary",
+            event_config(
+                skew=12, watermark_delay=4, late_policy="readmit",
+                shards=shards, shard_backend=backend,
+            ),
+        )
+        assert result.accuracy_perturbed == reference.accuracy_perturbed
+        assert result.deviation_series() == reference.deviation_series()
+        assert result.ingest.to_dict() == reference.ingest.to_dict()
+
+
+def test_drop_policy_discards_and_accounts():
+    result = run("stationary", event_config(skew=12, late_policy="drop"))
+    assert result.ingest.late > 0
+    assert result.ingest.dropped == result.ingest.late
+    scored = sum(w.n_records for w in result.windows)
+    assert scored == result.records_processed - result.ingest.dropped
+
+
+def test_readmit_policy_scores_every_record():
+    result = run("stationary", event_config(skew=12, late_policy="readmit"))
+    assert result.ingest.readmitted == result.ingest.late > 0
+    assert sum(w.n_records for w in result.windows) == result.records_processed
+
+
+def test_upsert_policy_emits_correction_windows():
+    result = run("stationary", event_config(skew=12, late_policy="upsert"))
+    corrections = [w for w in result.windows if w.revision > 0]
+    assert result.ingest.upserted == result.ingest.late > 0
+    assert corrections
+    assert all(not w.readapted for w in corrections)
+    assert sum(w.n_records for w in result.windows) == result.records_processed
+
+
+def test_heavy_skew_tiny_windows_survive_every_policy():
+    # Regression: with window_size 2 and skew far beyond the watermark,
+    # corrections can outrun the first regular window (epoch not yet
+    # negotiated) and sealed windows can be degenerate (1 row) — both
+    # used to crash the driver (AssertionError / drift-rebase ValueError).
+    for policy, seed, skew in (("upsert", 1, 30), ("upsert", 0, 16),
+                               ("drop", 2, 24), ("readmit", 3, 24)):
+        source = make_stream("iris", n_records=120, seed=seed)
+        result = run_stream_session(
+            source,
+            StreamConfig(k=3, window_size=2, skew=skew, watermark_delay=0,
+                         late_policy=policy, seed=seed,
+                         compute_privacy=False),
+        )
+        assert result.ingest.late > 0
+
+
+def test_in_order_partial_tail_is_dropped_like_the_legacy_driver():
+    # 100 records / 32-row windows: the legacy driver scored exactly 3
+    # windows (96 records) and silently dropped the remainder; the
+    # event-time plane must not start scoring the tail.
+    source = make_stream("wine", n_records=100, seed=2)
+    result = run_stream_session(
+        source, StreamConfig(k=3, window_size=32, seed=4,
+                             compute_privacy=False)
+    )
+    assert len(result.windows) == 3
+    assert sum(w.n_records for w in result.windows) == 96
+    assert result.records_processed == 100
+
+
+def test_ingest_counters_surface_in_summary_and_json():
+    result = run("stationary", event_config(skew=12, late_policy="readmit"))
+    assert "ingestion" in result.summary()
+    payload = result.to_dict()
+    assert payload["ingest"]["late"] == result.ingest.late
+    assert payload["ingest"]["max_skew"] == result.ingest.max_skew
+    providers = payload["ingest"]["providers"]
+    assert [p["name"] for p in providers] == [
+        "provider-0", "provider-1", "coordinator"
+    ]
+    assert sum(p["records"] for p in providers) == result.records_processed
+    assert len(payload["provider_records"]) == result.config.k
+
+
+def test_event_time_config_validation():
+    with pytest.raises(ValueError, match="watermark_delay"):
+        StreamConfig(watermark_delay=-1)
+    with pytest.raises(ValueError, match="late policy"):
+        StreamConfig(late_policy="vanish")
+    with pytest.raises(ValueError, match="skew"):
+        StreamConfig(skew=-2)
+
+
 def test_config_validation():
     with pytest.raises(ValueError):
         StreamConfig(k=1)

@@ -4,7 +4,13 @@ import numpy as np
 import pytest
 
 from repro.datasets.registry import load_dataset
-from repro.streaming.sources import STREAM_KINDS, StreamSource, make_stream
+from repro.streaming.sources import (
+    STREAM_KINDS,
+    StreamRecord,
+    StreamSource,
+    make_stream,
+    skewed,
+)
 
 
 def collect(source):
@@ -80,6 +86,69 @@ def test_bursty_rate_alternates():
     fast = np.concatenate([gaps[i : i + period] for i in (0, 2 * period)])
     slow = np.concatenate([gaps[period : 2 * period], gaps[3 * period : 4 * period]])
     assert slow.mean() > 3.0 * fast.mean()
+
+
+def test_records_are_sequence_stamped_events():
+    source = make_stream("iris", n_records=50, seed=0)
+    records = list(source)
+    assert [r.seq for r in records] == list(range(50))
+    # Provider attribution defaults to "unassigned" (the consumer's k
+    # decides the round-robin), and the legacy 3-field view still works.
+    assert all(r.provider == -1 for r in records)
+    x, y, t = records[0].x, records[0].y, records[0].time
+    assert x.shape == (source.dimension,) and isinstance(y, int) and t > 0
+
+
+def event_stream(n):
+    return [
+        StreamRecord(x=np.array([float(i)]), y=0, time=float(i), seq=i)
+        for i in range(n)
+    ]
+
+
+def test_skewed_is_a_bounded_displacement_permutation():
+    n, skew = 200, 5
+    out = list(skewed(event_stream(n), skew, seed=1))
+    seqs = [r.seq for r in out]
+    assert sorted(seqs) == list(range(n))
+    assert seqs != list(range(n))
+    for position, seq in enumerate(seqs):
+        assert abs(position - seq) <= skew
+    # Observed lateness (frontier gap at arrival) never exceeds the skew.
+    frontier, lateness = -1, 0
+    for seq in seqs:
+        lateness = max(lateness, frontier - seq)
+        frontier = max(frontier, seq)
+    assert 0 < lateness <= skew
+
+
+def test_skewed_preserves_event_identity():
+    records = event_stream(40)
+    out = sorted(skewed(records, 6, seed=2), key=lambda r: r.seq)
+    for original, delivered in zip(records, out):
+        assert delivered.seq == original.seq
+        assert delivered.time == original.time
+        assert np.array_equal(delivered.x, original.x)
+
+
+def test_skewed_determinism_and_identity_cases():
+    records = event_stream(60)
+    a = [r.seq for r in skewed(records, 4, seed=7)]
+    b = [r.seq for r in skewed(records, 4, seed=7)]
+    c = [r.seq for r in skewed(records, 4, seed=8)]
+    assert a == b and a != c
+    assert [r.seq for r in skewed(records, 0, seed=7)] == list(range(60))
+    with pytest.raises(ValueError):
+        list(skewed(records, -1))
+
+
+def test_skewed_stamps_unsequenced_records():
+    plain = [
+        StreamRecord(x=np.array([float(i)]), y=0, time=float(i))
+        for i in range(20)
+    ]
+    out = list(skewed(plain, 3, seed=0))
+    assert sorted(r.seq for r in out) == list(range(20))
 
 
 def test_validation_errors():

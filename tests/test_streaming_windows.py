@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.streaming.windows import (
+    EventWindowAssigner,
     SlidingWindow,
     TumblingWindow,
     Window,
@@ -103,7 +104,93 @@ def test_buffer_validation():
         make_window_buffer("hopping", 4)
 
 
+def test_factory_rejects_step_larger_than_size():
+    # A step > size would silently skip records between windows; the
+    # factory must refuse it with an actionable message, not build a
+    # lossy buffer.
+    with pytest.raises(ValueError) as excinfo:
+        make_window_buffer("sliding", 4, 9)
+    message = str(excinfo.value)
+    assert "step=9" in message and "size=4" in message
+    assert "skip" in message
+    # The event-time assigner (the path the session actually runs) must
+    # give the same actionable message, not a diverging copy.
+    with pytest.raises(ValueError) as excinfo:
+        EventWindowAssigner("sliding", 4, 9)
+    assert str(excinfo.value) == message
+
+
 def test_factory_kinds():
     assert isinstance(make_window_buffer("tumbling", 4), TumblingWindow)
     sliding = make_window_buffer("sliding", 4, 2)
     assert isinstance(sliding, SlidingWindow) and sliding.step == 2
+
+
+def test_window_revision_validation():
+    with pytest.raises(ValueError):
+        Window(
+            index=0, X=np.zeros((2, 2)), y=np.zeros(2),
+            start=0.0, end=1.0, revision=-1,
+        )
+    window = Window(
+        index=0, X=np.zeros((2, 2)), y=np.zeros(2), start=0.0, end=1.0
+    )
+    assert window.revision == 0
+
+
+# ----------------------------------------------------------------------
+# event-time window arithmetic
+# ----------------------------------------------------------------------
+def test_assigner_tumbling_ranges_and_membership():
+    assigner = EventWindowAssigner("tumbling", 4)
+    assert assigner.step == 4
+    assert [assigner.start_seq(w) for w in range(3)] == [0, 4, 8]
+    assert [assigner.last_seq(w) for w in range(3)] == [3, 7, 11]
+    for seq in range(12):
+        assert list(assigner.windows_of_seq(seq)) == [seq // 4]
+        assert assigner.fresh_home(seq) == seq // 4
+
+
+def test_assigner_sliding_membership_matches_ranges():
+    assigner = EventWindowAssigner("sliding", 4, 2)
+    for seq in range(30):
+        members = list(assigner.windows_of_seq(seq))
+        for window in members:
+            assert assigner.start_seq(window) <= seq <= assigner.last_seq(window)
+        # ...and no window outside the returned range contains seq.
+        if members:
+            for window in (members[0] - 1, members[-1] + 1):
+                if window >= 0:
+                    inside = (
+                        assigner.start_seq(window)
+                        <= seq
+                        <= assigner.last_seq(window)
+                    )
+                    assert not inside
+
+
+def test_assigner_fresh_regions_tile_the_sequence_line():
+    for kind, size, step in [
+        ("tumbling", 5, None), ("sliding", 4, 2), ("sliding", 7, 3)
+    ]:
+        assigner = EventWindowAssigner(kind, size, step)
+        homes = [assigner.fresh_home(seq) for seq in range(60)]
+        # Non-decreasing, starting at window 0...
+        assert homes[0] == 0
+        assert all(b - a in (0, 1) for a, b in zip(homes, homes[1:]))
+        # ...and each seq falls inside its home's fresh region.
+        for seq, home in enumerate(homes):
+            assert assigner.fresh_start(home) <= seq <= assigner.last_seq(home)
+
+
+def test_assigner_validation():
+    with pytest.raises(ValueError):
+        EventWindowAssigner("hopping", 4)
+    with pytest.raises(ValueError):
+        EventWindowAssigner("sliding", 4, 9)
+    with pytest.raises(ValueError):
+        EventWindowAssigner("tumbling", 0)
+    with pytest.raises(ValueError):
+        EventWindowAssigner("tumbling", 4).windows_of_seq(-1)
+    # Tumbling ignores a supplied step, matching the legacy factory.
+    assert EventWindowAssigner("tumbling", 4, 9).step == 4

@@ -1,0 +1,147 @@
+"""Pipelined-rounds benchmark — overlap vs serial dispatch latency hiding.
+
+Runs the same streaming session twice per configuration over a thread
+worker pool: once with ``overlap=False`` (the driver blocks on every
+round's transforms and predictions) and once with ``overlap=True`` (round
+``N+1``'s transforms and round ``N``'s predictions occupy the pool while
+the driver runs the control plane).  Reports records/second for both and
+the speedup, i.e. how much driver round-dispatch latency the pipeline
+hides.  Because overlap is bit-deterministic, the benchmark doubles as a
+correctness check: every pipelined run must reproduce the serial-dispatch
+fingerprint exactly.
+
+On a single hardware core the two dispatch modes collapse to the same
+wall time (there is nobody to overlap *with*); the speedup column is
+meaningful on multi-core hosts.
+
+Two entry points:
+
+* ``pytest benchmarks/bench_overlap.py`` — pytest-benchmark harness,
+  saves the rendered block under ``benchmarks/results/``;
+* ``python benchmarks/bench_overlap.py [--quick]`` — standalone sweep
+  (no pytest needed); ``--quick`` shrinks the stream for CI smoke runs.
+
+Budget knobs: ``REPRO_BENCH_OVERLAP_WINDOWS``,
+``REPRO_BENCH_OVERLAP_WINDOW_SIZE``, ``REPRO_BENCH_OVERLAP_SHARDS``
+(comma-separated sweep).
+"""
+
+import argparse
+import os
+import sys
+import time
+
+from repro.analysis.reporting import ascii_table, series_block
+from repro.streaming import StreamConfig, make_stream, run_stream_session
+
+from _util import budget_from_env, save_block
+
+N_WINDOWS = budget_from_env("REPRO_BENCH_OVERLAP_WINDOWS", 24)
+WINDOW_SIZE = budget_from_env("REPRO_BENCH_OVERLAP_WINDOW_SIZE", 64)
+SHARD_LEVELS = tuple(
+    int(v)
+    for v in os.environ.get("REPRO_BENCH_OVERLAP_SHARDS", "2,4,8").split(",")
+)
+
+
+def _fingerprint(result):
+    """The deterministic core of a stream result, for identity checks."""
+    return (
+        result.deviation_series(),
+        result.messages_sent,
+        result.data_bytes_sent,
+        [(e.reason, e.window) for e in result.events],
+    )
+
+
+def _run(n_windows, window_size, shards, overlap, backend="thread", seed=0):
+    """One timed session; returns (result, wall seconds)."""
+    source = make_stream(
+        "wine", kind="stationary", n_records=n_windows * window_size, seed=seed
+    )
+    config = StreamConfig(
+        k=3,
+        window_size=window_size,
+        compute_privacy=False,
+        shards=shards,
+        shard_backend=backend,
+        overlap=overlap,
+        seed=seed,
+    )
+    began = time.perf_counter()
+    result = run_stream_session(source, config)
+    return result, time.perf_counter() - began
+
+
+def _sweep(n_windows, window_size, shard_levels):
+    """Serial-dispatch vs pipelined rows, one per shard level."""
+    rows = []
+    for shards in shard_levels:
+        serial, serial_wall = _run(n_windows, window_size, shards, overlap=False)
+        piped, piped_wall = _run(n_windows, window_size, shards, overlap=True)
+        identical = _fingerprint(piped) == _fingerprint(serial)
+        assert identical, f"shards={shards}: overlap diverged from serial dispatch"
+        assert piped.overlap and not serial.overlap
+        rows.append(
+            [
+                str(shards),
+                f"{serial.records_processed / serial_wall:,.0f}",
+                f"{piped.records_processed / piped_wall:,.0f}",
+                f"{serial_wall / piped_wall:.2f}x",
+                "yes" if identical else "NO",
+            ]
+        )
+    return rows
+
+
+HEADERS = ["shards", "serial rec/s", "overlap rec/s", "speedup", "identical"]
+
+
+def test_overlap_throughput(benchmark):
+    """pytest-benchmark entry: time the widest level, save the sweep table."""
+    rows = _sweep(N_WINDOWS, WINDOW_SIZE, SHARD_LEVELS)
+    top = max(SHARD_LEVELS)
+    result, _ = benchmark.pedantic(
+        lambda: _run(N_WINDOWS, WINDOW_SIZE, top, overlap=True),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.overlap
+    save_block(
+        "overlap_throughput",
+        series_block(
+            f"Pipelined rounds - overlap vs serial dispatch (wine, "
+            f"{N_WINDOWS}x{WINDOW_SIZE}, thread pool)",
+            ascii_table(HEADERS, rows),
+        ),
+    )
+
+
+def main(argv=None):
+    """Standalone sweep: ``python benchmarks/bench_overlap.py [--quick]``."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke mode: a small stream, shards 2 and 4 only",
+    )
+    args = parser.parse_args(argv)
+
+    n_windows, window_size = N_WINDOWS, WINDOW_SIZE
+    shard_levels = SHARD_LEVELS
+    if args.quick:
+        n_windows, window_size = 6, 32
+        shard_levels = (2, 4)
+    rows = _sweep(n_windows, window_size, shard_levels)
+    print(
+        series_block(
+            f"Pipelined rounds - overlap vs serial dispatch (thread pool"
+            f"{', quick' if args.quick else ''})",
+            ascii_table(HEADERS, rows),
+        )
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -14,6 +14,9 @@ Usage (after ``pip install -e .``)::
                                    # online SAP over a drifting stream
     repro stream --dataset wine --shards 4 --shard-backend process
                                    # same pipeline, sharded across workers
+    repro stream --dataset wine --shards 4 --shard-backend thread --overlap
+                                   # pipelined rounds: round N+1 transforms
+                                   # overlap round N predictions
     repro stream --dataset wine --skew 3 --watermark 4 --late-policy readmit
                                    # out-of-order arrivals, watermark-sealed
                                    # windows, late records readmitted
@@ -186,6 +189,14 @@ def build_parser() -> argparse.ArgumentParser:
         default="round_robin",
         choices=["round_robin", "hash", "party"],
         help="window/batch-to-shard assignment strategy",
+    )
+    p.add_argument(
+        "--overlap",
+        action=argparse.BooleanOptionalAction,
+        default=None,
+        help="pipeline rounds over the worker pool (default: on for "
+        "thread/process backends, ignored for serial; results are "
+        "identical either way)",
     )
     p.add_argument(
         "--trust-change",
@@ -449,6 +460,7 @@ def _cmd_stream(args: argparse.Namespace) -> str:
         shards=args.shards,
         shard_backend=args.shard_backend,
         shard_plan=args.shard_plan,
+        overlap=args.overlap,
         watermark_delay=args.watermark,
         late_policy=args.late_policy,
         skew=args.skew,

@@ -174,6 +174,12 @@ class SessionHandle:
         # slot immediately instead of when a driver reaches the dead item.
         self._on_cancel = None
         self._cancel_accounted = False
+        # Guards the cancel() winner election: Future.cancel() returns
+        # True for *every* caller once the future is cancelled, so without
+        # this lock two racing cancellers would both claim the win (and
+        # both fire the slot-release callback).
+        self._cancel_lock = threading.Lock()
+        self._cancel_claimed = False
 
     # -- state, derived from the future plus the running flag -----------
     def poll(self) -> str:
@@ -207,11 +213,23 @@ class SessionHandle:
         return self._future.result(timeout=timeout)
 
     def cancel(self) -> bool:
-        """Cancel the session if it is still queued; returns success."""
-        cancelled = self._future.cancel()
-        if cancelled and self._on_cancel is not None:
-            self._on_cancel(self)
-        return cancelled
+        """Cancel the session if it is still queued; returns success.
+
+        Idempotent and race-free: however many threads call it, exactly
+        one observes ``True`` (the one whose call actually cancelled the
+        session) and the admission-slot release fires exactly once —
+        ``concurrent.futures.Future.cancel`` alone reports ``True`` to
+        every caller on an already-cancelled future, which would release
+        the slot once per caller.
+        """
+        with self._cancel_lock:
+            if self._cancel_claimed or not self._future.cancel():
+                return False
+            self._cancel_claimed = True
+            callback = self._on_cancel
+        if callback is not None:
+            callback(self)
+        return True
 
     @property
     def queue_seconds(self) -> float:
@@ -650,13 +668,17 @@ class MiningService:
             failed = sum(t.failed for t in tenants)
             cancelled = sum(t.cancelled for t in tenants)
             active = self._active
+            # utilization() advances the occupancy clock up to "now" under
+            # the metering lock; reading busy_seconds *after* it keeps the
+            # two figures consistent while dispatches are mid-flight.
+            utilization = self.pool.utilization(elapsed)
             pool = PoolStats(
                 backend=self.pool.name,
                 workers=self.pool.n_workers,
                 tasks=self.pool.tasks_dispatched,
                 batches=self.pool.batches_dispatched,
                 busy_seconds=self.pool.busy_seconds,
-                utilization=self.pool.utilization(elapsed),
+                utilization=utilization,
             )
             return ServiceStats(
                 elapsed_seconds=elapsed,

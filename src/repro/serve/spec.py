@@ -118,6 +118,15 @@ class SessionSpec:
         the spec runs standalone — a :class:`~repro.serve.engine.MiningService`
         substitutes its own shared pool, which is sound because results
         are backend-independent by construction.
+    overlap:
+        Stream-only: pipeline rounds over the shard backend (dispatch
+        round ``N+1``'s transforms while round ``N``'s predictions are in
+        flight).  ``None`` — the default — enables overlap whenever the
+        executing backend can actually overlap work (thread/process
+        pools, including a serving engine's shared pool); ``False``
+        forces serial dispatch.  ``True`` requests it but is ignored on
+        an inline/serial backend, whose dispatches complete at submit
+        time anyway.  Never affects results, only scheduling.
     """
 
     kind: str = "batch"
@@ -157,6 +166,7 @@ class SessionSpec:
     shards: int = 1
     shard_backend: str = "serial"
     shard_plan: str = "round_robin"
+    overlap: Optional[bool] = None
 
     def __post_init__(self) -> None:
         _require_choice("session kind", self.kind, SESSION_KINDS)
@@ -193,6 +203,11 @@ class SessionSpec:
         _require_positive("shards", self.shards)
         _require_choice("shard backend", self.shard_backend, BACKENDS)
         _require_choice("shard plan", self.shard_plan, SHARD_STRATEGIES)
+        if self.overlap is not None and not isinstance(self.overlap, bool):
+            raise ValueError(
+                f"overlap must be true, false, or null (auto), got "
+                f"{self.overlap!r}"
+            )
         names = CLASSIFIER_NAMES if self.kind == "batch" else ONLINE_CLASSIFIERS
         if self.classifier is not None:
             _require_choice(f"{self.kind} classifier", self.classifier, names)
@@ -320,6 +335,7 @@ class SessionSpec:
             shards=self.shards,
             shard_backend=self.shard_backend,
             shard_plan=self.shard_plan,
+            overlap=self.overlap,
             watermark_delay=self.watermark_delay,
             late_policy=self.late_policy,
             skew=self.skew,
@@ -412,6 +428,7 @@ class SessionSpec:
             shards=config.shards,
             shard_backend=config.shard_backend,
             shard_plan=config.shard_plan,
+            overlap=config.overlap,
             watermark_delay=config.watermark_delay,
             late_policy=config.late_policy,
             skew=config.skew,
@@ -476,6 +493,7 @@ class SessionSpec:
                 detector=self.detector,
                 readapt_cooldown=self.readapt_cooldown,
                 n_records=self.effective_records,
+                overlap=self.overlap,
                 watermark_delay=self.watermark_delay,
                 late_policy=self.late_policy,
                 skew=self.skew,

@@ -32,6 +32,7 @@ from .backends import (
     ProcessBackend,
     SerialBackend,
     ShardBackend,
+    ShardFutures,
     ThreadBackend,
     make_backend,
 )
@@ -44,6 +45,7 @@ __all__ = [
     "ShardPlan",
     "BACKENDS",
     "ShardBackend",
+    "ShardFutures",
     "SerialBackend",
     "ThreadBackend",
     "ProcessBackend",

@@ -30,7 +30,7 @@ import numpy as np
 from ..simnet.channel import Network
 from ..simnet.messages import Message, MessageKind
 from ..simnet.node import Node
-from .backends import ShardBackend, make_backend
+from .backends import ShardBackend, ShardFutures, make_backend
 from .plan import ShardPlan
 
 __all__ = ["ShardPool", "DataPlane"]
@@ -71,6 +71,17 @@ class ShardPool:
     ) -> List[_Result]:
         """Ordered map over the backend (see :meth:`ShardBackend.map`)."""
         return self.backend.map(fn, tasks)
+
+    def submit_map(
+        self, fn: Callable[[_Task], _Result], tasks: Sequence[_Task]
+    ) -> ShardFutures:
+        """Asynchronous dispatch (see :meth:`ShardBackend.submit_map`)."""
+        return self.backend.submit_map(fn, tasks)
+
+    @property
+    def supports_overlap(self) -> bool:
+        """Whether dispatches can run while the driver does other work."""
+        return self.backend.supports_overlap
 
     def close(self) -> None:
         """Release the backend's worker pool (no-op for a shared backend)."""

@@ -38,6 +38,17 @@ model updates — stay on the driver in window order, which is why the
 results are bit-identical for every ``(shards, backend, plan)`` choice;
 ``shards=1`` on the serial backend is simply the degenerate round size.
 
+Rounds are **pipelined** (``config.overlap``, default on for pool
+backends): the driver dispatches a round's transforms asynchronously
+(:meth:`~repro.sharding.ShardBackend.submit_map`), runs the next round's
+control plane while they execute, and gathers in strict round order — a
+double-buffered pipeline where round ``N+1``'s transforms and round
+``N``'s predictions occupy the pool while the driver ingests records.  A
+round that re-negotiates the space first *drains* everything in flight,
+so no dispatched task ever references a replaced epoch's invalidated
+adaptor cache.  Overlap reorders execution, never gathering/merge order,
+so results remain bit-identical to serial dispatch.
+
 Accuracy is scored prequentially (test-then-train) against a baseline copy
 of the same online learner fed the *un*-perturbed normalized records, so
 the reported deviation isolates what perturbation costs — the streaming
@@ -61,6 +72,7 @@ from ..sharding import (
     SHARD_STRATEGIES,
     DataPlane,
     ShardBackend,
+    ShardFutures,
     ShardPlan,
     ShardPool,
     predict_window,
@@ -150,6 +162,17 @@ class StreamConfig:
         :class:`repro.sharding.ShardPlan`.  Affects placement and
         data-plane routing (the ``party`` strategy adds forward hops),
         never results.
+    overlap:
+        Pipeline rounds: dispatch round ``N+1``'s shard transforms while
+        round ``N``'s predictions are still in flight, hiding driver
+        control-plane latency behind the worker pool (double-buffered
+        rounds).  ``None`` — the default — enables the pipeline whenever
+        the executing backend can actually overlap work (thread/process
+        pools); ``True``/``False`` force it.  On the serial backend the
+        flag is ignored: dispatches run inline, so the pipeline
+        degenerates to serial execution either way.  Results are
+        bit-identical with and without overlap — execution may reorder,
+        merge order never does.
     watermark_delay:
         How many sequence numbers the ingestion watermark trails the
         arrival frontier before a window seals (see
@@ -188,6 +211,7 @@ class StreamConfig:
     shards: int = 1
     shard_backend: str = "serial"
     shard_plan: str = "round_robin"
+    overlap: Optional[bool] = None
     watermark_delay: int = 0
     late_policy: str = "drop"
     skew: int = 0
@@ -235,6 +259,11 @@ class StreamConfig:
             raise ValueError(
                 f"unknown shard plan {self.shard_plan!r}; available: "
                 f"{', '.join(SHARD_STRATEGIES)}"
+            )
+        if self.overlap is not None and not isinstance(self.overlap, bool):
+            raise ValueError(
+                f"overlap must be True, False, or None (auto), got "
+                f"{self.overlap!r}"
             )
         if (
             not isinstance(self.watermark_delay, int)
@@ -324,6 +353,10 @@ class StreamSessionResult:
     shard_records: Tuple[int, ...] = ()
     ingest: Optional[IngestStats] = None
     provider_records: Tuple[int, ...] = ()
+    #: whether the driver actually pipelined rounds (the *effective* value
+    #: of ``config.overlap`` — false whenever the executing backend runs
+    #: dispatches inline, whatever the config asked for)
+    overlap: bool = False
 
     @property
     def deviation(self) -> float:
@@ -363,7 +396,8 @@ class StreamSessionResult:
             f"providers (k)     : {self.config.k}",
             f"classifier        : {self.config.classifier}",
             f"shards            : {self.config.shards} "
-            f"({self.config.shard_backend} backend, {self.config.shard_plan} plan)",
+            f"({self.config.shard_backend} backend, {self.config.shard_plan} plan, "
+            f"{'pipelined' if self.overlap else 'serial'} dispatch)",
             f"records / windows : {self.records_processed} / {len(self.windows)}",
             f"re-adaptations    : {self.readaptations}",
             f"baseline accuracy : {self.accuracy_baseline:.4f}",
@@ -399,6 +433,7 @@ class StreamSessionResult:
             "classifier": self.config.classifier,
             "seed": self.config.seed,
             "shards": self.config.shards,
+            "overlap": self.overlap,
             "records_processed": self.records_processed,
             "n_windows": len(self.windows),
             "readaptations": self.readaptations,
@@ -658,6 +693,24 @@ class _WindowWork:
     X_target: Optional[np.ndarray] = field(default=None)
 
 
+@dataclass(eq=False)
+class _Round:
+    """One round of windows moving through the (possibly pipelined) driver.
+
+    A round is born in the *control* stage (window-ordered decisions,
+    ``work`` and ``stale_epoch_ids`` filled), gets its transform tasks
+    dispatched (``transforms`` set), is *settled* (transforms gathered,
+    data plane charged, models updated, ``predictions`` dispatched), and
+    finally *merged* (predictions gathered, stats folded in).  ``eq=False``
+    keeps identity semantics — work items hold numpy arrays.
+    """
+
+    work: List[_WindowWork]
+    stale_epoch_ids: List[int]
+    transforms: Optional[ShardFutures] = None
+    predictions: Optional[ShardFutures] = None
+
+
 # ----------------------------------------------------------------------
 # the session driver
 # ----------------------------------------------------------------------
@@ -727,6 +780,12 @@ def _execute_stream_session(
         seed=int(master.integers(2**32)),
     )
     pool = ShardPool(plan, config.shard_backend if backend is None else backend)
+    # Pipelined rounds: on by default whenever the executing backend can
+    # actually overlap dispatches with driver work (thread/process pools,
+    # including a serving engine's shared metered pool); ``overlap=False``
+    # forces serial dispatch, and an inline/serial backend ignores the
+    # flag because its dispatches complete at submit time anyway.
+    overlap_enabled = pool.supports_overlap and config.overlap is not False
     adaptor_cache = AdaptorCache(maxsize=max(4 * config.k, 16))
     # The push-based ingestion surface: provider gates feed per-shard
     # window buffers and the watermark seals windows in index order.
@@ -823,12 +882,19 @@ def _execute_stream_session(
             ]
         )
 
-    def run_round(round_windows: List[Window]) -> None:
-        """Process one round: control plane, transforms, mining, predictions."""
+    # Rounds move through four stages.  Control runs strictly in window
+    # order on the driver; dispatch/settle/merge run strictly in *round*
+    # order.  The pipelined driver interleaves stages of different rounds
+    # (control N+1 before settle N), which is safe because the stages
+    # touch disjoint session state: control owns the normalizer, drift
+    # detector, trust schedule, epoch, and master RNG; settle owns the
+    # data plane and the two online models; merge owns the accuracy
+    # counters and per-window stats.  Every stage's own sequence is
+    # identical to unpipelined execution, so results are bit-identical.
+    def control(round_windows: List[Window]) -> _Round:
+        """Stage 1: per-window control-plane decisions, in window order."""
         nonlocal epoch, last_readapt_window
-        nonlocal correct_perturbed, correct_baseline, scored
 
-        # ----- stage 1: control plane, strictly in window order ----------
         work: List[_WindowWork] = []
         stale_epoch_ids: List[int] = []
         for window in round_windows:
@@ -950,8 +1016,11 @@ def _execute_stream_session(
                     shard=shard,
                 )
             )
+        return _Round(work=work, stale_epoch_ids=stale_epoch_ids)
 
-        # ----- stage 2: transforms fan out across the pool ---------------
+    def dispatch(current: _Round) -> None:
+        """Stage 2: fan the round's transforms out across the pool."""
+        work = current.work
         round_epochs = {item.epoch.epoch_id: item.epoch for item in work}
         stacks = {
             epoch_id: stacked_adaptor_rotations(round_epoch)
@@ -959,8 +1028,11 @@ def _execute_stream_session(
         }
         # Re-negotiation invalidation is deferred to here: windows earlier
         # in the round still belong to the replaced epoch, and their stack
-        # must come from the cache, not a re-derivation.
-        for epoch_id in stale_epoch_ids:
+        # must come from the cache, not a re-derivation.  The pipelined
+        # driver drains in-flight rounds *before* this point (the drain
+        # rule), so no dispatched transform ever references a stack built
+        # against an epoch invalidated here.
+        for epoch_id in current.stale_epoch_ids:
             adaptor_cache.invalidate(target_id=epoch_id)
         tasks = [
             {
@@ -978,7 +1050,14 @@ def _execute_stream_session(
             }
             for item in work
         ]
-        for item, result in zip(work, pool.map(transform_window, tasks)):
+        current.transforms = pool.submit_map(transform_window, tasks)
+        live_rounds.append(current)
+
+    def settle(current: _Round) -> None:
+        """Stages 2b/3: gather transforms, charge the network, update models."""
+        work = current.work
+        assert current.transforms is not None
+        for item, result in zip(work, current.transforms.gather()):
             item.X_norm = result["X_norm"]
             item.X_target = result["X_target"]
 
@@ -1006,10 +1085,15 @@ def _execute_stream_session(
             baseline.partial_fit(item.X_norm, item.y_fresh)
 
         # ----- stage 4: prequential predictions fan out ------------------
-        predictions = pool.map(predict_window, predict_tasks)
+        current.predictions = pool.submit_map(predict_window, predict_tasks)
 
-        # ----- stage 5: merge stats, strictly in window order ------------
-        for index, item in enumerate(work):
+    def merge(current: _Round) -> None:
+        """Stage 5: gather predictions and merge stats, in window order."""
+        nonlocal correct_perturbed, correct_baseline, scored
+        assert current.predictions is not None
+        predictions = current.predictions.gather()
+        live_rounds.remove(current)
+        for index, item in enumerate(current.work):
             pred_perturbed = predictions[2 * index]
             pred_baseline = predictions[2 * index + 1]
             acc_perturbed = accuracy_score(item.y_fresh, pred_perturbed)
@@ -1030,6 +1114,62 @@ def _execute_stream_session(
                 )
             )
 
+    # ----- the (double-buffered) round pipeline ------------------------
+    # ``inflight`` has its transforms dispatched and awaits settling;
+    # ``scoring`` is settled and awaits its prediction merge.  At steady
+    # state the pool holds round N+1's transforms *and* round N's
+    # predictions while the driver ingests records and runs round N+2's
+    # control plane — the overlap that hides driver latency.  Gathering
+    # always happens in strict round order, so merge order, the
+    # normalizer merge algebra, noise keying, and re-negotiation points
+    # are untouched and results stay bit-identical to serial dispatch.
+    live_rounds: List[_Round] = []
+    inflight: Optional[_Round] = None
+    scoring: Optional[_Round] = None
+
+    def drain() -> None:
+        """Finish every in-flight round, oldest first."""
+        nonlocal inflight, scoring
+        if scoring is not None:
+            merge(scoring)
+            scoring = None
+        if inflight is not None:
+            settle(inflight)
+            merge(inflight)
+            inflight = None
+
+    def feed(round_windows: List[Window]) -> None:
+        """Push one sealed round of windows into the pipeline."""
+        nonlocal inflight, scoring
+        current = control(round_windows)
+        if current.stale_epoch_ids:
+            # The re-negotiation drain rule: a round that replaced the
+            # epoch finishes everything still in flight *before* its
+            # dispatch invalidates the stale epoch's cached adaptors —
+            # no transform ever executes against a replaced space's
+            # speculative state.
+            drain()
+        dispatch(current)
+        if not overlap_enabled:
+            settle(current)
+            merge(current)
+            return
+        if scoring is not None:
+            merge(scoring)
+            scoring = None
+        if inflight is not None:
+            settle(inflight)
+            scoring = inflight
+        inflight = current
+
+    def abort() -> None:
+        """Cancel whatever is still in flight (no-op after a clean drain)."""
+        for stale in list(live_rounds):
+            for handle in (stale.transforms, stale.predictions):
+                if handle is not None:
+                    handle.cancel()
+            live_rounds.remove(stale)
+
     start = time.perf_counter()
     try:
         pending: List[Window] = []
@@ -1045,7 +1185,7 @@ def _execute_stream_session(
             records += 1
             pending.extend(plane.push(record))
             if len(pending) >= config.shards:
-                run_round(pending)
+                feed(pending)
                 pending = []
         # The legacy driver never flushed its buffer, so a stream whose
         # length is not a multiple of the window size dropped the partial
@@ -1054,8 +1194,10 @@ def _execute_stream_session(
         # which the readmit policy promises never to lose.
         pending.extend(plane.finish(emit_partial_tail=False))
         if pending:
-            run_round(pending)
+            feed(pending)
+        drain()
     finally:
+        abort()
         pool.close()
     wall = time.perf_counter() - start
 
@@ -1098,4 +1240,5 @@ def _execute_stream_session(
         shard_records=tuple(data_plane.shard_records),
         ingest=plane.stats(),
         provider_records=tuple(data_plane.provider_records),
+        overlap=overlap_enabled,
     )

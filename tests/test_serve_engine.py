@@ -328,6 +328,76 @@ def test_stats_account_pool_demand_and_traffic():
     assert set(payload["tenants"]) == {t.tenant for t in stats.tenants}
 
 
+def test_cancel_is_idempotent_under_a_thread_hammer():
+    """Many racing cancellers: exactly one wins, the slot frees exactly once."""
+    running_spec, running_source = gated_spec_and_source(seed=0)
+    with MiningService(
+        max_inflight=1, queue_limit=1, shard_backend="serial"
+    ) as service:
+        running = service.submit(running_spec, source=running_source)
+        queued_spec, _ = gated_spec_and_source(seed=1)
+        queued = service.submit(queued_spec)
+
+        barrier = threading.Barrier(8)
+        wins = []
+
+        def hammer():
+            barrier.wait(timeout=30)
+            if queued.cancel():
+                wins.append(threading.current_thread().name)
+
+        threads = [threading.Thread(target=hammer) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(wins) == 1  # one winner, however the race lands
+        assert queued.cancel() is False  # and later callers lose too
+        assert queued.poll() == "cancelled"
+
+        # The admission slot was released exactly once: the queue has
+        # room for exactly one more session, not two.
+        third_spec, third_source = gated_spec_and_source(seed=2)
+        third = service.submit(third_spec, source=third_source)
+        with pytest.raises(AdmissionError, match="at capacity"):
+            service.submit(gated_spec_and_source(seed=3)[0])
+        running_source.gate.set()
+        third_source.gate.set()
+        running.result(timeout=30)
+        third.result(timeout=30)
+        stats = service.stats()
+    assert stats.cancelled == 1
+    assert stats.completed == 2
+    assert stats.active == 0
+
+
+def test_concurrent_sessions_pin_pool_utilization_at_most_one():
+    """Overlapping sessions on one shared pool must not double-count busy
+    time: utilization stays <= 1.0 no matter how demand overlaps."""
+    specs = [
+        SessionSpec(
+            kind="stream",
+            dataset="iris",
+            windows=3,
+            window_size=32,
+            k=3,
+            shards=4,
+            seed=index,
+            tenant="acme" if index % 2 else "globex",
+            compute_privacy=False,
+        )
+        for index in range(6)
+    ]
+    with MiningService(
+        max_inflight=6, shard_backend="thread", shard_workers=2
+    ) as service:
+        service.run(specs)
+        stats = service.stats()
+    assert stats.completed == 6
+    assert stats.pool.busy_seconds > 0
+    assert 0.0 <= stats.pool.utilization <= 1.0
+
+
 def test_submit_accepts_raw_mappings():
     with MiningService(max_inflight=1, shard_backend="serial") as service:
         result = service.submit(

@@ -151,6 +151,26 @@ def test_event_time_knobs_round_trip_to_stream_config():
     assert mapping["skew"] == 6
 
 
+def test_overlap_round_trips_through_spec_and_mapping():
+    for overlap in (True, False, None):
+        config = StreamConfig(k=3, window_size=32, overlap=overlap, seed=2)
+        source = make_stream("iris", n_records=128, seed=2)
+        spec = SessionSpec.from_stream(source, config)
+        assert spec.overlap is overlap
+        assert spec.to_stream_config() == config
+        # ...and through the JSON workload representation too.
+        mapping = spec.to_mapping()
+        assert mapping["overlap"] is overlap
+        again = SessionSpec.from_mapping(mapping)
+        assert again.overlap is overlap
+        assert again.to_stream_config() == config
+
+
+def test_overlap_rejects_non_bool():
+    with pytest.raises(ValueError, match="overlap"):
+        SessionSpec(kind="stream", overlap="yes")
+
+
 def test_wrong_kind_conversion_raises():
     with pytest.raises(ValueError, match="not a stream session"):
         SessionSpec(kind="batch").to_stream_config()

@@ -1,9 +1,13 @@
-"""Executor backends: ordered results, equivalence, lifecycle."""
+"""Executor backends: ordered results, equivalence, lifecycle, metering."""
+
+import threading
+import time
 
 import numpy as np
 import pytest
 
 from repro.sharding import (
+    MeteredBackend,
     ProcessBackend,
     SerialBackend,
     ShardPool,
@@ -53,6 +57,173 @@ def test_pool_survives_close_and_reuse():
     # A fresh pool is created lazily on the next map.
     assert backend.map(_square, [3]) == [9]
     backend.close()
+
+
+# ----------------------------------------------------------------------
+# asynchronous dispatch (submit_map / ShardFutures)
+# ----------------------------------------------------------------------
+def test_serial_submit_map_is_already_completed():
+    handle = SerialBackend().submit_map(_square, [1, 2, 3])
+    assert handle.done()
+    assert handle.gather() == [1, 4, 9]
+
+
+@pytest.mark.parametrize("kind", ["serial", "thread", "process"])
+def test_submit_map_gathers_in_task_order(kind):
+    tasks = list(range(25))
+    with make_backend(kind, 3) as backend:
+        handle = backend.submit_map(_square, tasks)
+        assert handle.gather() == [i * i for i in tasks]
+
+
+def test_submit_map_empty_tasks():
+    with ThreadBackend(2) as backend:
+        handle = backend.submit_map(_square, [])
+        assert handle.done() and handle.gather() == []
+
+
+def test_submit_map_overlaps_with_driver_work():
+    """The driver stays free between submit and gather on a pool backend."""
+    gate = threading.Event()
+
+    def wait_then_square(task):
+        assert gate.wait(timeout=30)
+        return task * task
+
+    with ThreadBackend(2) as backend:
+        assert backend.supports_overlap
+        handle = backend.submit_map(wait_then_square, [1, 2])
+        assert not handle.done()  # tasks are parked on the gate
+        gate.set()  # "driver work" done; now gather
+        assert handle.gather() == [1, 4]
+    assert not SerialBackend().supports_overlap
+
+
+# ----------------------------------------------------------------------
+# fail-fast: a poisoned task cancels the rest of its dispatch
+# ----------------------------------------------------------------------
+def test_map_cancels_outstanding_tasks_on_first_failure():
+    executed = []
+
+    def poisoned(task):
+        if task == 0:
+            time.sleep(0.02)
+            raise RuntimeError("poisoned task")
+        executed.append(task)
+        time.sleep(0.02)
+        return task
+
+    n_tasks = 64
+    with ThreadBackend(2) as backend:
+        with pytest.raises(RuntimeError, match="poisoned task"):
+            backend.map(poisoned, list(range(n_tasks)))
+    # While task 0 ran (and failed), the second worker got through at most
+    # a couple of tasks; everything still queued was cancelled instead of
+    # running to completion behind the dead round's back.
+    assert len(executed) < n_tasks // 2
+
+
+def test_serial_map_stops_at_first_failure():
+    executed = []
+
+    def poisoned(task):
+        if task == 3:
+            raise RuntimeError("poisoned task")
+        executed.append(task)
+        return task
+
+    with pytest.raises(RuntimeError, match="poisoned task"):
+        SerialBackend().map(poisoned, list(range(10)))
+    assert executed == [0, 1, 2]
+
+
+# ----------------------------------------------------------------------
+# metering: worker-occupancy busy time, utilization <= 1
+# ----------------------------------------------------------------------
+def _nap(seconds):
+    time.sleep(seconds)
+    return seconds
+
+
+def test_metered_busy_time_counts_concurrent_spans_once():
+    """Overlapping dispatches from many drivers share the pool's capacity
+    in the ledger instead of being double-counted — utilization <= 1."""
+    metered = MeteredBackend(ThreadBackend(2))
+    began = time.perf_counter()
+    drivers = [
+        threading.Thread(target=lambda: metered.map(_nap, [0.03, 0.03]))
+        for _ in range(4)
+    ]
+    for t in drivers:
+        t.start()
+    for t in drivers:
+        t.join()
+    elapsed = time.perf_counter() - began
+    assert metered.tasks_dispatched == 8
+    assert metered.batches_dispatched == 4
+    assert metered.busy_seconds > 0
+    # 4 concurrent 2-task batches on a 2-worker pool: demand is 4x the
+    # capacity, the occupancy ledger must still stay within it.
+    assert metered.busy_seconds <= 2 * elapsed + 1e-6
+    assert metered.utilization(elapsed) <= 1.0
+    metered.close()
+
+
+def test_metered_accounts_async_spans_from_submit():
+    """An async dispatch is busy from submit on, not just while a driver
+    blocks inside map()."""
+    metered = MeteredBackend(ThreadBackend(2))
+    handle = metered.submit_map(_nap, [0.05])
+    time.sleep(0.02)  # driver-side work while the task runs
+    assert metered.batches_dispatched == 0  # span still open
+    handle.gather()
+    assert metered.batches_dispatched == 1
+    assert metered.tasks_dispatched == 1
+    # The span covers the task's whole execution (>= task time).
+    assert metered.busy_seconds >= 0.04
+    metered.close()
+
+
+def test_metered_span_closes_when_work_ends_not_at_late_gather():
+    """A handle the driver is slow to gather must not count idle workers
+    as busy: the span closes when the last task settles."""
+    metered = MeteredBackend(ThreadBackend(2))
+    handle = metered.submit_map(_nap, [0.02])
+    time.sleep(0.15)  # work finished long ago; the driver dawdles
+    assert handle.gather() == [0.02]
+    assert metered.busy_seconds < 0.1  # ~0.02, definitely not ~0.17
+    metered.close()
+
+
+def test_metered_span_settles_exactly_once():
+    """gather() and cancel() on the same handle close its span once."""
+    metered = MeteredBackend(ThreadBackend(2))
+    handle = metered.submit_map(_square, [1, 2])
+    assert handle.gather() == [1, 4]
+    handle.cancel()  # racing/late cancellers must not re-close the span
+    assert metered.batches_dispatched == 1
+    assert metered.tasks_dispatched == 2
+    assert metered._active_weight == 0  # the ledger balanced
+    metered.close()
+
+
+def test_metered_empty_dispatch_opens_no_span():
+    metered = MeteredBackend(ThreadBackend(2))
+    handle = metered.submit_map(_square, [])
+    time.sleep(0.02)  # a phantom span would integrate over this wait
+    assert handle.gather() == []
+    assert metered.batches_dispatched == 1
+    assert metered.tasks_dispatched == 0
+    assert metered.busy_seconds == 0.0
+    metered.close()
+
+
+def test_metered_utilization_is_clamped_and_nonnegative():
+    metered = MeteredBackend(SerialBackend())
+    assert metered.utilization(0.0) == 0.0
+    metered.map(_nap, [0.01])
+    assert 0.0 < metered.utilization(0.005) <= 1.0  # tiny elapsed: clamped
+    assert not metered.supports_overlap  # delegates to the serial inner
 
 
 def _transform_task(seed=0):

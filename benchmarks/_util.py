@@ -7,8 +7,11 @@ EXPERIMENTS.md can be assembled from the saved artefacts.
 
 from __future__ import annotations
 
+import json
 import os
-from typing import Dict
+import platform
+from datetime import datetime, timezone
+from typing import Dict, Optional
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 
@@ -30,3 +33,59 @@ def budget_from_env(name: str, default: int) -> int:
     if value is None:
         return default
     return max(1, int(value))
+
+
+def machine_fingerprint() -> Dict[str, object]:
+    """Coarse host identity attached to every trajectory entry, so numbers
+    from different machines are never compared as if they were a trend."""
+    return {
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "cpus": os.cpu_count(),
+    }
+
+
+def bench_timestamp(explicit: Optional[str] = None) -> str:
+    """Entry timestamp: ``--timestamp`` flag, else ``REPRO_BENCH_TIMESTAMP``
+    (set by CI for reproducible artefacts), else the current UTC time."""
+    if explicit:
+        return explicit
+    env = os.environ.get("REPRO_BENCH_TIMESTAMP")
+    if env:
+        return env
+    return datetime.now(timezone.utc).strftime("%Y-%m-%dT%H:%M:%SZ")
+
+
+def record_trajectory(
+    path: str,
+    bench: str,
+    metrics: Dict[str, object],
+    timestamp: Optional[str] = None,
+) -> Dict[str, object]:
+    """Append one ``{timestamp, machine, metrics}`` entry to a trajectory file.
+
+    The file is a single JSON object ``{"bench": ..., "entries": [...]}``;
+    re-running a benchmark with the same ``--out`` grows the history rather
+    than overwriting it, which is what makes the file a perf *trajectory*.
+    Returns the appended entry.
+    """
+    entry = {
+        "timestamp": bench_timestamp(timestamp),
+        "machine": machine_fingerprint(),
+        "metrics": metrics,
+    }
+    history: Dict[str, object] = {"bench": bench, "entries": []}
+    if os.path.exists(path):
+        with open(path, encoding="utf-8") as handle:
+            loaded = json.load(handle)
+        if not isinstance(loaded, dict) or not isinstance(
+            loaded.get("entries"), list
+        ):
+            raise ValueError(f"{path} is not a benchmark trajectory file")
+        history = loaded
+    history["bench"] = bench
+    history["entries"].append(entry)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(history, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return entry

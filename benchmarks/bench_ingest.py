@@ -31,7 +31,7 @@ from repro.sharding import ShardPlan
 from repro.streaming import IngestPlane, StreamConfig
 from repro.streaming import make_stream, run_stream_session, skewed
 
-from _util import budget_from_env, save_block
+from _util import budget_from_env, record_trajectory, save_block
 
 N_RECORDS = budget_from_env("REPRO_BENCH_INGEST_RECORDS", 20_000)
 WINDOW_SIZE = budget_from_env("REPRO_BENCH_INGEST_WINDOW_SIZE", 64)
@@ -81,9 +81,15 @@ def _sweep(n_records=N_RECORDS, window_size=WINDOW_SIZE, sweep=SWEEP,
            records=None):
     if records is None:
         records = _materialize(n_records)
-    rows = []
+    rows, metrics = [], {}
     for skew, watermark in sweep:
         m = _run_plane(records, skew, watermark, window_size)
+        metrics[f"skew={skew},watermark={watermark}"] = {
+            "records_per_s": round(m["records/sec"], 1),
+            "seal_lag_records": round(m["seal lag (records)"], 2),
+            "late": m["late"],
+            "max_skew": m["max skew"],
+        }
         rows.append(
             [
                 str(skew),
@@ -94,7 +100,7 @@ def _sweep(n_records=N_RECORDS, window_size=WINDOW_SIZE, sweep=SWEEP,
                 str(m["max skew"]),
             ]
         )
-    return rows
+    return rows, metrics
 
 
 _HEADERS = ["skew", "watermark", "records/sec", "seal lag", "late", "max skew"]
@@ -103,7 +109,7 @@ _HEADERS = ["skew", "watermark", "records/sec", "seal lag", "late", "max skew"]
 def test_ingest_plane_throughput(benchmark):
     """pytest-benchmark entry: time the in-order path, save the sweep."""
     records = _materialize(N_RECORDS)
-    rows = _sweep(records=records)
+    rows, _ = _sweep(records=records)
     result = benchmark.pedantic(
         lambda: _run_plane(records, 0, 0, WINDOW_SIZE), rounds=1, iterations=1
     )
@@ -169,12 +175,21 @@ def main(argv=None):
         action="store_true",
         help="CI smoke mode: a small record budget",
     )
+    parser.add_argument(
+        "--out",
+        metavar="BENCH_JSON",
+        help="append this run to a perf-trajectory file (e.g. BENCH_ingest.json)",
+    )
+    parser.add_argument(
+        "--timestamp",
+        help="entry timestamp (default: $REPRO_BENCH_TIMESTAMP, else now UTC)",
+    )
     args = parser.parse_args(argv)
 
-    kwargs = {}
+    kwargs = {"n_records": N_RECORDS, "window_size": WINDOW_SIZE}
     if args.quick:
         kwargs = {"n_records": 4_000, "window_size": 64}
-    rows = _sweep(**kwargs)
+    rows, metrics = _sweep(**kwargs)
     print(
         series_block(
             f"Event-time ingestion - records/sec and seal latency vs skew"
@@ -182,6 +197,18 @@ def main(argv=None):
             ascii_table(_HEADERS, rows),
         )
     )
+    if args.out:
+        record_trajectory(
+            args.out,
+            "ingest",
+            {
+                "n_records": kwargs["n_records"],
+                "window_size": kwargs["window_size"],
+                "quick": args.quick,
+                **metrics,
+            },
+            timestamp=args.timestamp,
+        )
     return 0
 
 

@@ -34,7 +34,7 @@ import time
 from repro.analysis.reporting import ascii_table, series_block
 from repro.streaming import StreamConfig, make_stream, run_stream_session
 
-from _util import budget_from_env, save_block
+from _util import budget_from_env, record_trajectory, save_block
 
 N_WINDOWS = budget_from_env("REPRO_BENCH_OVERLAP_WINDOWS", 24)
 WINDOW_SIZE = budget_from_env("REPRO_BENCH_OVERLAP_WINDOW_SIZE", 64)
@@ -74,24 +74,32 @@ def _run(n_windows, window_size, shards, overlap, backend="thread", seed=0):
 
 
 def _sweep(n_windows, window_size, shard_levels):
-    """Serial-dispatch vs pipelined rows, one per shard level."""
-    rows = []
+    """Serial-dispatch vs pipelined, one row + raw metrics per shard level."""
+    rows, metrics = [], {}
     for shards in shard_levels:
         serial, serial_wall = _run(n_windows, window_size, shards, overlap=False)
         piped, piped_wall = _run(n_windows, window_size, shards, overlap=True)
         identical = _fingerprint(piped) == _fingerprint(serial)
         assert identical, f"shards={shards}: overlap diverged from serial dispatch"
         assert piped.overlap and not serial.overlap
+        serial_rps = serial.records_processed / serial_wall
+        piped_rps = piped.records_processed / piped_wall
+        speedup = serial_wall / piped_wall
+        metrics[f"shards={shards}"] = {
+            "serial_records_per_s": round(serial_rps, 1),
+            "overlap_records_per_s": round(piped_rps, 1),
+            "speedup": round(speedup, 3),
+        }
         rows.append(
             [
                 str(shards),
-                f"{serial.records_processed / serial_wall:,.0f}",
-                f"{piped.records_processed / piped_wall:,.0f}",
-                f"{serial_wall / piped_wall:.2f}x",
+                f"{serial_rps:,.0f}",
+                f"{piped_rps:,.0f}",
+                f"{speedup:.2f}x",
                 "yes" if identical else "NO",
             ]
         )
-    return rows
+    return rows, metrics
 
 
 HEADERS = ["shards", "serial rec/s", "overlap rec/s", "speedup", "identical"]
@@ -99,7 +107,7 @@ HEADERS = ["shards", "serial rec/s", "overlap rec/s", "speedup", "identical"]
 
 def test_overlap_throughput(benchmark):
     """pytest-benchmark entry: time the widest level, save the sweep table."""
-    rows = _sweep(N_WINDOWS, WINDOW_SIZE, SHARD_LEVELS)
+    rows, _ = _sweep(N_WINDOWS, WINDOW_SIZE, SHARD_LEVELS)
     top = max(SHARD_LEVELS)
     result, _ = benchmark.pedantic(
         lambda: _run(N_WINDOWS, WINDOW_SIZE, top, overlap=True),
@@ -125,6 +133,15 @@ def main(argv=None):
         action="store_true",
         help="CI smoke mode: a small stream, shards 2 and 4 only",
     )
+    parser.add_argument(
+        "--out",
+        metavar="BENCH_JSON",
+        help="append this run to a perf-trajectory file (e.g. BENCH_overlap.json)",
+    )
+    parser.add_argument(
+        "--timestamp",
+        help="entry timestamp (default: $REPRO_BENCH_TIMESTAMP, else now UTC)",
+    )
     args = parser.parse_args(argv)
 
     n_windows, window_size = N_WINDOWS, WINDOW_SIZE
@@ -132,7 +149,7 @@ def main(argv=None):
     if args.quick:
         n_windows, window_size = 6, 32
         shard_levels = (2, 4)
-    rows = _sweep(n_windows, window_size, shard_levels)
+    rows, metrics = _sweep(n_windows, window_size, shard_levels)
     print(
         series_block(
             f"Pipelined rounds - overlap vs serial dispatch (thread pool"
@@ -140,6 +157,18 @@ def main(argv=None):
             ascii_table(HEADERS, rows),
         )
     )
+    if args.out:
+        record_trajectory(
+            args.out,
+            "overlap",
+            {
+                "n_windows": n_windows,
+                "window_size": window_size,
+                "quick": args.quick,
+                **metrics,
+            },
+            timestamp=args.timestamp,
+        )
     return 0
 
 

@@ -28,7 +28,7 @@ import time
 from repro.analysis.reporting import ascii_table, series_block
 from repro.serve import MiningService, SessionSpec
 
-from _util import budget_from_env, save_block
+from _util import budget_from_env, record_trajectory, save_block
 
 N_SESSIONS = budget_from_env("REPRO_BENCH_SERVE_SESSIONS", 12)
 N_WINDOWS = budget_from_env("REPRO_BENCH_SERVE_WINDOWS", 6)
@@ -88,9 +88,16 @@ def _run(specs, max_inflight, backend="thread", workers=None):
 
 
 def _sweep(specs, inflight_levels, backend="thread"):
-    """Run the sweep; returns (table rows, reference fingerprints)."""
+    """Run the sweep; returns (table rows, reference fingerprints, metrics)."""
     reference, base_wall, base_util = _run(specs, 1, backend="serial")
     fingerprints = [_fingerprint(r) for r in reference]
+    metrics = {
+        "inflight=1 (serial)": {
+            "sessions_per_s": round(len(specs) / base_wall, 2),
+            "speedup": 1.0,
+            "pool_utilization": round(base_util, 3),
+        }
+    }
     rows = [
         [
             "1 (serial)",
@@ -105,6 +112,11 @@ def _sweep(specs, inflight_levels, backend="thread"):
             continue
         results, wall, util = _run(specs, level, backend=backend)
         identical = [_fingerprint(r) for r in results] == fingerprints
+        metrics[f"inflight={level}"] = {
+            "sessions_per_s": round(len(specs) / wall, 2),
+            "speedup": round(base_wall / wall, 3),
+            "pool_utilization": round(util, 3),
+        }
         rows.append(
             [
                 str(level),
@@ -117,7 +129,7 @@ def _sweep(specs, inflight_levels, backend="thread"):
         assert identical, (
             f"max_inflight={level} diverged from sequential submission"
         )
-    return rows, fingerprints
+    return rows, fingerprints, metrics
 
 
 HEADERS = ["max_inflight", "sessions/sec", "speedup", "pool util", "identical"]
@@ -126,7 +138,7 @@ HEADERS = ["max_inflight", "sessions/sec", "speedup", "pool util", "identical"]
 def test_serve_throughput(benchmark):
     """pytest-benchmark entry: time the widest level, save the sweep table."""
     specs = _workload(N_SESSIONS, N_WINDOWS, WINDOW_SIZE)
-    rows, fingerprints = _sweep(specs, INFLIGHT_LEVELS)
+    rows, fingerprints, _ = _sweep(specs, INFLIGHT_LEVELS)
     top = max(INFLIGHT_LEVELS)
     results, _, _ = benchmark.pedantic(
         lambda: _run(specs, top), rounds=1, iterations=1
@@ -155,6 +167,15 @@ def main(argv=None):
         default="thread",
         choices=["serial", "thread", "process"],
     )
+    parser.add_argument(
+        "--out",
+        metavar="BENCH_JSON",
+        help="append this run to a perf-trajectory file (e.g. BENCH_serve.json)",
+    )
+    parser.add_argument(
+        "--timestamp",
+        help="entry timestamp (default: $REPRO_BENCH_TIMESTAMP, else now UTC)",
+    )
     args = parser.parse_args(argv)
 
     n_sessions, n_windows, window_size = N_SESSIONS, N_WINDOWS, WINDOW_SIZE
@@ -163,7 +184,7 @@ def main(argv=None):
         n_sessions, n_windows, window_size = 6, 3, 32
         inflight_levels = (1, 4)
     specs = _workload(n_sessions, n_windows, window_size)
-    rows, _ = _sweep(specs, inflight_levels, backend=args.backend)
+    rows, _, metrics = _sweep(specs, inflight_levels, backend=args.backend)
     print(
         series_block(
             f"Serving - sessions/sec vs concurrency ({args.backend} pool"
@@ -171,6 +192,20 @@ def main(argv=None):
             ascii_table(HEADERS, rows),
         )
     )
+    if args.out:
+        record_trajectory(
+            args.out,
+            "serve",
+            {
+                "n_sessions": n_sessions,
+                "n_windows": n_windows,
+                "window_size": window_size,
+                "backend": args.backend,
+                "quick": args.quick,
+                **metrics,
+            },
+            timestamp=args.timestamp,
+        )
     return 0
 
 

@@ -14,6 +14,9 @@ windowed online mining with drift-triggered space re-adaptation.
 :class:`SessionSpec` for batch and stream workloads, and a
 :class:`MiningService` engine that runs many concurrent sessions over a
 shared worker pool with admission control and per-tenant seeds/budgets.
+:mod:`repro.obs` is the dependency-free telemetry layer underneath it
+all: a metrics registry, tracing spans over the round pipeline, and
+per-stage latency reports.
 
 Quickstart
 ----------
@@ -89,6 +92,7 @@ from .mining import (
     accuracy_deviation,
     accuracy_score,
 )
+from .obs import MetricsRegistry, Telemetry, Tracer
 from .parties import ClassifierSpec, SAPConfig
 from .serve import (
     AdmissionError,
@@ -194,4 +198,8 @@ __all__ = [
     "TenantPolicy",
     "ServiceStats",
     "AdmissionError",
+    # obs
+    "Telemetry",
+    "MetricsRegistry",
+    "Tracer",
 ]

@@ -24,17 +24,25 @@ Usage (after ``pip install -e .``)::
                                    # many concurrent sessions, one shared pool
     repro serve --workload workload.json --json
                                    # run a JSON workload file, emit JSON
+    repro stream --shards 4 --overlap --trace-out spans.jsonl \\
+                 --metrics-out metrics.json
+                                   # telemetry: tracing spans + metrics export
+    repro report spans.jsonl       # per-stage / per-round latency tables
 
 Every command accepts ``--seed``; heavier ones accept budget flags so a
 quick look stays quick.  ``session``, ``stream``, and ``serve`` accept
-``--json`` for machine-readable output.  Errors such as an unknown dataset
-name exit with code 2 and a one-line message rather than a traceback.
+``--json`` for machine-readable output and share ``-v/--verbose`` /
+``-q/--quiet`` (library logs go to stderr under the ``repro.*`` logger
+namespace — the library itself never prints).  Errors such as an unknown
+dataset name or an unwritable ``--trace-out`` path exit with code 2 and a
+one-line message rather than a traceback.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import logging
 import sys
 from concurrent.futures import CancelledError
 from typing import Dict, List, Optional
@@ -58,6 +66,7 @@ from .analysis.figures import (
 from .analysis.reporting import ascii_table, format_mapping, series_block, text_histogram
 from .core.session import run_sap_session
 from .datasets.registry import dataset_summary, load_dataset
+from .obs import Telemetry
 from .parties.config import ClassifierSpec, SAPConfig
 from .serve import AdmissionError, MiningService, SessionSpec
 from .streaming import (
@@ -69,6 +78,42 @@ from .streaming import (
 )
 
 __all__ = ["main", "build_parser"]
+
+
+def _add_logging_flags(p: argparse.ArgumentParser) -> None:
+    """The shared ``-v/--verbose`` / ``-q/--quiet`` pair."""
+    group = p.add_mutually_exclusive_group()
+    group.add_argument(
+        "-v", "--verbose", action="count", default=0,
+        help="log progress to stderr (repeat for debug detail)",
+    )
+    group.add_argument(
+        "-q", "--quiet", action="store_true", help="only log errors"
+    )
+
+
+def _configure_logging(args: argparse.Namespace) -> None:
+    """Point the ``repro.*`` logger hierarchy at stderr per the flags.
+
+    The library only ever *logs* (never prints); the CLI decides here how
+    much of that reaches the terminal.  Commands without the shared flags
+    default to warnings-and-up.
+    """
+    verbose = getattr(args, "verbose", 0)
+    if getattr(args, "quiet", False):
+        level = logging.ERROR
+    elif verbose >= 2:
+        level = logging.DEBUG
+    elif verbose == 1:
+        level = logging.INFO
+    else:
+        level = logging.WARNING
+    handler = logging.StreamHandler(sys.stderr)
+    handler.setFormatter(logging.Formatter("%(levelname)s %(name)s: %(message)s"))
+    logger = logging.getLogger("repro")
+    logger.handlers[:] = [handler]
+    logger.setLevel(level)
+    logger.propagate = False
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -135,6 +180,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--json", action="store_true", help="emit a machine-readable JSON result"
     )
+    _add_logging_flags(p)
 
     p = sub.add_parser("ablation", help="design-choice ablations")
     p.add_argument(
@@ -229,6 +275,20 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--json", action="store_true", help="emit a machine-readable JSON result"
     )
+    p.add_argument(
+        "--trace-out",
+        metavar="FILE",
+        default=None,
+        help="write telemetry spans (round/stage/seal/...) as JSONL; "
+        "aggregate later with `repro report`",
+    )
+    p.add_argument(
+        "--metrics-out",
+        metavar="FILE",
+        default=None,
+        help="write the session's metrics-registry snapshot as JSON",
+    )
+    _add_logging_flags(p)
 
     p = sub.add_parser(
         "serve", help="run a multi-session workload on the serving engine"
@@ -275,6 +335,29 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--json", action="store_true", help="emit a machine-readable JSON report"
     )
+    p.add_argument(
+        "--metrics-out",
+        metavar="FILE",
+        default=None,
+        help="write the service's metrics-registry snapshot as JSON",
+    )
+    _add_logging_flags(p)
+
+    p = sub.add_parser(
+        "report", help="aggregate a --trace-out span file into latency tables"
+    )
+    p.add_argument(
+        "spans",
+        metavar="SPANS_JSONL",
+        help="span file written by `repro stream --trace-out`",
+    )
+    p.add_argument(
+        "--max-rounds",
+        type=int,
+        default=20,
+        help="per-round rows to show (0 = all)",
+    )
+    _add_logging_flags(p)
 
     return parser
 
@@ -435,6 +518,54 @@ def _require_non_negative(name: str, value: Optional[int]) -> None:
         raise ValueError(f"{name} must be a non-negative integer, got {value}")
 
 
+def _check_writable(flag: str, path: str) -> None:
+    """Fail fast (exit 2) on an unwritable output path, before the run."""
+    try:
+        with open(path, "w", encoding="utf-8"):
+            pass
+    except OSError as exc:
+        raise ValueError(f"cannot write {flag} {path!r}: {exc}") from None
+
+
+def _telemetry_from_flags(
+    trace_out: Optional[str], metrics_out: Optional[str]
+) -> Optional[Telemetry]:
+    """The command's telemetry bundle, or ``None`` when no flag asked.
+
+    ``--trace-out`` enables span recording into the named JSONL file;
+    ``--metrics-out`` alone keeps the tracer disabled (free no-op spans)
+    but still collects counters for the end-of-run snapshot.
+    """
+    if not trace_out and not metrics_out:
+        return None
+    if metrics_out:
+        _check_writable("--metrics-out", metrics_out)
+    if trace_out:
+        try:
+            return Telemetry.to_file(trace_out)
+        except OSError as exc:
+            raise ValueError(
+                f"cannot write --trace-out {trace_out!r}: {exc}"
+            ) from None
+    return Telemetry.disabled()
+
+
+def _finish_telemetry(
+    telemetry: Optional[Telemetry], metrics_out: Optional[str]
+) -> None:
+    """Flush the span sink and write the metrics snapshot, if asked."""
+    if telemetry is None:
+        return
+    telemetry.close()
+    if metrics_out:
+        try:
+            telemetry.metrics.write_json(metrics_out)
+        except OSError as exc:
+            raise ValueError(
+                f"cannot write --metrics-out {metrics_out!r}: {exc}"
+            ) from None
+
+
 def _cmd_stream(args: argparse.Namespace) -> str:
     _require_positive("--windows", args.windows)
     _require_positive("--window-size", args.window_size)
@@ -442,6 +573,7 @@ def _cmd_stream(args: argparse.Namespace) -> str:
     _require_positive("--shards", args.shards)
     _require_non_negative("--skew", args.skew)
     _require_non_negative("--watermark", args.watermark)
+    telemetry = _telemetry_from_flags(args.trace_out, args.metrics_out)
     source = make_stream(
         args.dataset,
         kind=args.drift,
@@ -465,8 +597,10 @@ def _cmd_stream(args: argparse.Namespace) -> str:
         late_policy=args.late_policy,
         skew=args.skew,
         seed=args.seed,
+        telemetry=telemetry,
     )
     result = run_stream_session(source, config)
+    _finish_telemetry(telemetry, args.metrics_out)
     if args.json:
         return json.dumps(result.to_dict(), indent=2)
 
@@ -615,6 +749,7 @@ def _cmd_serve(args: argparse.Namespace) -> str:
     else:
         entries = _demo_workload(args.sessions, args.dataset, args.seed)
     specs = [SessionSpec.from_mapping(entry) for entry in entries]
+    telemetry = _telemetry_from_flags(None, args.metrics_out)
 
     rejections: List[str] = []
     with MiningService(
@@ -622,6 +757,7 @@ def _cmd_serve(args: argparse.Namespace) -> str:
         queue_limit=args.queue_limit,
         shard_backend=args.shard_backend,
         shard_workers=args.shards,
+        telemetry=telemetry,
     ) as service:
         handles = []
         for spec in specs:
@@ -644,6 +780,9 @@ def _cmd_serve(args: argparse.Namespace) -> str:
                 else:  # pragma: no cover - completed raced the poll above
                     errors.append(None)
         stats = service.stats()
+        # Snapshot while the service is alive: the registry's collectors
+        # read the service and pool stats at snapshot time.
+        _finish_telemetry(telemetry, args.metrics_out)
     failures = [
         f"{h.spec.display_label}: {message}"
         for h, message in zip(handles, errors)
@@ -696,6 +835,17 @@ def _cmd_serve(args: argparse.Namespace) -> str:
     )
 
 
+def _cmd_report(args: argparse.Namespace) -> str:
+    from .obs.report import load_spans, render_latency_report
+
+    spans = load_spans(args.spans)
+    max_rounds = None if args.max_rounds == 0 else args.max_rounds
+    return series_block(
+        f"Span latency report - {args.spans} ({len(spans)} spans)",
+        render_latency_report(spans, max_rounds=max_rounds),
+    )
+
+
 def _cmd_ablation(args: argparse.Namespace) -> str:
     if args.which == "optimizer":
         stats = optimizer_ablation(dataset=args.dataset, seed=args.seed)
@@ -727,6 +877,7 @@ _COMMANDS = {
     "ablation": _cmd_ablation,
     "stream": _cmd_stream,
     "serve": _cmd_serve,
+    "report": _cmd_report,
 }
 
 
@@ -741,6 +892,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     """
     parser = build_parser()
     args = parser.parse_args(argv)
+    _configure_logging(args)
     try:
         output = _COMMANDS[args.command](args)
     except (KeyError, ValueError) as exc:

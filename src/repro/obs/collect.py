@@ -1,0 +1,121 @@
+"""Registry collectors bridging the existing stat holders into metrics.
+
+The stack's stat holders — the ingest plane's per-provider gates, the
+metered shard pool's occupancy ledger, the serving engine's
+:class:`~repro.serve.engine.ServiceStats` — predate the registry and keep
+their own public dicts, which downstream consumers (and the fingerprint
+tests) pin byte for byte.  Rather than rewriting their storage, each is
+*re-expressed* as a snapshot-time collector: a closure registered with
+:meth:`~repro.obs.metrics.MetricsRegistry.register_collector` that reads
+the holder's counters and publishes them as gauges whenever the registry
+is snapshotted or rendered.  The holders stay the source of truth; the
+registry is a view.
+
+Everything here takes the holder duck-typed (plain attribute reads), so
+this module keeps the package's stdlib-only layering.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+__all__ = ["ingest_collector", "pool_collector", "service_collector"]
+
+#: a registered collector's signature
+Collector = Callable[[Any], None]
+
+
+def ingest_collector(plane: Any) -> Collector:
+    """Publish an :class:`~repro.streaming.ingest.IngestPlane`'s counters.
+
+    Totals mirror ``IngestStats``; per-provider gauges carry a
+    ``provider`` label with the gate's display name.
+    """
+
+    def collect(registry: Any) -> None:
+        stats = plane.stats()
+        registry.gauge(
+            "repro_ingest_records", "Records ingested through provider gates."
+        ).set(stats.records)
+        registry.gauge(
+            "repro_ingest_late_records", "Records that arrived after their window sealed."
+        ).set(stats.late)
+        registry.gauge(
+            "repro_ingest_dropped_records", "Late records discarded by the drop policy."
+        ).set(stats.dropped)
+        registry.gauge(
+            "repro_ingest_readmitted_records", "Late records readmitted to a later window."
+        ).set(stats.readmitted)
+        registry.gauge(
+            "repro_ingest_upserted_records", "Late records re-emitted as corrections."
+        ).set(stats.upserted)
+        registry.gauge(
+            "repro_ingest_max_skew", "Largest observed arrival lateness (records)."
+        ).set(stats.max_skew)
+        for gate in stats.providers:
+            registry.gauge(
+                "repro_ingest_provider_records",
+                "Records ingested per provider gate.",
+                provider=gate.name,
+            ).set(gate.records)
+
+    return collect
+
+
+def pool_collector(pool: Any) -> Collector:
+    """Publish a :class:`~repro.sharding.backends.MeteredBackend` ledger."""
+
+    def collect(registry: Any) -> None:
+        registry.gauge(
+            "repro_pool_workers", "Workers in the shard pool."
+        ).set(pool.n_workers)
+        registry.gauge(
+            "repro_pool_tasks_dispatched", "Shard tasks dispatched to the pool."
+        ).set(pool.tasks_dispatched)
+        registry.gauge(
+            "repro_pool_batches_dispatched", "Task batches dispatched to the pool."
+        ).set(pool.batches_dispatched)
+        registry.gauge(
+            "repro_pool_busy_seconds", "Integrated worker occupancy (seconds)."
+        ).set(pool.busy_seconds)
+
+    return collect
+
+
+def service_collector(service: Any) -> Collector:
+    """Publish a :class:`~repro.serve.engine.MiningService`'s stats.
+
+    Session lifecycle counts are one gauge family labeled by ``state``;
+    the shared pool's figures ride along from the same consistent
+    :meth:`~repro.serve.engine.MiningService.stats` snapshot.
+    """
+
+    def collect(registry: Any) -> None:
+        stats = service.stats()
+        for state, value in (
+            ("submitted", stats.submitted),
+            ("rejected", stats.rejected),
+            ("completed", stats.completed),
+            ("failed", stats.failed),
+            ("cancelled", stats.cancelled),
+            ("active", stats.active),
+        ):
+            registry.gauge(
+                "repro_serve_sessions",
+                "Session lifecycle counts by state.",
+                state=state,
+            ).set(value)
+        registry.gauge(
+            "repro_serve_records", "Records mined across completed sessions."
+        ).set(stats.records)
+        registry.gauge(
+            "repro_serve_messages", "Simnet messages across completed sessions."
+        ).set(stats.messages)
+        registry.gauge(
+            "repro_serve_bytes", "Simnet bytes across completed sessions."
+        ).set(stats.bytes)
+        registry.gauge(
+            "repro_serve_pool_utilization", "Shared pool utilization in [0, 1]."
+        ).set(stats.pool.utilization)
+
+    return collect

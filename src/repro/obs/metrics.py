@@ -1,0 +1,346 @@
+"""The metrics registry: process-wide and per-session counters.
+
+A :class:`MetricsRegistry` holds named metric families of three kinds —
+:class:`Counter` (monotone), :class:`Gauge` (set/inc/dec), and
+:class:`Histogram` (fixed exponential buckets) — optionally split into
+children by label sets, Prometheus-style.  Everything is dependency-free
+and deterministic by construction:
+
+* histogram buckets are *fixed* at creation (the default ladder spans
+  100 microseconds to 10 seconds), so two identical runs produce
+  byte-identical snapshots;
+* :meth:`MetricsRegistry.snapshot` returns plain dicts of plain scalars —
+  picklable, JSON-friendly, and ordered (families by name, children by
+  label) so snapshot equality is meaningful;
+* :meth:`MetricsRegistry.render_prometheus` emits the text exposition
+  format, and :meth:`MetricsRegistry.write_json` persists the snapshot.
+
+Mutation is lock-guarded per registry, so one registry can absorb updates
+from many serving-engine driver threads without corrupting counts.
+Collectors registered with :meth:`MetricsRegistry.register_collector` run
+at snapshot time — the hook existing stat holders (``ServiceStats``,
+``MeteredBackend``, ``IngestPlane``) use to publish their ledgers without
+changing their own public dicts.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "global_registry",
+]
+
+#: fixed exponential bucket ladder (seconds): 100us .. 10s, then +Inf
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+    0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+#: a child's identity inside its family: sorted (label, value) pairs
+_LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labels: Dict[str, Any]) -> _LabelKey:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def _format_value(value: float) -> str:
+    """Render integral floats without a trailing ``.0`` (stable output)."""
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def _format_labels(key: _LabelKey, extra: Sequence[Tuple[str, str]] = ()) -> str:
+    pairs = list(key) + list(extra)
+    if not pairs:
+        return ""
+    body = ",".join(f'{name}="{value}"' for name, value in pairs)
+    return "{" + body + "}"
+
+
+class _Metric:
+    """Shared child-metric state: family name and label identity."""
+
+    __slots__ = ("name", "labels", "_lock")
+
+    def __init__(self, name: str, labels: _LabelKey, lock: threading.Lock) -> None:
+        self.name = name
+        self.labels = labels
+        self._lock = lock
+
+
+class Counter(_Metric):
+    """A monotonically increasing count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, name: str, labels: _LabelKey, lock: threading.Lock) -> None:
+        super().__init__(name, labels, lock)
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be >= 0) to the count."""
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease (got {amount})")
+        with self._lock:
+            self.value += amount
+
+
+class Gauge(_Metric):
+    """A value that can go up and down (occupancy, lag, utilization)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, name: str, labels: _LabelKey, lock: threading.Lock) -> None:
+        super().__init__(name, labels, lock)
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        """Replace the gauge's value."""
+        with self._lock:
+            self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (may be negative)."""
+        with self._lock:
+            self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        """Subtract ``amount``."""
+        self.inc(-amount)
+
+
+class Histogram(_Metric):
+    """A fixed-bucket histogram of observations (durations, sizes).
+
+    ``counts[i]`` counts observations ``<= bounds[i]``; the implicit final
+    bucket is ``+Inf``.  Buckets are cumulative only at render time, so
+    updates stay O(log buckets) via bisection-free linear scan (the ladder
+    is short).
+    """
+
+    __slots__ = ("bounds", "counts", "sum", "count")
+
+    def __init__(
+        self,
+        name: str,
+        labels: _LabelKey,
+        lock: threading.Lock,
+        bounds: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> None:
+        super().__init__(name, labels, lock)
+        self.bounds = tuple(float(b) for b in bounds)
+        if list(self.bounds) != sorted(self.bounds):
+            raise ValueError(f"histogram {name} bucket bounds must be sorted")
+        self.counts = [0] * (len(self.bounds) + 1)  # + the +Inf bucket
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        value = float(value)
+        with self._lock:
+            index = len(self.bounds)
+            for i, bound in enumerate(self.bounds):
+                if value <= bound:
+                    index = i
+                    break
+            self.counts[index] += 1
+            self.sum += value
+            self.count += 1
+
+
+class _Family:
+    """One named metric family: a type, help text, and labeled children."""
+
+    __slots__ = ("name", "kind", "help", "bounds", "children")
+
+    def __init__(
+        self, name: str, kind: str, help_text: str, bounds: Optional[Tuple[float, ...]]
+    ) -> None:
+        self.name = name
+        self.kind = kind
+        self.help = help_text
+        self.bounds = bounds
+        self.children: Dict[_LabelKey, _Metric] = {}
+
+
+class MetricsRegistry:
+    """A set of named metric families with deterministic export.
+
+    ``counter``/``gauge``/``histogram`` are get-or-create: the first call
+    fixes the family's type (and a histogram's buckets); later calls with
+    the same name return the existing child for the given labels, and a
+    type mismatch raises a friendly :class:`ValueError`.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._families: Dict[str, _Family] = {}
+        self._collectors: List[Callable[["MetricsRegistry"], None]] = []
+
+    # ------------------------------------------------------------------
+    # creation
+    # ------------------------------------------------------------------
+    def _child(
+        self,
+        name: str,
+        kind: str,
+        help_text: str,
+        labels: Dict[str, Any],
+        bounds: Optional[Sequence[float]] = None,
+    ) -> _Metric:
+        key = _label_key(labels)
+        with self._lock:
+            family = self._families.get(name)
+            if family is None:
+                family = _Family(
+                    name, kind, help_text,
+                    tuple(bounds) if bounds is not None else None,
+                )
+                self._families[name] = family
+            elif family.kind != kind:
+                raise ValueError(
+                    f"metric {name!r} is a {family.kind}, not a {kind}"
+                )
+            child = family.children.get(key)
+            if child is None:
+                if kind == "counter":
+                    child = Counter(name, key, self._lock)
+                elif kind == "gauge":
+                    child = Gauge(name, key, self._lock)
+                else:
+                    child = Histogram(
+                        name, key, self._lock,
+                        family.bounds if family.bounds else DEFAULT_BUCKETS,
+                    )
+                family.children[key] = child
+            return child
+
+    def counter(self, name: str, help: str = "", **labels: Any) -> Counter:
+        """Get or create the counter ``name`` for the given labels."""
+        return self._child(name, "counter", help, labels)  # type: ignore[return-value]
+
+    def gauge(self, name: str, help: str = "", **labels: Any) -> Gauge:
+        """Get or create the gauge ``name`` for the given labels."""
+        return self._child(name, "gauge", help, labels)  # type: ignore[return-value]
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+        **labels: Any,
+    ) -> Histogram:
+        """Get or create the histogram ``name`` for the given labels."""
+        return self._child(name, "histogram", help, labels, bounds=buckets)  # type: ignore[return-value]
+
+    def register_collector(
+        self, collector: Callable[["MetricsRegistry"], None]
+    ) -> None:
+        """Run ``collector(self)`` at every snapshot/render.
+
+        Collectors bridge existing stat holders into the registry without
+        changing them: they read the holder's counters and ``set``/``inc``
+        registry metrics just before export.
+        """
+        with self._lock:
+            self._collectors.append(collector)
+
+    # ------------------------------------------------------------------
+    # export
+    # ------------------------------------------------------------------
+    def _run_collectors(self) -> None:
+        with self._lock:
+            collectors = list(self._collectors)
+        for collector in collectors:
+            collector(self)
+
+    def snapshot(self) -> Dict[str, Any]:
+        """A plain-dict, picklable view: ``{family: {type, help, values}}``.
+
+        Values are keyed by the rendered label string (empty for the
+        unlabeled child); histogram values are
+        ``{"buckets": {le: count}, "sum": .., "count": ..}``.  Families
+        and children are emitted in sorted order, so two identical runs
+        produce equal snapshots.
+        """
+        self._run_collectors()
+        out: Dict[str, Any] = {}
+        with self._lock:
+            for name in sorted(self._families):
+                family = self._families[name]
+                values: Dict[str, Any] = {}
+                for key in sorted(family.children):
+                    child = family.children[key]
+                    label = _format_labels(key)
+                    if isinstance(child, Histogram):
+                        buckets: Dict[str, int] = {}
+                        running = 0
+                        for bound, count in zip(child.bounds, child.counts):
+                            running += count
+                            buckets[_format_value(bound)] = running
+                        buckets["+Inf"] = running + child.counts[-1]
+                        values[label] = {
+                            "buckets": buckets,
+                            "sum": child.sum,
+                            "count": child.count,
+                        }
+                    else:
+                        values[label] = child.value
+                out[name] = {
+                    "type": family.kind,
+                    "help": family.help,
+                    "values": values,
+                }
+        return out
+
+    def render_prometheus(self) -> str:
+        """The Prometheus text exposition of every family, sorted by name."""
+        snap = self.snapshot()
+        lines: List[str] = []
+        for name, family in snap.items():
+            if family["help"]:
+                lines.append(f"# HELP {name} {family['help']}")
+            lines.append(f"# TYPE {name} {family['type']}")
+            for label, value in family["values"].items():
+                if family["type"] == "histogram":
+                    # Re-split the rendered label so ``le`` lands inside it.
+                    bare = label[1:-1] if label else ""
+                    for le, count in value["buckets"].items():
+                        body = (bare + "," if bare else "") + f'le="{le}"'
+                        lines.append(f"{name}_bucket{{{body}}} {count}")
+                    lines.append(
+                        f"{name}_sum{label} {_format_value(value['sum'])}"
+                    )
+                    lines.append(f"{name}_count{label} {value['count']}")
+                else:
+                    lines.append(f"{name}{label} {_format_value(value)}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def to_json(self, indent: int = 2) -> str:
+        """The snapshot as a JSON document."""
+        return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
+
+    def write_json(self, path: str) -> None:
+        """Persist the snapshot to ``path`` as JSON."""
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_json() + "\n")
+
+
+#: the process-wide default registry
+_GLOBAL = MetricsRegistry()
+
+
+def global_registry() -> MetricsRegistry:
+    """The process-wide registry (sessions default to their own)."""
+    return _GLOBAL

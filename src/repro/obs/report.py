@@ -1,0 +1,203 @@
+"""Aggregate span files into per-round latency tables.
+
+The tracer (:mod:`repro.obs.tracing`) writes one JSON object per finished
+span; this module turns such a file — or any iterable of span dicts —
+into the operator's view: where does a round spend its time?
+
+* :func:`load_spans` — parse a JSONL span file;
+* :func:`stage_summary` — per-stage duration statistics (count, p50,
+  p95, mean, total) across every round of a run;
+* :func:`rounds_table` — one row per round, stage durations side by
+  side, the quickest way to spot a straggler round;
+* :func:`render_latency_report` — both as one aligned text block
+  (``repro report spans.jsonl``).
+
+Percentiles use plain linear interpolation on the sorted durations
+(numpy-free, deterministic), matching the fixed-bucket philosophy of the
+metrics registry.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "STAGES",
+    "load_spans",
+    "percentile",
+    "stage_summary",
+    "rounds_table",
+    "render_latency_report",
+]
+
+#: the round pipeline's stage taxonomy, in execution order, plus the
+#: ingest plane's seal and the negotiation/session spans
+STAGES: Tuple[str, ...] = (
+    "control", "dispatch", "settle", "merge", "seal", "renegotiate",
+)
+
+
+def load_spans(path: str) -> List[Dict[str, Any]]:
+    """Parse one JSONL span file into a list of span dicts.
+
+    Raises a friendly :class:`ValueError` for unreadable files or
+    malformed lines (with the line number), so the CLI can exit 2.
+    """
+    spans: List[Dict[str, Any]] = []
+    try:
+        with open(path, encoding="utf-8") as handle:
+            for number, line in enumerate(handle, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError as exc:
+                    raise ValueError(
+                        f"{path}:{number}: not a JSON span record: {exc}"
+                    ) from None
+                if not isinstance(record, dict) or "name" not in record:
+                    raise ValueError(
+                        f"{path}:{number}: span records need a 'name' field"
+                    )
+                spans.append(record)
+    except OSError as exc:
+        raise ValueError(f"cannot read span file {path!r}: {exc}") from None
+    return spans
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """The ``q``-th percentile (0..100) by linear interpolation."""
+    if not values:
+        return 0.0
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile must be in [0, 100], got {q}")
+    ordered = sorted(float(v) for v in values)
+    if len(ordered) == 1:
+        return ordered[0]
+    position = (q / 100.0) * (len(ordered) - 1)
+    low = int(position)
+    high = min(low + 1, len(ordered) - 1)
+    fraction = position - low
+    return ordered[low] + (ordered[high] - ordered[low]) * fraction
+
+
+def stage_summary(
+    spans: Iterable[Dict[str, Any]],
+    stages: Sequence[str] = STAGES,
+) -> Dict[str, Dict[str, float]]:
+    """Duration statistics per stage name, over every span of a run.
+
+    Only span names in ``stages`` are aggregated (order preserved in the
+    result); spans without a duration (still open at exit) are skipped.
+    """
+    wanted = set(stages)
+    durations: Dict[str, List[float]] = {}
+    for span in spans:
+        name = span.get("name")
+        duration = span.get("duration")
+        if name in wanted and duration is not None:
+            durations.setdefault(name, []).append(float(duration))
+    out: Dict[str, Dict[str, float]] = {}
+    for name in stages:
+        values = durations.get(name)
+        if not values:
+            continue
+        out[name] = {
+            "count": float(len(values)),
+            "p50": percentile(values, 50.0),
+            "p95": percentile(values, 95.0),
+            "mean": sum(values) / len(values),
+            "total": sum(values),
+        }
+    return out
+
+
+def rounds_table(
+    spans: Iterable[Dict[str, Any]],
+    stages: Sequence[str] = ("control", "dispatch", "settle", "merge"),
+) -> List[Dict[str, Any]]:
+    """One row per round: ``{"round": id, "<stage>": seconds, ...}``.
+
+    A stage appearing twice for one round (it cannot, today) keeps the
+    larger duration — the conservative reading of a malformed file.
+    """
+    wanted = set(stages)
+    rows: Dict[int, Dict[str, Any]] = {}
+    for span in spans:
+        name = span.get("name")
+        if name not in wanted:
+            continue
+        attrs = span.get("attrs") or {}
+        round_id = attrs.get("round")
+        duration = span.get("duration")
+        if round_id is None or duration is None:
+            continue
+        row = rows.setdefault(int(round_id), {"round": int(round_id)})
+        previous = row.get(name)
+        if previous is None or duration > previous:
+            row[name] = float(duration)
+    return [rows[round_id] for round_id in sorted(rows)]
+
+
+def _format_table(headers: List[str], rows: List[List[str]]) -> str:
+    """Minimal right-aligned text table (keeps this module stdlib-only)."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        "  ".join(h.rjust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * widths[i] for i in range(len(headers))),
+    ]
+    for row in rows:
+        lines.append("  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _ms(seconds: float) -> str:
+    return f"{seconds * 1000:.2f}"
+
+
+def render_latency_report(
+    spans: Iterable[Dict[str, Any]],
+    max_rounds: Optional[int] = 20,
+) -> str:
+    """The human report: per-stage p50/p95 plus the per-round breakdown."""
+    spans = list(spans)
+    summary = stage_summary(spans)
+    if not summary:
+        return "(no stage spans)"
+    stage_rows = [
+        [
+            name,
+            str(int(stats["count"])),
+            _ms(stats["p50"]),
+            _ms(stats["p95"]),
+            _ms(stats["mean"]),
+            _ms(stats["total"]),
+        ]
+        for name, stats in summary.items()
+    ]
+    blocks = [
+        "per-stage latency (ms)",
+        _format_table(
+            ["stage", "count", "p50", "p95", "mean", "total"], stage_rows
+        ),
+    ]
+    per_round = rounds_table(spans)
+    if per_round:
+        shown = per_round if max_rounds is None else per_round[:max_rounds]
+        stages = ["control", "dispatch", "settle", "merge"]
+        round_rows = [
+            [str(row["round"])]
+            + [_ms(row[s]) if s in row else "-" for s in stages]
+            for row in shown
+        ]
+        blocks.append("")
+        blocks.append("per-round stage durations (ms)")
+        blocks.append(_format_table(["round"] + stages, round_rows))
+        if len(per_round) > len(shown):
+            blocks.append(f"... ({len(per_round)} rounds total)")
+    return "\n".join(blocks)

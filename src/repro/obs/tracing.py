@@ -1,0 +1,230 @@
+"""Tracing spans: who spent how long doing what, and inside what.
+
+A :class:`Tracer` hands out :class:`Span` objects — named intervals with
+monotonic-clock durations, explicit parent ids, and key/value attributes.
+Completed spans are pushed to a sink: :class:`JsonlSink` appends one JSON
+object per line to a file (thread-safe, so serve driver threads can share
+one tracer), :class:`ListSink` accumulates dicts in memory for tests and
+reports.
+
+Two design points are deliberate and load-bearing:
+
+* **Explicit parents, not thread-local stacks.**  The pipelined round
+  driver interleaves rounds — round N+1's ``dispatch`` opens before round
+  N's ``settle`` closes, on the same thread — so a context-var stack
+  would mis-parent spans.  Call sites pass ``parent=`` explicitly.
+* **Disabled tracing is free.**  :data:`NULL_TRACER` has
+  ``enabled = False`` and returns one shared :class:`NullSpan` whose
+  methods do nothing; instrumented call sites guard attribute building
+  with ``if tracer.enabled`` so the hot path does no clock reads, no dict
+  allocation, and no formatting when telemetry is off.  That is what
+  keeps fingerprints bit-identical and throughput untouched.
+
+Spans support both explicit ``start()``/``end()`` (a round's stages open
+and close across multiple driver calls) and ``with`` blocks for simple
+cases.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import threading
+import time
+from typing import Any, Dict, List, Optional
+
+__all__ = [
+    "Span",
+    "NullSpan",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "JsonlSink",
+    "ListSink",
+]
+
+
+class ListSink:
+    """Collect finished spans as plain dicts in memory (tests, reports)."""
+
+    def __init__(self) -> None:
+        self.spans: List[Dict[str, Any]] = []
+        self._lock = threading.Lock()
+
+    def emit(self, record: Dict[str, Any]) -> None:
+        """Append one finished-span dict."""
+        with self._lock:
+            self.spans.append(record)
+
+    def close(self) -> None:
+        """No-op (symmetry with :class:`JsonlSink`)."""
+
+
+class JsonlSink:
+    """Append finished spans to ``path``, one JSON object per line."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._handle = open(path, "w", encoding="utf-8")
+        self._lock = threading.Lock()
+
+    def emit(self, record: Dict[str, Any]) -> None:
+        """Write one finished-span dict as a JSON line."""
+        line = json.dumps(record, sort_keys=True)
+        with self._lock:
+            self._handle.write(line + "\n")
+
+    def close(self) -> None:
+        """Flush and close the file (idempotent)."""
+        with self._lock:
+            if not self._handle.closed:
+                self._handle.flush()
+                self._handle.close()
+
+
+class Span:
+    """One named interval.  Emitted to the tracer's sink when it ends.
+
+    A span records its wall-clock start (``time.time``, for humans) and a
+    monotonic start (``time.monotonic``, for the duration), its parent's
+    id (or ``None`` for a root), and arbitrary key/value attributes.
+    """
+
+    __slots__ = (
+        "name", "span_id", "parent_id", "attrs",
+        "_tracer", "_start_wall", "_start_mono", "duration", "_done",
+    )
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        name: str,
+        span_id: int,
+        parent_id: Optional[int],
+        attrs: Optional[Dict[str, Any]],
+    ) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.attrs: Dict[str, Any] = dict(attrs) if attrs else {}
+        self._start_wall = time.time()
+        self._start_mono = time.monotonic()
+        self.duration: Optional[float] = None
+        self._done = False
+
+    @property
+    def enabled(self) -> bool:
+        return True
+
+    def set(self, **attrs: Any) -> "Span":
+        """Attach (or overwrite) attributes; chainable."""
+        self.attrs.update(attrs)
+        return self
+
+    def end(self, **attrs: Any) -> None:
+        """Close the span and emit it.  Idempotent."""
+        if self._done:
+            return
+        self._done = True
+        self.duration = time.monotonic() - self._start_mono
+        if attrs:
+            self.attrs.update(attrs)
+        self._tracer._emit(self)
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> None:
+        if exc_type is not None:
+            self.attrs.setdefault("error", exc_type.__name__)
+        self.end()
+
+
+class NullSpan:
+    """The shared do-nothing span handed out by :class:`NullTracer`."""
+
+    __slots__ = ()
+
+    name = ""
+    span_id = 0
+    parent_id = None
+    duration = None
+    attrs: Dict[str, Any] = {}
+
+    @property
+    def enabled(self) -> bool:
+        return False
+
+    def set(self, **attrs: Any) -> "NullSpan":
+        """Discard the attributes; chainable like :meth:`Span.set`."""
+        return self
+
+    def end(self, **attrs: Any) -> None:
+        """Do nothing — disabled spans are never emitted."""
+
+    def __enter__(self) -> "NullSpan":
+        return self
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> None:
+        pass
+
+
+_NULL_SPAN = NullSpan()
+
+
+class Tracer:
+    """Produce spans and push the finished ones to a sink.
+
+    Span ids are unique per tracer (a thread-safe counter), so spans from
+    concurrent sessions sharing one tracer never collide.
+    """
+
+    enabled = True
+
+    def __init__(self, sink: Any) -> None:
+        self.sink = sink
+        self._ids = itertools.count(1)
+
+    def span(
+        self,
+        name: str,
+        parent: Optional[Any] = None,
+        **attrs: Any,
+    ) -> Span:
+        """Open a span.  ``parent`` is a live span (or ``None`` for root)."""
+        parent_id = None
+        if parent is not None and parent.enabled:
+            parent_id = parent.span_id
+        return Span(self, name, next(self._ids), parent_id, attrs)
+
+    def _emit(self, span: Span) -> None:
+        self.sink.emit({
+            "name": span.name,
+            "span_id": span.span_id,
+            "parent_id": span.parent_id,
+            "start": span._start_wall,
+            "duration": span.duration,
+            "attrs": span.attrs,
+        })
+
+    def close(self) -> None:
+        """Flush and close the sink."""
+        self.sink.close()
+
+
+class NullTracer:
+    """The disabled tracer: ``enabled`` is False, spans are no-ops."""
+
+    enabled = False
+
+    def span(self, name: str, parent: Optional[Any] = None, **attrs: Any) -> NullSpan:
+        """Hand out the one shared :class:`NullSpan`."""
+        return _NULL_SPAN
+
+    def close(self) -> None:
+        """No-op — there is no sink."""
+
+
+#: the shared disabled tracer — telemetry-off call sites route through it
+NULL_TRACER = NullTracer()

@@ -27,21 +27,25 @@ it on a driver thread with the shared pool plugged in.
 
 from __future__ import annotations
 
+import logging
 import threading
 import time
 from concurrent.futures import CancelledError, Future, ThreadPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from ..core.session import SAPSessionResult, _execute_sap_session
 from ..datasets.partition import PartitionScheme
 from ..datasets.registry import load_dataset
 from ..datasets.schema import Dataset
+from ..obs import Telemetry, pool_collector, service_collector
 from ..sharding.backends import MeteredBackend, ShardBackend, make_backend
 from ..streaming.sources import StreamSource
 from ..streaming.stream_session import StreamSessionResult, _execute_stream_session
 from .spec import SessionSpec
+
+_LOG = logging.getLogger("repro.serve.engine")
 
 __all__ = [
     "AdmissionError",
@@ -102,6 +106,7 @@ def execute_spec(
     source: Optional[StreamSource] = None,
     privacy_suite: Optional[Any] = None,
     keep_network: bool = False,
+    telemetry: Optional[Telemetry] = None,
 ) -> SessionResult:
     """Run one spec to completion and return its native result object.
 
@@ -120,26 +125,56 @@ def execute_spec(
     privacy_suite / keep_network:
         Batch-only runtime extras, forwarded verbatim to the session
         internals (not part of the declarative spec).
+    telemetry:
+        Optional :class:`repro.obs.Telemetry` bundle overriding
+        ``spec.telemetry`` — the injection hook :class:`MiningService`
+        uses to nest a session's spans under its ``drive`` span.  Never
+        affects results.
     """
-    if spec.kind == "batch":
-        if dataset is None:
-            dataset = (
-                spec.dataset
-                if isinstance(spec.dataset, Dataset)
-                else load_dataset(spec.dataset)
+    tel = telemetry if telemetry is not None else spec.telemetry
+    span = None
+    if tel is not None:
+        tel.metrics.counter(
+            "repro_sessions_total", "Sessions executed, by kind.",
+            kind=spec.kind,
+        ).inc()
+        if tel.enabled:
+            span = tel.span(
+                "session", kind=spec.kind, label=spec.display_label,
+                tenant=spec.tenant,
             )
-        return _execute_sap_session(
-            dataset,
-            spec.to_sap_config(),
-            scheme=PartitionScheme(spec.scheme),
-            compute_privacy=spec.effective_privacy,
-            privacy_suite=privacy_suite,
-            keep_network=keep_network,
-            backend=backend,
-        )
-    if source is None:
-        source = spec.make_source()
-    return _execute_stream_session(source, spec.to_stream_config(), backend=backend)
+            tel = tel.child(span)
+    try:
+        if spec.kind == "batch":
+            if dataset is None:
+                dataset = (
+                    spec.dataset
+                    if isinstance(spec.dataset, Dataset)
+                    else load_dataset(spec.dataset)
+                )
+            result = _execute_sap_session(
+                dataset,
+                spec.to_sap_config(),
+                scheme=PartitionScheme(spec.scheme),
+                compute_privacy=spec.effective_privacy,
+                privacy_suite=privacy_suite,
+                keep_network=keep_network,
+                backend=backend,
+            )
+        else:
+            if source is None:
+                source = spec.make_source()
+            config = spec.to_stream_config()
+            if config.telemetry is not tel:
+                config = replace(config, telemetry=tel)
+            result = _execute_stream_session(source, config, backend=backend)
+    except BaseException as exc:
+        if span is not None:
+            span.end(error=type(exc).__name__)
+        raise
+    if span is not None:
+        span.end()
+    return result
 
 
 def _result_traffic(result: SessionResult) -> Tuple[int, int, int]:
@@ -168,6 +203,9 @@ class SessionHandle:
         self.submitted_at = time.perf_counter()
         self.started_at: Optional[float] = None
         self.finished_at: Optional[float] = None
+        # Tracing: the span covering the time this session waits for a
+        # driver slot (set by the owning service when tracing is on).
+        self._queue_span: Optional[Any] = None
         self._future: "Future[SessionResult]" = Future()
         self._running = False
         # Set by the owning service; lets cancel() release the admission
@@ -397,6 +435,15 @@ class MiningService:
     tenants:
         Optional ``{tenant: TenantPolicy}`` budgets; unlisted tenants are
         unbounded.
+    telemetry:
+        Optional :class:`repro.obs.Telemetry` bundle.  When present, the
+        service registers pool/service collectors on its registry (the
+        public :meth:`stats` dicts stay the source of truth), counts
+        admissions/rejections, and — if the tracer is enabled — emits a
+        ``queue`` span per admitted session and a ``drive`` span around
+        each execution, with the session's own spans nested beneath.  A
+        spec carrying its own bundle overrides the service's for that
+        session.
 
     Use as a context manager, or call :meth:`close` when done.
     """
@@ -408,6 +455,7 @@ class MiningService:
         shard_backend: str = "thread",
         shard_workers: Optional[int] = None,
         tenants: Optional[Mapping[str, TenantPolicy]] = None,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         if max_inflight < 1:
             raise ValueError("max_inflight must be a positive integer")
@@ -442,6 +490,15 @@ class MiningService:
         self._rejected = 0
         self._started = time.perf_counter()
         self._closed = False
+        self.telemetry = telemetry
+        if telemetry is not None:
+            if not isinstance(telemetry, Telemetry):
+                raise ValueError(
+                    f"telemetry must be a repro.obs.Telemetry bundle or "
+                    f"None, got {type(telemetry).__name__}"
+                )
+            telemetry.metrics.register_collector(pool_collector(self.pool))
+            telemetry.metrics.register_collector(service_collector(self))
 
     # ------------------------------------------------------------------
     # admission + submission
@@ -524,11 +581,38 @@ class MiningService:
         """
         if not isinstance(spec, SessionSpec):
             spec = SessionSpec.from_mapping(spec)
-        with self._lock:
-            handle = self._admit(spec)
-            # Scheduled under the lock so a concurrent close() cannot shut
-            # the driver pool down between admission and scheduling.
-            self._drivers.submit(self._drive, handle, dataset, source)
+        tel = spec.telemetry if spec.telemetry is not None else self.telemetry
+        try:
+            with self._lock:
+                handle = self._admit(spec)
+                # The queue span opens before scheduling so the driver
+                # thread can never observe the handle without it.
+                if tel is not None and tel.enabled:
+                    handle._queue_span = tel.tracer.span(
+                        "queue", parent=tel.parent,
+                        session=handle.session_id, tenant=spec.tenant,
+                    )
+                # Scheduled under the lock so a concurrent close() cannot
+                # shut the driver pool down between admission and
+                # scheduling.
+                self._drivers.submit(self._drive, handle, dataset, source)
+        except AdmissionError as exc:
+            if self.telemetry is not None:
+                self.telemetry.metrics.counter(
+                    "repro_serve_rejected_total",
+                    "Sessions refused admission.",
+                ).inc()
+            _LOG.warning(
+                "rejected session for tenant %r: %s", spec.tenant, exc
+            )
+            raise
+        if self.telemetry is not None:
+            self.telemetry.metrics.counter(
+                "repro_serve_admitted_total", "Sessions admitted."
+            ).inc()
+        _LOG.info(
+            "admitted session %d (%s)", handle.session_id, spec.display_label
+        )
         return handle
 
     def _drive(
@@ -538,18 +622,37 @@ class MiningService:
         source: Optional[StreamSource],
     ) -> None:
         """Driver-thread body: run the session, settle the handle, account."""
+        spec = handle.spec
+        tel = spec.telemetry if spec.telemetry is not None else self.telemetry
+        qspan = handle._queue_span
         if not handle._future.set_running_or_notify_cancel():
             # Cancelled while queued; cancel() normally accounted for it
             # already, so this only covers a cancel that raced past it.
+            if qspan is not None:
+                qspan.end(outcome="cancelled")
             self._release_cancelled(handle)
             return
+        if qspan is not None:
+            qspan.end(outcome="started")
         handle._running = True
         handle.started_at = time.perf_counter()
+        drive_span = None
+        exec_tel = tel
+        if tel is not None and tel.enabled:
+            drive_span = tel.tracer.span(
+                "drive", parent=tel.parent, session=handle.session_id,
+                tenant=spec.tenant, kind=spec.kind,
+            )
+            exec_tel = tel.child(drive_span)
         try:
             result = execute_spec(
-                handle.spec, backend=self.pool, dataset=dataset, source=source
+                handle.spec, backend=self.pool, dataset=dataset,
+                source=source, telemetry=exec_tel,
             )
         except BaseException as exc:
+            if drive_span is not None:
+                drive_span.end(error=type(exc).__name__)
+            _LOG.warning("session %d failed: %s", handle.session_id, exc)
             handle.finished_at = time.perf_counter()
             # Ordering contract: account first (so a caller who observed the
             # result sees consistent stats), then settle the future, then
@@ -565,6 +668,8 @@ class MiningService:
             with self._lock:
                 self._settle(handle)
             return
+        if drive_span is not None:
+            drive_span.end()
         handle.finished_at = time.perf_counter()
         records, messages, nbytes = _result_traffic(result)
         # Same ordering contract as the failure path above.

@@ -28,10 +28,11 @@ Every field is validated at construction with a friendly
 from __future__ import annotations
 
 import hashlib
-from dataclasses import dataclass, fields, replace
+from dataclasses import dataclass, field, fields, replace
 from typing import Any, Dict, Mapping, Optional, Sequence, Tuple, Union
 
 from ..datasets.partition import PartitionScheme
+from ..obs import Telemetry
 from ..datasets.schema import Dataset
 from ..parties.config import CLASSIFIER_NAMES, ClassifierSpec, SAPConfig
 from ..sharding.backends import BACKENDS
@@ -127,6 +128,11 @@ class SessionSpec:
         forces serial dispatch.  ``True`` requests it but is ignored on
         an inline/serial backend, whose dispatches complete at submit
         time anyway.  Never affects results, only scheduling.
+    telemetry:
+        Optional :class:`repro.obs.Telemetry` bundle carried into
+        execution (spans + metrics).  Excluded from equality/repr and
+        from :meth:`to_mapping` — telemetry is a runtime attachment, not
+        part of the workload description — and it never affects results.
     """
 
     kind: str = "batch"
@@ -167,6 +173,9 @@ class SessionSpec:
     shard_backend: str = "serial"
     shard_plan: str = "round_robin"
     overlap: Optional[bool] = None
+    telemetry: Optional[Telemetry] = field(
+        default=None, compare=False, repr=False
+    )
 
     def __post_init__(self) -> None:
         _require_choice("session kind", self.kind, SESSION_KINDS)
@@ -207,6 +216,13 @@ class SessionSpec:
             raise ValueError(
                 f"overlap must be true, false, or null (auto), got "
                 f"{self.overlap!r}"
+            )
+        if self.telemetry is not None and not isinstance(
+            self.telemetry, Telemetry
+        ):
+            raise ValueError(
+                f"telemetry must be a repro.obs.Telemetry bundle or None, "
+                f"got {type(self.telemetry).__name__}"
             )
         names = CLASSIFIER_NAMES if self.kind == "batch" else ONLINE_CLASSIFIERS
         if self.classifier is not None:
@@ -340,6 +356,7 @@ class SessionSpec:
             late_policy=self.late_policy,
             skew=self.skew,
             seed=self.resolved_seed(),
+            telemetry=self.telemetry,
         )
 
     def make_source(self) -> StreamSource:
@@ -432,6 +449,7 @@ class SessionSpec:
             watermark_delay=config.watermark_delay,
             late_policy=config.late_policy,
             skew=config.skew,
+            telemetry=config.telemetry,
         )
 
     # ------------------------------------------------------------------

@@ -21,7 +21,7 @@ from typing import Iterable, List, Optional, Sequence
 from .adversary import ObservationLedger
 from .messages import MessageKind, payload_nbytes
 
-__all__ = ["render_trace", "message_flow_summary"]
+__all__ = ["render_trace", "message_flow_summary", "SHARD_FLOW_KINDS"]
 
 
 def render_trace(
@@ -71,25 +71,62 @@ def render_trace(
     return "\n".join(lines)
 
 
-def message_flow_summary(ledger: ObservationLedger) -> str:
-    """Counts per (kind, sender-role) — a compact protocol fingerprint.
+#: the data-plane message kinds of :mod:`repro.sharding.engine`, broken
+#: out into their own summary section rather than lumped with protocol
+#: control traffic
+SHARD_FLOW_KINDS = frozenset(
+    kind.value
+    for kind in (
+        MessageKind.SHARD_BATCH,
+        MessageKind.SHARD_FORWARD,
+        MessageKind.SHARD_RESULT,
+    )
+)
 
-    Collapses concrete provider names (``provider-3``) to the role
-    (``provider``) so runs with different k produce comparable summaries.
+
+def message_flow_summary(ledger: ObservationLedger) -> str:
+    """Counts and byte totals per (kind, roles) — a protocol fingerprint.
+
+    Collapses concrete node names (``provider-3``, ``shard-2``) to their
+    roles (``provider``, ``shard``) so runs with different k or shard
+    counts produce comparable summaries.  Shard data-plane kinds
+    (:data:`SHARD_FLOW_KINDS`) get their own section when present, so the
+    sharded record traffic never masquerades as protocol traffic.
     """
 
     def role(name: str) -> str:
         if name.startswith("provider"):
             return "provider"
+        if name.startswith("shard-"):
+            return "shard"
         return name
 
-    counter: Counter = Counter()
+    counts: Counter = Counter()
+    nbytes: Counter = Counter()
     for obs in ledger.endpoint:
-        counter[(obs.kind.value, role(obs.sender), role(obs.observer))] += 1
-    if not counter:
+        key = (obs.kind.value, role(obs.sender), role(obs.observer))
+        counts[key] += 1
+        nbytes[key] += payload_nbytes(obs.message.payload)
+    if not counts:
         return "(no messages)"
-    width = max(len(kind) for kind, _, _ in counter)
-    lines = []
-    for (kind, sender, observer), count in sorted(counter.items()):
-        lines.append(f"{kind:<{width}}  {sender:>11} -> {observer:<11}  x{count}")
-    return "\n".join(lines)
+    width = max(len(kind) for kind, _, _ in counts)
+
+    def lines_for(keys: Iterable) -> List[str]:
+        return [
+            f"{kind:<{width}}  {sender:>11} -> {observer:<11}  "
+            f"x{counts[(kind, sender, observer)]}  "
+            f"{nbytes[(kind, sender, observer)]:_} B"
+            for kind, sender, observer in sorted(keys)
+        ]
+
+    protocol = [key for key in counts if key[0] not in SHARD_FLOW_KINDS]
+    shard = [key for key in counts if key[0] in SHARD_FLOW_KINDS]
+    if not shard:
+        return "\n".join(lines_for(protocol))
+    sections: List[str] = []
+    if protocol:
+        sections.append("protocol control plane:")
+        sections.extend(lines_for(protocol))
+    sections.append("shard data plane:")
+    sections.extend(lines_for(shard))
+    return "\n".join(sections)

@@ -56,6 +56,7 @@ from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..obs import ingest_collector
 from ..sharding.plan import ShardPlan
 from .sources import StreamRecord
 from .windows import EventWindowAssigner, Window
@@ -201,6 +202,13 @@ class IngestPlane:
         without a single late record.
     late_policy:
         One of :data:`LATE_POLICIES`.
+    telemetry:
+        Optional :class:`repro.obs.Telemetry` bundle.  When present, the
+        plane registers a snapshot-time collector publishing its counters
+        (the public ``stats()`` dict is untouched) and — if the tracer is
+        enabled — emits one ``seal`` span per built window, carrying the
+        window index/revision, row counts, the watermark lag at seal
+        time, and the cumulative late-record count.
     """
 
     def __init__(
@@ -212,6 +220,7 @@ class IngestPlane:
         providers: Sequence[str] = ("provider-0", "provider-1"),
         watermark_delay: int = 0,
         late_policy: str = "drop",
+        telemetry: Optional[Any] = None,
     ) -> None:
         if watermark_delay < 0:
             raise ValueError(f"watermark_delay must be >= 0, got {watermark_delay}")
@@ -237,6 +246,14 @@ class IngestPlane:
         self._corrections: Dict[int, List[_Row]] = {}
         self._revisions: Dict[int, int] = {}
         self._finished = False
+        self._telemetry = telemetry
+        self._m_sealed = None
+        if telemetry is not None:
+            telemetry.metrics.register_collector(ingest_collector(self))
+            self._m_sealed = telemetry.metrics.counter(
+                "repro_ingest_windows_sealed_total",
+                "Windows sealed by the ingest watermark (corrections included).",
+            )
 
     # ------------------------------------------------------------------
     # derived state
@@ -420,6 +437,22 @@ class IngestPlane:
     def _build(
         self, index: int, rows: List[_Row], fresh: int, revision: int
     ) -> Window:
+        tel = self._telemetry
+        if tel is not None:
+            self._m_sealed.inc()
+            if tel.enabled:
+                tel.tracer.span(
+                    "seal",
+                    parent=tel.parent,
+                    window=index,
+                    revision=revision,
+                    rows=len(rows),
+                    fresh=fresh,
+                    watermark_lag=max(
+                        0, self.frontier - self.assigner.last_seq(index)
+                    ),
+                    late=sum(gate.late for gate in self.gates),
+                ).end()
         times = [row[3] for row in rows]
         return Window(
             index=index,

@@ -57,6 +57,7 @@ analogue of the paper's Figures 5/6.
 
 from __future__ import annotations
 
+import logging
 import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
@@ -78,6 +79,7 @@ from ..sharding import (
     predict_window,
     transform_window,
 )
+from ..obs import NULL_TRACER, Telemetry
 from ..simnet.channel import Network
 from ..simnet.messages import Message, MessageKind
 from ..simnet.node import Node
@@ -96,6 +98,8 @@ __all__ = [
     "StreamSessionResult",
     "run_stream_session",
 ]
+
+_LOG = logging.getLogger("repro.streaming.session")
 
 
 @dataclass(frozen=True)
@@ -193,6 +197,14 @@ class StreamConfig:
         ``0`` leaves the arrival order untouched.
     seed:
         Master seed; all node and miner seeds derive from it.
+    telemetry:
+        Optional :class:`repro.obs.Telemetry` bundle.  When present, the
+        driver emits round/stage tracing spans (if the bundle's tracer is
+        enabled) and increments its counters; when ``None`` — the default
+        — every instrumented site is a guarded no-op.  Excluded from
+        equality, repr, and :meth:`~repro.serve.SessionSpec.to_mapping`,
+        and it can never affect results: telemetry reads session state,
+        never draws randomness, and never reorders execution.
     """
 
     k: int = 3
@@ -216,6 +228,9 @@ class StreamConfig:
     late_policy: str = "drop"
     skew: int = 0
     seed: int = 0
+    telemetry: Optional[Telemetry] = field(
+        default=None, compare=False, repr=False
+    )
 
     def __post_init__(self) -> None:
         if self.k < 2:
@@ -285,6 +300,13 @@ class StreamConfig:
             or self.skew < 0
         ):
             raise ValueError(f"skew must be an integer >= 0, got {self.skew!r}")
+        if self.telemetry is not None and not isinstance(
+            self.telemetry, Telemetry
+        ):
+            raise ValueError(
+                f"telemetry must be a repro.obs.Telemetry bundle or None, "
+                f"got {type(self.telemetry).__name__}"
+            )
 
     def provider_name(self, index: int) -> str:
         """Node names, matching the batch convention (coordinator last)."""
@@ -703,12 +725,19 @@ class _Round:
     data plane charged, models updated, ``predictions`` dispatched), and
     finally *merged* (predictions gathered, stats folded in).  ``eq=False``
     keeps identity semantics — work items hold numpy arrays.
+
+    ``round_id`` is the driver's running round counter and ``span`` the
+    round's enclosing tracing span (``None`` when tracing is off); both
+    exist so stage spans opened across different driver calls can share
+    one parent and one ``round`` attribute.
     """
 
     work: List[_WindowWork]
     stale_epoch_ids: List[int]
     transforms: Optional[ShardFutures] = None
     predictions: Optional[ShardFutures] = None
+    round_id: int = -1
+    span: Optional[Any] = None
 
 
 # ----------------------------------------------------------------------
@@ -787,6 +816,32 @@ def _execute_stream_session(
     # flag because its dispatches complete at submit time anyway.
     overlap_enabled = pool.supports_overlap and config.overlap is not False
     adaptor_cache = AdaptorCache(maxsize=max(4 * config.k, 16))
+
+    # Telemetry: counters are cheap and live whenever a bundle is present;
+    # spans additionally require the tracer to be enabled.  Every call
+    # site below guards on ``traced`` (or a ``None`` metric handle) so the
+    # telemetry-absent hot path does no clock reads, no dict building, and
+    # no formatting.
+    tel = config.telemetry
+    tracer = tel.tracer if tel is not None else NULL_TRACER
+    traced = tracer.enabled
+    if tel is not None:
+        m_rounds = tel.metrics.counter(
+            "repro_stream_rounds_total", "Rounds merged by stream drivers."
+        )
+        m_records = tel.metrics.counter(
+            "repro_stream_records_total", "Records ingested by stream sessions."
+        )
+        m_windows = tel.metrics.counter(
+            "repro_stream_windows_total", "Windows merged into session stats."
+        )
+        m_negotiation = tel.metrics.histogram(
+            "repro_stream_negotiation_seconds",
+            "Wall-clock seconds per space negotiation.",
+        )
+    else:
+        m_rounds = m_records = m_windows = m_negotiation = None
+
     # The push-based ingestion surface: provider gates feed per-shard
     # window buffers and the watermark seals windows in index order.
     plane = IngestPlane(
@@ -797,6 +852,7 @@ def _execute_stream_session(
         providers=[config.provider_name(i) for i in range(config.k)],
         watermark_delay=config.watermark_delay,
         late_policy=config.late_policy,
+        telemetry=tel,
     )
 
     trust = {party: 1.0 for party in range(config.k)}
@@ -808,6 +864,7 @@ def _execute_stream_session(
 
     epoch: Optional[_Epoch] = None
     epoch_seq = 0
+    round_seq = 0
     events: List[ReadaptationEvent] = []
     window_stats: List[StreamWindowStats] = []
     messages_total = 0
@@ -824,6 +881,14 @@ def _execute_stream_session(
     def negotiate(reason: str, window_index: int, statistic: float,
                   X_normalized: Optional[np.ndarray]) -> _Epoch:
         nonlocal messages_total, bytes_total, epoch_seq
+        span = (
+            tracer.span(
+                "renegotiate", parent=tel.parent, reason=reason,
+                window=window_index,
+            )
+            if traced
+            else None
+        )
         began = time.perf_counter()
         levels = sigmas()
         target, exchange, perturbations, adaptors, n_msgs, n_bytes, virtual = (
@@ -865,6 +930,22 @@ def _execute_stream_session(
                 privacy_guarantee=guarantee,
             )
         )
+        if span is not None:
+            span.end(
+                epoch=epoch_seq, messages=n_msgs, bytes=n_bytes,
+                latency=latency,
+            )
+        if m_negotiation is not None:
+            m_negotiation.observe(latency)
+            tel.metrics.counter(
+                "repro_stream_renegotiations_total",
+                "Space negotiations by trigger.",
+                reason=reason,
+            ).inc()
+        _LOG.info(
+            "negotiated space (%s) at window %d: %.1f ms, %d msgs / %d bytes",
+            reason, window_index, latency * 1000.0, n_msgs, n_bytes,
+        )
         return new_epoch
 
     def stacked_adaptor_rotations(current: _Epoch) -> np.ndarray:
@@ -893,7 +974,14 @@ def _execute_stream_session(
     # identical to unpipelined execution, so results are bit-identical.
     def control(round_windows: List[Window]) -> _Round:
         """Stage 1: per-window control-plane decisions, in window order."""
-        nonlocal epoch, last_readapt_window
+        nonlocal epoch, last_readapt_window, round_seq
+        round_id = round_seq
+        round_seq += 1
+        if traced:
+            round_span = tracer.span("round", parent=tel.parent, round=round_id)
+            stage = tracer.span("control", parent=round_span, round=round_id)
+        else:
+            round_span = stage = None
 
         work: List[_WindowWork] = []
         stale_epoch_ids: List[int] = []
@@ -1016,10 +1104,22 @@ def _execute_stream_session(
                     shard=shard,
                 )
             )
-        return _Round(work=work, stale_epoch_ids=stale_epoch_ids)
+        if stage is not None:
+            stage.end(windows=len(work), renegotiations=len(stale_epoch_ids))
+        return _Round(
+            work=work,
+            stale_epoch_ids=stale_epoch_ids,
+            round_id=round_id,
+            span=round_span,
+        )
 
     def dispatch(current: _Round) -> None:
         """Stage 2: fan the round's transforms out across the pool."""
+        stage = (
+            tracer.span("dispatch", parent=current.span, round=current.round_id)
+            if traced
+            else None
+        )
         work = current.work
         round_epochs = {item.epoch.epoch_id: item.epoch for item in work}
         stacks = {
@@ -1052,9 +1152,16 @@ def _execute_stream_session(
         ]
         current.transforms = pool.submit_map(transform_window, tasks)
         live_rounds.append(current)
+        if stage is not None:
+            stage.end(tasks=len(tasks))
 
     def settle(current: _Round) -> None:
         """Stages 2b/3: gather transforms, charge the network, update models."""
+        stage = (
+            tracer.span("settle", parent=current.span, round=current.round_id)
+            if traced
+            else None
+        )
         work = current.work
         assert current.transforms is not None
         for item, result in zip(work, current.transforms.gather()):
@@ -1086,10 +1193,17 @@ def _execute_stream_session(
 
         # ----- stage 4: prequential predictions fan out ------------------
         current.predictions = pool.submit_map(predict_window, predict_tasks)
+        if stage is not None:
+            stage.end(windows=len(work))
 
     def merge(current: _Round) -> None:
         """Stage 5: gather predictions and merge stats, in window order."""
         nonlocal correct_perturbed, correct_baseline, scored
+        stage = (
+            tracer.span("merge", parent=current.span, round=current.round_id)
+            if traced
+            else None
+        )
         assert current.predictions is not None
         predictions = current.predictions.gather()
         live_rounds.remove(current)
@@ -1113,6 +1227,13 @@ def _execute_stream_session(
                     revision=item.window.revision,
                 )
             )
+        if stage is not None:
+            stage.end(windows=len(current.work))
+        if current.span is not None:
+            current.span.end(windows=len(current.work))
+        if m_rounds is not None:
+            m_rounds.inc()
+            m_windows.inc(len(current.work))
 
     # ----- the (double-buffered) round pipeline ------------------------
     # ``inflight`` has its transforms dispatched and awaits settling;
@@ -1130,13 +1251,21 @@ def _execute_stream_session(
     def drain() -> None:
         """Finish every in-flight round, oldest first."""
         nonlocal inflight, scoring
+        if scoring is None and inflight is None:
+            return
+        span = tracer.span("drain", parent=tel.parent) if traced else None
+        drained = 0
         if scoring is not None:
             merge(scoring)
             scoring = None
+            drained += 1
         if inflight is not None:
             settle(inflight)
             merge(inflight)
             inflight = None
+            drained += 1
+        if span is not None:
+            span.end(rounds=drained)
 
     def feed(round_windows: List[Window]) -> None:
         """Push one sealed round of windows into the pipeline."""
@@ -1200,6 +1329,8 @@ def _execute_stream_session(
         abort()
         pool.close()
     wall = time.perf_counter() - start
+    if m_records is not None:
+        m_records.inc(records)
 
     # Invariant of the merge algebra: folding the per-shard normalizer
     # states together (fixed shard order) must reproduce the unsharded

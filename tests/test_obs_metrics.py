@@ -1,0 +1,125 @@
+"""Metrics registry: determinism, export formats, and type safety."""
+
+import json
+import pickle
+
+import pytest
+
+from repro.obs import MetricsRegistry, global_registry
+from repro.obs.metrics import DEFAULT_BUCKETS
+
+
+def _populate(registry):
+    """A fixed update sequence — two identical runs must snapshot equal."""
+    registry.counter("rounds_total", "Rounds merged.").inc()
+    registry.counter("rounds_total").inc(2)
+    registry.gauge("inflight", "Sessions in flight.").set(3)
+    registry.gauge("inflight").dec()
+    hist = registry.histogram("latency_seconds", "Stage latency.")
+    for value in (0.0002, 0.004, 0.004, 0.3, 42.0):
+        hist.observe(value)
+    registry.counter("events_total", "Events by reason.", reason="drift").inc()
+    registry.counter("events_total", reason="trust_change").inc(4)
+
+
+def test_snapshot_is_deterministic_across_identical_runs():
+    first, second = MetricsRegistry(), MetricsRegistry()
+    _populate(first)
+    _populate(second)
+    assert first.snapshot() == second.snapshot()
+    assert first.to_json() == second.to_json()
+    assert first.render_prometheus() == second.render_prometheus()
+
+
+def test_snapshot_is_plain_and_picklable():
+    registry = MetricsRegistry()
+    _populate(registry)
+    snap = registry.snapshot()
+    assert json.loads(json.dumps(snap)) == snap
+    assert pickle.loads(pickle.dumps(snap)) == snap
+
+
+def test_counter_families_and_labels():
+    registry = MetricsRegistry()
+    a = registry.counter("hits_total", "Hits.", route="a")
+    b = registry.counter("hits_total", route="b")
+    assert a is registry.counter("hits_total", route="a")  # get-or-create
+    assert a is not b
+    a.inc(3)
+    b.inc()
+    values = registry.snapshot()["hits_total"]["values"]
+    assert values == {'{route="a"}': 3, '{route="b"}': 1}
+
+
+def test_counter_rejects_decrease():
+    registry = MetricsRegistry()
+    with pytest.raises(ValueError, match="cannot decrease"):
+        registry.counter("n_total").inc(-1)
+
+
+def test_type_conflict_is_a_friendly_error():
+    registry = MetricsRegistry()
+    registry.counter("n_total")
+    with pytest.raises(ValueError, match="is a counter, not a gauge"):
+        registry.gauge("n_total")
+
+
+def test_histogram_buckets_are_cumulative_in_snapshot():
+    registry = MetricsRegistry()
+    hist = registry.histogram("lat", buckets=(0.1, 1.0))
+    for value in (0.05, 0.5, 0.5, 5.0):
+        hist.observe(value)
+    value = registry.snapshot()["lat"]["values"][""]
+    assert value["buckets"] == {"0.1": 1, "1": 3, "+Inf": 4}
+    assert value["count"] == 4
+    assert value["sum"] == pytest.approx(6.05)
+
+
+def test_histogram_rejects_unsorted_buckets():
+    registry = MetricsRegistry()
+    with pytest.raises(ValueError, match="sorted"):
+        registry.histogram("lat", buckets=(1.0, 0.1))
+
+
+def test_render_prometheus_exposition_shape():
+    registry = MetricsRegistry()
+    _populate(registry)
+    text = registry.render_prometheus()
+    assert "# HELP rounds_total Rounds merged.\n# TYPE rounds_total counter" in text
+    assert "rounds_total 3" in text
+    assert "inflight 2" in text
+    assert 'events_total{reason="drift"} 1' in text
+    assert 'latency_seconds_bucket{le="+Inf"} 5' in text
+    assert "latency_seconds_count 5" in text
+    assert text.endswith("\n")
+
+
+def test_write_json_round_trips(tmp_path):
+    registry = MetricsRegistry()
+    _populate(registry)
+    path = tmp_path / "metrics.json"
+    registry.write_json(str(path))
+    assert json.loads(path.read_text()) == registry.snapshot()
+
+
+def test_collectors_run_at_snapshot_time():
+    registry = MetricsRegistry()
+    holder = {"windows": 0}
+    registry.register_collector(
+        lambda reg: reg.gauge("windows").set(holder["windows"])
+    )
+    holder["windows"] = 7
+    assert registry.snapshot()["windows"]["values"][""] == 7
+    holder["windows"] = 9  # re-read on every export, not cached
+    assert registry.snapshot()["windows"]["values"][""] == 9
+
+
+def test_default_buckets_span_useful_latencies():
+    assert DEFAULT_BUCKETS[0] == pytest.approx(0.0001)
+    assert DEFAULT_BUCKETS[-1] == pytest.approx(10.0)
+    assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
+
+
+def test_global_registry_is_a_singleton():
+    assert global_registry() is global_registry()
+    assert isinstance(global_registry(), MetricsRegistry)

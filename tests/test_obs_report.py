@@ -1,0 +1,120 @@
+"""Span-file aggregation: percentiles, stage tables, and error paths."""
+
+import json
+
+import pytest
+
+from repro.obs.report import (
+    STAGES,
+    load_spans,
+    percentile,
+    render_latency_report,
+    rounds_table,
+    stage_summary,
+)
+
+
+def _span(name, duration, round_id=None, span_id=1, parent_id=None):
+    attrs = {} if round_id is None else {"round": round_id}
+    return {
+        "name": name,
+        "span_id": span_id,
+        "parent_id": parent_id,
+        "start": 0.0,
+        "duration": duration,
+        "attrs": attrs,
+    }
+
+
+SPANS = [
+    _span("control", 0.010, round_id=0),
+    _span("dispatch", 0.002, round_id=0),
+    _span("settle", 0.005, round_id=0),
+    _span("merge", 0.001, round_id=0),
+    _span("control", 0.030, round_id=1),
+    _span("dispatch", 0.004, round_id=1),
+    _span("seal", 0.0),
+    _span("session", 0.100),  # not a stage: never aggregated
+]
+
+
+def test_percentile_interpolates():
+    values = [1.0, 2.0, 3.0, 4.0]
+    assert percentile(values, 0) == 1.0
+    assert percentile(values, 100) == 4.0
+    assert percentile(values, 50) == pytest.approx(2.5)
+    assert percentile([7.0], 95) == 7.0
+    assert percentile([], 50) == 0.0
+
+
+def test_percentile_rejects_out_of_range():
+    with pytest.raises(ValueError, match="0, 100"):
+        percentile([1.0], 101)
+
+
+def test_stage_summary_aggregates_only_stages():
+    summary = stage_summary(SPANS)
+    assert set(summary) <= set(STAGES)
+    assert "session" not in summary
+    control = summary["control"]
+    assert control["count"] == 2
+    assert control["mean"] == pytest.approx(0.020)
+    assert control["total"] == pytest.approx(0.040)
+    assert summary["seal"]["count"] == 1
+
+
+def test_stage_summary_skips_open_spans():
+    spans = SPANS + [_span("control", None, round_id=2)]
+    assert stage_summary(spans)["control"]["count"] == 2
+
+
+def test_rounds_table_rows_are_sorted_by_round():
+    rows = rounds_table(SPANS)
+    assert [row["round"] for row in rows] == [0, 1]
+    assert rows[0]["settle"] == pytest.approx(0.005)
+    assert "settle" not in rows[1]  # round 1 never settled in this file
+
+
+def test_rounds_table_keeps_larger_duplicate():
+    spans = [_span("merge", 0.001, round_id=0), _span("merge", 0.009, round_id=0)]
+    assert rounds_table(spans)[0]["merge"] == pytest.approx(0.009)
+
+
+def test_render_latency_report_shape():
+    text = render_latency_report(SPANS)
+    assert "per-stage latency (ms)" in text
+    assert "per-round stage durations (ms)" in text
+    assert "control" in text and "10.00" in text  # 0.010 s rendered as ms
+    assert "-" in text  # missing round-1 stages rendered as gaps
+
+
+def test_render_latency_report_truncates_rounds():
+    spans = [
+        _span("control", 0.001, round_id=i) for i in range(30)
+    ]
+    text = render_latency_report(spans, max_rounds=5)
+    assert "(30 rounds total)" in text
+    assert render_latency_report([]) == "(no stage spans)"
+
+
+def test_load_spans_round_trips(tmp_path):
+    path = tmp_path / "spans.jsonl"
+    path.write_text(
+        "\n".join(json.dumps(s, sort_keys=True) for s in SPANS) + "\n\n"
+    )
+    assert load_spans(str(path)) == SPANS
+
+
+def test_load_spans_reports_bad_lines_with_numbers(tmp_path):
+    path = tmp_path / "bad.jsonl"
+    path.write_text('{"name": "ok"}\nnot json\n')
+    with pytest.raises(ValueError, match=r"bad\.jsonl:2"):
+        load_spans(str(path))
+    path.write_text('{"no_name": 1}\n')
+    with pytest.raises(ValueError, match="'name' field"):
+        load_spans(str(path))
+
+
+def test_load_spans_missing_file_is_a_value_error(tmp_path):
+    with pytest.raises(ValueError, match="cannot read span file"):
+        load_spans(str(tmp_path / "absent.jsonl"))

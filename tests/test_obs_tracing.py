@@ -1,0 +1,113 @@
+"""Tracing spans: nesting, sinks, and the free disabled path."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    NULL_TRACER,
+    JsonlSink,
+    ListSink,
+    NullTracer,
+    Telemetry,
+    Tracer,
+)
+
+
+def test_spans_record_parent_ids_and_attrs():
+    sink = ListSink()
+    tracer = Tracer(sink)
+    root = tracer.span("session", kind="stream")
+    child = tracer.span("round", parent=root, round=0)
+    child.end(windows=3)
+    root.end()
+    rec_child, rec_root = sink.spans
+    assert rec_root["name"] == "session"
+    assert rec_root["parent_id"] is None
+    assert rec_child["parent_id"] == rec_root["span_id"]
+    assert rec_child["attrs"] == {"round": 0, "windows": 3}
+    assert rec_child["duration"] >= 0.0
+
+
+def test_span_ids_are_unique_and_increasing():
+    tracer = Tracer(ListSink())
+    ids = [tracer.span(f"s{i}").span_id for i in range(5)]
+    assert ids == sorted(ids)
+    assert len(set(ids)) == 5
+
+
+def test_end_is_idempotent_and_set_is_chainable():
+    sink = ListSink()
+    tracer = Tracer(sink)
+    span = tracer.span("work").set(a=1).set(b=2)
+    span.end()
+    first_duration = span.duration
+    span.end(c=3)  # no second emission, no duration change
+    assert len(sink.spans) == 1
+    assert span.duration == first_duration
+    assert sink.spans[0]["attrs"] == {"a": 1, "b": 2}
+
+
+def test_with_block_records_error_kind():
+    sink = ListSink()
+    tracer = Tracer(sink)
+    with pytest.raises(RuntimeError):
+        with tracer.span("doomed"):
+            raise RuntimeError("boom")
+    assert sink.spans[0]["attrs"]["error"] == "RuntimeError"
+
+
+def test_jsonl_sink_round_trips(tmp_path):
+    path = tmp_path / "spans.jsonl"
+    tracer = Tracer(JsonlSink(str(path)))
+    with tracer.span("outer") as outer:
+        tracer.span("inner", parent=outer, n=1).end()
+    tracer.close()
+    records = [json.loads(line) for line in path.read_text().splitlines()]
+    assert [r["name"] for r in records] == ["inner", "outer"]  # end order
+    assert records[0]["parent_id"] == records[1]["span_id"]
+    tracer.close()  # idempotent
+
+
+def test_null_tracer_is_a_shared_noop():
+    assert NULL_TRACER.enabled is False
+    span = NULL_TRACER.span("anything", parent=None, big=1)
+    assert span is NULL_TRACER.span("other")  # one shared instance
+    assert span.enabled is False
+    assert span.set(x=1) is span
+    span.end()
+    with span:
+        pass
+    assert span.attrs == {}
+    NULL_TRACER.close()
+
+
+def test_real_span_under_null_parent_is_a_root():
+    sink = ListSink()
+    tracer = Tracer(sink)
+    null_parent = NullTracer().span("off")
+    tracer.span("child", parent=null_parent).end()
+    assert sink.spans[0]["parent_id"] is None
+
+
+def test_telemetry_bundle_scoping():
+    tel = Telemetry.in_memory()
+    assert tel.enabled
+    root = tel.span("session")
+    scoped = tel.child(root)
+    assert scoped.tracer is tel.tracer
+    assert scoped.metrics is tel.metrics
+    scoped.span("round").end()
+    root.end()
+    tel.close()
+    spans = tel.tracer.sink.spans
+    assert spans[0]["name"] == "round"
+    assert spans[0]["parent_id"] == spans[1]["span_id"]
+
+
+def test_disabled_telemetry_still_counts():
+    tel = Telemetry.disabled()
+    assert not tel.enabled
+    tel.metrics.counter("n_total").inc()
+    assert tel.span("ignored").enabled is False
+    assert tel.metrics.snapshot()["n_total"]["values"][""] == 1

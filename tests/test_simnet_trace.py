@@ -60,11 +60,66 @@ def test_flow_summary_collapses_roles(ledger):
     assert "x" in text  # counts rendered
 
 
+def _summary_counts(text):
+    """Parse ``x{count}`` from every flow line (section headers skipped)."""
+    return [
+        int(line.split("x")[-1].split()[0])
+        for line in text.splitlines()
+        if " x" in line
+    ]
+
+
 def test_flow_summary_counts_are_complete(ledger):
     text = message_flow_summary(ledger)
-    total = sum(int(part.split("x")[-1]) for part in text.splitlines())
-    assert total == len(ledger.endpoint)
+    assert sum(_summary_counts(text)) == len(ledger.endpoint)
+
+
+def test_flow_summary_has_byte_totals(ledger):
+    from repro.simnet.messages import payload_nbytes
+
+    text = message_flow_summary(ledger)
+    expected = sum(payload_nbytes(o.message.payload) for o in ledger.endpoint)
+    totals = [
+        int(line.rsplit("x", 1)[-1].split()[1].replace("_", ""))
+        for line in text.splitlines()
+        if line.endswith(" B")
+    ]
+    assert sum(totals) == expected
 
 
 def test_flow_summary_empty():
     assert message_flow_summary(ObservationLedger()) == "(no messages)"
+
+
+@pytest.fixture
+def shard_ledger():
+    """A ledger carrying shard data-plane traffic (party routing plan)."""
+    import numpy as np
+
+    from repro.sharding.engine import DataPlane
+    from repro.sharding.plan import ShardPlan
+
+    plan = ShardPlan(2, "party", n_parties=3)
+    plane = DataPlane(plan, ["provider-0", "provider-1", "coordinator"], seed=1)
+    rows = np.arange(12.0).reshape(6, 2)
+    parties = np.arange(6) % 3
+    slices = [rows[parties == party] for party in range(3)]
+    plane.route_window(0, slices, rows)
+    plane.flush()
+    return plane.network.ledger
+
+
+def test_flow_summary_breaks_out_shard_traffic(shard_ledger):
+    text = message_flow_summary(shard_ledger)
+    assert "shard data plane:" in text
+    assert "shard_batch" in text
+    assert "shard_result" in text
+    # shard-N names collapse to the role, like provider-N does
+    assert "shard-0" not in text
+    assert sum(_summary_counts(text)) == len(shard_ledger.endpoint)
+
+
+def test_flow_summary_without_shard_traffic_has_no_sections(ledger):
+    text = message_flow_summary(ledger)
+    assert "shard data plane:" not in text
+    assert "protocol control plane:" not in text

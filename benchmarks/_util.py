@@ -56,6 +56,22 @@ def bench_timestamp(explicit: Optional[str] = None) -> str:
     return datetime.now(timezone.utc).strftime("%Y-%m-%dT%H:%M:%SZ")
 
 
+def _validate_entries(path: str, entries: list) -> None:
+    """Every trajectory entry must be a {timestamp, machine, metrics} record
+    (a corrupted file should fail loudly, not grow quietly)."""
+    for index, entry in enumerate(entries):
+        if (
+            not isinstance(entry, dict)
+            or not isinstance(entry.get("timestamp"), str)
+            or not isinstance(entry.get("machine"), dict)
+            or not isinstance(entry.get("metrics"), dict)
+        ):
+            raise ValueError(
+                f"{path}: entry {index} is not a "
+                f"{{timestamp, machine, metrics}} record"
+            )
+
+
 def record_trajectory(
     path: str,
     bench: str,
@@ -67,7 +83,10 @@ def record_trajectory(
     The file is a single JSON object ``{"bench": ..., "entries": [...]}``;
     re-running a benchmark with the same ``--out`` grows the history rather
     than overwriting it, which is what makes the file a perf *trajectory*.
-    Returns the appended entry.
+    Entries whose ``(timestamp, machine)`` already appears are *not*
+    re-appended — CI pins ``REPRO_BENCH_TIMESTAMP``, so retried jobs would
+    otherwise bloat the committed files with exact duplicates.  Returns the
+    appended entry (or the existing duplicate).
     """
     entry = {
         "timestamp": bench_timestamp(timestamp),
@@ -82,7 +101,14 @@ def record_trajectory(
             loaded.get("entries"), list
         ):
             raise ValueError(f"{path} is not a benchmark trajectory file")
+        _validate_entries(path, loaded["entries"])
         history = loaded
+    for existing in history["entries"]:
+        if (
+            existing["timestamp"] == entry["timestamp"]
+            and existing["machine"] == entry["machine"]
+        ):
+            return existing
     history["bench"] = bench
     history["entries"].append(entry)
     with open(path, "w", encoding="utf-8") as handle:

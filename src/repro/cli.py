@@ -28,6 +28,15 @@ Usage (after ``pip install -e .``)::
                  --metrics-out metrics.json
                                    # telemetry: tracing spans + metrics export
     repro report spans.jsonl       # per-stage / per-round latency tables
+    repro report results/quick     # merge every spans.jsonl under a dir
+    repro experiment run examples/experiment_quick.json
+                                   # declarative sweep: factors x levels x
+                                   # reps -> per-run artifact directories
+    repro experiment report results/quick --out report.md
+                                   # join metrics + spans into one report
+    repro experiment gate --baseline BENCH_overlap.json
+                                   # fail (exit 1) on >20% throughput drop
+                                   # vs the committed perf trajectory
 
 Every command accepts ``--seed``; heavier ones accept budget flags so a
 quick look stays quick.  ``session``, ``stream``, and ``serve`` accept
@@ -43,6 +52,7 @@ from __future__ import annotations
 import argparse
 import json
 import logging
+import os
 import sys
 from concurrent.futures import CancelledError
 from typing import Dict, List, Optional
@@ -344,12 +354,15 @@ def build_parser() -> argparse.ArgumentParser:
     _add_logging_flags(p)
 
     p = sub.add_parser(
-        "report", help="aggregate a --trace-out span file into latency tables"
+        "report", help="aggregate --trace-out span files into latency tables"
     )
     p.add_argument(
         "spans",
-        metavar="SPANS_JSONL",
-        help="span file written by `repro stream --trace-out`",
+        metavar="SPANS",
+        nargs="+",
+        help="span file(s) written by `repro stream --trace-out`, and/or "
+        "directories searched recursively for *.jsonl (multi-run "
+        "experiments merge into one table)",
     )
     p.add_argument(
         "--max-rounds",
@@ -358,6 +371,106 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-round rows to show (0 = all)",
     )
     _add_logging_flags(p)
+
+    p = sub.add_parser(
+        "experiment",
+        help="declarative sweeps: run a config, report a sweep, gate perf",
+    )
+    esub = p.add_subparsers(dest="experiment_command", required=True)
+
+    e = esub.add_parser(
+        "run", help="execute a factors x levels x repetitions sweep config"
+    )
+    e.add_argument(
+        "config",
+        metavar="CONFIG",
+        help="JSON (or TOML, Python 3.11+) experiment config: "
+        '{"name", "base", "factors", "repetitions"}',
+    )
+    e.add_argument(
+        "--results",
+        metavar="DIR",
+        default="results",
+        help="results root; artifacts land under DIR/<name>/<run_id>/ "
+        "(default: results)",
+    )
+    e.add_argument(
+        "--fresh",
+        action="store_true",
+        help="re-run every cell even if a completed artifact exists "
+        "(default: resume, skipping completed cells)",
+    )
+    e.add_argument(
+        "--timestamp",
+        help="artifact timestamp (default: $REPRO_BENCH_TIMESTAMP, else now UTC)",
+    )
+    _add_logging_flags(e)
+
+    e = esub.add_parser(
+        "report",
+        help="join a sweep's per-run metrics + spans into one document",
+    )
+    e.add_argument(
+        "directory",
+        metavar="EXPERIMENT_DIR",
+        help="one experiment's directory (results/<name>)",
+    )
+    e.add_argument(
+        "--html",
+        action="store_true",
+        help="emit a standalone HTML page instead of markdown",
+    )
+    e.add_argument(
+        "--out",
+        metavar="FILE",
+        default=None,
+        help="also write the report to FILE",
+    )
+    _add_logging_flags(e)
+
+    e = esub.add_parser(
+        "gate",
+        help="fail (exit 1) when fresh throughput regresses vs a committed "
+        "BENCH_*.json trajectory",
+    )
+    e.add_argument(
+        "--baseline",
+        metavar="BENCH_JSON",
+        required=True,
+        help="committed trajectory file to compare against",
+    )
+    e.add_argument(
+        "--current",
+        metavar="BENCH_JSON",
+        default=None,
+        help="freshly recorded trajectory to compare (default: run the "
+        "bench's built-in quick measurement now)",
+    )
+    e.add_argument(
+        "--tolerance",
+        type=float,
+        default=20.0,
+        metavar="PCT",
+        help="largest tolerated throughput drop in percent (default: 20)",
+    )
+    e.add_argument(
+        "--allow-machine-mismatch",
+        action="store_true",
+        help="compare against baseline entries from other machines too "
+        "(default: only fingerprint-matched entries count)",
+    )
+    e.add_argument(
+        "--write-current",
+        metavar="FILE",
+        default=None,
+        help="persist the fresh measurement as a one-entry trajectory file",
+    )
+    e.add_argument(
+        "--timestamp",
+        help="--write-current entry timestamp (default: "
+        "$REPRO_BENCH_TIMESTAMP, else now UTC)",
+    )
+    _add_logging_flags(e)
 
     return parser
 
@@ -836,14 +949,94 @@ def _cmd_serve(args: argparse.Namespace) -> str:
 
 
 def _cmd_report(args: argparse.Namespace) -> str:
-    from .obs.report import load_spans, render_latency_report
+    from .obs.report import load_span_sources, render_latency_report
 
-    spans = load_spans(args.spans)
+    spans, files = load_span_sources(args.spans)
     max_rounds = None if args.max_rounds == 0 else args.max_rounds
+    if len(files) == 1:
+        origin = files[0]
+    else:
+        origin = f"{len(files)} span files merged"
     return series_block(
-        f"Span latency report - {args.spans} ({len(spans)} spans)",
+        f"Span latency report - {origin} ({len(spans)} spans)",
         render_latency_report(spans, max_rounds=max_rounds),
     )
+
+
+def _cmd_experiment(args: argparse.Namespace):
+    from .obs import experiment as exp
+
+    if args.experiment_command == "run":
+        config = exp.load_experiment_config(args.config)
+        lines: List[str] = []
+
+        def narrate(cell, artifact):
+            status = artifact.get("status", "?")
+            summary = artifact.get("summary") or {}
+            detail = (
+                f"{summary.get('records_per_s', '-')} rec/s"
+                if status == "ok"
+                else artifact.get("error", "")
+            )
+            lines.append(f"  {cell.run_id:<48} {status:<6} {detail}")
+            logging.getLogger("repro.obs.experiment").info(
+                "%s: %s", cell.run_id, status
+            )
+
+        run = exp.run_experiment(
+            config,
+            results_root=args.results,
+            resume=not args.fresh,
+            timestamp=args.timestamp,
+            progress=narrate,
+        )
+        lines.append("")
+        lines.append(
+            f"{run.total} cells: {run.executed} executed, "
+            f"{run.skipped} resumed, {run.failed} failed -> {run.directory}"
+        )
+        body = "\n".join(lines)
+        # A failed cell leaves an error artifact but must not read as
+        # success to scripted callers (same convention as `repro serve`).
+        return (
+            series_block(
+                f"Experiment run - {config.name} "
+                f"({len(config.factor_names)} factors x "
+                f"{run.total} cells)",
+                body,
+            ),
+            1 if run.failed else 0,
+        )
+
+    if args.experiment_command == "report":
+        runs = exp.load_runs(args.directory)
+        name = os.path.basename(os.path.normpath(args.directory))
+        text = exp.render_experiment_report(
+            runs, name=name, fmt="html" if args.html else "md"
+        )
+        if args.out:
+            try:
+                with open(args.out, "w", encoding="utf-8") as handle:
+                    handle.write(text)
+            except OSError as exc:
+                raise ValueError(
+                    f"cannot write --out {args.out!r}: {exc}"
+                ) from None
+        return text.rstrip("\n")
+
+    if not 0.0 <= args.tolerance < 100.0:
+        raise ValueError(
+            f"--tolerance must be a percentage in [0, 100), got {args.tolerance}"
+        )
+    report = exp.run_gate(
+        args.baseline,
+        current_path=args.current,
+        tolerance=args.tolerance / 100.0,
+        allow_machine_mismatch=args.allow_machine_mismatch,
+        write_current=args.write_current,
+        timestamp=args.timestamp,
+    )
+    return report.text, 0 if report.ok else 1
 
 
 def _cmd_ablation(args: argparse.Namespace) -> str:
@@ -878,6 +1071,7 @@ _COMMANDS = {
     "stream": _cmd_stream,
     "serve": _cmd_serve,
     "report": _cmd_report,
+    "experiment": _cmd_experiment,
 }
 
 

@@ -10,7 +10,10 @@ stack.  It has three parts:
   :class:`Span` records (monotonic durations, explicit parent ids,
   key/value attrs) into a JSONL or in-memory sink;
 * :mod:`repro.obs.report` — span-file aggregation into per-stage latency
-  tables (p50/p95).
+  tables (p50/p95);
+* :mod:`repro.obs.experiment` — declarative sweep runner (factors x
+  levels x repetitions -> persisted per-run artifacts), joined
+  metrics+span reports, and the trajectory regression gate.
 
 The :class:`Telemetry` bundle below is what the execution layers carry:
 one tracer + one registry + the parent span of the current scope.  It
@@ -20,8 +23,10 @@ plugs into :class:`repro.streaming.StreamConfig` and
 the tracer disabled) every instrumented call site is a guarded no-op, so
 results stay bit-identical and throughput untouched.
 
-Layering rule: this package imports only the standard library, so every
-other ``repro`` subpackage may import it without cycles.
+Layering rule: this package imports only the standard library *at import
+time*, so every other ``repro`` subpackage may import it without cycles;
+the experiment runner's execution-layer imports (``repro.serve``,
+``repro.streaming``) are deferred to call time.
 """
 
 from __future__ import annotations
@@ -29,13 +34,25 @@ from __future__ import annotations
 from typing import Any, Optional
 
 from .collect import ingest_collector, pool_collector, service_collector
+from .experiment import (
+    ExperimentConfig,
+    GateReport,
+    expand_run_table,
+    load_experiment_config,
+    load_runs,
+    render_experiment_report,
+    run_experiment,
+    run_gate,
+)
 from .metrics import (
     DEFAULT_BUCKETS,
     Counter,
     Gauge,
     Histogram,
     MetricsRegistry,
+    bucket_quantile,
     global_registry,
+    snapshot_quantile,
 )
 from .tracing import (
     NULL_TRACER,
@@ -54,7 +71,17 @@ __all__ = [
     "Gauge",
     "Histogram",
     "DEFAULT_BUCKETS",
+    "bucket_quantile",
+    "snapshot_quantile",
     "global_registry",
+    "ExperimentConfig",
+    "GateReport",
+    "load_experiment_config",
+    "expand_run_table",
+    "run_experiment",
+    "load_runs",
+    "render_experiment_report",
+    "run_gate",
     "Tracer",
     "NullTracer",
     "NULL_TRACER",

@@ -1,0 +1,966 @@
+"""Declarative experiment sweeps: run tables, joined reports, a perf gate.
+
+The paper's whole evaluation is a grid — scenario x parties x perturbation
+knobs — and this module makes such grids one config file instead of one
+hand-rolled script per cell:
+
+* :class:`ExperimentConfig` — factors x levels x repetitions plus a base
+  spec, loaded from one JSON or TOML file
+  (:func:`load_experiment_config`);
+* :func:`expand_run_table` — the deterministic cartesian expansion whose
+  row type is the existing :class:`repro.serve.SessionSpec`;
+* :func:`run_experiment` — executes every cell through
+  :func:`repro.serve.engine.execute_spec` with its *own*
+  :class:`~repro.obs.Telemetry` bundle, persists a per-run artifact
+  directory (``spec.json`` + ``spans.jsonl`` + ``metrics.json`` +
+  ``result.json`` with machine fingerprint and wall time), survives a
+  crashed cell (an error artifact is written and the sweep continues),
+  and resumes a partial sweep without re-running completed cells;
+* :func:`load_runs` / :func:`render_experiment_report` — the report
+  stage: joins the per-run metrics snapshots with the span latency
+  tables of :mod:`repro.obs.report` into one factor-pivoted markdown (or
+  minimal HTML) document;
+* :func:`run_gate` — the trajectory regression gate: compares a fresh
+  quick measurement (or a ``--current`` trajectory file) against the
+  committed ``BENCH_*.json`` entries, matched by machine fingerprint,
+  and reports a regression whenever a throughput metric drops by more
+  than the tolerance (default 20%).
+
+Layering: everything config/table/report/gate-shaped here imports only
+the standard library, keeping the package's rule that any ``repro``
+subpackage may import ``repro.obs``.  The two call sites that *execute*
+sessions (:func:`run_experiment`'s cell loop and the gate's built-in
+quick measurement) defer their ``repro.serve`` / ``repro.streaming``
+imports to call time, which is safe because by then the execution layers
+are fully importable.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import re
+import time
+from dataclasses import dataclass, field
+from datetime import datetime, timezone
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from .metrics import snapshot_quantile
+from .report import stage_summary
+
+__all__ = [
+    "ExperimentConfig",
+    "RunCell",
+    "ExperimentRun",
+    "GateReport",
+    "load_experiment_config",
+    "expand_run_table",
+    "run_experiment",
+    "load_runs",
+    "render_experiment_report",
+    "machine_fingerprint",
+    "bench_timestamp",
+    "load_trajectory",
+    "flatten_metrics",
+    "run_gate",
+]
+
+#: top-level keys an experiment config may carry
+_CONFIG_KEYS = ("name", "description", "base", "factors", "repetitions")
+
+#: per-run artifact file names
+SPEC_FILE = "spec.json"
+SPANS_FILE = "spans.jsonl"
+METRICS_FILE = "metrics.json"
+RESULT_FILE = "result.json"
+MANIFEST_FILE = "experiment.json"
+
+
+def machine_fingerprint() -> Dict[str, Any]:
+    """Coarse host identity stamped on every artifact and trajectory entry,
+    so numbers from different machines are never compared as a trend."""
+    return {
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "cpus": os.cpu_count(),
+    }
+
+
+def bench_timestamp(explicit: Optional[str] = None) -> str:
+    """Artifact timestamp: explicit value, else ``REPRO_BENCH_TIMESTAMP``
+    (pinned by CI for reproducible artifacts), else the current UTC time."""
+    if explicit:
+        return explicit
+    env = os.environ.get("REPRO_BENCH_TIMESTAMP")
+    if env:
+        return env
+    return datetime.now(timezone.utc).strftime("%Y-%m-%dT%H:%M:%SZ")
+
+
+# ----------------------------------------------------------------------
+# config
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """One declarative sweep: ``base`` spec + ``factors`` x ``repetitions``.
+
+    ``base`` holds the :class:`~repro.serve.SessionSpec` fields shared by
+    every cell; each factor maps a spec field to the list of levels to
+    sweep; ``repetitions`` repeats every factor combination with the
+    cell's seed offset by the repetition index, so repeated cells draw
+    fresh (but reproducible) randomness.
+    """
+
+    name: str
+    factors: Tuple[Tuple[str, Tuple[Any, ...]], ...]
+    base: Tuple[Tuple[str, Any], ...] = ()
+    repetitions: int = 1
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.name, str) or not re.fullmatch(
+            r"[A-Za-z0-9._-]+", self.name or ""
+        ):
+            raise ValueError(
+                f"experiment name must be a non-empty [A-Za-z0-9._-]+ slug "
+                f"(it names the results directory), got {self.name!r}"
+            )
+        if not isinstance(self.repetitions, int) or isinstance(
+            self.repetitions, bool
+        ) or self.repetitions < 1:
+            raise ValueError(
+                f"repetitions must be an integer >= 1, got {self.repetitions!r}"
+            )
+        if not self.factors:
+            raise ValueError("an experiment needs at least one factor")
+        for factor, levels in self.factors:
+            if not levels:
+                raise ValueError(f"factor {factor!r} has no levels")
+        for key, _ in tuple(self.base) + tuple(self.factors):
+            if key == "telemetry":
+                raise ValueError(
+                    "'telemetry' is a runtime attachment, not a sweepable "
+                    "spec field; the runner builds one bundle per cell"
+                )
+
+    @property
+    def factor_names(self) -> Tuple[str, ...]:
+        """Factor names in declaration order (the run-table column order)."""
+        return tuple(name for name, _ in self.factors)
+
+    @classmethod
+    def from_mapping(cls, mapping: Mapping[str, Any]) -> "ExperimentConfig":
+        """Build a config from one parsed JSON/TOML document.
+
+        Unknown top-level keys fail loudly, like
+        :meth:`SessionSpec.from_mapping` does for spec fields.
+        """
+        unknown = sorted(set(mapping) - set(_CONFIG_KEYS))
+        if unknown:
+            raise ValueError(
+                f"unknown experiment config key(s): {', '.join(unknown)}; "
+                f"available: {', '.join(_CONFIG_KEYS)}"
+            )
+        if "name" not in mapping:
+            raise ValueError("experiment config needs a 'name'")
+        factors = mapping.get("factors")
+        if not isinstance(factors, Mapping) or not factors:
+            raise ValueError(
+                "experiment config needs a non-empty 'factors' mapping "
+                "(spec field -> list of levels)"
+            )
+        normalized: List[Tuple[str, Tuple[Any, ...]]] = []
+        for factor, levels in factors.items():
+            if not isinstance(levels, Sequence) or isinstance(levels, (str, bytes)):
+                raise ValueError(
+                    f"factor {factor!r} levels must be a list, got {levels!r}"
+                )
+            normalized.append((str(factor), tuple(levels)))
+        base = mapping.get("base", {})
+        if not isinstance(base, Mapping):
+            raise ValueError(f"'base' must be a mapping, got {base!r}")
+        return cls(
+            name=mapping["name"],
+            factors=tuple(normalized),
+            base=tuple(base.items()),
+            repetitions=mapping.get("repetitions", 1),
+            description=mapping.get("description", ""),
+        )
+
+    def to_mapping(self) -> Dict[str, Any]:
+        """The JSON-friendly inverse of :meth:`from_mapping`."""
+        return {
+            "name": self.name,
+            "description": self.description,
+            "base": dict(self.base),
+            "factors": {name: list(levels) for name, levels in self.factors},
+            "repetitions": self.repetitions,
+        }
+
+
+def load_experiment_config(path: str) -> ExperimentConfig:
+    """Load an :class:`ExperimentConfig` from a JSON or TOML file.
+
+    The format follows the extension: ``.toml`` parses with
+    :mod:`tomllib` (Python 3.11+; a friendly error tells older
+    interpreters to use JSON), anything else parses as JSON.
+    """
+    if path.endswith(".toml"):
+        try:
+            import tomllib
+        except ImportError:
+            raise ValueError(
+                f"TOML config {path!r} needs Python 3.11+ (tomllib); "
+                f"use a JSON config on this interpreter"
+            ) from None
+        try:
+            with open(path, "rb") as handle:
+                payload = tomllib.load(handle)
+        except OSError as exc:
+            raise ValueError(f"cannot read experiment config {path!r}: {exc}") from None
+        except tomllib.TOMLDecodeError as exc:
+            raise ValueError(f"experiment config {path!r} is not valid TOML: {exc}") from None
+    else:
+        try:
+            with open(path, encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except OSError as exc:
+            raise ValueError(f"cannot read experiment config {path!r}: {exc}") from None
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"experiment config {path!r} is not valid JSON: {exc}") from None
+    if not isinstance(payload, Mapping):
+        raise ValueError(f"experiment config {path!r} must be one object/table")
+    return ExperimentConfig.from_mapping(payload)
+
+
+# ----------------------------------------------------------------------
+# run-table expansion
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class RunCell:
+    """One row of the expanded run table.
+
+    ``overrides`` is the factor assignment (plus the repetition's seed
+    offset already folded into ``spec_mapping``); ``spec_mapping`` is the
+    full :class:`SessionSpec` description the cell executes.
+    """
+
+    run_id: str
+    index: int
+    rep: int
+    overrides: Tuple[Tuple[str, Any], ...]
+    spec_mapping: Tuple[Tuple[str, Any], ...]
+
+    def build_spec(self):
+        """The cell's :class:`~repro.serve.SessionSpec` (validated)."""
+        from ..serve.spec import SessionSpec  # deferred: execution layer
+
+        return SessionSpec.from_mapping(dict(self.spec_mapping))
+
+
+def _level_token(value: Any) -> str:
+    """A filesystem-safe rendering of one factor level for run ids."""
+    if isinstance(value, bool):
+        text = "true" if value else "false"
+    else:
+        text = str(value)
+    return re.sub(r"[^A-Za-z0-9._+-]", "-", text)
+
+
+def expand_run_table(config: ExperimentConfig) -> List[RunCell]:
+    """Expand a config into its deterministic, validated run table.
+
+    Factors iterate in declaration order with the *last* factor varying
+    fastest (row-major cartesian product), then repetitions innermost;
+    two expansions of the same config are element-wise identical, which
+    is what makes run ids stable across resumes.  Every cell is built
+    through :meth:`SessionSpec.from_mapping`, so an invalid factor field
+    or level fails at expansion time naming the offending cell.
+    """
+    combos: List[Tuple[Tuple[str, Any], ...]] = [()]
+    for factor, levels in config.factors:
+        combos = [combo + ((factor, level),) for combo in combos for level in levels]
+    base = dict(config.base)
+    cells: List[RunCell] = []
+    index = 0
+    for combo in combos:
+        for rep in range(config.repetitions):
+            mapping = dict(base)
+            mapping.update(combo)
+            # Repetitions re-draw randomness: offset the cell's seed.
+            mapping["seed"] = int(mapping.get("seed", 0)) + rep
+            tokens = [f"{factor}={_level_token(level)}" for factor, level in combo]
+            run_id = "-".join([f"{index:03d}"] + tokens + [f"r{rep}"])
+            cell = RunCell(
+                run_id=run_id,
+                index=index,
+                rep=rep,
+                overrides=combo,
+                spec_mapping=tuple(mapping.items()),
+            )
+            try:
+                cell.build_spec()
+            except ValueError as exc:
+                raise ValueError(f"run table cell {run_id}: {exc}") from None
+            cells.append(cell)
+            index += 1
+    return cells
+
+
+# ----------------------------------------------------------------------
+# the sweep runner
+# ----------------------------------------------------------------------
+@dataclass
+class ExperimentRun:
+    """What one :func:`run_experiment` call did."""
+
+    directory: str
+    total: int
+    executed: int = 0
+    skipped: int = 0
+    failed: int = 0
+    results: List[Dict[str, Any]] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when every cell in the sweep has a completed artifact."""
+        return self.failed == 0
+
+
+def _result_summary(result: Any, wall_seconds: float) -> Dict[str, Any]:
+    """The scalar summary persisted per run, both session kinds unified."""
+    if hasattr(result, "records_processed"):  # stream
+        records = result.records_processed
+        messages = result.messages_sent + result.data_messages_sent
+        data_bytes = result.bytes_sent + result.data_bytes_sent
+        extra: Dict[str, Any] = {
+            "windows": len(result.windows),
+            "readaptations": result.readaptations,
+            "overlap": result.overlap,
+        }
+    else:  # batch
+        records = result.miner_result.n_train + result.miner_result.n_test
+        messages = result.messages_sent
+        data_bytes = result.bytes_sent
+        extra = {}
+    throughput = records / wall_seconds if wall_seconds > 0 else 0.0
+    return {
+        "records": int(records),
+        "records_per_s": round(throughput, 1),
+        "deviation": round(float(result.deviation), 4),
+        "messages": int(messages),
+        "bytes": int(data_bytes),
+        **extra,
+    }
+
+
+def _write_json(path: str, payload: Any) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def _read_json(path: str) -> Any:
+    with open(path, encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def _completed(result_path: str) -> Optional[Dict[str, Any]]:
+    """The cell's prior completed artifact, or ``None`` to (re-)run it.
+
+    A missing or unreadable ``result.json`` and an ``error`` artifact all
+    mean "run the cell": resuming retries crashes, never successes.
+    """
+    try:
+        artifact = _read_json(result_path)
+    except (OSError, json.JSONDecodeError):
+        return None
+    if isinstance(artifact, dict) and artifact.get("status") == "ok":
+        return artifact
+    return None
+
+
+def run_experiment(
+    config: ExperimentConfig,
+    results_root: str = "results",
+    resume: bool = True,
+    timestamp: Optional[str] = None,
+    progress: Optional[Callable[[RunCell, Dict[str, Any]], None]] = None,
+) -> ExperimentRun:
+    """Execute every cell of the config's run table, persisting artifacts.
+
+    Each cell runs through :func:`repro.serve.engine.execute_spec` with
+    its own :class:`~repro.obs.Telemetry` bundle (a fresh metrics
+    registry plus a tracer writing ``spans.jsonl`` in the run directory).
+    A cell that raises records an ``error`` artifact and the sweep moves
+    on; with ``resume`` (the default) a rerun skips cells whose artifact
+    says ``ok`` and retries the rest, so a crashed sweep picks up where
+    it stopped.  ``progress`` (when given) is called with every cell's
+    artifact as it lands — the CLI's live narration hook.
+    """
+    from ..serve.engine import execute_spec  # deferred: execution layer
+    from . import Telemetry  # deferred: avoid a cycle through __init__
+
+    cells = expand_run_table(config)
+    directory = os.path.join(results_root, config.name)
+    os.makedirs(directory, exist_ok=True)
+    _write_json(
+        os.path.join(directory, MANIFEST_FILE),
+        {"config": config.to_mapping(), "cells": len(cells)},
+    )
+    run = ExperimentRun(directory=directory, total=len(cells))
+    for cell in cells:
+        run_dir = os.path.join(directory, cell.run_id)
+        result_path = os.path.join(run_dir, RESULT_FILE)
+        if resume:
+            prior = _completed(result_path)
+            if prior is not None:
+                run.skipped += 1
+                run.results.append(prior)
+                if progress is not None:
+                    progress(cell, prior)
+                continue
+        os.makedirs(run_dir, exist_ok=True)
+        _write_json(
+            os.path.join(run_dir, SPEC_FILE),
+            {
+                "run_id": cell.run_id,
+                "index": cell.index,
+                "rep": cell.rep,
+                "overrides": dict(cell.overrides),
+                "spec": dict(cell.spec_mapping),
+            },
+        )
+        spec = cell.build_spec()
+        telemetry = Telemetry.to_file(os.path.join(run_dir, SPANS_FILE))
+        artifact: Dict[str, Any] = {
+            "run_id": cell.run_id,
+            "timestamp": bench_timestamp(timestamp),
+            "machine": machine_fingerprint(),
+        }
+        began = time.perf_counter()
+        try:
+            result = execute_spec(spec, telemetry=telemetry)
+        except Exception as exc:  # a crashed cell must not kill the sweep
+            artifact.update(
+                status="error",
+                error=f"{type(exc).__name__}: {exc}",
+                wall_seconds=round(time.perf_counter() - began, 6),
+            )
+            run.failed += 1
+        else:
+            wall = time.perf_counter() - began
+            artifact.update(
+                status="ok",
+                error=None,
+                wall_seconds=round(wall, 6),
+                summary=_result_summary(result, wall),
+            )
+            run.executed += 1
+        finally:
+            telemetry.close()
+            telemetry.metrics.write_json(os.path.join(run_dir, METRICS_FILE))
+        _write_json(result_path, artifact)
+        run.results.append(artifact)
+        if progress is not None:
+            progress(cell, artifact)
+    return run
+
+
+# ----------------------------------------------------------------------
+# the report stage: join artifacts + metrics + spans
+# ----------------------------------------------------------------------
+def load_runs(experiment_dir: str) -> List[Dict[str, Any]]:
+    """Load every run's persisted artifacts from one experiment directory.
+
+    Returns one dict per run (sorted by run id) carrying the ``spec``
+    manifest, the ``result`` artifact, the metrics ``snapshot`` (or
+    ``None``), and the parsed ``spans`` list (possibly empty).
+    """
+    if not os.path.isdir(experiment_dir):
+        raise ValueError(f"not an experiment directory: {experiment_dir!r}")
+    runs: List[Dict[str, Any]] = []
+    for entry in sorted(os.listdir(experiment_dir)):
+        run_dir = os.path.join(experiment_dir, entry)
+        spec_path = os.path.join(run_dir, SPEC_FILE)
+        if not os.path.isfile(spec_path):
+            continue
+        record: Dict[str, Any] = {"run_id": entry, "spec": _read_json(spec_path)}
+        result_path = os.path.join(run_dir, RESULT_FILE)
+        record["result"] = (
+            _read_json(result_path) if os.path.isfile(result_path) else None
+        )
+        metrics_path = os.path.join(run_dir, METRICS_FILE)
+        record["snapshot"] = (
+            _read_json(metrics_path) if os.path.isfile(metrics_path) else None
+        )
+        spans: List[Dict[str, Any]] = []
+        spans_path = os.path.join(run_dir, SPANS_FILE)
+        if os.path.isfile(spans_path):
+            with open(spans_path, encoding="utf-8") as handle:
+                for line in handle:
+                    line = line.strip()
+                    if line:
+                        spans.append(json.loads(line))
+        record["spans"] = spans
+        runs.append(record)
+    if not runs:
+        raise ValueError(
+            f"no run artifacts (no */{SPEC_FILE}) under {experiment_dir!r}"
+        )
+    return runs
+
+
+def _md_table(headers: Sequence[str], rows: Sequence[Sequence[Any]]) -> str:
+    """A GitHub-flavored markdown table."""
+    lines = [
+        "| " + " | ".join(str(h) for h in headers) + " |",
+        "| " + " | ".join("---" for _ in headers) + " |",
+    ]
+    for row in rows:
+        lines.append("| " + " | ".join(str(cell) for cell in row) + " |")
+    return "\n".join(lines)
+
+
+def _merge_histogram_values(values: List[Mapping[str, Any]]) -> Dict[str, Any]:
+    """Sum same-family histogram snapshot values across runs.
+
+    Snapshot buckets are cumulative per run; cumulative counts add, so
+    the merged value is again a valid snapshot histogram.
+    """
+    buckets: Dict[str, float] = {}
+    total = 0
+    total_sum = 0.0
+    for value in values:
+        for le, count in value.get("buckets", {}).items():
+            buckets[le] = buckets.get(le, 0) + count
+        total += int(value.get("count", 0))
+        total_sum += float(value.get("sum", 0.0))
+    return {"buckets": buckets, "count": total, "sum": total_sum}
+
+
+def _factor_pivots(
+    runs: List[Dict[str, Any]], factor_names: Sequence[str]
+) -> List[Tuple[str, Any, int, float, float]]:
+    """``(factor, level, runs, mean rec/s, mean wall s)`` rows."""
+    pivots: List[Tuple[str, Any, int, float, float]] = []
+    for factor in factor_names:
+        grouped: Dict[Any, List[Tuple[float, float]]] = {}
+        for run in runs:
+            result = run.get("result") or {}
+            if result.get("status") != "ok":
+                continue
+            level = (run["spec"].get("overrides") or {}).get(factor)
+            summary = result.get("summary") or {}
+            grouped.setdefault(level, []).append(
+                (
+                    float(summary.get("records_per_s", 0.0)),
+                    float(result.get("wall_seconds", 0.0)),
+                )
+            )
+        for level in sorted(grouped, key=repr):
+            points = grouped[level]
+            pivots.append(
+                (
+                    factor,
+                    level,
+                    len(points),
+                    sum(p[0] for p in points) / len(points),
+                    sum(p[1] for p in points) / len(points),
+                )
+            )
+    return pivots
+
+
+def render_experiment_report(
+    runs: List[Dict[str, Any]],
+    name: str = "experiment",
+    fmt: str = "md",
+) -> str:
+    """One aggregate document joining artifacts, metrics, and spans.
+
+    Sections: the run table (factors, status, throughput, wall time),
+    throughput pivoted by factor level, per-stage span latency across
+    every run, metric-histogram quantiles estimated from the persisted
+    snapshot buckets (no raw spans needed), aggregated traffic counters,
+    and any failures.  ``fmt`` is ``"md"`` or ``"html"`` (the HTML is a
+    minimal standalone wrapper for CI artifact browsing).
+    """
+    if fmt not in ("md", "html"):
+        raise ValueError(f"report format must be 'md' or 'html', got {fmt!r}")
+    factor_names: List[str] = []
+    for run in runs:
+        for factor in run["spec"].get("overrides") or {}:
+            if factor not in factor_names:
+                factor_names.append(factor)
+    ok_runs = [r for r in runs if (r.get("result") or {}).get("status") == "ok"]
+    failures = [
+        (r["run_id"], (r.get("result") or {}).get("error") or "no result artifact")
+        for r in runs
+        if (r.get("result") or {}).get("status") != "ok"
+    ]
+    machines = {
+        json.dumps((r.get("result") or {}).get("machine"), sort_keys=True)
+        for r in runs
+        if (r.get("result") or {}).get("machine")
+    }
+
+    blocks: List[str] = [f"# Experiment report — {name}", ""]
+    blocks.append(
+        f"- runs: {len(runs)} ({len(ok_runs)} ok, {len(failures)} failed)"
+    )
+    blocks.append(f"- factors: {', '.join(factor_names) or '(none)'}")
+    for machine in sorted(machines):
+        blocks.append(f"- machine: {machine}")
+    blocks.append("")
+
+    headers = ["run"] + factor_names + [
+        "rep", "status", "records", "rec/s", "wall s", "deviation",
+    ]
+    rows = []
+    for run in runs:
+        spec = run["spec"]
+        result = run.get("result") or {}
+        summary = result.get("summary") or {}
+        overrides = spec.get("overrides") or {}
+        rows.append(
+            [run["run_id"]]
+            + [overrides.get(f, "") for f in factor_names]
+            + [
+                spec.get("rep", 0),
+                result.get("status", "missing"),
+                summary.get("records", "-"),
+                summary.get("records_per_s", "-"),
+                (
+                    f"{result['wall_seconds']:.3f}"
+                    if result.get("wall_seconds") is not None
+                    else "-"
+                ),
+                summary.get("deviation", "-"),
+            ]
+        )
+    blocks += ["## Run table", "", _md_table(headers, rows), ""]
+
+    pivots = _factor_pivots(runs, factor_names)
+    if pivots:
+        blocks += [
+            "## Throughput by factor",
+            "",
+            _md_table(
+                ["factor", "level", "runs", "mean rec/s", "mean wall s"],
+                [
+                    (f, lvl, n, f"{rps:,.1f}", f"{wall:.3f}")
+                    for f, lvl, n, rps, wall in pivots
+                ],
+            ),
+            "",
+        ]
+
+    all_spans = [span for run in ok_runs for span in run["spans"]]
+    summary_by_stage = stage_summary(all_spans)
+    if summary_by_stage:
+        blocks += [
+            "## Stage latency across runs (spans, ms)",
+            "",
+            _md_table(
+                ["stage", "count", "p50", "p95", "mean", "total"],
+                [
+                    (
+                        stage,
+                        int(stats["count"]),
+                        f"{stats['p50'] * 1000:.2f}",
+                        f"{stats['p95'] * 1000:.2f}",
+                        f"{stats['mean'] * 1000:.2f}",
+                        f"{stats['total'] * 1000:.2f}",
+                    )
+                    for stage, stats in summary_by_stage.items()
+                ],
+            ),
+            "",
+        ]
+
+    # Join the metrics snapshots: histogram quantiles straight from the
+    # persisted bucket counts (satellite: no raw spans required), plus
+    # the counter families summed across runs.
+    histograms: Dict[Tuple[str, str], List[Mapping[str, Any]]] = {}
+    counters: Dict[Tuple[str, str], float] = {}
+    for run in ok_runs:
+        snapshot = run.get("snapshot") or {}
+        for family, body in snapshot.items():
+            for label, value in body.get("values", {}).items():
+                key = (family, label)
+                if body.get("type") == "histogram":
+                    histograms.setdefault(key, []).append(value)
+                elif body.get("type") == "counter":
+                    counters[key] = counters.get(key, 0.0) + float(value)
+    if histograms:
+        rows = []
+        for (family, label), values in sorted(histograms.items()):
+            merged = _merge_histogram_values(values)
+            if not merged["count"]:
+                continue
+            rows.append(
+                (
+                    family + label,
+                    merged["count"],
+                    f"{snapshot_quantile(merged, 0.5) * 1000:.2f}",
+                    f"{snapshot_quantile(merged, 0.95) * 1000:.2f}",
+                )
+            )
+        if rows:
+            blocks += [
+                "## Metric histograms (snapshot buckets, ms)",
+                "",
+                _md_table(["histogram", "count", "p50", "p95"], rows),
+                "",
+            ]
+    if counters:
+        blocks += [
+            "## Traffic counters (summed across runs)",
+            "",
+            _md_table(
+                ["counter", "total"],
+                [
+                    (family + label, int(total) if total.is_integer() else total)
+                    for (family, label), total in sorted(counters.items())
+                ],
+            ),
+            "",
+        ]
+
+    if failures:
+        blocks += ["## Failures", ""]
+        blocks += [f"- `{run_id}`: {error}" for run_id, error in failures]
+        blocks.append("")
+
+    text = "\n".join(blocks).rstrip() + "\n"
+    if fmt == "html":
+        escaped = (
+            text.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+        )
+        return (
+            "<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\">"
+            f"<title>{name}</title></head>\n"
+            f"<body><pre>\n{escaped}</pre></body></html>\n"
+        )
+    return text
+
+
+# ----------------------------------------------------------------------
+# the trajectory regression gate
+# ----------------------------------------------------------------------
+def load_trajectory(path: str) -> Dict[str, Any]:
+    """Load and validate one ``BENCH_*.json`` perf-trajectory file."""
+    try:
+        payload = _read_json(path)
+    except OSError as exc:
+        raise ValueError(f"cannot read trajectory file {path!r}: {exc}") from None
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"trajectory file {path!r} is not valid JSON: {exc}") from None
+    if not isinstance(payload, dict) or not isinstance(payload.get("entries"), list):
+        raise ValueError(f"{path!r} is not a benchmark trajectory file")
+    for index, entry in enumerate(payload["entries"]):
+        if (
+            not isinstance(entry, dict)
+            or not isinstance(entry.get("timestamp"), str)
+            or not isinstance(entry.get("machine"), dict)
+            or not isinstance(entry.get("metrics"), dict)
+        ):
+            raise ValueError(
+                f"{path!r}: entry {index} is not a "
+                f"{{timestamp, machine, metrics}} record"
+            )
+    return payload
+
+
+def flatten_metrics(
+    metrics: Mapping[str, Any], prefix: str = ""
+) -> Dict[str, float]:
+    """Numeric leaves of a nested metrics dict as dotted keys."""
+    flat: Dict[str, float] = {}
+    for key, value in metrics.items():
+        dotted = f"{prefix}{key}"
+        if isinstance(value, Mapping):
+            flat.update(flatten_metrics(value, prefix=dotted + "."))
+        elif isinstance(value, (int, float)) and not isinstance(value, bool):
+            flat[dotted] = float(value)
+    return flat
+
+
+@dataclass
+class GateReport:
+    """One gate evaluation: verdict plus the rendered comparison."""
+
+    ok: bool
+    text: str
+    compared: int = 0
+    regressions: int = 0
+    skipped: Optional[str] = None
+
+
+def _measure_overlap_quick(seed: int = 0) -> Dict[str, Any]:
+    """A fresh quick overlap measurement, key-compatible with
+    ``bench_overlap.py --quick`` trajectory entries."""
+    from ..streaming import StreamConfig, make_stream, run_stream_session
+
+    n_windows, window_size = 6, 32
+    metrics: Dict[str, Any] = {
+        "n_windows": n_windows, "window_size": window_size, "quick": True,
+    }
+    for shards in (2, 4):
+        rates: Dict[str, float] = {}
+        for overlap, key in (
+            (False, "serial_records_per_s"),
+            (True, "overlap_records_per_s"),
+        ):
+            source = make_stream(
+                "wine",
+                kind="stationary",
+                n_records=n_windows * window_size,
+                seed=seed,
+            )
+            config = StreamConfig(
+                k=3,
+                window_size=window_size,
+                compute_privacy=False,
+                shards=shards,
+                shard_backend="thread",
+                overlap=overlap,
+                seed=seed,
+            )
+            began = time.perf_counter()
+            result = run_stream_session(source, config)
+            wall = time.perf_counter() - began
+            rates[key] = round(result.records_processed / max(wall, 1e-9), 1)
+        rates["speedup"] = round(
+            rates["overlap_records_per_s"]
+            / max(rates["serial_records_per_s"], 1e-9),
+            3,
+        )
+        metrics[f"shards={shards}"] = rates
+    return metrics
+
+
+#: benches the gate can measure fresh itself; others need ``--current``
+_BUILTIN_MEASUREMENTS: Dict[str, Callable[[], Dict[str, Any]]] = {
+    "overlap": _measure_overlap_quick,
+}
+
+
+def run_gate(
+    baseline_path: str,
+    current_path: Optional[str] = None,
+    tolerance: float = 0.20,
+    allow_machine_mismatch: bool = False,
+    write_current: Optional[str] = None,
+    timestamp: Optional[str] = None,
+) -> GateReport:
+    """Compare a fresh measurement against a committed perf trajectory.
+
+    The baseline is the *latest* entry of ``baseline_path`` whose machine
+    fingerprint matches this host (entries from other machines are never
+    treated as a trend; ``allow_machine_mismatch`` lifts that for
+    containers whose fingerprints churn).  The current measurement comes
+    from ``current_path`` (the latest entry of another trajectory file,
+    e.g. one the benchmark just wrote with ``--out``) or, for benches
+    with a built-in quick measurement, from running one now.  Every
+    throughput metric (``*per_s`` keys present on both sides) must stay
+    above ``baseline * (1 - tolerance)``; any that does not is a
+    regression and the gate fails.
+    """
+    if not 0.0 <= tolerance < 1.0:
+        raise ValueError(f"tolerance must be in [0, 1), got {tolerance!r}")
+    trajectory = load_trajectory(baseline_path)
+    bench = trajectory.get("bench", "?")
+    fingerprint = machine_fingerprint()
+
+    if current_path is not None:
+        current_entries = load_trajectory(current_path)["entries"]
+        if not current_entries:
+            raise ValueError(f"current trajectory {current_path!r} has no entries")
+        current = current_entries[-1]["metrics"]
+        current_label = f"latest entry of {current_path}"
+    else:
+        measure = _BUILTIN_MEASUREMENTS.get(bench)
+        if measure is None:
+            raise ValueError(
+                f"no built-in quick measurement for bench {bench!r}; pass "
+                f"--current with a freshly recorded trajectory file "
+                f"(available built-ins: {', '.join(sorted(_BUILTIN_MEASUREMENTS))})"
+            )
+        current = measure()
+        current_label = f"fresh quick {bench} run"
+    if write_current:
+        _write_json(
+            write_current,
+            {
+                "bench": bench,
+                "entries": [
+                    {
+                        "timestamp": bench_timestamp(timestamp),
+                        "machine": fingerprint,
+                        "metrics": current,
+                    }
+                ],
+            },
+        )
+
+    candidates = [
+        entry
+        for entry in trajectory["entries"]
+        if allow_machine_mismatch or entry["machine"] == fingerprint
+    ]
+    if not candidates:
+        return GateReport(
+            ok=True,
+            skipped="no matching baseline",
+            text=(
+                f"gate: PASS (vacuous) — {baseline_path} has no entries matching "
+                f"this machine's fingerprint {fingerprint}; nothing comparable. "
+                f"Use --allow-machine-mismatch to compare anyway."
+            ),
+        )
+    baseline = candidates[-1]
+    base_flat = flatten_metrics(baseline["metrics"])
+    cur_flat = flatten_metrics(current)
+    keys = sorted(k for k in base_flat if "per_s" in k and k in cur_flat)
+    if not keys:
+        return GateReport(
+            ok=True,
+            skipped="no throughput metrics",
+            text=(
+                f"gate: PASS (vacuous) — baseline entry "
+                f"{baseline['timestamp']} and {current_label} share no "
+                f"'*per_s' throughput metrics."
+            ),
+        )
+
+    rows = []
+    regressions = 0
+    for key in keys:
+        base_value, cur_value = base_flat[key], cur_flat[key]
+        drop = (base_value - cur_value) / base_value if base_value > 0 else 0.0
+        regressed = drop > tolerance
+        regressions += regressed
+        rows.append(
+            [
+                key,
+                f"{base_value:,.1f}",
+                f"{cur_value:,.1f}",
+                f"{-drop * 100:+.1f}%",
+                "REGRESSION" if regressed else "ok",
+            ]
+        )
+    verdict = "FAIL" if regressions else "PASS"
+    lines = [
+        f"gate: {verdict} — {bench} vs baseline {baseline['timestamp']} "
+        f"({current_label}, tolerance {tolerance * 100:.0f}%)",
+        _md_table(["metric", "baseline", "current", "change", "verdict"], rows),
+    ]
+    return GateReport(
+        ok=not regressions,
+        text="\n".join(lines),
+        compared=len(keys),
+        regressions=regressions,
+    )

@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import json
 import threading
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 __all__ = [
     "DEFAULT_BUCKETS",
@@ -35,6 +35,8 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "bucket_quantile",
+    "snapshot_quantile",
     "global_registry",
 ]
 
@@ -157,6 +159,21 @@ class Histogram(_Metric):
             self.counts[index] += 1
             self.sum += value
             self.count += 1
+
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile (``q`` in [0, 1]) from the buckets.
+
+        Linear interpolation inside the bucket holding the target rank,
+        Prometheus ``histogram_quantile`` style: exact to within one
+        bucket width, deterministic, and computable long after the raw
+        observations are gone — which is what lets reports show p95 from
+        a persisted metrics snapshot instead of raw spans.  Ranks landing
+        in the ``+Inf`` bucket clamp to the highest finite bound; an
+        empty histogram estimates 0.0.
+        """
+        with self._lock:
+            counts = list(self.counts)
+        return bucket_quantile(self.bounds, counts, q)
 
 
 class _Family:
@@ -335,6 +352,62 @@ class MetricsRegistry:
         """Persist the snapshot to ``path`` as JSON."""
         with open(path, "w", encoding="utf-8") as handle:
             handle.write(self.to_json() + "\n")
+
+
+def bucket_quantile(
+    bounds: Sequence[float], counts: Sequence[int], q: float
+) -> float:
+    """The ``q``-quantile of a fixed-bucket histogram (non-cumulative
+    ``counts``; ``counts[len(bounds)]`` is the ``+Inf`` bucket).
+
+    Shared core of :meth:`Histogram.quantile` and
+    :func:`snapshot_quantile`.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {q}")
+    total = sum(counts)
+    if total == 0:
+        return 0.0
+    target = q * total
+    cumulative = 0.0
+    for index, count in enumerate(counts):
+        previous = cumulative
+        cumulative += count
+        if cumulative >= target and count > 0:
+            if index >= len(bounds):
+                # Target rank fell past the last finite bound: the best
+                # deterministic answer the ladder can give is that bound.
+                return float(bounds[-1]) if bounds else 0.0
+            lower = float(bounds[index - 1]) if index > 0 else 0.0
+            upper = float(bounds[index])
+            fraction = (target - previous) / count if count else 0.0
+            return lower + (upper - lower) * min(max(fraction, 0.0), 1.0)
+    return float(bounds[-1]) if bounds else 0.0
+
+
+def snapshot_quantile(value: Mapping[str, Any], q: float) -> float:
+    """The ``q``-quantile of one *snapshot* histogram value.
+
+    Takes the ``{"buckets": {le: cumulative}, "count": ..}`` shape that
+    :meth:`MetricsRegistry.snapshot` emits (and ``write_json``
+    persists), so reports can estimate p95 from a metrics file alone.
+    """
+    buckets = value.get("buckets", {})
+    pairs = sorted(
+        (
+            (float("inf") if le == "+Inf" else float(le), int(cum))
+            for le, cum in buckets.items()
+        ),
+    )
+    bounds = [le for le, _ in pairs if le != float("inf")]
+    counts: list = []
+    previous = 0
+    for _, cum in pairs:
+        counts.append(max(cum - previous, 0))
+        previous = max(cum, previous)
+    if len(counts) == len(bounds):  # no +Inf bucket recorded
+        counts.append(0)
+    return bucket_quantile(bounds, counts, q)
 
 
 #: the process-wide default registry

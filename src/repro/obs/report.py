@@ -19,12 +19,15 @@ metrics registry.
 
 from __future__ import annotations
 
+import glob
 import json
+import os
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 __all__ = [
     "STAGES",
     "load_spans",
+    "load_span_sources",
     "percentile",
     "stage_summary",
     "rounds_table",
@@ -65,6 +68,37 @@ def load_spans(path: str) -> List[Dict[str, Any]]:
     except OSError as exc:
         raise ValueError(f"cannot read span file {path!r}: {exc}") from None
     return spans
+
+
+def load_span_sources(
+    paths: Sequence[str],
+) -> Tuple[List[Dict[str, Any]], List[str]]:
+    """Merge span files and/or directories into one span list.
+
+    Each path is either a JSONL span file or a directory searched
+    recursively for ``*.jsonl`` files (sorted, so merging is
+    deterministic) — the multi-run experiment layout, where every run
+    directory holds its own ``spans.jsonl``.  Returns the merged spans
+    plus the resolved file list; an empty directory is a
+    :class:`ValueError` rather than a silently empty report.
+    """
+    files: List[str] = []
+    for path in paths:
+        if os.path.isdir(path):
+            found = sorted(
+                glob.glob(os.path.join(path, "**", "*.jsonl"), recursive=True)
+            )
+            if not found:
+                raise ValueError(
+                    f"no *.jsonl span files under directory {path!r}"
+                )
+            files.extend(found)
+        else:
+            files.append(path)
+    spans: List[Dict[str, Any]] = []
+    for file in files:
+        spans.extend(load_spans(file))
+    return spans, files
 
 
 def percentile(values: Sequence[float], q: float) -> float:

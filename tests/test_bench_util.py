@@ -1,0 +1,70 @@
+"""Trajectory recording in benchmarks/_util.py: dedupe and validation."""
+
+import json
+import os
+import sys
+
+import pytest
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(__file__), os.pardir, "benchmarks")
+)
+import _util  # noqa: E402
+
+
+def test_record_trajectory_appends_and_grows_history(tmp_path):
+    path = str(tmp_path / "BENCH_demo.json")
+    entry = _util.record_trajectory(
+        path, "demo", {"records_per_s": 100.0}, timestamp="t0"
+    )
+    assert entry["timestamp"] == "t0"
+    assert entry["machine"] == _util.machine_fingerprint()
+    second = _util.record_trajectory(
+        path, "demo", {"records_per_s": 120.0}, timestamp="t1"
+    )
+    assert second["timestamp"] == "t1"
+    history = json.load(open(path))
+    assert history["bench"] == "demo"
+    assert [e["timestamp"] for e in history["entries"]] == ["t0", "t1"]
+
+
+def test_record_trajectory_skips_exact_timestamp_machine_duplicates(tmp_path):
+    path = str(tmp_path / "BENCH_demo.json")
+    _util.record_trajectory(path, "demo", {"records_per_s": 100.0}, timestamp="t0")
+    # a retried CI job pins the same timestamp on the same machine: no growth
+    returned = _util.record_trajectory(
+        path, "demo", {"records_per_s": 999.0}, timestamp="t0"
+    )
+    history = json.load(open(path))
+    assert len(history["entries"]) == 1
+    # the existing entry is returned untouched, not the new measurement
+    assert returned["metrics"] == {"records_per_s": 100.0}
+    # a different timestamp on the same machine still appends
+    _util.record_trajectory(path, "demo", {"records_per_s": 110.0}, timestamp="t1")
+    assert len(json.load(open(path))["entries"]) == 2
+
+
+def test_record_trajectory_rejects_corrupted_files(tmp_path):
+    path = tmp_path / "BENCH_bad.json"
+    path.write_text(json.dumps({"bench": "demo", "entries": "nope"}))
+    with pytest.raises(ValueError, match="not a benchmark trajectory"):
+        _util.record_trajectory(str(path), "demo", {}, timestamp="t0")
+    path.write_text(
+        json.dumps({"bench": "demo", "entries": [{"timestamp": 42}]})
+    )
+    with pytest.raises(ValueError, match="entry 0"):
+        _util.record_trajectory(str(path), "demo", {}, timestamp="t0")
+
+
+def test_committed_trajectories_validate():
+    # the repo's own BENCH_*.json files must parse under the gate's rules
+    from repro.obs.experiment import load_trajectory
+
+    repo = os.path.join(os.path.dirname(__file__), os.pardir)
+    committed = sorted(
+        name for name in os.listdir(repo) if name.startswith("BENCH_")
+    )
+    assert committed, "expected committed BENCH_*.json trajectories"
+    for name in committed:
+        payload = load_trajectory(os.path.join(repo, name))
+        assert payload["entries"], name

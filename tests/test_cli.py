@@ -318,3 +318,146 @@ def test_unknown_subcommand_exits_with_usage(capsys):
         main(["not-a-command"])
     assert excinfo.value.code == 2
     assert "invalid choice" in capsys.readouterr().err
+
+
+def _spans_file(tmp_path, name="spans.jsonl", rounds=2):
+    path = tmp_path / name
+    lines = []
+    for round_id in range(rounds):
+        lines.append(json.dumps({
+            "name": "control", "span_id": round_id, "parent_id": None,
+            "start": 0.0, "duration": 0.01, "attrs": {"round": round_id},
+        }))
+    path.write_text("\n".join(lines) + "\n")
+    return path
+
+
+def test_report_command_single_file(capsys, tmp_path):
+    path = _spans_file(tmp_path)
+    out = run_cli(capsys, "report", str(path))
+    assert "Span latency report" in out
+    assert str(path) in out
+    assert "per-stage latency (ms)" in out
+
+
+def test_report_command_merges_multiple_sources(capsys, tmp_path):
+    one = _spans_file(tmp_path, "one.jsonl")
+    nested = tmp_path / "runs" / "000-a"
+    nested.mkdir(parents=True)
+    _spans_file(nested, "spans.jsonl")
+    out = run_cli(capsys, "report", str(one), str(tmp_path / "runs"))
+    assert "2 span files merged" in out
+    assert "(4 spans)" in out
+
+
+def test_report_command_empty_directory_exits_cleanly(capsys, tmp_path):
+    empty = tmp_path / "empty"
+    empty.mkdir()
+    code = main(["report", str(empty)])
+    captured = capsys.readouterr()
+    assert code == 2
+    assert "no *.jsonl span files" in captured.err
+
+
+def _experiment_config(tmp_path):
+    path = tmp_path / "exp.json"
+    path.write_text(json.dumps({
+        "name": "clitest",
+        "base": {
+            "kind": "stream", "dataset": "wine", "k": 3, "windows": 1,
+            "window_size": 32, "compute_privacy": False, "seed": 0,
+        },
+        "factors": {"shards": [1, 2]},
+    }))
+    return path
+
+
+def test_experiment_run_report_and_resume(capsys, tmp_path):
+    config = _experiment_config(tmp_path)
+    results = str(tmp_path / "results")
+    out = run_cli(
+        capsys, "experiment", "run", str(config),
+        "--results", results, "--timestamp", "t0",
+    )
+    assert "Experiment run - clitest" in out
+    assert "2 cells: 2 executed, 0 resumed, 0 failed" in out
+    assert "000-shards=1-r0" in out and "rec/s" in out
+    # a second run resumes every cell
+    out = run_cli(capsys, "experiment", "run", str(config), "--results", results)
+    assert "0 executed, 2 resumed" in out
+    # the report stage joins the persisted artifacts
+    report_out = run_cli(
+        capsys, "experiment", "report", str(tmp_path / "results" / "clitest")
+    )
+    assert "# Experiment report — clitest" in report_out
+    assert "## Throughput by factor" in report_out
+    # --html --out writes a standalone page
+    html_path = tmp_path / "report.html"
+    run_cli(
+        capsys, "experiment", "report",
+        str(tmp_path / "results" / "clitest"),
+        "--html", "--out", str(html_path),
+    )
+    assert html_path.read_text().startswith("<!DOCTYPE html>")
+    # the merged multi-file span report reads the same directory
+    out = run_cli(capsys, "report", str(tmp_path / "results" / "clitest"))
+    assert "span files merged" in out
+
+
+def test_experiment_run_bad_config_exits_cleanly(capsys, tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text(json.dumps({"name": "x", "factors": {"shards": [1]}, "oops": 1}))
+    code = main(["experiment", "run", str(path)])
+    captured = capsys.readouterr()
+    assert code == 2
+    assert captured.err.startswith("error:")
+    assert "oops" in captured.err
+    code = main(["experiment", "run", str(tmp_path / "missing.json")])
+    captured = capsys.readouterr()
+    assert code == 2
+    assert "cannot read" in captured.err
+
+
+def test_experiment_gate_pass_and_fail(capsys, tmp_path):
+    from repro.obs.experiment import machine_fingerprint
+
+    def trajectory(path, rate):
+        path.write_text(json.dumps({
+            "bench": "overlap",
+            "entries": [{
+                "timestamp": "t0",
+                "machine": machine_fingerprint(),
+                "metrics": {"shards=2": {"serial_records_per_s": rate}},
+            }],
+        }))
+        return str(path)
+
+    baseline = trajectory(tmp_path / "base.json", 1000.0)
+    good = trajectory(tmp_path / "good.json", 950.0)
+    bad = trajectory(tmp_path / "bad.json", 500.0)
+
+    out = run_cli(
+        capsys, "experiment", "gate", "--baseline", baseline, "--current", good
+    )
+    assert "gate: PASS" in out
+    code = main(
+        ["experiment", "gate", "--baseline", baseline, "--current", bad]
+    )
+    captured = capsys.readouterr()
+    assert code == 1
+    assert "gate: FAIL" in captured.out
+    assert "REGRESSION" in captured.out
+    # tolerance is a percentage on the CLI
+    code = main([
+        "experiment", "gate", "--baseline", baseline, "--current", good,
+        "--tolerance", "2",
+    ])
+    captured = capsys.readouterr()
+    assert code == 1 and "FAIL" in captured.out
+    code = main([
+        "experiment", "gate", "--baseline", baseline, "--current", good,
+        "--tolerance", "150",
+    ])
+    captured = capsys.readouterr()
+    assert code == 2
+    assert "--tolerance" in captured.err

@@ -1,0 +1,126 @@
+"""Direct coverage for the snapshot-time registry collectors.
+
+The collectors read their stat holders duck-typed, so these tests drive
+them with plain namespace fakes — no pool, plane, or service required —
+and pin the exact gauge families each one publishes.
+"""
+
+from types import SimpleNamespace
+
+from repro.obs import (
+    MetricsRegistry,
+    ingest_collector,
+    pool_collector,
+    service_collector,
+)
+
+
+def _gauges(snapshot, family):
+    return snapshot[family]["values"]
+
+
+def test_ingest_collector_publishes_totals_and_per_provider_gauges():
+    plane = SimpleNamespace(
+        stats=lambda: SimpleNamespace(
+            records=120,
+            late=7,
+            dropped=2,
+            readmitted=4,
+            upserted=1,
+            max_skew=9,
+            providers=[
+                SimpleNamespace(name="alice", records=70),
+                SimpleNamespace(name="bob", records=50),
+            ],
+        )
+    )
+    registry = MetricsRegistry()
+    registry.register_collector(ingest_collector(plane))
+    snap = registry.snapshot()
+    assert _gauges(snap, "repro_ingest_records")[""] == 120
+    assert _gauges(snap, "repro_ingest_late_records")[""] == 7
+    assert _gauges(snap, "repro_ingest_dropped_records")[""] == 2
+    assert _gauges(snap, "repro_ingest_readmitted_records")[""] == 4
+    assert _gauges(snap, "repro_ingest_upserted_records")[""] == 1
+    assert _gauges(snap, "repro_ingest_max_skew")[""] == 9
+    per_provider = _gauges(snap, "repro_ingest_provider_records")
+    assert per_provider['{provider="alice"}'] == 70
+    assert per_provider['{provider="bob"}'] == 50
+
+
+def test_ingest_collector_rereads_the_plane_every_snapshot():
+    stats = SimpleNamespace(
+        records=1, late=0, dropped=0, readmitted=0, upserted=0,
+        max_skew=0, providers=[],
+    )
+    plane = SimpleNamespace(stats=lambda: stats)
+    registry = MetricsRegistry()
+    registry.register_collector(ingest_collector(plane))
+    assert _gauges(registry.snapshot(), "repro_ingest_records")[""] == 1
+    stats.records = 5  # the holder stays the source of truth
+    assert _gauges(registry.snapshot(), "repro_ingest_records")[""] == 5
+
+
+def test_pool_collector_publishes_the_occupancy_ledger():
+    pool = SimpleNamespace(
+        n_workers=4,
+        tasks_dispatched=33,
+        batches_dispatched=11,
+        busy_seconds=1.25,
+    )
+    registry = MetricsRegistry()
+    registry.register_collector(pool_collector(pool))
+    snap = registry.snapshot()
+    assert _gauges(snap, "repro_pool_workers")[""] == 4
+    assert _gauges(snap, "repro_pool_tasks_dispatched")[""] == 33
+    assert _gauges(snap, "repro_pool_batches_dispatched")[""] == 11
+    assert _gauges(snap, "repro_pool_busy_seconds")[""] == 1.25
+
+
+def test_service_collector_publishes_lifecycle_states_and_pool():
+    service = SimpleNamespace(
+        stats=lambda: SimpleNamespace(
+            submitted=10,
+            rejected=1,
+            completed=7,
+            failed=1,
+            cancelled=1,
+            active=2,
+            records=4096,
+            messages=128,
+            bytes=65536,
+            pool=SimpleNamespace(utilization=0.5),
+        )
+    )
+    registry = MetricsRegistry()
+    registry.register_collector(service_collector(service))
+    snap = registry.snapshot()
+    sessions = _gauges(snap, "repro_serve_sessions")
+    assert sessions['{state="submitted"}'] == 10
+    assert sessions['{state="rejected"}'] == 1
+    assert sessions['{state="completed"}'] == 7
+    assert sessions['{state="failed"}'] == 1
+    assert sessions['{state="cancelled"}'] == 1
+    assert sessions['{state="active"}'] == 2
+    assert _gauges(snap, "repro_serve_records")[""] == 4096
+    assert _gauges(snap, "repro_serve_messages")[""] == 128
+    assert _gauges(snap, "repro_serve_bytes")[""] == 65536
+    assert _gauges(snap, "repro_serve_pool_utilization")[""] == 0.5
+
+
+def test_collectors_compose_on_one_registry():
+    pool = SimpleNamespace(
+        n_workers=2, tasks_dispatched=0, batches_dispatched=0, busy_seconds=0.0
+    )
+    plane = SimpleNamespace(
+        stats=lambda: SimpleNamespace(
+            records=3, late=0, dropped=0, readmitted=0, upserted=0,
+            max_skew=0, providers=[],
+        )
+    )
+    registry = MetricsRegistry()
+    registry.register_collector(pool_collector(pool))
+    registry.register_collector(ingest_collector(plane))
+    snap = registry.snapshot()
+    assert _gauges(snap, "repro_pool_workers")[""] == 2
+    assert _gauges(snap, "repro_ingest_records")[""] == 3

@@ -123,3 +123,45 @@ def test_default_buckets_span_useful_latencies():
 def test_global_registry_is_a_singleton():
     assert global_registry() is global_registry()
     assert isinstance(global_registry(), MetricsRegistry)
+
+
+def test_histogram_quantile_interpolates_within_buckets():
+    from repro.obs.metrics import bucket_quantile
+
+    registry = MetricsRegistry()
+    hist = registry.histogram("h", buckets=(1.0, 2.0, 4.0))
+    for value in (0.5, 0.5, 1.5, 1.5, 3.0, 3.0, 3.0, 3.0):
+        hist.observe(value)
+    # 8 observations: 2 in (0,1], 2 in (1,2], 4 in (2,4].
+    assert hist.quantile(0.25) == pytest.approx(1.0)
+    assert hist.quantile(0.5) == pytest.approx(2.0)
+    assert hist.quantile(1.0) == pytest.approx(4.0)
+    # Rank 6 of 8 lands halfway through the (2, 4] bucket.
+    assert hist.quantile(0.75) == pytest.approx(3.0)
+    assert bucket_quantile((1.0, 2.0, 4.0), [2, 2, 4, 0], 0.75) == pytest.approx(3.0)
+
+
+def test_histogram_quantile_edge_cases():
+    registry = MetricsRegistry()
+    hist = registry.histogram("h", buckets=(1.0, 2.0))
+    assert hist.quantile(0.95) == 0.0  # empty histogram
+    hist.observe(100.0)  # lands in +Inf: clamp to the last finite bound
+    assert hist.quantile(0.95) == pytest.approx(2.0)
+    with pytest.raises(ValueError, match=r"\[0, 1\]"):
+        hist.quantile(95)
+
+
+def test_snapshot_quantile_reads_persisted_snapshots(tmp_path):
+    from repro.obs.metrics import snapshot_quantile
+
+    registry = MetricsRegistry()
+    hist = registry.histogram("latency_seconds", buckets=(0.001, 0.01, 0.1))
+    for value in (0.0005, 0.005, 0.005, 0.05):
+        hist.observe(value)
+    path = tmp_path / "metrics.json"
+    registry.write_json(str(path))
+    value = json.loads(path.read_text())["latency_seconds"]["values"][""]
+    # The persisted cumulative buckets reproduce the live estimate.
+    for q in (0.25, 0.5, 0.75, 0.95):
+        assert snapshot_quantile(value, q) == pytest.approx(hist.quantile(q))
+    assert snapshot_quantile({"buckets": {}, "count": 0}, 0.95) == 0.0

@@ -118,3 +118,33 @@ def test_load_spans_reports_bad_lines_with_numbers(tmp_path):
 def test_load_spans_missing_file_is_a_value_error(tmp_path):
     with pytest.raises(ValueError, match="cannot read span file"):
         load_spans(str(tmp_path / "absent.jsonl"))
+
+
+def test_load_span_sources_merges_files_and_directories(tmp_path):
+    from repro.obs.report import load_span_sources
+
+    one = tmp_path / "one.jsonl"
+    one.write_text(json.dumps(_span("control", 0.010, round_id=0)) + "\n")
+    nested = tmp_path / "runs" / "000-a" 
+    nested.mkdir(parents=True)
+    (nested / "spans.jsonl").write_text(
+        json.dumps(_span("dispatch", 0.002, round_id=0)) + "\n"
+    )
+    spans, files = load_span_sources([str(one), str(tmp_path / "runs")])
+    assert len(spans) == 2
+    assert [s["name"] for s in spans] == ["control", "dispatch"]
+    assert files == [str(one), str(nested / "spans.jsonl")]
+    # a directory alone recurses and sorts deterministically
+    again, _ = load_span_sources([str(tmp_path)])
+    assert len(again) == 2
+
+
+def test_load_span_sources_empty_directory_is_an_error(tmp_path):
+    from repro.obs.report import load_span_sources
+
+    empty = tmp_path / "empty"
+    empty.mkdir()
+    with pytest.raises(ValueError, match="no \\*\\.jsonl span files"):
+        load_span_sources([str(empty)])
+    with pytest.raises(ValueError, match="cannot read span file"):
+        load_span_sources([str(tmp_path / "missing.jsonl")])

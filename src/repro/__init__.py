@@ -92,6 +92,14 @@ from .mining import (
     accuracy_deviation,
     accuracy_score,
 )
+from .checkpoint import (
+    CheckpointError,
+    Checkpointer,
+    SessionCheckpoint,
+    SessionEvicted,
+    load_checkpoint,
+    save_checkpoint,
+)
 from .obs import MetricsRegistry, Telemetry, Tracer
 from .parties import ClassifierSpec, SAPConfig
 from .serve import (
@@ -202,4 +210,11 @@ __all__ = [
     "Telemetry",
     "MetricsRegistry",
     "Tracer",
+    # checkpoint
+    "SessionCheckpoint",
+    "Checkpointer",
+    "CheckpointError",
+    "SessionEvicted",
+    "load_checkpoint",
+    "save_checkpoint",
 ]

@@ -1,0 +1,320 @@
+"""Versioned, corruption-detecting session checkpoints.
+
+A checkpoint file is::
+
+    magic (4B) | schema version (u16) | sha256(payload) (32B)
+    | payload length (u64) | payload
+
+with the payload encoded by :mod:`repro.checkpoint.codec`.  The header
+makes every failure mode a *distinct, friendly* error: wrong magic (not a
+checkpoint at all), version mismatch (written by an incompatible build),
+truncation (length disagrees with the file), and bit rot (digest
+disagrees with the payload).  All of them raise :class:`CheckpointError`,
+a ``ValueError`` subclass, which the CLI maps to a one-line ``error:``
+message and exit code 2.
+
+Writes are atomic: the payload lands in a ``.tmp`` sibling first and is
+``os.replace``d into place, so a crash mid-save can never leave a
+half-written file under the checkpoint's final name.
+
+:class:`Checkpointer` is the runtime side: the session driver asks it
+:meth:`~Checkpointer.due` at every round boundary and hands it the state
+payload to :meth:`~Checkpointer.save`.  It also carries the *eviction*
+signal — a thread-safe request (from a serving engine or a
+``--stop-after`` budget) to checkpoint at the next boundary and abandon
+the run with :class:`SessionEvicted`, which names the checkpoint file to
+resume from.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import struct
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from .codec import CodecError, decode, encode
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "CheckpointError",
+    "SessionEvicted",
+    "SessionCheckpoint",
+    "Checkpointer",
+    "save_checkpoint",
+    "load_checkpoint",
+]
+
+#: File magic: "repro checkpoint".
+MAGIC = b"RPCK"
+
+#: Bump on any incompatible payload-layout change; loads refuse other
+#: versions rather than guessing.
+SCHEMA_VERSION = 1
+
+_HEADER = struct.Struct(">4sH32sQ")
+
+
+class CheckpointError(ValueError):
+    """A checkpoint cannot be written, read, or applied.
+
+    Subclasses ``ValueError`` so the CLI's friendly error path (one-line
+    message, exit 2) handles it without special casing.
+    """
+
+
+class SessionEvicted(Exception):
+    """A session was checkpointed and abandoned at a round boundary.
+
+    Raised *through* the session driver when eviction was requested (by
+    :meth:`repro.serve.MiningService.evict` or a ``--stop-after`` budget).
+    Carries the path of the checkpoint that resumes the session.
+    """
+
+    def __init__(self, path: str, windows_done: int, records: int) -> None:
+        super().__init__(
+            f"session evicted after {windows_done} windows "
+            f"({records} records); resume from {path}"
+        )
+        self.path = path
+        self.windows_done = windows_done
+        self.records = records
+
+
+@dataclass(frozen=True)
+class SessionCheckpoint:
+    """One loaded (or about-to-be-saved) checkpoint.
+
+    ``payload`` is the full decoded state mapping; ``fingerprint`` is the
+    sha256 hex digest of its encoded bytes — the *format fingerprint*
+    that names this exact state, printed by ``repro checkpoint inspect``
+    and stable across save/load round trips.
+    """
+
+    schema_version: int
+    fingerprint: str
+    payload: Dict[str, Any]
+
+    @property
+    def config(self) -> Dict[str, Any]:
+        return self.payload["config"]
+
+    @property
+    def source(self) -> Dict[str, Any]:
+        return self.payload["source"]
+
+    @property
+    def spec(self) -> Optional[Dict[str, Any]]:
+        return self.payload.get("spec")
+
+    @property
+    def progress(self) -> Dict[str, Any]:
+        return self.payload["progress"]
+
+    def describe(self) -> Dict[str, Any]:
+        """The ``inspect`` summary: identity + progress, no bulk state."""
+        progress = self.progress
+        source = self.source
+        config = self.config
+        return {
+            "schema_version": self.schema_version,
+            "fingerprint": self.fingerprint,
+            "created_unix": self.payload.get("created_unix"),
+            "dataset": source.get("name"),
+            "stream": source.get("kind"),
+            "n_records": source.get("n_records"),
+            "k": config.get("k"),
+            "classifier": config.get("classifier"),
+            "window_size": config.get("window_size"),
+            "shards": config.get("shards"),
+            "shard_backend": config.get("shard_backend"),
+            "seed": config.get("seed"),
+            "records": progress.get("records"),
+            "windows": progress.get("windows"),
+            "epochs": progress.get("epochs"),
+            "resumable_by_service": self.spec is not None,
+        }
+
+
+def save_checkpoint(path: str, payload: Dict[str, Any]) -> SessionCheckpoint:
+    """Atomically write ``payload`` to ``path``; returns the checkpoint."""
+    try:
+        body = encode(payload)
+    except CodecError as exc:
+        raise CheckpointError(f"cannot encode checkpoint state: {exc}") from exc
+    digest = hashlib.sha256(body).digest()
+    header = _HEADER.pack(MAGIC, SCHEMA_VERSION, digest, len(body))
+    tmp_path = f"{path}.tmp"
+    try:
+        with open(tmp_path, "wb") as handle:
+            handle.write(header)
+            handle.write(body)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, path)
+    except OSError as exc:
+        raise CheckpointError(f"cannot write checkpoint {path!r}: {exc}") from exc
+    return SessionCheckpoint(
+        schema_version=SCHEMA_VERSION,
+        fingerprint=digest.hex(),
+        payload=payload,
+    )
+
+
+def load_checkpoint(path: str) -> SessionCheckpoint:
+    """Read and validate a checkpoint file; refuses anything damaged."""
+    try:
+        with open(path, "rb") as handle:
+            raw = handle.read()
+    except OSError as exc:
+        raise CheckpointError(f"cannot read checkpoint {path!r}: {exc}") from exc
+    if len(raw) < _HEADER.size:
+        raise CheckpointError(
+            f"checkpoint {path!r} is truncated "
+            f"({len(raw)} bytes; the header alone is {_HEADER.size})"
+        )
+    magic, version, digest, length = _HEADER.unpack_from(raw)
+    if magic != MAGIC:
+        raise CheckpointError(f"{path!r} is not a repro checkpoint file")
+    if version != SCHEMA_VERSION:
+        raise CheckpointError(
+            f"checkpoint {path!r} has schema version {version}; this build "
+            f"reads version {SCHEMA_VERSION} only"
+        )
+    body = raw[_HEADER.size:]
+    if len(body) != length:
+        raise CheckpointError(
+            f"checkpoint {path!r} is truncated: header promises {length} "
+            f"payload bytes, file carries {len(body)}"
+        )
+    if hashlib.sha256(body).digest() != digest:
+        raise CheckpointError(
+            f"checkpoint {path!r} is corrupt: payload digest mismatch"
+        )
+    try:
+        payload = decode(body)
+    except CodecError as exc:
+        raise CheckpointError(
+            f"checkpoint {path!r} payload does not decode: {exc}"
+        ) from exc
+    if not isinstance(payload, dict) or "state" not in payload:
+        raise CheckpointError(
+            f"checkpoint {path!r} does not carry session state"
+        )
+    return SessionCheckpoint(
+        schema_version=version, fingerprint=digest.hex(), payload=payload
+    )
+
+
+@dataclass
+class Checkpointer:
+    """Round-boundary checkpoint policy + eviction signal for one session.
+
+    Parameters
+    ----------
+    directory:
+        Where checkpoint files land (created on first save).
+    every:
+        Save whenever this many *new* windows completed since the last
+        save; ``None`` saves only when eviction is requested.
+    label:
+        File-name stem; files are ``<label>-w<windows>.ckpt``.
+    spec_mapping:
+        Optional :meth:`~repro.serve.SessionSpec.to_mapping` payload,
+        embedded so a serving engine can re-admit the session from the
+        file alone.
+    telemetry:
+        Optional :class:`repro.obs.Telemetry`; saves emit a ``checkpoint``
+        span and count into ``repro_checkpoints_total{outcome="saved"}``.
+    """
+
+    directory: str
+    every: Optional[int] = None
+    label: str = "session"
+    spec_mapping: Optional[Dict[str, Any]] = None
+    telemetry: Optional[Any] = None
+    stop_after: Optional[int] = None
+    saved_paths: List[str] = field(default_factory=list)
+    last_path: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.every is not None and self.every < 1:
+            raise CheckpointError(
+                f"checkpoint interval must be a positive number of windows, "
+                f"got {self.every}"
+            )
+        if self.stop_after is not None and self.stop_after < 1:
+            raise CheckpointError(
+                f"stop-after must be a positive number of windows, "
+                f"got {self.stop_after}"
+            )
+        self._evict = threading.Event()
+        self._last_saved_windows = -1
+
+    # -- eviction ------------------------------------------------------
+    def request_evict(self) -> None:
+        """Ask the session to checkpoint and abandon at the next boundary."""
+        self._evict.set()
+
+    @property
+    def evict_requested(self) -> bool:
+        return self._evict.is_set()
+
+    # -- policy --------------------------------------------------------
+    def due(self, windows_done: int) -> bool:
+        """Should the driver checkpoint at this round boundary?"""
+        if self.stop_after is not None and windows_done >= self.stop_after:
+            self._evict.set()
+        if self._evict.is_set():
+            return True
+        if self.every is None or windows_done == 0:
+            return False
+        return windows_done - max(self._last_saved_windows, 0) >= self.every
+
+    # -- persistence ---------------------------------------------------
+    def save(self, payload: Dict[str, Any]) -> str:
+        """Write one checkpoint file; returns its path."""
+        windows_done = int(payload["progress"]["windows"])
+        if windows_done == self._last_saved_windows:
+            return self.last_path  # same boundary; nothing new to persist
+        payload = dict(payload, created_unix=_now())
+        if self.spec_mapping is not None:
+            payload["spec"] = self.spec_mapping
+        try:
+            os.makedirs(self.directory, exist_ok=True)
+        except OSError as exc:
+            raise CheckpointError(
+                f"cannot create checkpoint directory {self.directory!r}: {exc}"
+            ) from exc
+        path = os.path.join(
+            self.directory, f"{self.label}-w{windows_done:05d}.ckpt"
+        )
+        tel = self.telemetry
+        span = (
+            tel.span("checkpoint", outcome="saved", windows=windows_done)
+            if tel is not None and tel.enabled
+            else None
+        )
+        try:
+            save_checkpoint(path, payload)
+        finally:
+            if span is not None:
+                span.end()
+        if tel is not None:
+            tel.metrics.counter(
+                "repro_checkpoints_total",
+                "Checkpoint operations by outcome.",
+                outcome="saved",
+            ).inc()
+        self._last_saved_windows = windows_done
+        self.saved_paths.append(path)
+        self.last_path = path
+        return path
+
+
+def _now() -> float:
+    """Wall-clock stamp for checkpoint metadata (patchable in tests)."""
+    return time.time()

@@ -20,6 +20,14 @@ Usage (after ``pip install -e .``)::
     repro stream --dataset wine --skew 3 --watermark 4 --late-policy readmit
                                    # out-of-order arrivals, watermark-sealed
                                    # windows, late records readmitted
+    repro stream --windows 40 --checkpoint-dir ckpts --checkpoint-every 8
+                                   # durable session: a versioned checkpoint
+                                   # every 8 windows
+    repro stream --resume-from ckpts/session-w00016.ckpt --json
+                                   # restore and finish; output bit-identical
+                                   # to the uninterrupted run
+    repro checkpoint inspect ckpts/session-w00016.ckpt
+                                   # schema version, fingerprint, progress
     repro serve --sessions 8 --shards 4
                                    # many concurrent sessions, one shared pool
     repro serve --workload workload.json --json
@@ -55,6 +63,7 @@ import logging
 import os
 import sys
 from concurrent.futures import CancelledError
+from dataclasses import replace as dataclasses_replace
 from typing import Dict, List, Optional
 
 import numpy as np
@@ -74,6 +83,7 @@ from .analysis.figures import (
     figure6_series,
 )
 from .analysis.reporting import ascii_table, format_mapping, series_block, text_histogram
+from .checkpoint import Checkpointer, SessionEvicted, load_checkpoint
 from .core.session import run_sap_session
 from .datasets.registry import dataset_summary, load_dataset
 from .obs import Telemetry
@@ -86,6 +96,7 @@ from .streaming import (
     make_stream,
     run_stream_session,
 )
+from .streaming.stream_session import stream_config_from_mapping
 
 __all__ = ["main", "build_parser"]
 
@@ -283,6 +294,36 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--seed", type=int, default=0)
     p.add_argument(
+        "--checkpoint-dir",
+        metavar="DIR",
+        default=None,
+        help="save durable session checkpoints into DIR (enables "
+        "--checkpoint-every / --stop-after)",
+    )
+    p.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=None,
+        metavar="N",
+        help="checkpoint every N completed windows (needs --checkpoint-dir)",
+    )
+    p.add_argument(
+        "--stop-after",
+        type=int,
+        default=None,
+        metavar="N",
+        help="checkpoint and stop once N windows completed (simulated "
+        "eviction; resume later with --resume-from)",
+    )
+    p.add_argument(
+        "--resume-from",
+        metavar="FILE",
+        default=None,
+        help="restore a checkpointed session and continue it; the workload "
+        "flags are taken from the checkpoint, and the final result is "
+        "bit-identical to never having stopped",
+    )
+    p.add_argument(
         "--json", action="store_true", help="emit a machine-readable JSON result"
     )
     p.add_argument(
@@ -299,6 +340,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the session's metrics-registry snapshot as JSON",
     )
     _add_logging_flags(p)
+
+    p = sub.add_parser(
+        "checkpoint", help="inspect durable session checkpoint files"
+    )
+    csub = p.add_subparsers(dest="checkpoint_command", required=True)
+    c = csub.add_parser(
+        "inspect", help="print a checkpoint's identity, progress, and fingerprint"
+    )
+    c.add_argument("path", metavar="FILE", help="checkpoint file (*.ckpt)")
+    c.add_argument(
+        "--json", action="store_true", help="emit the summary as JSON"
+    )
+    _add_logging_flags(c)
 
     p = sub.add_parser(
         "serve", help="run a multi-session workload on the serving engine"
@@ -679,6 +733,27 @@ def _finish_telemetry(
             ) from None
 
 
+def _stream_checkpointer(
+    args: argparse.Namespace, telemetry: Optional[Telemetry]
+) -> Optional[Checkpointer]:
+    """Build the ``repro stream`` command's checkpoint policy, if asked."""
+    _require_positive("--checkpoint-every", args.checkpoint_every)
+    _require_positive("--stop-after", args.stop_after)
+    if args.checkpoint_dir is None:
+        if args.checkpoint_every is not None or args.stop_after is not None:
+            raise ValueError(
+                "--checkpoint-every/--stop-after need --checkpoint-dir to "
+                "say where checkpoints go"
+            )
+        return None
+    return Checkpointer(
+        directory=args.checkpoint_dir,
+        every=args.checkpoint_every,
+        stop_after=args.stop_after,
+        telemetry=telemetry,
+    )
+
+
 def _cmd_stream(args: argparse.Namespace) -> str:
     _require_positive("--windows", args.windows)
     _require_positive("--window-size", args.window_size)
@@ -687,32 +762,80 @@ def _cmd_stream(args: argparse.Namespace) -> str:
     _require_non_negative("--skew", args.skew)
     _require_non_negative("--watermark", args.watermark)
     telemetry = _telemetry_from_flags(args.trace_out, args.metrics_out)
-    source = make_stream(
-        args.dataset,
-        kind=args.drift,
-        n_records=args.windows * args.window_size,
-        seed=args.seed,
-    )
-    config = StreamConfig(
-        k=args.k,
-        window_size=args.window_size,
-        window_kind=args.window_kind,
-        window_step=args.window_step,
-        noise_sigma=args.noise,
-        classifier=args.classifier,
-        detector=args.detector,
-        trust_changes=tuple(_parse_trust_changes(args.trust_change)),
-        shards=args.shards,
-        shard_backend=args.shard_backend,
-        shard_plan=args.shard_plan,
-        overlap=args.overlap,
-        watermark_delay=args.watermark,
-        late_policy=args.late_policy,
-        skew=args.skew,
-        seed=args.seed,
-        telemetry=telemetry,
-    )
-    result = run_stream_session(source, config)
+    checkpointer = _stream_checkpointer(args, telemetry)
+    if args.resume_from:
+        # The checkpoint *is* the workload description: rebuild the source
+        # and config it was taken under (only the telemetry attachment
+        # comes from this invocation's flags), so no flag needs repeating
+        # and none can silently diverge.
+        ckpt = load_checkpoint(args.resume_from)
+        src = ckpt.source
+        source = make_stream(
+            src["name"],
+            kind=src["kind"],
+            n_records=src["n_records"],
+            seed=src["seed"],
+            drift_at=src.get("drift_at", 0.5),
+            magnitude=src.get("magnitude", 1.5),
+            transition=src.get("transition", 0.2),
+            rate=src.get("rate", 1000.0),
+            burst_factor=src.get("burst_factor", 8.0),
+        )
+        config = stream_config_from_mapping(ckpt.config)
+        if telemetry is not None:
+            config = dataclasses_replace(config, telemetry=telemetry)
+    else:
+        source = make_stream(
+            args.dataset,
+            kind=args.drift,
+            n_records=args.windows * args.window_size,
+            seed=args.seed,
+        )
+        config = StreamConfig(
+            k=args.k,
+            window_size=args.window_size,
+            window_kind=args.window_kind,
+            window_step=args.window_step,
+            noise_sigma=args.noise,
+            classifier=args.classifier,
+            detector=args.detector,
+            trust_changes=tuple(_parse_trust_changes(args.trust_change)),
+            shards=args.shards,
+            shard_backend=args.shard_backend,
+            shard_plan=args.shard_plan,
+            overlap=args.overlap,
+            watermark_delay=args.watermark,
+            late_policy=args.late_policy,
+            skew=args.skew,
+            seed=args.seed,
+            telemetry=telemetry,
+        )
+    try:
+        result = run_stream_session(
+            source,
+            config,
+            checkpointer=checkpointer,
+            resume_from=args.resume_from,
+        )
+    except SessionEvicted as evicted:
+        _finish_telemetry(telemetry, args.metrics_out)
+        if args.json:
+            return json.dumps(
+                {
+                    "status": "evicted",
+                    "checkpoint": evicted.path,
+                    "windows": evicted.windows_done,
+                    "records": evicted.records,
+                },
+                indent=2,
+            )
+        return series_block(
+            "Streaming SAP - session checkpointed and stopped",
+            f"windows completed : {evicted.windows_done}\n"
+            f"records ingested  : {evicted.records}\n"
+            f"checkpoint        : {evicted.path}\n"
+            f"resume with       : repro stream --resume-from {evicted.path}",
+        )
     _finish_telemetry(telemetry, args.metrics_out)
     if args.json:
         return json.dumps(result.to_dict(), indent=2)
@@ -771,9 +894,11 @@ def _cmd_stream(args: argparse.Namespace) -> str:
             )
         )
     body = "\n\n".join(blocks)
+    # Identity comes from the executed source/config (not the flags), so a
+    # resumed session's header names the checkpointed workload.
     return series_block(
-        f"Streaming SAP - {args.dataset} ({args.drift}, {args.classifier}, "
-        f"k={args.k})",
+        f"Streaming SAP - {source.name} ({source.kind}, {config.classifier}, "
+        f"k={config.k})",
         body,
     )
 
@@ -948,6 +1073,40 @@ def _cmd_serve(args: argparse.Namespace) -> str:
     )
 
 
+def _cmd_checkpoint(args: argparse.Namespace) -> str:
+    # Only `inspect` today; the subparser is required, so anything else
+    # already died in argparse.
+    ckpt = load_checkpoint(args.path)
+    summary = ckpt.describe()
+    if args.json:
+        return json.dumps(summary, indent=2)
+    labels = {
+        "schema_version": "schema version",
+        "fingerprint": "fingerprint",
+        "created_unix": "created (unix)",
+        "dataset": "dataset",
+        "stream": "stream kind",
+        "n_records": "stream length",
+        "k": "parties (k)",
+        "classifier": "classifier",
+        "window_size": "window size",
+        "shards": "shards",
+        "shard_backend": "shard backend",
+        "seed": "seed",
+        "records": "records ingested",
+        "windows": "windows completed",
+        "epochs": "epochs negotiated",
+        "resumable_by_service": "service-resumable",
+    }
+    width = max(len(label) for label in labels.values())
+    lines = [
+        f"{labels[key]:<{width}} : {summary[key]}"
+        for key in labels
+        if summary.get(key) is not None or key in ("created_unix",)
+    ]
+    return series_block(f"Checkpoint - {args.path}", "\n".join(lines))
+
+
 def _cmd_report(args: argparse.Namespace) -> str:
     from .obs.report import load_span_sources, render_latency_report
 
@@ -1069,6 +1228,7 @@ _COMMANDS = {
     "session": _cmd_session,
     "ablation": _cmd_ablation,
     "stream": _cmd_stream,
+    "checkpoint": _cmd_checkpoint,
     "serve": _cmd_serve,
     "report": _cmd_report,
     "experiment": _cmd_experiment,

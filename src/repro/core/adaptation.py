@@ -26,7 +26,7 @@ from __future__ import annotations
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Callable, Dict, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -170,6 +170,19 @@ class AdaptorCache:
             adaptor = factory()
             self.put(target_id, party_id, adaptor)
         return adaptor
+
+    def snapshot(self) -> List[Tuple[object, object, SpaceAdaptor]]:
+        """Every cached entry as ``(target_id, party_id, adaptor)``, LRU first.
+
+        The checkpoint hook: replaying the snapshot through :meth:`put`
+        on a fresh cache reproduces both the contents and the eviction
+        order.  Adaptors are immutable, so sharing them is safe.
+        """
+        with self._lock:
+            return [
+                (target_id, party_id, adaptor)
+                for (target_id, party_id), adaptor in self._entries.items()
+            ]
 
     def invalidate(
         self,

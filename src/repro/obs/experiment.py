@@ -38,6 +38,7 @@ are fully importable.
 from __future__ import annotations
 
 import json
+import math
 import os
 import platform
 import re
@@ -540,11 +541,25 @@ def _merge_histogram_values(values: List[Mapping[str, Any]]) -> Dict[str, Any]:
     return {"buckets": buckets, "count": total, "sum": total_sum}
 
 
+def _stddev(values: Sequence[float], mean: float) -> float:
+    """Sample standard deviation (``n - 1`` denominator); 0 for n < 2."""
+    if len(values) < 2:
+        return 0.0
+    return math.sqrt(
+        sum((v - mean) ** 2 for v in values) / (len(values) - 1)
+    )
+
+
 def _factor_pivots(
     runs: List[Dict[str, Any]], factor_names: Sequence[str]
-) -> List[Tuple[str, Any, int, float, float]]:
-    """``(factor, level, runs, mean rec/s, mean wall s)`` rows."""
-    pivots: List[Tuple[str, Any, int, float, float]] = []
+) -> List[Tuple[str, Any, int, float, float, float]]:
+    """``(factor, level, runs, mean rec/s, stddev rec/s, mean wall s)`` rows.
+
+    The dispersion column is what separates a real factor effect from
+    run-to-run noise: a level whose mean sits within one stddev of its
+    neighbour's is not evidence of anything.
+    """
+    pivots: List[Tuple[str, Any, int, float, float, float]] = []
     for factor in factor_names:
         grouped: Dict[Any, List[Tuple[float, float]]] = {}
         for run in runs:
@@ -561,12 +576,15 @@ def _factor_pivots(
             )
         for level in sorted(grouped, key=repr):
             points = grouped[level]
+            rates = [p[0] for p in points]
+            mean_rate = sum(rates) / len(rates)
             pivots.append(
                 (
                     factor,
                     level,
                     len(points),
-                    sum(p[0] for p in points) / len(points),
+                    mean_rate,
+                    _stddev(rates, mean_rate),
                     sum(p[1] for p in points) / len(points),
                 )
             )
@@ -648,10 +666,13 @@ def render_experiment_report(
             "## Throughput by factor",
             "",
             _md_table(
-                ["factor", "level", "runs", "mean rec/s", "mean wall s"],
                 [
-                    (f, lvl, n, f"{rps:,.1f}", f"{wall:.3f}")
-                    for f, lvl, n, rps, wall in pivots
+                    "factor", "level", "runs", "mean rec/s",
+                    "stddev rec/s", "mean wall s",
+                ],
+                [
+                    (f, lvl, n, f"{rps:,.1f}", f"{dev:,.1f}", f"{wall:.3f}")
+                    for f, lvl, n, rps, dev, wall in pivots
                 ],
             ),
             "",
@@ -842,9 +863,118 @@ def _measure_overlap_quick(seed: int = 0) -> Dict[str, Any]:
     return metrics
 
 
+def _measure_ingest_quick(seed: int = 0) -> Dict[str, Any]:
+    """A fresh quick ingest measurement, key-compatible with
+    ``bench_ingest.py --quick`` trajectory entries."""
+    from ..sharding import ShardPlan
+    from ..streaming import IngestPlane, make_stream, skewed
+
+    n_records, window_size = 4_000, 64
+    records = list(make_stream("wine", n_records=n_records, seed=seed))
+    metrics: Dict[str, Any] = {
+        "n_records": n_records, "window_size": window_size, "quick": True,
+    }
+    for skew, watermark in ((0, 0), (4, 4), (16, 16), (16, 0), (64, 16)):
+        arrivals = list(skewed(records, skew, seed=seed)) if skew else records
+        plane = IngestPlane(
+            ShardPlan(4, "round_robin", n_parties=3),
+            window_kind="tumbling",
+            window_size=window_size,
+            providers=["provider-0", "provider-1", "coordinator"],
+            watermark_delay=watermark,
+            late_policy="readmit",
+        )
+        seal_lags = []
+        began = time.perf_counter()
+        for record in arrivals:
+            for window in plane.push(record):
+                seal_lags.append(
+                    plane.frontier - plane.assigner.last_seq(window.index)
+                )
+        plane.finish()
+        wall = time.perf_counter() - began
+        stats = plane.stats()
+        metrics[f"skew={skew},watermark={watermark}"] = {
+            "records_per_s": round(len(records) / max(wall, 1e-9), 1),
+            "seal_lag_records": round(
+                sum(seal_lags) / len(seal_lags) if seal_lags else 0.0, 2
+            ),
+            "late": stats.late,
+            "max_skew": stats.max_skew,
+        }
+    return metrics
+
+
+def _measure_serve_quick(seed: int = 0) -> Dict[str, Any]:
+    """A fresh quick serve measurement, key-compatible with
+    ``bench_serve.py --quick`` trajectory entries."""
+    from ..serve import MiningService, SessionSpec
+
+    n_sessions, n_windows, window_size = 6, 3, 32
+    specs = []
+    for index in range(n_sessions):
+        tenant = "acme" if index % 2 == 0 else "globex"
+        if index % 2 == 0:
+            specs.append(
+                SessionSpec(
+                    kind="batch", dataset="wine", k=3, seed=index, tenant=tenant
+                )
+            )
+        else:
+            specs.append(
+                SessionSpec(
+                    kind="stream",
+                    dataset="wine",
+                    k=3,
+                    windows=n_windows,
+                    window_size=window_size,
+                    compute_privacy=False,
+                    seed=index,
+                    tenant=tenant,
+                )
+            )
+
+    def run(max_inflight, backend):
+        began = time.perf_counter()
+        with MiningService(
+            max_inflight=max_inflight,
+            shard_backend=backend,
+            shard_workers=max(2, max_inflight // 2),
+        ) as service:
+            service.run(specs)
+            stats = service.stats()
+        return time.perf_counter() - began, stats.pool.utilization
+
+    metrics: Dict[str, Any] = {
+        "n_sessions": n_sessions,
+        "n_windows": n_windows,
+        "window_size": window_size,
+        "backend": "thread",
+        "quick": True,
+    }
+    base_wall, base_util = run(1, "serial")
+    metrics["inflight=1 (serial)"] = {
+        "sessions_per_s": round(n_sessions / base_wall, 2),
+        "speedup": 1.0,
+        "pool_utilization": round(base_util, 3),
+    }
+    for level in (1, 4):
+        if level == 1:
+            continue
+        wall, util = run(level, "thread")
+        metrics[f"inflight={level}"] = {
+            "sessions_per_s": round(n_sessions / wall, 2),
+            "speedup": round(base_wall / wall, 3),
+            "pool_utilization": round(util, 3),
+        }
+    return metrics
+
+
 #: benches the gate can measure fresh itself; others need ``--current``
 _BUILTIN_MEASUREMENTS: Dict[str, Callable[[], Dict[str, Any]]] = {
     "overlap": _measure_overlap_quick,
+    "ingest": _measure_ingest_quick,
+    "serve": _measure_serve_quick,
 }
 
 

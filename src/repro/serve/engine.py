@@ -35,6 +35,12 @@ from concurrent.futures import TimeoutError as FutureTimeoutError
 from dataclasses import dataclass, replace
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
+from ..checkpoint import (
+    CheckpointError,
+    Checkpointer,
+    SessionEvicted,
+    load_checkpoint,
+)
 from ..core.session import SAPSessionResult, _execute_sap_session
 from ..datasets.partition import PartitionScheme
 from ..datasets.registry import load_dataset
@@ -107,6 +113,8 @@ def execute_spec(
     privacy_suite: Optional[Any] = None,
     keep_network: bool = False,
     telemetry: Optional[Telemetry] = None,
+    checkpointer: Optional[Checkpointer] = None,
+    resume_from: Optional[str] = None,
 ) -> SessionResult:
     """Run one spec to completion and return its native result object.
 
@@ -130,7 +138,18 @@ def execute_spec(
         ``spec.telemetry`` — the injection hook :class:`MiningService`
         uses to nest a session's spans under its ``drive`` span.  Never
         affects results.
+    checkpointer / resume_from:
+        Durable-session hooks (streaming only): a
+        :class:`repro.checkpoint.Checkpointer` to save round-boundary
+        checkpoints into, and/or a checkpoint file to restore before
+        ingesting.  Batch sessions are one protocol round and finish or
+        fail atomically, so checkpointing them is refused.
     """
+    if spec.kind == "batch" and (checkpointer is not None or resume_from is not None):
+        raise CheckpointError(
+            "checkpointing is streaming-only: a batch session is a single "
+            "protocol round with nothing to resume"
+        )
     tel = telemetry if telemetry is not None else spec.telemetry
     span = None
     if tel is not None:
@@ -167,7 +186,13 @@ def execute_spec(
             config = spec.to_stream_config()
             if config.telemetry is not tel:
                 config = replace(config, telemetry=tel)
-            result = _execute_stream_session(source, config, backend=backend)
+            result = _execute_stream_session(
+                source,
+                config,
+                backend=backend,
+                checkpointer=checkpointer,
+                resume_from=resume_from,
+            )
     except BaseException as exc:
         if span is not None:
             span.end(error=type(exc).__name__)
@@ -208,6 +233,9 @@ class SessionHandle:
         self._queue_span: Optional[Any] = None
         self._future: "Future[SessionResult]" = Future()
         self._running = False
+        # Durable-session hooks, set by the owning service at submit time.
+        self._checkpointer: Optional[Checkpointer] = None
+        self._resume_from: Optional[str] = None
         # Set by the owning service; lets cancel() release the admission
         # slot immediately instead of when a driver reaches the dead item.
         self._on_cancel = None
@@ -221,11 +249,14 @@ class SessionHandle:
 
     # -- state, derived from the future plus the running flag -----------
     def poll(self) -> str:
-        """Current status: queued | running | completed | failed | cancelled."""
+        """Status: queued | running | completed | failed | cancelled | evicted."""
         if self._future.cancelled():
             return "cancelled"
         if self._future.done():
-            return "failed" if self._future.exception() is not None else "completed"
+            exc = self._future.exception()
+            if exc is None:
+                return "completed"
+            return "evicted" if isinstance(exc, SessionEvicted) else "failed"
         return "running" if self._running else "queued"
 
     def done(self) -> bool:
@@ -295,6 +326,7 @@ class TenantStats:
     completed: int = 0
     failed: int = 0
     cancelled: int = 0
+    evicted: int = 0
     active: int = 0
     privacy_sessions: int = 0
     records: int = 0
@@ -331,6 +363,7 @@ class ServiceStats:
     completed: int
     failed: int
     cancelled: int
+    evicted: int
     active: int
     records: int
     messages: int
@@ -354,6 +387,7 @@ class ServiceStats:
             "completed": self.completed,
             "failed": self.failed,
             "cancelled": self.cancelled,
+            "evicted": self.evicted,
             "active": self.active,
             "sessions_per_second": self.sessions_per_second,
             "records": self.records,
@@ -366,6 +400,7 @@ class ServiceStats:
                     "completed": t.completed,
                     "failed": t.failed,
                     "cancelled": t.cancelled,
+                    "evicted": t.evicted,
                     "privacy_sessions": t.privacy_sessions,
                     "records": t.records,
                     "messages": t.messages,
@@ -390,6 +425,7 @@ class ServiceStats:
         lines = [
             f"sessions          : {self.completed} completed / "
             f"{self.failed} failed / {self.cancelled} cancelled / "
+            f"{self.evicted} evicted / "
             f"{self.rejected} rejected ({self.submitted} accepted)",
             f"service rate      : {self.sessions_per_second:.2f} sessions/s "
             f"over {self.elapsed_seconds:.2f} s",
@@ -456,6 +492,7 @@ class MiningService:
         shard_workers: Optional[int] = None,
         tenants: Optional[Mapping[str, TenantPolicy]] = None,
         telemetry: Optional[Telemetry] = None,
+        checkpoint_dir: Optional[str] = None,
     ) -> None:
         if max_inflight < 1:
             raise ValueError("max_inflight must be a positive integer")
@@ -463,6 +500,10 @@ class MiningService:
             raise ValueError("queue_limit must be >= 0 when set")
         self.max_inflight = max_inflight
         self.queue_limit = queue_limit
+        # Durable sessions: with a checkpoint directory, stream sessions
+        # become evictable (checkpoint + abandon, freeing their slot) and
+        # resumable (re-admitted from the file, bit-identical results).
+        self.checkpoint_dir = checkpoint_dir
         workers = max_inflight if shard_workers is None else shard_workers
         if workers < 1:
             raise ValueError("shard_workers must be a positive integer")
@@ -571,6 +612,8 @@ class MiningService:
         spec: Union[SessionSpec, Mapping[str, Any]],
         dataset: Optional[Dataset] = None,
         source: Optional[StreamSource] = None,
+        resume_from: Optional[str] = None,
+        checkpoint_every: Optional[int] = None,
     ) -> SessionHandle:
         """Admit one spec and schedule it; returns its :class:`SessionHandle`.
 
@@ -578,13 +621,40 @@ class MiningService:
         tenant is out of capacity/budget.  ``spec`` may be a plain mapping
         (one workload-file entry); ``dataset``/``source`` optionally
         short-circuit input materialization.
+
+        When the service has a ``checkpoint_dir``, stream sessions get a
+        :class:`~repro.checkpoint.Checkpointer` (saving every
+        ``checkpoint_every`` windows; ``None`` saves only on eviction) and
+        become :meth:`evict`-able; ``resume_from`` restores one from a
+        checkpoint file — re-entering admission control like any new
+        session.
         """
         if not isinstance(spec, SessionSpec):
             spec = SessionSpec.from_mapping(spec)
         tel = spec.telemetry if spec.telemetry is not None else self.telemetry
+        if checkpoint_every is not None and self.checkpoint_dir is None:
+            raise CheckpointError(
+                "checkpoint_every needs a service checkpoint_dir to save into"
+            )
+        if spec.kind == "batch" and (
+            resume_from is not None or checkpoint_every is not None
+        ):
+            raise CheckpointError(
+                "checkpointing is streaming-only: a batch session is a single "
+                "protocol round with nothing to resume"
+            )
         try:
             with self._lock:
                 handle = self._admit(spec)
+                if self.checkpoint_dir is not None and spec.kind == "stream":
+                    handle._checkpointer = Checkpointer(
+                        directory=self.checkpoint_dir,
+                        every=checkpoint_every,
+                        label=f"session-{handle.session_id}",
+                        spec_mapping=spec.to_mapping(),
+                        telemetry=tel,
+                    )
+                handle._resume_from = resume_from
                 # The queue span opens before scheduling so the driver
                 # thread can never observe the handle without it.
                 if tel is not None and tel.enabled:
@@ -648,7 +718,33 @@ class MiningService:
             result = execute_spec(
                 handle.spec, backend=self.pool, dataset=dataset,
                 source=source, telemetry=exec_tel,
+                checkpointer=handle._checkpointer,
+                resume_from=handle._resume_from,
             )
+        except SessionEvicted as exc:
+            # A requested checkpoint-and-abandon, not a failure: the slot
+            # frees exactly like a completion and the handle's "result" is
+            # the SessionEvicted naming the file to resume from.  Same
+            # ordering contract as the paths below.
+            if drive_span is not None:
+                drive_span.end(outcome="evicted")
+            _LOG.info("session %d evicted: %s", handle.session_id, exc)
+            handle.finished_at = time.perf_counter()
+            with self._lock:
+                stats = self._ledger(handle.spec.tenant).stats
+                stats.active -= 1
+                stats.evicted += 1
+                self._active -= 1
+            if tel is not None:
+                tel.metrics.counter(
+                    "repro_checkpoints_total",
+                    "Checkpoint operations by outcome.",
+                    outcome="evicted",
+                ).inc()
+            handle._future.set_exception(exc)
+            with self._lock:
+                self._settle(handle)
+            return
         except BaseException as exc:
             if drive_span is not None:
                 drive_span.end(error=type(exc).__name__)
@@ -747,6 +843,69 @@ class MiningService:
             )
             handle.wait(timeout=remaining)
 
+    # ------------------------------------------------------------------
+    # durable sessions: evict + resume
+    # ------------------------------------------------------------------
+    def evict(
+        self, session_id: int, timeout: Optional[float] = None
+    ) -> Optional[str]:
+        """Checkpoint and abandon one live stream session, freeing its slot.
+
+        The session checkpoints at its next round boundary and raises
+        :class:`~repro.checkpoint.SessionEvicted` through its handle
+        (status ``"evicted"``).  Returns the checkpoint path to
+        :meth:`resume` from — or ``None`` if the session completed (or
+        failed) before reaching a boundary, in which case there is nothing
+        to resume.
+        """
+        with self._lock:
+            handle = self._handles.get(session_id)
+        if handle is None:
+            raise CheckpointError(
+                f"no live session {session_id} to evict (completed sessions "
+                f"settle and leave the service)"
+            )
+        checkpointer = handle._checkpointer
+        if checkpointer is None:
+            raise CheckpointError(
+                f"session {session_id} is not evictable: the service needs a "
+                f"checkpoint_dir (and the session must be a stream)"
+            )
+        checkpointer.request_evict()
+        status = handle.wait(timeout=timeout)
+        if status == "evicted":
+            return handle._future.exception().path
+        return None
+
+    def resume(
+        self,
+        checkpoint_path: str,
+        source: Optional[StreamSource] = None,
+        checkpoint_every: Optional[int] = None,
+    ) -> SessionHandle:
+        """Re-admit an evicted session from its checkpoint file.
+
+        The spec embedded at save time is re-submitted with
+        ``resume_from`` pointing at the file, so the resumed session goes
+        through admission control (capacity, tenant budgets) exactly like
+        a new one — and its result is bit-identical to the uninterrupted
+        run.
+        """
+        ckpt = load_checkpoint(checkpoint_path)
+        spec_mapping = ckpt.spec
+        if spec_mapping is None:
+            raise CheckpointError(
+                f"checkpoint {checkpoint_path!r} carries no session spec; it "
+                f"was not written by a serving engine and cannot be re-admitted"
+            )
+        spec = SessionSpec.from_mapping(spec_mapping)
+        return self.submit(
+            spec,
+            source=source,
+            resume_from=checkpoint_path,
+            checkpoint_every=checkpoint_every,
+        )
+
     @property
     def handles(self) -> Tuple[SessionHandle, ...]:
         """The *unsettled* sessions' handles, in submission order.
@@ -772,6 +931,7 @@ class MiningService:
             completed = sum(t.completed for t in tenants)
             failed = sum(t.failed for t in tenants)
             cancelled = sum(t.cancelled for t in tenants)
+            evicted = sum(t.evicted for t in tenants)
             active = self._active
             # utilization() advances the occupancy clock up to "now" under
             # the metering lock; reading busy_seconds *after* it keeps the
@@ -792,6 +952,7 @@ class MiningService:
                 completed=completed,
                 failed=failed,
                 cancelled=cancelled,
+                evicted=evicted,
                 active=active,
                 records=self._records,
                 messages=self._messages,

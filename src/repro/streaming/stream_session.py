@@ -57,6 +57,7 @@ analogue of the paper's Figures 5/6.
 
 from __future__ import annotations
 
+import itertools
 import logging
 import time
 from dataclasses import dataclass, field
@@ -64,6 +65,12 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..checkpoint import (
+    CheckpointError,
+    Checkpointer,
+    SessionEvicted,
+    load_checkpoint,
+)
 from ..core.adaptation import AdaptorCache, SpaceAdaptor, compute_adaptor
 from ..core.perturbation import GeometricPerturbation, sample_perturbation
 from ..core.protocol import ExchangePlan, draw_exchange_plan
@@ -85,8 +92,17 @@ from ..simnet.messages import Message, MessageKind
 from ..simnet.node import Node
 from .drift import DETECTOR_KINDS, DriftReport, make_detector
 from .ingest import LATE_POLICIES, IngestPlane, IngestStats
-from .normalizer import NORMALIZER_KINDS, make_normalizer
-from .online_miner import ONLINE_CLASSIFIERS, make_online_classifier
+from .normalizer import (
+    NORMALIZER_KINDS,
+    RunningMinMaxNormalizer,
+    make_normalizer,
+)
+from .online_miner import (
+    ONLINE_CLASSIFIERS,
+    OnlineLinearSVM,
+    ReservoirKNN,
+    make_online_classifier,
+)
 from .sources import StreamSource, skewed
 from .windows import WINDOW_KINDS, Window
 
@@ -96,6 +112,9 @@ __all__ = [
     "ReadaptationEvent",
     "StreamWindowStats",
     "StreamSessionResult",
+    "STREAM_CHECKPOINT_FORMAT",
+    "stream_config_mapping",
+    "stream_config_from_mapping",
     "run_stream_session",
 ]
 
@@ -741,10 +760,337 @@ class _Round:
 
 
 # ----------------------------------------------------------------------
+# durable sessions: checkpoint state capture / restore
+# ----------------------------------------------------------------------
+# The driver's whole mutable surface is already explicit (incremental
+# normalizers, miner reservoirs/weights, epoch + adaptor cache, ingest
+# buffers, RNG states), so a checkpoint is a plain mapping of it.  The
+# helpers below capture and re-apply that state; the payload layout they
+# define *is* the checkpoint schema (``repro.checkpoint.SCHEMA_VERSION``).
+# Restore is reinit-then-overwrite: the driver initializes normally (the
+# fresh master RNG re-draws the same derived seeds in the same order),
+# then every mutable piece is overwritten from the checkpoint and the
+# already-ingested arrival prefix is skipped — sources and the skew
+# shuffler re-derive their arrival order deterministically from their
+# seeds, which is what makes resume bit-identical to never stopping.
+
+#: the payload ``format`` tag of stream-session checkpoints
+STREAM_CHECKPOINT_FORMAT = "repro.checkpoint/stream"
+
+#: the source-identity fields a checkpoint records (``make_stream`` args)
+_SOURCE_FIELDS = (
+    "name", "kind", "n_records", "seed", "drift_at", "magnitude",
+    "transition", "rate", "burst_factor",
+)
+
+
+def stream_config_mapping(config: StreamConfig) -> Dict[str, Any]:
+    """Every result-affecting config field, as a checkpoint-friendly dict.
+
+    ``telemetry`` is deliberately absent — a runtime attachment, never
+    part of the workload.  Inverse: :func:`stream_config_from_mapping`.
+    """
+    return {
+        "k": config.k,
+        "window_size": config.window_size,
+        "window_kind": config.window_kind,
+        "window_step": config.window_step,
+        "noise_sigma": float(config.noise_sigma),
+        "classifier": config.classifier,
+        "classifier_params": [list(pair) for pair in config.classifier_params],
+        "normalizer": config.normalizer,
+        "detector": config.detector,
+        "detector_params": [list(pair) for pair in config.detector_params],
+        "readapt_cooldown": config.readapt_cooldown,
+        "trust_changes": [
+            {"window": c.window, "party": c.party, "trust": float(c.trust)}
+            for c in config.trust_changes
+        ],
+        "compute_privacy": config.compute_privacy,
+        "shards": config.shards,
+        "shard_backend": config.shard_backend,
+        "shard_plan": config.shard_plan,
+        "overlap": config.overlap,
+        "watermark_delay": config.watermark_delay,
+        "late_policy": config.late_policy,
+        "skew": config.skew,
+        "seed": config.seed,
+    }
+
+
+def stream_config_from_mapping(mapping: Dict[str, Any]) -> StreamConfig:
+    """Rebuild the exact :class:`StreamConfig` a checkpoint was taken under."""
+    kwargs = dict(mapping)
+    kwargs["classifier_params"] = tuple(
+        tuple(pair) for pair in kwargs.get("classifier_params", ())
+    )
+    kwargs["detector_params"] = tuple(
+        tuple(pair) for pair in kwargs.get("detector_params", ())
+    )
+    kwargs["trust_changes"] = tuple(
+        TrustChange(
+            window=int(c["window"]), party=int(c["party"]), trust=float(c["trust"])
+        )
+        for c in kwargs.get("trust_changes", ())
+    )
+    try:
+        return StreamConfig(**kwargs)
+    except TypeError as exc:
+        raise CheckpointError(
+            f"checkpoint config does not match this build's StreamConfig: {exc}"
+        ) from None
+
+
+def _source_mapping(source: StreamSource) -> Dict[str, Any]:
+    """The source's identity: enough to rebuild it and to refuse mismatches."""
+    mapping: Dict[str, Any] = {
+        name: getattr(source, name)
+        for name in _SOURCE_FIELDS
+        if hasattr(source, name)
+    }
+    mapping["dimension"] = int(source.dimension)
+    return mapping
+
+
+def _normalizer_state(norm: Any) -> Dict[str, Any]:
+    if isinstance(norm, RunningMinMaxNormalizer):
+        return {
+            "kind": "minmax",
+            "minimums": norm.minimums,
+            "maximums": norm.maximums,
+            "n_seen": norm.n_seen,
+        }
+    return {
+        "kind": "zscore",
+        "means": norm.means,
+        "m2": norm._m2,
+        "n_seen": norm.n_seen,
+    }
+
+
+def _restore_normalizer(norm: Any, state: Dict[str, Any]) -> None:
+    if state["kind"] == "minmax":
+        norm.minimums = state["minimums"]
+        norm.maximums = state["maximums"]
+    else:
+        norm.means = state["means"]
+        norm._m2 = state["m2"]
+    norm.n_seen = int(state["n_seen"])
+
+
+def _miner_state(miner: Any) -> Dict[str, Any]:
+    if isinstance(miner, ReservoirKNN):
+        return {
+            "kind": "knn",
+            "rng": miner.rng.bit_generator.state,
+            "rows": None if miner._X_buf is None else miner._X_buf[: miner._size].copy(),
+            "labels": list(miner._labels),
+            "size": miner._size,
+            "n_seen": miner._n_seen,
+        }
+    if isinstance(miner, OnlineLinearSVM):
+        return {
+            "kind": "svm",
+            "rng": miner.rng.bit_generator.state,
+            "weights": dict(miner._weights),
+            "biases": dict(miner._biases),
+            "t": miner._t,
+            "n_seen": miner._n_seen,
+            "dim": miner._dim,
+        }
+    raise CheckpointError(
+        f"online classifier {type(miner).__name__} is not checkpointable"
+    )
+
+
+def _restore_miner(miner: Any, state: Dict[str, Any]) -> None:
+    miner.rng.bit_generator.state = state["rng"]
+    if state["kind"] == "knn":
+        rows = state["rows"]
+        if rows is not None:
+            buffer = np.empty((miner.capacity, rows.shape[1]))
+            buffer[: rows.shape[0]] = rows
+            miner._X_buf = buffer
+        miner._labels = list(state["labels"])
+        miner._size = int(state["size"])
+        miner._n_seen = int(state["n_seen"])
+        miner._model = None  # refit lazily from the restored reservoir
+    else:
+        miner._weights = dict(state["weights"])
+        miner._biases = dict(state["biases"])
+        miner._t = int(state["t"])
+        miner._n_seen = int(state["n_seen"])
+        miner._dim = None if state["dim"] is None else int(state["dim"])
+
+
+def _perturbation_state(perturbation: GeometricPerturbation) -> Dict[str, Any]:
+    return {
+        "rotation": perturbation.rotation,
+        "translation": perturbation.translation,
+        "noise_sigma": float(perturbation.noise_sigma),
+    }
+
+
+def _perturbation_from_state(state: Dict[str, Any]) -> GeometricPerturbation:
+    return GeometricPerturbation(
+        rotation=state["rotation"],
+        translation=state["translation"],
+        noise_sigma=state["noise_sigma"],
+    )
+
+
+def _epoch_state(epoch: Optional["_Epoch"]) -> Optional[Dict[str, Any]]:
+    if epoch is None:
+        return None
+    return {
+        "epoch_id": epoch.epoch_id,
+        "target": _perturbation_state(epoch.target),
+        "plan": {
+            "k": epoch.plan.k,
+            "coordinator": epoch.plan.coordinator,
+            "tau": list(epoch.plan.tau),
+            "redirect_receiver": epoch.plan.redirect_receiver,
+            "tags": list(epoch.plan.tags),
+        },
+        "perturbations": [_perturbation_state(p) for p in epoch.perturbations],
+        "sigmas": [float(s) for s in epoch.sigmas],
+    }
+
+
+def _epoch_from_state(state: Optional[Dict[str, Any]]) -> Optional["_Epoch"]:
+    if state is None:
+        return None
+    plan = state["plan"]
+    return _Epoch(
+        epoch_id=int(state["epoch_id"]),
+        target=_perturbation_from_state(state["target"]),
+        plan=ExchangePlan(
+            k=int(plan["k"]),
+            coordinator=int(plan["coordinator"]),
+            tau=tuple(int(t) for t in plan["tau"]),
+            redirect_receiver=int(plan["redirect_receiver"]),
+            tags=tuple(plan["tags"]),
+        ),
+        perturbations=[
+            _perturbation_from_state(p) for p in state["perturbations"]
+        ],
+        sigmas=tuple(state["sigmas"]),
+    )
+
+
+_GATE_COUNTERS = ("records", "late", "dropped", "readmitted", "upserted", "max_skew")
+
+
+def _ingest_state(plane: IngestPlane) -> Dict[str, Any]:
+    return {
+        "frontier": plane.frontier,
+        "next_seal": plane.next_seal,
+        "next_seq": plane._next_seq,
+        "gates": [
+            {name: getattr(gate, name) for name in _GATE_COUNTERS}
+            for gate in plane.gates
+        ],
+        "shards": [
+            {
+                index: (list(bucket.rows), list(bucket.readmitted))
+                for index, bucket in shard.open.items()
+            }
+            for shard in plane.shards
+        ],
+        "corrections": {
+            index: list(rows) for index, rows in plane._corrections.items()
+        },
+        "revisions": dict(plane._revisions),
+    }
+
+
+def _restore_ingest(plane: IngestPlane, state: Dict[str, Any]) -> None:
+    plane.frontier = int(state["frontier"])
+    plane.next_seal = int(state["next_seal"])
+    plane._next_seq = int(state["next_seq"])
+    for gate, counters in zip(plane.gates, state["gates"]):
+        for name in _GATE_COUNTERS:
+            setattr(gate, name, int(counters[name]))
+    for shard, buckets in zip(plane.shards, state["shards"]):
+        shard.open.clear()
+        for index, (rows, readmitted) in buckets.items():
+            for row in rows:
+                shard.insert(int(index), row)
+            for row in readmitted:
+                shard.insert(int(index), row, readmitted=True)
+    plane._corrections = {
+        int(index): list(rows) for index, rows in state["corrections"].items()
+    }
+    plane._revisions = {
+        int(index): int(revision)
+        for index, revision in state["revisions"].items()
+    }
+
+
+def _data_plane_state(data_plane: DataPlane) -> Dict[str, Any]:
+    return {
+        "messages": int(data_plane.messages_sent),
+        "bytes": int(data_plane.bytes_sent),
+        "provider_records": [int(g.records_sent) for g in data_plane.gates],
+        "shard_records": [int(s.records_received) for s in data_plane.shards],
+        "shard_batches": [int(s.batches_received) for s in data_plane.shards],
+        "sink_windows": int(data_plane.sink.windows_received),
+        "sink_records": int(data_plane.sink.records_received),
+    }
+
+
+def _restore_data_plane(data_plane: DataPlane, state: Dict[str, Any]) -> None:
+    # Only the *observable* accounting needs restoring: per-message nonce
+    # randomness and virtual-clock positions never surface in results.
+    data_plane.network._messages_sent = int(state["messages"])
+    data_plane.network._bytes_sent = int(state["bytes"])
+    for gate, count in zip(data_plane.gates, state["provider_records"]):
+        gate.records_sent = int(count)
+    for shard, count in zip(data_plane.shards, state["shard_records"]):
+        shard.records_received = int(count)
+    for shard, count in zip(data_plane.shards, state["shard_batches"]):
+        shard.batches_received = int(count)
+    data_plane.sink.windows_received = int(state["sink_windows"])
+    data_plane.sink.records_received = int(state["sink_records"])
+
+
+def _check_resume_compatible(
+    payload: Dict[str, Any], source: StreamSource, config: StreamConfig
+) -> None:
+    """Refuse to restore into a different workload (friendly exit-2 path)."""
+    if payload.get("format") != STREAM_CHECKPOINT_FORMAT:
+        raise CheckpointError(
+            f"checkpoint format {payload.get('format')!r} is not a stream "
+            f"session checkpoint"
+        )
+    saved_repr = payload.get("config_repr")
+    if saved_repr != repr(config):
+        raise CheckpointError(
+            "checkpoint was taken under a different configuration; "
+            f"saved {saved_repr!r}, resuming run has {repr(config)!r}"
+        )
+    saved_source = payload.get("source", {})
+    current_source = _source_mapping(source)
+    mismatched = sorted(
+        name
+        for name in current_source
+        if name in saved_source and saved_source[name] != current_source[name]
+    )
+    if mismatched:
+        raise CheckpointError(
+            "checkpoint was taken over a different stream source "
+            f"(mismatched: {', '.join(mismatched)})"
+        )
+
+
+# ----------------------------------------------------------------------
 # the session driver
 # ----------------------------------------------------------------------
 def run_stream_session(
-    source: StreamSource, config: Optional[StreamConfig] = None
+    source: StreamSource,
+    config: Optional[StreamConfig] = None,
+    checkpointer: Optional[Checkpointer] = None,
+    resume_from: Optional[str] = None,
 ) -> StreamSessionResult:
     """Mine a stream privately, re-adapting the space when the data drifts.
 
@@ -759,6 +1105,14 @@ def run_stream_session(
         The record stream (see :func:`repro.streaming.sources.make_stream`).
     config:
         Streaming knobs; defaults to :class:`StreamConfig()`.
+    checkpointer:
+        Optional :class:`repro.checkpoint.Checkpointer`; the session saves
+        durable checkpoints at its round boundaries (and honors eviction
+        requests by raising :class:`repro.checkpoint.SessionEvicted`).
+    resume_from:
+        Path of a checkpoint file to restore before ingesting; the session
+        replays from that boundary and its result is bit-identical to
+        never having stopped.
     """
     # Imported here: repro.serve sits above this module in the layering.
     from ..serve.engine import execute_spec
@@ -766,13 +1120,17 @@ def run_stream_session(
 
     config = config if config is not None else StreamConfig()
     spec = SessionSpec.from_stream(source, config)
-    return execute_spec(spec, source=source)
+    return execute_spec(
+        spec, source=source, checkpointer=checkpointer, resume_from=resume_from
+    )
 
 
 def _execute_stream_session(
     source: StreamSource,
     config: StreamConfig,
     backend: Optional[ShardBackend] = None,
+    checkpointer: Optional[Checkpointer] = None,
+    resume_from: Optional[str] = None,
 ) -> StreamSessionResult:
     """The stream session internals (see :func:`run_stream_session`).
 
@@ -781,7 +1139,20 @@ def _execute_stream_session(
     of building a fresh pool from ``config.shard_backend``; the choice
     cannot affect results because task content and merge order never
     depend on physical placement.
+
+    ``checkpointer``/``resume_from`` are the durability hooks (see
+    :func:`run_stream_session`).  Restore is reinit-then-overwrite: the
+    session initializes exactly as a fresh run — the master RNG re-draws
+    the same derived seeds in the same order — and the saved state is then
+    overwritten on top, so every code path below this block is oblivious
+    to whether the session was ever interrupted.
     """
+    restore_state: Optional[Dict[str, Any]] = None
+    if resume_from is not None:
+        ckpt = load_checkpoint(resume_from)
+        _check_resume_compatible(ckpt.payload, source, config)
+        restore_state = ckpt.payload["state"]
+
     master = np.random.default_rng(config.seed)
 
     normalizer = make_normalizer(config.normalizer)
@@ -874,6 +1245,68 @@ def _execute_stream_session(
     scored = 0
     records = 0
     last_readapt_window = -(10**9)
+
+    if restore_state is not None:
+        # Overwrite the freshly initialized session with the saved state.
+        # The master RNG's derived seeds above were re-drawn identically
+        # (same config seed, same draw order), so only its *position* is
+        # restored here; everything else is a plain state transplant.
+        state = restore_state
+        restore_span = (
+            tracer.span("restore", parent=tel.parent, path=resume_from)
+            if traced
+            else None
+        )
+        master.bit_generator.state = state["master_rng"]
+        _restore_normalizer(normalizer, state["normalizer"])
+        for shard_norm, shard_state in zip(
+            shard_normalizers, state["shard_normalizers"]
+        ):
+            _restore_normalizer(shard_norm, shard_state)
+        if state["detector_reference"] is not None:
+            detector.rebase(state["detector_reference"])
+        _restore_miner(miner, state["miner"])
+        _restore_miner(baseline, state["baseline"])
+        trust.update(
+            {int(party): float(level) for party, level in state["trust"].items()}
+        )
+        epoch = _epoch_from_state(state["epoch"])
+        for target_id, party_id, entry in state["adaptors"]:
+            adaptor_cache.put(
+                target_id,
+                party_id,
+                SpaceAdaptor(
+                    rotation_adaptor=entry["rotation"],
+                    translation_adaptor=entry["translation"],
+                ),
+            )
+        _restore_ingest(plane, state["ingest"])
+        _restore_data_plane(data_plane, state["data_plane"])
+        epoch_seq = int(state["epoch_seq"])
+        round_seq = int(state["round_seq"])
+        messages_total = int(state["messages_total"])
+        bytes_total = int(state["bytes_total"])
+        correct_perturbed = int(state["correct_perturbed"])
+        correct_baseline = int(state["correct_baseline"])
+        scored = int(state["scored"])
+        records = int(state["records"])
+        last_readapt_window = int(state["last_readapt_window"])
+        events = [ReadaptationEvent(**kwargs) for kwargs in state["events"]]
+        window_stats = [
+            StreamWindowStats(**kwargs) for kwargs in state["window_stats"]
+        ]
+        if tel is not None:
+            tel.metrics.counter(
+                "repro_checkpoints_total",
+                "Checkpoint operations by outcome.",
+                outcome="restored",
+            ).inc()
+        if restore_span is not None:
+            restore_span.end(windows=len(window_stats), records=records)
+        _LOG.info(
+            "restored session from %s: %d windows, %d records",
+            resume_from, len(window_stats), records,
+        )
 
     def sigmas() -> List[float]:
         return [config.noise_sigma * (2.0 - trust[p]) for p in range(config.k)]
@@ -1299,6 +1732,92 @@ def _execute_stream_session(
                     handle.cancel()
             live_rounds.remove(stale)
 
+    def checkpoint_payload() -> Dict[str, Any]:
+        """Capture the session's full mutable surface (drained pipeline).
+
+        Only valid at a round boundary after :func:`drain` — with rounds
+        in flight, part of the state below would still be speculative.
+        """
+        return {
+            "format": STREAM_CHECKPOINT_FORMAT,
+            "config": stream_config_mapping(config),
+            "config_repr": repr(config),
+            "source": _source_mapping(source),
+            "progress": {
+                "records": records,
+                "windows": len(window_stats),
+                "epochs": epoch_seq,
+            },
+            "state": {
+                "master_rng": master.bit_generator.state,
+                "normalizer": _normalizer_state(normalizer),
+                "shard_normalizers": [
+                    _normalizer_state(n) for n in shard_normalizers
+                ],
+                "detector_reference": (
+                    None
+                    if detector._reference is None
+                    else detector._reference.copy()
+                ),
+                "miner": _miner_state(miner),
+                "baseline": _miner_state(baseline),
+                "trust": dict(trust),
+                "epoch": _epoch_state(epoch),
+                "adaptors": [
+                    (
+                        target_id,
+                        party_id,
+                        {
+                            "rotation": adaptor.rotation_adaptor,
+                            "translation": adaptor.translation_adaptor,
+                        },
+                    )
+                    for target_id, party_id, adaptor in adaptor_cache.snapshot()
+                ],
+                "ingest": _ingest_state(plane),
+                "data_plane": _data_plane_state(data_plane),
+                "epoch_seq": epoch_seq,
+                "round_seq": round_seq,
+                "messages_total": messages_total,
+                "bytes_total": bytes_total,
+                "correct_perturbed": correct_perturbed,
+                "correct_baseline": correct_baseline,
+                "scored": scored,
+                "records": records,
+                "last_readapt_window": last_readapt_window,
+                "events": [
+                    {
+                        "window": int(e.window),
+                        "reason": e.reason,
+                        "statistic": float(e.statistic),
+                        "latency": float(e.latency),
+                        "messages": int(e.messages),
+                        "bytes": int(e.bytes),
+                        "virtual_duration": float(e.virtual_duration),
+                        "privacy_guarantee": (
+                            None
+                            if e.privacy_guarantee is None
+                            else float(e.privacy_guarantee)
+                        ),
+                    }
+                    for e in events
+                ],
+                "window_stats": [
+                    {
+                        "index": int(w.index),
+                        "n_records": int(w.n_records),
+                        "accuracy_perturbed": float(w.accuracy_perturbed),
+                        "accuracy_baseline": float(w.accuracy_baseline),
+                        "drift_statistic": float(w.drift_statistic),
+                        "drift_kind": w.drift_kind,
+                        "readapted": bool(w.readapted),
+                        "revision": int(w.revision),
+                    }
+                    for w in window_stats
+                ],
+            },
+        }
+
     start = time.perf_counter()
     try:
         pending: List[Window] = []
@@ -1310,12 +1829,32 @@ def _execute_stream_session(
             if config.skew
             else source
         )
+        if records:
+            # Resuming: the source (and the skew shuffler) regenerate the
+            # same arrival order from their seeds, so skipping the already
+            # ingested prefix replays the stream from the exact record the
+            # checkpoint stopped at.
+            arrivals = itertools.islice(arrivals, records, None)
+        # Checkpoint progress is measured in windows *fed* to the pipeline
+        # (``window_stats`` lags while rounds are in flight); after the
+        # pre-checkpoint drain the two counts coincide.
+        windows_fed = len(window_stats)
         for record in arrivals:
             records += 1
             pending.extend(plane.push(record))
             if len(pending) >= config.shards:
+                windows_fed += len(pending)
                 feed(pending)
                 pending = []
+                if checkpointer is not None and checkpointer.due(windows_fed):
+                    # Draining first is what makes a checkpoint a clean
+                    # round boundary; it only changes execution overlap,
+                    # never merge order, so taking one cannot perturb the
+                    # session fingerprint.
+                    drain()
+                    path = checkpointer.save(checkpoint_payload())
+                    if checkpointer.evict_requested:
+                        raise SessionEvicted(path, len(window_stats), records)
         # The legacy driver never flushed its buffer, so a stream whose
         # length is not a multiple of the window size dropped the partial
         # remainder.  Keep that behavior (it is what the pre-redesign

@@ -1,0 +1,337 @@
+"""Durable sessions: kill/restore must never change a single bit.
+
+The contract under test: a session killed at *any* round boundary and
+resumed from its checkpoint reproduces the uninterrupted run's
+fingerprint exactly, across backends, shard counts, plans,
+skew/late-policy settings, and mid-stream trust re-negotiations.  The
+file format must also refuse — with a distinct, friendly error — every
+damage mode: truncation, foreign bytes, schema mismatch, and bit rot.
+"""
+
+import struct
+
+import numpy as np
+import pytest
+
+from repro.checkpoint import (
+    SCHEMA_VERSION,
+    CheckpointError,
+    Checkpointer,
+    SessionEvicted,
+    decode,
+    encode,
+    load_checkpoint,
+    save_checkpoint,
+)
+from repro.serve import MiningService, SessionSpec
+from repro.streaming import (
+    StreamConfig,
+    TrustChange,
+    make_stream,
+    run_stream_session,
+)
+
+
+def _fingerprint(result):
+    """Everything deterministic a stream result reports."""
+    return {
+        "records": result.records_processed,
+        "windows": [
+            (w.index, w.revision, w.n_records, w.accuracy_perturbed,
+             w.accuracy_baseline, w.drift_statistic, w.readapted)
+            for w in result.windows
+        ],
+        "events": [
+            (e.window, e.reason, e.statistic, e.messages, e.bytes,
+             e.virtual_duration, e.privacy_guarantee)
+            for e in result.events
+        ],
+        "accuracy": (result.accuracy_perturbed, result.accuracy_baseline),
+        "traffic": (result.messages_sent, result.bytes_sent,
+                    result.data_messages_sent, result.data_bytes_sent),
+        "provider_records": result.provider_records,
+        "ingest": None if result.ingest is None else result.ingest.to_dict(),
+    }
+
+
+def _run(source_seed=3, checkpointer=None, resume_from=None, **knobs):
+    source = make_stream(
+        "iris", kind=knobs.pop("stream", "abrupt"), n_records=6 * 32,
+        seed=source_seed,
+    )
+    config = StreamConfig(
+        k=3, window_size=32, compute_privacy=False, seed=7, **knobs
+    )
+    return run_stream_session(
+        source, config, checkpointer=checkpointer, resume_from=resume_from
+    )
+
+
+def _kill_and_resume(directory, stop_after=3, **knobs):
+    """Evict at a round boundary, then restore from the written file."""
+    checkpointer = Checkpointer(directory=str(directory), stop_after=stop_after)
+    with pytest.raises(SessionEvicted) as excinfo:
+        _run(checkpointer=checkpointer, **knobs)
+    return _run(resume_from=excinfo.value.path, **knobs)
+
+
+# ----------------------------------------------------------------------
+# the bit-identity property, swept
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("backend", ["serial", "thread"])
+@pytest.mark.parametrize("shards", [1, 4])
+def test_restore_bit_identical_across_backends_and_shards(
+    tmp_path, backend, shards
+):
+    knobs = dict(shards=shards, shard_backend=backend)
+    unbroken = _fingerprint(_run(**knobs))
+    resumed = _kill_and_resume(tmp_path, **knobs)
+    assert _fingerprint(resumed) == unbroken
+
+
+@pytest.mark.parametrize("stop_after", [1, 2, 4])
+def test_restore_bit_identical_at_any_kill_round(tmp_path, stop_after):
+    knobs = dict(shards=2, shard_backend="thread")
+    unbroken = _fingerprint(_run(**knobs))
+    resumed = _kill_and_resume(tmp_path, stop_after=stop_after, **knobs)
+    assert _fingerprint(resumed) == unbroken
+
+
+@pytest.mark.parametrize("plan", ["hash", "party"])
+def test_restore_bit_identical_across_plans(tmp_path, plan):
+    knobs = dict(shards=4, shard_backend="thread", shard_plan=plan)
+    unbroken = _fingerprint(_run(**knobs))
+    resumed = _kill_and_resume(tmp_path, **knobs)
+    assert _fingerprint(resumed) == unbroken
+
+
+@pytest.mark.parametrize("late_policy", ["drop", "readmit", "upsert"])
+def test_restore_bit_identical_under_skew(tmp_path, late_policy):
+    """Out-of-order arrivals: gates, pending buffers, and watermarks all
+    cross the checkpoint and must land back exactly."""
+    knobs = dict(
+        shards=4, shard_backend="thread", skew=8, watermark_delay=1,
+        late_policy=late_policy,
+    )
+    unbroken = _run(**knobs)
+    assert unbroken.ingest.late > 0  # the sweep actually exercised lateness
+    resumed = _kill_and_resume(tmp_path, **knobs)
+    assert _fingerprint(resumed) == _fingerprint(unbroken)
+
+
+def test_restore_bit_identical_across_renegotiations(tmp_path):
+    """Kill between two trust changes: epoch state, adaptor cache, and the
+    remaining re-negotiation schedule must all survive the restore."""
+    changes = (TrustChange(window=1, party=0, trust=0.5),
+               TrustChange(window=3, party=1, trust=0.25))
+    knobs = dict(
+        stream="gradual", shards=2, shard_backend="thread",
+        trust_changes=changes, readapt_cooldown=1,
+    )
+    unbroken = _run(**knobs)
+    assert len(unbroken.events) >= 3  # initial + both trust renegotiations
+    resumed = _kill_and_resume(tmp_path, stop_after=2, **knobs)
+    assert _fingerprint(resumed) == _fingerprint(unbroken)
+
+
+def test_periodic_checkpointing_does_not_perturb_result(tmp_path):
+    """Saving every boundary (without ever evicting) must be invisible:
+    the drain it forces changes execution overlap, never merge order."""
+    knobs = dict(shards=2, shard_backend="thread")
+    unbroken = _fingerprint(_run(**knobs))
+    checkpointer = Checkpointer(directory=str(tmp_path), every=1)
+    checked = _run(checkpointer=checkpointer, **knobs)
+    assert _fingerprint(checked) == unbroken
+    assert len(checkpointer.saved_paths) >= 2
+
+
+# ----------------------------------------------------------------------
+# resume refuses foreign workloads
+# ----------------------------------------------------------------------
+def test_resume_refuses_different_config(tmp_path):
+    checkpointer = Checkpointer(directory=str(tmp_path), stop_after=2)
+    with pytest.raises(SessionEvicted) as excinfo:
+        _run(checkpointer=checkpointer, shards=2)
+    with pytest.raises(CheckpointError, match="different configuration"):
+        _run(resume_from=excinfo.value.path, shards=4)
+
+
+def test_resume_refuses_different_source(tmp_path):
+    checkpointer = Checkpointer(directory=str(tmp_path), stop_after=2)
+    with pytest.raises(SessionEvicted) as excinfo:
+        _run(checkpointer=checkpointer, shards=2)
+    with pytest.raises(CheckpointError, match="different stream source"):
+        _run(resume_from=excinfo.value.path, shards=2, source_seed=4)
+
+
+# ----------------------------------------------------------------------
+# file format: every damage mode is a distinct, friendly refusal
+# ----------------------------------------------------------------------
+def _valid_file(tmp_path):
+    path = str(tmp_path / "valid.ckpt")
+    save_checkpoint(path, {"state": {"a": 1}, "progress": {"windows": 2}})
+    return path
+
+
+def test_load_round_trips_fingerprint(tmp_path):
+    path = _valid_file(tmp_path)
+    first = load_checkpoint(path)
+    second = load_checkpoint(path)
+    assert first.schema_version == SCHEMA_VERSION
+    assert first.fingerprint == second.fingerprint
+    assert first.payload == second.payload
+
+
+def test_load_rejects_truncated_header(tmp_path):
+    path = str(tmp_path / "stub.ckpt")
+    with open(path, "wb") as handle:
+        handle.write(b"RP")
+    with pytest.raises(CheckpointError, match="truncated"):
+        load_checkpoint(path)
+
+
+def test_load_rejects_foreign_magic(tmp_path):
+    path = _valid_file(tmp_path)
+    raw = bytearray(open(path, "rb").read())
+    raw[:4] = b"ELF\x7f"
+    open(path, "wb").write(bytes(raw))
+    with pytest.raises(CheckpointError, match="not a repro checkpoint"):
+        load_checkpoint(path)
+
+
+def test_load_rejects_schema_version_mismatch(tmp_path):
+    path = _valid_file(tmp_path)
+    raw = bytearray(open(path, "rb").read())
+    raw[4:6] = struct.pack(">H", SCHEMA_VERSION + 1)
+    open(path, "wb").write(bytes(raw))
+    with pytest.raises(CheckpointError, match="schema version"):
+        load_checkpoint(path)
+
+
+def test_load_rejects_truncated_payload(tmp_path):
+    path = _valid_file(tmp_path)
+    raw = open(path, "rb").read()
+    open(path, "wb").write(raw[:-3])
+    with pytest.raises(CheckpointError, match="truncated"):
+        load_checkpoint(path)
+
+
+def test_load_rejects_payload_bit_rot(tmp_path):
+    path = _valid_file(tmp_path)
+    raw = bytearray(open(path, "rb").read())
+    raw[-1] ^= 0xFF
+    open(path, "wb").write(bytes(raw))
+    with pytest.raises(CheckpointError, match="digest mismatch"):
+        load_checkpoint(path)
+
+
+def test_load_rejects_stateless_payload(tmp_path):
+    path = str(tmp_path / "stateless.ckpt")
+    save_checkpoint(path, {"progress": {"windows": 0}})
+    with pytest.raises(CheckpointError, match="session state"):
+        load_checkpoint(path)
+
+
+def test_checkpointer_rejects_bad_intervals(tmp_path):
+    with pytest.raises(CheckpointError, match="positive"):
+        Checkpointer(directory=str(tmp_path), every=0)
+    with pytest.raises(CheckpointError, match="positive"):
+        Checkpointer(directory=str(tmp_path), stop_after=-1)
+
+
+# ----------------------------------------------------------------------
+# codec: the payload layer round-trips every type it claims
+# ----------------------------------------------------------------------
+def test_codec_round_trips_scalars_and_containers():
+    payload = {
+        "none": None,
+        "flags": (True, False),
+        "small": -42,
+        "huge": -(1 << 130),  # PCG64 state words exceed 64 bits
+        "float": 1.5,
+        "text": "café",
+        "bytes": b"\x00\xff\x7f",
+        "list": [1, "two", 3.0, [None]],
+        "nested": {"k": ({"deep": b"x"},)},
+    }
+    out = decode(encode(payload))
+    assert out == payload
+    assert isinstance(out["flags"], tuple)
+    assert isinstance(out["list"], list)
+
+
+def test_codec_round_trips_arrays_dtype_exact():
+    rng = np.random.default_rng(0)
+    arrays = {
+        "f64": rng.normal(size=(3, 4)),
+        "i64": rng.integers(-100, 100, size=7),
+        "bool": rng.normal(size=5) > 0,
+        "empty": np.empty((0, 13)),
+        "int_scalar": np.int64(-7),  # reservoir labels are np.int64
+        "float_scalar": np.float64(2.5),
+    }
+    out = decode(encode(arrays))
+    for key in ("f64", "i64", "bool", "empty"):
+        assert out[key].dtype == arrays[key].dtype
+        assert out[key].shape == arrays[key].shape
+        assert np.array_equal(out[key], arrays[key])
+    assert out["int_scalar"] == arrays["int_scalar"]
+    assert out["int_scalar"].dtype == np.int64
+    # np.float64 subclasses float, so it rides the float tag: the decoded
+    # value is bit-identical even though the wrapper type is not preserved.
+    assert out["float_scalar"] == arrays["float_scalar"]
+
+
+def test_codec_decoded_arrays_are_writable_copies():
+    original = np.arange(6.0).reshape(2, 3)
+    out = decode(encode({"a": original}))["a"]
+    out[0, 0] = 99.0  # a read-only view would raise here
+    assert original[0, 0] == 0.0
+
+
+# ----------------------------------------------------------------------
+# serving engine: evict frees the slot, resume re-enters admission
+# ----------------------------------------------------------------------
+def _service_fingerprint(result):
+    return (result.deviation_series(), result.messages_sent)
+
+
+def test_service_evict_and_resume_bit_identical(tmp_path):
+    spec = SessionSpec(
+        kind="stream", dataset="wine", k=3, windows=40, window_size=32,
+        compute_privacy=False, seed=5,
+    )
+    with MiningService(max_inflight=2) as service:
+        unbroken = service.run([spec])[0]
+
+    with MiningService(
+        max_inflight=2, checkpoint_dir=str(tmp_path)
+    ) as service:
+        handle = service.submit(spec, checkpoint_every=2)
+        path = service.evict(handle.session_id, timeout=60)
+        assert path is not None
+        assert handle.poll() == "evicted"
+        with pytest.raises(SessionEvicted):
+            handle.result()
+        resumed = service.resume(path).result(timeout=120)
+        stats = service.stats()
+    assert stats.evicted == 1
+    assert "evicted" in stats.summary()
+    assert _service_fingerprint(resumed) == _service_fingerprint(unbroken)
+
+
+def test_service_refuses_batch_checkpointing(tmp_path):
+    spec = SessionSpec(kind="batch", dataset="wine", k=3, seed=0)
+    with MiningService(checkpoint_dir=str(tmp_path)) as service:
+        with pytest.raises(CheckpointError, match="streaming-only"):
+            service.submit(spec, checkpoint_every=1)
+
+
+def test_service_refuses_checkpoint_every_without_dir():
+    spec = SessionSpec(
+        kind="stream", dataset="wine", k=3, windows=2, window_size=32,
+        compute_privacy=False, seed=0,
+    )
+    with MiningService() as service:
+        with pytest.raises(CheckpointError, match="checkpoint_dir"):
+            service.submit(spec, checkpoint_every=1)

@@ -14,6 +14,9 @@ windowed online mining with drift-triggered space re-adaptation.
 :class:`SessionSpec` for batch and stream workloads, and a
 :class:`MiningService` engine that runs many concurrent sessions over a
 shared worker pool with admission control and per-tenant seeds/budgets.
+:mod:`repro.cluster` scales serving out: a :class:`ClusterController`
+fronting N engine replicas with pluggable session placement, live
+migration by checkpoint, rebalancing, and a merged cluster view.
 :mod:`repro.obs` is the dependency-free telemetry layer underneath it
 all: a metrics registry, tracing spans over the round pipeline, and
 per-stage latency reports.
@@ -100,6 +103,12 @@ from .checkpoint import (
     load_checkpoint,
     save_checkpoint,
 )
+from .cluster import (
+    ClusterController,
+    ClusterError,
+    ClusterSession,
+    ClusterStats,
+)
 from .obs import MetricsRegistry, Telemetry, Tracer
 from .parties import ClassifierSpec, SAPConfig
 from .serve import (
@@ -126,7 +135,7 @@ from .streaming import (
     run_stream_session,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "__version__",
@@ -217,4 +226,9 @@ __all__ = [
     "SessionEvicted",
     "load_checkpoint",
     "save_checkpoint",
+    # cluster
+    "ClusterController",
+    "ClusterSession",
+    "ClusterStats",
+    "ClusterError",
 ]

@@ -31,7 +31,9 @@ from .checkpoint import (
     CheckpointError,
     SessionCheckpoint,
     SessionEvicted,
+    list_checkpoints,
     load_checkpoint,
+    prune_checkpoints,
     save_checkpoint,
 )
 from .codec import CodecError, decode, encode
@@ -44,6 +46,8 @@ __all__ = [
     "Checkpointer",
     "save_checkpoint",
     "load_checkpoint",
+    "list_checkpoints",
+    "prune_checkpoints",
     "CodecError",
     "encode",
     "decode",

@@ -46,6 +46,8 @@ __all__ = [
     "Checkpointer",
     "save_checkpoint",
     "load_checkpoint",
+    "list_checkpoints",
+    "prune_checkpoints",
 ]
 
 #: File magic: "repro checkpoint".
@@ -229,6 +231,10 @@ class Checkpointer:
     telemetry:
         Optional :class:`repro.obs.Telemetry`; saves emit a ``checkpoint``
         span and count into ``repro_checkpoints_total{outcome="saved"}``.
+    retain:
+        Keep only the newest ``retain`` checkpoint files for this session;
+        older ones are deleted after each successful save.  ``None``
+        (default) keeps every save.
     """
 
     directory: str
@@ -237,6 +243,7 @@ class Checkpointer:
     spec_mapping: Optional[Dict[str, Any]] = None
     telemetry: Optional[Any] = None
     stop_after: Optional[int] = None
+    retain: Optional[int] = None
     saved_paths: List[str] = field(default_factory=list)
     last_path: Optional[str] = None
 
@@ -250,6 +257,10 @@ class Checkpointer:
             raise CheckpointError(
                 f"stop-after must be a positive number of windows, "
                 f"got {self.stop_after}"
+            )
+        if self.retain is not None and self.retain < 1:
+            raise CheckpointError(
+                f"retain must keep at least one checkpoint, got {self.retain}"
             )
         self._evict = threading.Event()
         self._last_saved_windows = -1
@@ -312,7 +323,84 @@ class Checkpointer:
         self._last_saved_windows = windows_done
         self.saved_paths.append(path)
         self.last_path = path
+        if self.retain is not None:
+            removed = prune_checkpoints(
+                self.directory, retain=self.retain, label=self.label
+            )
+            if removed:
+                self.saved_paths = [
+                    p for p in self.saved_paths if p not in set(removed)
+                ]
         return path
+
+
+def list_checkpoints(directory: str, label: Optional[str] = None) -> List[str]:
+    """Checkpoint files under ``directory``, oldest boundary first.
+
+    Recognizes the ``<label>-w<windows>.ckpt`` names written by
+    :class:`Checkpointer`; other files are ignored.  ``label`` restricts
+    the listing to one session's files.  Ordering is (label, windows), so
+    per-session sequences read in save order.
+    """
+    try:
+        names = os.listdir(directory)
+    except OSError as exc:
+        raise CheckpointError(
+            f"cannot list checkpoint directory {directory!r}: {exc}"
+        ) from exc
+    found = []
+    for name in names:
+        parsed = _parse_checkpoint_name(name)
+        if parsed is None:
+            continue
+        file_label, windows = parsed
+        if label is not None and file_label != label:
+            continue
+        found.append((file_label, windows, os.path.join(directory, name)))
+    found.sort()
+    return [path for _, _, path in found]
+
+
+def prune_checkpoints(
+    directory: str, retain: int, label: Optional[str] = None
+) -> List[str]:
+    """Delete all but the newest ``retain`` checkpoints per session label.
+
+    Retention is applied *per label* so one chatty session cannot evict
+    another session's only checkpoint.  Returns the deleted paths.
+    """
+    if retain < 1:
+        raise CheckpointError(
+            f"retain must keep at least one checkpoint, got {retain}"
+        )
+    by_label: Dict[str, List[str]] = {}
+    for path in list_checkpoints(directory, label=label):
+        name_label, _ = _parse_checkpoint_name(os.path.basename(path))
+        by_label.setdefault(name_label, []).append(path)
+    removed: List[str] = []
+    for paths in by_label.values():
+        for path in paths[:-retain]:
+            try:
+                os.remove(path)
+            except FileNotFoundError:
+                continue  # concurrent pruner got there first
+            except OSError as exc:
+                raise CheckpointError(
+                    f"cannot prune checkpoint {path!r}: {exc}"
+                ) from exc
+            removed.append(path)
+    return removed
+
+
+def _parse_checkpoint_name(name: str):
+    """``(label, windows)`` from ``<label>-w<NNNNN>.ckpt``, else ``None``."""
+    if not name.endswith(".ckpt"):
+        return None
+    stem = name[: -len(".ckpt")]
+    label, sep, windows = stem.rpartition("-w")
+    if not sep or not label or not windows.isdigit():
+        return None
+    return label, int(windows)
 
 
 def _now() -> float:

@@ -28,10 +28,24 @@ Usage (after ``pip install -e .``)::
                                    # to the uninterrupted run
     repro checkpoint inspect ckpts/session-w00016.ckpt
                                    # schema version, fingerprint, progress
+    repro checkpoint inspect ckpts --retain 2
+                                   # list a checkpoint directory, pruning
+                                   # each session down to its newest 2
     repro serve --sessions 8 --shards 4
                                    # many concurrent sessions, one shared pool
     repro serve --workload workload.json --json
                                    # run a JSON workload file, emit JSON
+    repro serve --checkpoint-dir ckpts --checkpoint-every 4
+                                   # durable serving: Ctrl-C parks live
+                                   # sessions and prints resume hints
+    repro cluster --replicas 3 --placement least_loaded
+                                   # same workload across 3 engine replicas
+    repro cluster --replicas 2 --migrate-every 2 --json
+                                   # force live migrations mid-run; results
+                                   # stay bit-identical to a single engine
+    repro experiment diff results/a results/b
+                                   # cell-by-cell throughput diff of two
+                                   # sweep directories (exit 1 on regression)
     repro stream --shards 4 --overlap --trace-out spans.jsonl \\
                  --metrics-out metrics.json
                                    # telemetry: tracing spans + metrics export
@@ -61,7 +75,10 @@ import argparse
 import json
 import logging
 import os
+import shutil
 import sys
+import tempfile
+import time
 from concurrent.futures import CancelledError
 from dataclasses import replace as dataclasses_replace
 from typing import Dict, List, Optional
@@ -83,7 +100,15 @@ from .analysis.figures import (
     figure6_series,
 )
 from .analysis.reporting import ascii_table, format_mapping, series_block, text_histogram
-from .checkpoint import Checkpointer, SessionEvicted, load_checkpoint
+from .checkpoint import (
+    CheckpointError,
+    Checkpointer,
+    SessionEvicted,
+    list_checkpoints,
+    load_checkpoint,
+    prune_checkpoints,
+)
+from .cluster import ClusterController, ClusterError
 from .core.session import run_sap_session
 from .datasets.registry import dataset_summary, load_dataset
 from .obs import Telemetry
@@ -308,6 +333,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="checkpoint every N completed windows (needs --checkpoint-dir)",
     )
     p.add_argument(
+        "--checkpoint-retain",
+        type=int,
+        default=None,
+        metavar="K",
+        help="keep only the newest K checkpoints of this session, deleting "
+        "older ones after each save (needs --checkpoint-dir; default: "
+        "keep everything)",
+    )
+    p.add_argument(
         "--stop-after",
         type=int,
         default=None,
@@ -348,7 +382,20 @@ def build_parser() -> argparse.ArgumentParser:
     c = csub.add_parser(
         "inspect", help="print a checkpoint's identity, progress, and fingerprint"
     )
-    c.add_argument("path", metavar="FILE", help="checkpoint file (*.ckpt)")
+    c.add_argument(
+        "path",
+        metavar="PATH",
+        help="a checkpoint file (*.ckpt), or a checkpoint directory to "
+        "list every session's checkpoints in",
+    )
+    c.add_argument(
+        "--retain",
+        type=int,
+        default=None,
+        metavar="K",
+        help="with a directory: first prune it down to the newest K "
+        "checkpoints per session, then list what is left",
+    )
     c.add_argument(
         "--json", action="store_true", help="emit the summary as JSON"
     )
@@ -395,6 +442,22 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["serial", "thread", "process"],
         help="shared pool executor (results are identical)",
     )
+    p.add_argument(
+        "--checkpoint-dir",
+        metavar="DIR",
+        default=None,
+        help="give the service a checkpoint directory: stream sessions "
+        "become durable, and an interrupt (Ctrl-C) parks every live "
+        "session instead of losing it",
+    )
+    p.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=None,
+        metavar="N",
+        help="checkpoint stream sessions every N completed windows "
+        "(needs --checkpoint-dir)",
+    )
     p.add_argument("--seed", type=int, default=0)
     p.add_argument(
         "--json", action="store_true", help="emit a machine-readable JSON report"
@@ -404,6 +467,103 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         default=None,
         help="write the service's metrics-registry snapshot as JSON",
+    )
+    _add_logging_flags(p)
+
+    p = sub.add_parser(
+        "cluster",
+        help="run a workload across N engine replicas with live migration",
+    )
+    p.add_argument(
+        "--workload",
+        metavar="FILE",
+        default=None,
+        help="JSON workload file (same format as `repro serve`); omitted: "
+        "a built-in all-stream demo workload",
+    )
+    p.add_argument(
+        "--sessions",
+        type=int,
+        default=6,
+        help="demo-workload size (ignored with --workload)",
+    )
+    p.add_argument(
+        "--dataset", default="iris", help="demo-workload dataset"
+    )
+    p.add_argument(
+        "--replicas", type=int, default=2, help="serving-engine replicas"
+    )
+    p.add_argument(
+        "--placement",
+        default="hash",
+        choices=["hash", "least_loaded", "tenant"],
+        help="session-to-replica placement policy",
+    )
+    p.add_argument(
+        "--migrate-every",
+        type=int,
+        default=0,
+        metavar="N",
+        help="force a live migration every N poll ticks (50 ms each), "
+        "rotating over live sessions (0 = never; results stay "
+        "bit-identical either way)",
+    )
+    p.add_argument(
+        "--max-inflight",
+        type=int,
+        default=2,
+        help="concurrent session drivers per replica",
+    )
+    p.add_argument(
+        "--queue-limit",
+        type=int,
+        default=None,
+        help="per-replica queue depth beyond the in-flight sessions "
+        "(default: unbounded)",
+    )
+    p.add_argument(
+        "--shards",
+        type=int,
+        default=2,
+        help="workers in each replica's shard pool",
+    )
+    p.add_argument(
+        "--shard-backend",
+        default="thread",
+        choices=["serial", "thread", "process"],
+        help="replica pool executor (results are identical)",
+    )
+    p.add_argument(
+        "--checkpoint-dir",
+        metavar="DIR",
+        default=None,
+        help="cluster checkpoint root (replica-<i>/ per replica); "
+        "default: a temporary directory when migration is requested",
+    )
+    p.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=None,
+        metavar="N",
+        help="checkpoint stream sessions every N completed windows",
+    )
+    p.add_argument(
+        "--checkpoint-retain",
+        type=int,
+        default=None,
+        metavar="K",
+        help="keep only the newest K checkpoints per session "
+        "(default: keep everything)",
+    )
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--json", action="store_true", help="emit a machine-readable JSON report"
+    )
+    p.add_argument(
+        "--metrics-out",
+        metavar="FILE",
+        default=None,
+        help="write the cluster's metrics-registry snapshot as JSON",
     )
     _add_logging_flags(p)
 
@@ -523,6 +683,30 @@ def build_parser() -> argparse.ArgumentParser:
         "--timestamp",
         help="--write-current entry timestamp (default: "
         "$REPRO_BENCH_TIMESTAMP, else now UTC)",
+    )
+    _add_logging_flags(e)
+
+    e = esub.add_parser(
+        "diff",
+        help="compare two sweep result directories cell by cell "
+        "(exit 1 when B regresses vs A)",
+    )
+    e.add_argument(
+        "dir_a",
+        metavar="DIR_A",
+        help="baseline experiment directory (results/<name>)",
+    )
+    e.add_argument(
+        "dir_b",
+        metavar="DIR_B",
+        help="candidate experiment directory to compare against DIR_A",
+    )
+    e.add_argument(
+        "--tolerance",
+        type=float,
+        default=20.0,
+        metavar="PCT",
+        help="largest tolerated *per_s drop in percent (default: 20)",
     )
     _add_logging_flags(e)
 
@@ -738,18 +922,24 @@ def _stream_checkpointer(
 ) -> Optional[Checkpointer]:
     """Build the ``repro stream`` command's checkpoint policy, if asked."""
     _require_positive("--checkpoint-every", args.checkpoint_every)
+    _require_positive("--checkpoint-retain", args.checkpoint_retain)
     _require_positive("--stop-after", args.stop_after)
     if args.checkpoint_dir is None:
-        if args.checkpoint_every is not None or args.stop_after is not None:
+        if (
+            args.checkpoint_every is not None
+            or args.checkpoint_retain is not None
+            or args.stop_after is not None
+        ):
             raise ValueError(
-                "--checkpoint-every/--stop-after need --checkpoint-dir to "
-                "say where checkpoints go"
+                "--checkpoint-every/--checkpoint-retain/--stop-after need "
+                "--checkpoint-dir to say where checkpoints go"
             )
         return None
     return Checkpointer(
         directory=args.checkpoint_dir,
         every=args.checkpoint_every,
         stop_after=args.stop_after,
+        retain=args.checkpoint_retain,
         telemetry=telemetry,
     )
 
@@ -974,13 +1164,31 @@ def _session_row(handle, result) -> List[object]:
     ]
 
 
+def _park_and_hint(closeable) -> None:
+    """Ctrl-C landing: park live sessions, print how to resume each one."""
+    parked = closeable.close(park=True)
+    if parked:
+        print("parked live sessions:", file=sys.stderr)
+        for path in parked:
+            print(
+                f"  resume with: repro stream --resume-from {path}",
+                file=sys.stderr,
+            )
+
+
 def _cmd_serve(args: argparse.Namespace) -> str:
     _require_positive("--sessions", args.sessions)
     _require_positive("--max-inflight", args.max_inflight)
     _require_positive("--shards", args.shards)
+    _require_positive("--checkpoint-every", args.checkpoint_every)
     if args.queue_limit is not None and args.queue_limit < 0:
         raise ValueError(
             f"--queue-limit must be >= 0, got {args.queue_limit}"
+        )
+    if args.checkpoint_every is not None and args.checkpoint_dir is None:
+        raise ValueError(
+            "--checkpoint-every needs --checkpoint-dir to say where "
+            "checkpoints go"
         )
     if args.workload:
         entries = _load_workload(args.workload)
@@ -996,14 +1204,25 @@ def _cmd_serve(args: argparse.Namespace) -> str:
         shard_backend=args.shard_backend,
         shard_workers=args.shards,
         telemetry=telemetry,
+        checkpoint_dir=args.checkpoint_dir,
     ) as service:
         handles = []
         for spec in specs:
+            every = (
+                args.checkpoint_every
+                if args.checkpoint_dir is not None and spec.kind == "stream"
+                else None
+            )
             try:
-                handles.append(service.submit(spec))
+                handles.append(service.submit(spec, checkpoint_every=every))
             except AdmissionError as exc:
                 rejections.append(f"{spec.display_label}: {exc}")
-        service.drain()
+        try:
+            service.drain()
+        except KeyboardInterrupt:
+            if args.checkpoint_dir is not None:
+                _park_and_hint(service)
+            raise
         results, errors = [], []
         for handle in handles:
             if handle.poll() == "completed":
@@ -1073,9 +1292,280 @@ def _cmd_serve(args: argparse.Namespace) -> str:
     )
 
 
+def _cluster_demo_workload(
+    n_sessions: int, dataset: str, seed: int
+) -> List[Dict[str, object]]:
+    """An all-stream two-tenant workload (streams are what can migrate)."""
+    return [
+        {
+            "kind": "stream",
+            "dataset": dataset,
+            "tenant": "acme" if index % 2 == 0 else "globex",
+            "k": 3,
+            "stream": "abrupt" if index % 4 == 1 else "stationary",
+            "windows": 6,
+            "window_size": 32,
+            "compute_privacy": False,
+            "seed": seed + index,
+        }
+        for index in range(n_sessions)
+    ]
+
+
+def _forced_migrations(cluster, sessions, every: int, replicas: int):
+    """Poll the workload, forcing a migration every ``every`` 50 ms ticks.
+
+    Rotates over the still-live sessions and pushes each victim to the
+    next replica round-robin — the CLI's standing demonstration that any
+    migration schedule leaves results bit-identical.
+    """
+    hops: List[List[int]] = []
+    ticks = 0
+    rotate = 0
+    while not all(session.done() for session in sessions):
+        time.sleep(0.05)
+        ticks += 1
+        if ticks % every:
+            continue
+        live = [s for s in sessions if s.poll() in ("queued", "running")]
+        if not live:
+            continue
+        victim = live[rotate % len(live)]
+        rotate += 1
+        destination = (victim.replica + 1) % replicas
+        try:
+            landed = cluster.migrate(victim.session_id, destination)
+        except ClusterError:
+            continue  # settled/raced mid-flight; the next tick moves on
+        if landed is not None:
+            hops.append([victim.session_id, landed])
+    return hops
+
+
+def _cmd_cluster(args: argparse.Namespace) -> str:
+    _require_positive("--sessions", args.sessions)
+    _require_positive("--replicas", args.replicas)
+    _require_positive("--max-inflight", args.max_inflight)
+    _require_positive("--shards", args.shards)
+    _require_positive("--checkpoint-every", args.checkpoint_every)
+    _require_positive("--checkpoint-retain", args.checkpoint_retain)
+    _require_non_negative("--migrate-every", args.migrate_every)
+    if args.queue_limit is not None and args.queue_limit < 0:
+        raise ValueError(
+            f"--queue-limit must be >= 0, got {args.queue_limit}"
+        )
+    if args.workload:
+        entries = _load_workload(args.workload)
+    else:
+        entries = _cluster_demo_workload(args.sessions, args.dataset, args.seed)
+    specs = [SessionSpec.from_mapping(entry) for entry in entries]
+    telemetry = _telemetry_from_flags(None, args.metrics_out)
+
+    checkpoint_dir = args.checkpoint_dir
+    scratch = None
+    if checkpoint_dir is None and args.migrate_every:
+        # Migration moves state through checkpoint files; without an
+        # explicit directory the demo parks them in a throwaway one.
+        checkpoint_dir = scratch = tempfile.mkdtemp(prefix="repro-cluster-")
+
+    rejections: List[str] = []
+    try:
+        with ClusterController(
+            replicas=args.replicas,
+            placement=args.placement,
+            max_inflight=args.max_inflight,
+            queue_limit=args.queue_limit,
+            shard_backend=args.shard_backend,
+            shard_workers=args.shards,
+            telemetry=telemetry,
+            checkpoint_dir=checkpoint_dir,
+            checkpoint_every=args.checkpoint_every,
+            checkpoint_retain=args.checkpoint_retain,
+        ) as cluster:
+            sessions = []
+            for spec in specs:
+                try:
+                    sessions.append(cluster.submit(spec))
+                except AdmissionError as exc:
+                    rejections.append(f"{spec.display_label}: {exc}")
+            hops: List[List[int]] = []
+            try:
+                if args.migrate_every:
+                    hops = _forced_migrations(
+                        cluster, sessions, args.migrate_every, args.replicas
+                    )
+                cluster.wait_all()
+            except KeyboardInterrupt:
+                if args.checkpoint_dir is not None:
+                    _park_and_hint(cluster)
+                raise
+            results, errors = [], []
+            for session in sessions:
+                if session.poll() == "completed":
+                    results.append(session.result())
+                    errors.append(None)
+                else:
+                    results.append(None)
+                    try:
+                        session.result(timeout=0)
+                    except (Exception, CancelledError) as exc:
+                        errors.append(f"{type(exc).__name__}: {exc}")
+                    else:  # pragma: no cover - completed raced the poll
+                        errors.append(None)
+            stats = cluster.stats()
+            # Snapshot while replicas are alive: the cluster collector
+            # reads live controller state at snapshot time.
+            _finish_telemetry(telemetry, args.metrics_out)
+    finally:
+        if scratch is not None:
+            shutil.rmtree(scratch, ignore_errors=True)
+
+    failures = [
+        f"{s.spec.display_label}: {message}"
+        for s, message in zip(sessions, errors)
+        if message is not None
+    ]
+    exit_code = 1 if failures or rejections else 0
+
+    if args.json:
+        return (
+            json.dumps(
+                {
+                    "sessions": [
+                        {
+                            "id": s.session_id,
+                            "label": s.spec.display_label,
+                            "status": s.poll(),
+                            "replica": s.replica,
+                            "migrations": s.migrations,
+                            "error": e,
+                            "result": None if r is None else r.to_dict(),
+                        }
+                        for s, r, e in zip(sessions, results, errors)
+                    ],
+                    "rejections": rejections,
+                    "migrations": hops,
+                    "cluster": stats.to_dict(),
+                },
+                indent=2,
+            ),
+            exit_code,
+        )
+
+    headers = [
+        "id", "tenant", "kind", "dataset", "replica", "hops", "status",
+        "outcome", "wall",
+    ]
+    rows = []
+    for session, result in zip(sessions, results):
+        spec = session.spec
+        if result is None:
+            outcome = "-"
+        elif spec.kind == "batch":
+            outcome = f"{result.deviation:+.2f} pts"
+        else:
+            outcome = (
+                f"{result.deviation:+.2f} pts / {result.records_processed} rec"
+            )
+        rows.append(
+            [
+                session.session_id,
+                spec.tenant,
+                spec.kind,
+                spec.dataset_name,
+                session.replica,
+                session.migrations,
+                session.poll(),
+                outcome,
+                f"{session.wall_seconds * 1000:.0f} ms",
+            ]
+        )
+    body = [ascii_table(headers, rows), stats.summary()]
+    if failures:
+        body.append("failed\n" + "\n".join(f"  {line}" for line in failures))
+    if rejections:
+        body.append("rejected\n" + "\n".join(f"  {line}" for line in rejections))
+    return (
+        series_block(
+            f"Cluster - {len(sessions)} sessions over {args.replicas} "
+            f"replicas ({args.placement} placement, {args.shard_backend} "
+            f"pools x {args.shards} workers)",
+            "\n\n".join(body),
+        ),
+        exit_code,
+    )
+
+
+def _checkpoint_dir_report(args: argparse.Namespace) -> str:
+    """``repro checkpoint inspect <dir>``: list (and optionally prune)."""
+    pruned: List[str] = []
+    if args.retain is not None:
+        pruned = prune_checkpoints(args.path, retain=args.retain)
+    paths = list_checkpoints(args.path)
+    entries: List[Dict[str, object]] = []
+    for path in paths:
+        name = os.path.relpath(path, args.path)
+        try:
+            summary = load_checkpoint(path).describe()
+        except CheckpointError as exc:
+            entries.append({"file": name, "error": str(exc)})
+            continue
+        entries.append(
+            {
+                "file": name,
+                "dataset": summary["dataset"],
+                "windows": summary["windows"],
+                "records": summary["records"],
+                "fingerprint": summary["fingerprint"][:12],
+                "resumable": summary["resumable_by_service"],
+            }
+        )
+    if args.json:
+        return json.dumps(
+            {
+                "directory": args.path,
+                "checkpoints": entries,
+                "pruned": [os.path.relpath(p, args.path) for p in pruned],
+            },
+            indent=2,
+        )
+    headers = ["file", "dataset", "windows", "records", "fingerprint", "service"]
+    rows = [
+        [
+            entry["file"],
+            entry.get("dataset", "-"),
+            entry.get("windows", "-"),
+            entry.get("records", "-"),
+            entry.get("fingerprint", "-"),
+            "error" if "error" in entry else ("yes" if entry["resumable"] else "no"),
+        ]
+        for entry in entries
+    ]
+    body = (
+        ascii_table(headers, rows)
+        if rows
+        else "(no checkpoint files in this directory)"
+    )
+    if pruned:
+        body += "\n\npruned " + ", ".join(
+            os.path.relpath(p, args.path) for p in pruned
+        )
+    return series_block(
+        f"Checkpoints - {args.path} ({len(entries)} files)", body
+    )
+
+
 def _cmd_checkpoint(args: argparse.Namespace) -> str:
     # Only `inspect` today; the subparser is required, so anything else
     # already died in argparse.
+    _require_positive("--retain", args.retain)
+    if os.path.isdir(args.path):
+        return _checkpoint_dir_report(args)
+    if args.retain is not None:
+        raise ValueError(
+            "--retain prunes a checkpoint *directory*; "
+            f"{args.path!r} is a file"
+        )
     ckpt = load_checkpoint(args.path)
     summary = ckpt.describe()
     if args.json:
@@ -1187,6 +1677,11 @@ def _cmd_experiment(args: argparse.Namespace):
         raise ValueError(
             f"--tolerance must be a percentage in [0, 100), got {args.tolerance}"
         )
+    if args.experiment_command == "diff":
+        report = exp.run_diff(
+            args.dir_a, args.dir_b, tolerance=args.tolerance / 100.0
+        )
+        return report.text, 0 if report.ok else 1
     report = exp.run_gate(
         args.baseline,
         current_path=args.current,
@@ -1230,6 +1725,7 @@ _COMMANDS = {
     "stream": _cmd_stream,
     "checkpoint": _cmd_checkpoint,
     "serve": _cmd_serve,
+    "cluster": _cmd_cluster,
     "report": _cmd_report,
     "experiment": _cmd_experiment,
 }

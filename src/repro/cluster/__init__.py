@@ -1,0 +1,58 @@
+"""Multi-replica serving over checkpoints: placement, migration, rebalance.
+
+The scale-out layer the ROADMAP's "scale-out serving over checkpoints"
+item asks for.  A :class:`ClusterController` fronts N in-process
+:class:`~repro.serve.MiningService` replicas — each with its own metered
+shard pool and checkpoint directory — and moves live sessions between
+them by checkpoint file:
+
+* **placement** (:mod:`~repro.cluster.placement`) — pluggable policies
+  choosing a replica per submit: deterministic ``hash``, greedy
+  ``least_loaded`` over the occupancy ledger, and ``tenant`` affinity
+  (the multi-level-trust shape: tenants placed by trust/budget class);
+* **live migration** — :meth:`ClusterController.migrate` evicts on the
+  owner at the session's next post-drain round boundary (in-flight
+  rounds complete first; no stop-the-world) and resumes on the
+  destination through ordinary admission;
+* **rebalancing / draining** — a :meth:`~ClusterController.rebalance`
+  sweep levels live-session counts, :meth:`~ClusterController.drain`
+  empties one replica (re-placing or parking its sessions), and
+  ``close(park=True)`` parks everything via scheduled
+  checkpoint-on-shutdown;
+* **merged view** — :class:`ClusterStats` sums per-replica
+  :class:`~repro.serve.ServiceStats` exactly (records, messages, bytes —
+  the conservation invariant), with cluster-level admission and
+  migration counters on top.
+
+The governing invariant, property-swept like the checkpoint layer's: any
+schedule of migrations across replicas × backends × shards × plans is
+**bit-identical** to the unmigrated single-engine run, because a
+checkpoint carries the complete session state — RNGs, normalizers,
+online miner, epoch and perturbation-space adaptor — between pools.
+"""
+
+from .controller import (
+    ClusterController,
+    ClusterError,
+    ClusterSession,
+    ClusterStats,
+)
+from .placement import (
+    PLACEMENT_POLICIES,
+    hash_placement,
+    least_loaded_placement,
+    resolve_placement,
+    tenant_placement,
+)
+
+__all__ = [
+    "ClusterController",
+    "ClusterError",
+    "ClusterSession",
+    "ClusterStats",
+    "PLACEMENT_POLICIES",
+    "hash_placement",
+    "least_loaded_placement",
+    "tenant_placement",
+    "resolve_placement",
+]

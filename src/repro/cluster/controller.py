@@ -1,0 +1,1131 @@
+"""Multi-replica serving over checkpoints.
+
+:class:`ClusterController` fronts N in-process
+:class:`~repro.serve.engine.MiningService` replicas — each with its own
+metered shard pool and its own checkpoint directory — and moves sessions
+between them *by checkpoint*: the durable-session machinery from
+:mod:`repro.checkpoint` already guarantees that evict-here / resume-there
+reproduces the uninterrupted run bit for bit, so rebalancing is pure
+placement with zero correctness surface.
+
+The division of labor with the engine:
+
+* **Replica-level** (each :class:`MiningService`): driver slots
+  (``max_inflight``/``queue_limit``), the shared pool, checkpoint saves,
+  per-session lifecycle.  Replicas carry *no* tenant policies.
+* **Cluster-level** (this module): tenant budgets — enforced once, here,
+  so a migration's re-admission on the destination replica does not
+  double-charge ``max_sessions``/``privacy_budget`` — plus placement,
+  migration, rebalancing, draining, and the merged
+  :class:`ClusterStats` view.
+
+Live migration follows the checkpoint layer's *drain rule*: a session
+checkpoints only at a post-drain round boundary, so
+:meth:`ClusterController.migrate` never stops the world — in-flight
+rounds complete on the old owner, the state travels whole inside the
+checkpoint file, and the destination resumes through normal admission.
+Callers hold one :class:`ClusterSession` across any number of hops.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import threading
+import time
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from dataclasses import dataclass
+from typing import (
+    Any,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from ..checkpoint import CheckpointError
+from ..obs import Telemetry, cluster_collector
+from ..serve.engine import (
+    AdmissionError,
+    MiningService,
+    ServiceStats,
+    SessionHandle,
+    SessionResult,
+    TenantPolicy,
+    TenantStats,
+)
+from ..serve.spec import SessionSpec
+from .placement import resolve_placement
+
+__all__ = [
+    "ClusterError",
+    "ClusterSession",
+    "ClusterStats",
+    "ClusterController",
+]
+
+
+class ClusterError(ValueError):
+    """A cluster operation cannot proceed (bad target, parked session...).
+
+    Subclasses :class:`ValueError` so the CLI's friendly exit-2 handling
+    applies without special-casing.
+    """
+
+
+class ClusterSession:
+    """One submitted session's cluster-wide identity, stable across hops.
+
+    The engine hands out a fresh :class:`SessionHandle` every time a
+    session is (re-)admitted, so a migration would invalidate a raw
+    handle.  This wrapper keeps one identity for the session's whole
+    life: ``poll``/``wait``/``result`` follow the session to whichever
+    replica currently owns it, blocking through handoffs instead of
+    surfacing the internal eviction.
+    """
+
+    def __init__(
+        self,
+        spec: SessionSpec,
+        session_id: int,
+        replica: int,
+        handle: SessionHandle,
+        checkpoint_every: Optional[int],
+    ) -> None:
+        self.spec = spec
+        self.session_id = session_id
+        #: completed migration hops
+        self.migrations = 0
+        self._cond = threading.Condition()
+        self._replica = replica
+        self._handle = handle
+        # Bumped on every handoff; waiters blocked on the *old* handle's
+        # eviction use it to tell "my handle was replaced" from "the
+        # session really settled".
+        self._epoch = 0
+        self._migrating = False
+        self._parked_path: Optional[str] = None
+        self._checkpoint_every = checkpoint_every
+
+    # -- state ----------------------------------------------------------
+    @property
+    def replica(self) -> int:
+        """Index of the replica currently owning the session."""
+        with self._cond:
+            return self._replica
+
+    @property
+    def parked_path(self) -> Optional[str]:
+        """The checkpoint file of a parked session, else ``None``."""
+        with self._cond:
+            return self._parked_path
+
+    @property
+    def wall_seconds(self) -> float:
+        """Wall-clock seconds of the *current* hop's handle (a migrated
+        session's earlier hops ran on other replicas' clocks)."""
+        with self._cond:
+            return self._handle.wall_seconds
+
+    def poll(self) -> str:
+        """Status: queued | running | migrating | parked | completed |
+        failed | cancelled."""
+        with self._cond:
+            if self._parked_path is not None:
+                return "parked"
+            if self._migrating:
+                return "migrating"
+            status = self._handle.poll()
+        # A handle settling "evicted" outside a marked handoff is the
+        # instant between eviction and the park/handoff bookkeeping.
+        return "migrating" if status == "evicted" else status
+
+    def done(self) -> bool:
+        """True once ``result`` would return (or raise) immediately."""
+        return self.poll() in ("completed", "failed", "cancelled", "parked")
+
+    # -- blocking -------------------------------------------------------
+    def wait(self, timeout: Optional[float] = None) -> str:
+        """Block through any handoffs until the session settles (or the
+        timeout lapses); returns the final :meth:`poll` status."""
+        deadline = _deadline(timeout)
+        while True:
+            with self._cond:
+                if self._parked_path is not None:
+                    return "parked"
+                handle = self._handle
+                epoch = self._epoch
+            status = handle.wait(timeout=_remaining(deadline))
+            if status in ("completed", "failed", "cancelled"):
+                return status
+            if status == "evicted":
+                if not self._await_handoff(epoch, deadline):
+                    return self.poll()
+                continue
+            if deadline is not None and time.perf_counter() >= deadline:
+                return self.poll()
+
+    def result(self, timeout: Optional[float] = None) -> SessionResult:
+        """Block for, then return, the session's result — across migrations.
+
+        Raises :class:`ClusterError` if the session was parked (the
+        checkpoint path is in the message; resume it to finish the run),
+        re-raises the session's own exception if it failed, and
+        :class:`concurrent.futures.TimeoutError` on timeout.
+        """
+        deadline = _deadline(timeout)
+        while True:
+            with self._cond:
+                parked = self._parked_path
+                handle = self._handle
+                epoch = self._epoch
+            if parked is not None:
+                raise ClusterError(
+                    f"session {self.session_id} is parked at {parked!r}; "
+                    f"resume it to finish the run"
+                )
+            status = handle.wait(timeout=_remaining(deadline))
+            if status in ("completed", "failed", "cancelled"):
+                return handle.result(timeout=_remaining(deadline))
+            if status == "evicted":
+                if not self._await_handoff(epoch, deadline):
+                    raise FutureTimeoutError()
+                with self._cond:
+                    settled_here = (
+                        self._epoch == epoch
+                        and not self._migrating
+                        and self._parked_path is None
+                    )
+                if settled_here:
+                    # An eviction that was not a cluster handoff; surface
+                    # the SessionEvicted as the engine would.
+                    return handle.result()
+                continue
+            raise FutureTimeoutError()
+
+    def _await_handoff(
+        self, epoch: int, deadline: Optional[float]
+    ) -> bool:
+        """Wait out an in-flight handoff; False when the deadline lapsed."""
+        with self._cond:
+            while self._epoch == epoch and self._migrating:
+                remaining = _remaining(deadline)
+                if remaining is not None and remaining <= 0:
+                    return False
+                self._cond.wait(remaining)
+        return True
+
+    def cancel(self) -> bool:
+        """Cancel while still queued on the owning replica; returns success.
+
+        A session mid-handoff or parked cannot be cancelled (it holds no
+        queue slot to give back).
+        """
+        with self._cond:
+            if self._migrating or self._parked_path is not None:
+                return False
+            handle = self._handle
+        return handle.cancel()
+
+    # -- handoff bookkeeping (called by the controller) -----------------
+    def _begin_handoff(self) -> SessionHandle:
+        self._migrating = True
+        return self._handle
+
+    def _finish_handoff(
+        self, replica: int, handle: SessionHandle
+    ) -> None:
+        with self._cond:
+            self._replica = replica
+            self._handle = handle
+            self._epoch += 1
+            self._migrating = False
+            self.migrations += 1
+            self._parked_path = None
+            self._cond.notify_all()
+
+    def _abort_handoff(self, parked_path: Optional[str] = None) -> None:
+        with self._cond:
+            self._migrating = False
+            if parked_path is not None:
+                self._parked_path = parked_path
+            self._cond.notify_all()
+
+
+@dataclass
+class _ClusterTenant:
+    """Cluster-level tenant budget accounting (under the cluster lock).
+
+    Only monotonic counters live here; ``active`` is derived by scanning
+    live sessions, so a migration — which never touches this ledger —
+    cannot double-charge any budget.
+    """
+
+    policy: TenantPolicy
+    submitted: int = 0
+    privacy_sessions: int = 0
+    rejected: int = 0
+
+
+@dataclass
+class ClusterStats:
+    """A point-in-time snapshot of the whole cluster.
+
+    ``completed``/``failed``/``cancelled``/``evicted``/``active`` and the
+    ``records``/``messages``/``bytes`` traffic counters are *exact sums*
+    of the per-replica :class:`ServiceStats` (the conservation invariant
+    the property tests pin).  ``submitted``/``rejected`` are cluster-level
+    admissions: per-replica ``submitted`` counts every re-admission of a
+    migrating session and so exceeds it by exactly ``migrations`` hops.
+    """
+
+    elapsed_seconds: float
+    replicas: int
+    placement: str
+    submitted: int
+    rejected: int
+    migrations: int
+    rebalances: int
+    parked: int
+    completed: int
+    failed: int
+    cancelled: int
+    evicted: int
+    active: int
+    records: int
+    messages: int
+    bytes: int
+    tenants: Tuple[TenantStats, ...] = ()
+    per_replica: Tuple[ServiceStats, ...] = ()
+
+    @property
+    def sessions_per_second(self) -> float:
+        """Completed sessions per second of cluster lifetime."""
+        if self.elapsed_seconds <= 0:
+            return 0.0
+        return self.completed / self.elapsed_seconds
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-friendly snapshot (used by ``repro cluster --json``)."""
+        return {
+            "elapsed_seconds": self.elapsed_seconds,
+            "replicas": self.replicas,
+            "placement": self.placement,
+            "submitted": self.submitted,
+            "rejected": self.rejected,
+            "migrations": self.migrations,
+            "rebalances": self.rebalances,
+            "parked": self.parked,
+            "completed": self.completed,
+            "failed": self.failed,
+            "cancelled": self.cancelled,
+            "evicted": self.evicted,
+            "active": self.active,
+            "sessions_per_second": self.sessions_per_second,
+            "records": self.records,
+            "messages": self.messages,
+            "bytes": self.bytes,
+            "tenants": {
+                t.tenant: {
+                    "submitted": t.submitted,
+                    "rejected": t.rejected,
+                    "completed": t.completed,
+                    "evicted": t.evicted,
+                    "privacy_sessions": t.privacy_sessions,
+                    "records": t.records,
+                    "messages": t.messages,
+                    "bytes": t.bytes,
+                }
+                for t in self.tenants
+            },
+            "per_replica": [stats.to_dict() for stats in self.per_replica],
+        }
+
+    def summary(self) -> str:
+        """Multi-line cluster report, matching the service summary style."""
+        lines = [
+            f"cluster           : {self.replicas} replicas, "
+            f"placement={self.placement}",
+            f"sessions          : {self.completed} completed / "
+            f"{self.failed} failed / {self.cancelled} cancelled / "
+            f"{self.parked} parked / {self.rejected} rejected "
+            f"({self.submitted} accepted)",
+            f"migrations        : {self.migrations} hops "
+            f"({self.rebalances} rebalance sweeps, "
+            f"{self.evicted} replica evictions)",
+            f"cluster rate      : {self.sessions_per_second:.2f} sessions/s "
+            f"over {self.elapsed_seconds:.2f} s",
+            f"records mined     : {self.records}",
+            f"simnet traffic    : {self.messages} msgs / {self.bytes} bytes",
+        ]
+        for index, stats in enumerate(self.per_replica):
+            lines.append(
+                f"replica {index:<10}: {stats.completed}/{stats.submitted} done, "
+                f"{stats.evicted} evicted, {stats.active} active, "
+                f"pool {stats.pool.utilization * 100:.1f}% busy"
+            )
+        for t in sorted(self.tenants, key=lambda t: t.tenant):
+            lines.append(
+                f"tenant {t.tenant:<11}: {t.completed} done, "
+                f"{t.rejected} rejected, {t.records} records, "
+                f"{t.messages} msgs / {t.bytes} bytes"
+            )
+        return "\n".join(lines)
+
+
+class ClusterController:
+    """N engine replicas behind one submit surface, rebalanced by checkpoint.
+
+    Parameters
+    ----------
+    replicas:
+        Number of :class:`MiningService` replicas to build.  Each owns
+        its own metered shard pool (``max_inflight``/``queue_limit``/
+        ``shard_backend``/``shard_workers`` apply per replica) and its own
+        checkpoint subdirectory ``replica-<i>/`` under ``checkpoint_dir``.
+    placement:
+        ``"hash"`` | ``"least_loaded"`` | ``"tenant"`` or a callable
+        ``(spec, session_id, eligible, cluster) -> replica index``; see
+        :mod:`repro.cluster.placement`.
+    tenants:
+        Optional ``{tenant: TenantPolicy}`` budgets, enforced *here* —
+        once per session, regardless of how many replicas it visits.
+    telemetry:
+        Optional :class:`repro.obs.Telemetry`: registers the cluster
+        collector and emits ``migrate``/``rebalance``/``drain`` spans.
+        Replicas themselves run untraced (their gauge families would
+        collide on one registry).
+    checkpoint_dir / checkpoint_every / checkpoint_retain:
+        The durability knobs that make sessions *movable*: without a
+        ``checkpoint_dir`` the cluster still serves, but ``migrate``/
+        ``rebalance``/``drain``/``close(park=True)`` are refused.
+        ``checkpoint_every`` is the default save cadence for stream
+        sessions; ``checkpoint_retain`` caps files kept per session.
+
+    Use as a context manager, or call :meth:`close` when done.
+    """
+
+    def __init__(
+        self,
+        replicas: int = 2,
+        placement: Any = "hash",
+        *,
+        max_inflight: int = 2,
+        queue_limit: Optional[int] = None,
+        shard_backend: str = "thread",
+        shard_workers: Optional[int] = None,
+        tenants: Optional[Mapping[str, TenantPolicy]] = None,
+        telemetry: Optional[Telemetry] = None,
+        checkpoint_dir: Optional[str] = None,
+        checkpoint_every: Optional[int] = None,
+        checkpoint_retain: Optional[int] = None,
+    ) -> None:
+        if replicas < 1:
+            raise ClusterError(
+                f"a cluster needs at least one replica, got {replicas}"
+            )
+        try:
+            self.placement, self._place = resolve_placement(placement)
+        except ValueError as exc:
+            raise ClusterError(str(exc)) from None
+        self.checkpoint_dir = checkpoint_dir
+        self.checkpoint_every = checkpoint_every
+        self.replicas: Tuple[MiningService, ...] = tuple(
+            MiningService(
+                max_inflight=max_inflight,
+                queue_limit=queue_limit,
+                shard_backend=shard_backend,
+                shard_workers=shard_workers,
+                checkpoint_dir=(
+                    None
+                    if checkpoint_dir is None
+                    else os.path.join(checkpoint_dir, f"replica-{index}")
+                ),
+                checkpoint_retain=checkpoint_retain,
+            )
+            for index in range(replicas)
+        )
+        self._lock = threading.Lock()
+        self._sessions: Dict[int, ClusterSession] = {}
+        self._next_id = 0
+        self._tenants: Dict[str, _ClusterTenant] = {
+            tenant: _ClusterTenant(policy)
+            for tenant, policy in dict(tenants or {}).items()
+        }
+        self._migrations = 0
+        self._rebalances = 0
+        self._rejected = 0
+        self._draining: set = set()
+        self._closed = False
+        self._started = time.perf_counter()
+        self.telemetry = telemetry
+        if telemetry is not None:
+            if not isinstance(telemetry, Telemetry):
+                raise ValueError(
+                    f"telemetry must be a repro.obs.Telemetry bundle or "
+                    f"None, got {type(telemetry).__name__}"
+                )
+            telemetry.metrics.register_collector(cluster_collector(self))
+
+    # ------------------------------------------------------------------
+    # admission + placement
+    # ------------------------------------------------------------------
+    def _tenant(self, tenant: str) -> _ClusterTenant:
+        ledger = self._tenants.get(tenant)
+        if ledger is None:
+            ledger = _ClusterTenant(TenantPolicy())
+            self._tenants[tenant] = ledger
+        return ledger
+
+    def _eligible(self) -> Tuple[int, ...]:
+        return tuple(
+            index
+            for index in range(len(self.replicas))
+            if index not in self._draining
+        )
+
+    def _live_tenant_sessions(self, tenant: str) -> int:
+        """Sessions of ``tenant`` still holding capacity; under the lock."""
+        return sum(
+            1
+            for session in self._sessions.values()
+            if session.spec.tenant == tenant
+            and session.poll() in ("queued", "running", "migrating")
+        )
+
+    def _prune_settled(self) -> None:
+        """Drop settled sessions so a long-lived cluster does not pin every
+        past result; parked sessions stay (they are resumable).  Under the
+        lock."""
+        settled = [
+            session_id
+            for session_id, session in self._sessions.items()
+            if session.poll() in ("completed", "failed", "cancelled")
+        ]
+        for session_id in settled:
+            del self._sessions[session_id]
+
+    def _admit(self, spec: SessionSpec) -> int:
+        """Cluster-level admission; under the lock.  Returns a session id."""
+        if self._closed:
+            raise AdmissionError("cluster is closed; no new sessions accepted")
+        ledger = self._tenant(spec.tenant)
+        policy = ledger.policy
+        if policy.max_active is not None:
+            active = self._live_tenant_sessions(spec.tenant)
+            if active >= policy.max_active:
+                ledger.rejected += 1
+                self._rejected += 1
+                raise AdmissionError(
+                    f"tenant {spec.tenant!r} already has {active} active "
+                    f"sessions across the cluster "
+                    f"(max_active={policy.max_active})"
+                )
+        if (
+            policy.max_sessions is not None
+            and ledger.submitted >= policy.max_sessions
+        ):
+            ledger.rejected += 1
+            self._rejected += 1
+            raise AdmissionError(
+                f"tenant {spec.tenant!r} exhausted its session budget "
+                f"({policy.max_sessions})"
+            )
+        if (
+            spec.effective_privacy
+            and policy.privacy_budget is not None
+            and ledger.privacy_sessions >= policy.privacy_budget
+        ):
+            ledger.rejected += 1
+            self._rejected += 1
+            raise AdmissionError(
+                f"tenant {spec.tenant!r} exhausted its privacy-evaluation "
+                f"budget ({policy.privacy_budget})"
+            )
+        session_id = self._next_id
+        self._next_id += 1
+        return session_id
+
+    def submit(
+        self,
+        spec: Union[SessionSpec, Mapping[str, Any]],
+        *,
+        checkpoint_every: Optional[int] = None,
+        replica: Optional[int] = None,
+    ) -> ClusterSession:
+        """Admit one spec, place it, and return its :class:`ClusterSession`.
+
+        Tenant budgets are checked here (cluster-wide, once per session);
+        the chosen replica then applies its own capacity admission.  Both
+        refusals raise :class:`AdmissionError`.  ``replica`` pins the
+        session to one replica, bypassing the placement policy (it must
+        not be draining).
+        """
+        if not isinstance(spec, SessionSpec):
+            spec = SessionSpec.from_mapping(spec)
+        every = (
+            checkpoint_every
+            if checkpoint_every is not None
+            else self.checkpoint_every
+        )
+        with self._lock:
+            self._prune_settled()
+            eligible = self._eligible()
+            if replica is not None:
+                self._check_replica(replica)
+                if replica in self._draining:
+                    raise ClusterError(
+                        f"replica {replica} is draining and accepts no "
+                        f"new sessions"
+                    )
+                eligible = (replica,)
+            elif not eligible:
+                raise ClusterError(
+                    "every replica is draining; nothing can accept sessions"
+                )
+            session_id = self._admit(spec)
+            ledger = self._tenant(spec.tenant)
+        destination = (
+            replica
+            if replica is not None
+            else self._place(spec, session_id, eligible, self)
+        )
+        if destination not in eligible:
+            raise ClusterError(
+                f"placement policy {self.placement!r} chose replica "
+                f"{destination}, which is not an eligible replica"
+            )
+        try:
+            handle = self.replicas[destination].submit(
+                spec,
+                checkpoint_every=every if spec.kind == "stream" else None,
+            )
+        except AdmissionError:
+            with self._lock:
+                ledger.rejected += 1
+                self._rejected += 1
+            raise
+        session = ClusterSession(
+            spec, session_id, destination, handle,
+            every if spec.kind == "stream" else None,
+        )
+        with self._lock:
+            ledger.submitted += 1
+            if spec.effective_privacy:
+                ledger.privacy_sessions += 1
+            self._sessions[session_id] = session
+        return session
+
+    def run(
+        self, specs: Sequence[Union[SessionSpec, Mapping[str, Any]]]
+    ) -> List[SessionResult]:
+        """Submit a whole workload, wait, and return results in order."""
+        sessions = [self.submit(spec) for spec in specs]
+        return [session.result() for session in sessions]
+
+    @property
+    def sessions(self) -> Tuple[ClusterSession, ...]:
+        """Tracked (unsettled or parked) sessions, in submission order."""
+        with self._lock:
+            return tuple(self._sessions.values())
+
+    def session(self, session_id: int) -> ClusterSession:
+        """Look one tracked session up by id; :class:`ClusterError` if gone."""
+        with self._lock:
+            session = self._sessions.get(session_id)
+        if session is None:
+            raise ClusterError(
+                f"no tracked cluster session {session_id} (settled sessions "
+                f"leave the cluster; parked ones stay until resumed)"
+            )
+        return session
+
+    # ------------------------------------------------------------------
+    # migration
+    # ------------------------------------------------------------------
+    def _check_replica(self, index: int) -> None:
+        if not 0 <= index < len(self.replicas):
+            raise ClusterError(
+                f"no replica {index}; the cluster has "
+                f"{len(self.replicas)} (0..{len(self.replicas) - 1})"
+            )
+
+    def _require_migratable(self) -> None:
+        if self.checkpoint_dir is None:
+            raise ClusterError(
+                "sessions cannot move without a cluster checkpoint_dir: "
+                "migration travels by checkpoint file"
+            )
+
+    def migrate(
+        self,
+        session_id: int,
+        dst: int,
+        timeout: Optional[float] = None,
+    ) -> Optional[int]:
+        """Move one live stream session to replica ``dst`` by checkpoint.
+
+        No stop-the-world: the session's in-flight round completes on the
+        old owner, the checkpoint written at the next post-drain round
+        boundary travels to ``dst``, and the resumed run is bit-identical
+        to never having moved.  Returns the replica the session ended on
+        — normally ``dst``; the *source* if the destination refused
+        admission and the session bounced back — or ``None`` if the
+        session completed before reaching a boundary (nothing to move).
+
+        Raises :class:`ClusterError` for sessions that cannot move:
+        unknown ids, parked or already-migrating sessions, settled
+        sessions, batch sessions, and clusters without a
+        ``checkpoint_dir``.  If *neither* replica can re-admit the
+        session, it is parked (checkpoint kept, capacity released) and
+        the error names the file to :meth:`resume` from.
+        """
+        self._require_migratable()
+        self._check_replica(dst)
+        session = self.session(session_id)
+        with session._cond:
+            if session._parked_path is not None:
+                raise ClusterError(
+                    f"session {session_id} is already parked at "
+                    f"{session._parked_path!r}; resume it instead of "
+                    f"migrating"
+                )
+            if session._migrating:
+                raise ClusterError(
+                    f"session {session_id} is already migrating"
+                )
+            src = session._replica
+            if dst == src:
+                raise ClusterError(
+                    f"session {session_id} already lives on replica {src}"
+                )
+            handle = session._handle
+            if handle.done():
+                raise ClusterError(
+                    f"session {session_id} already settled "
+                    f"({handle.poll()}); nothing to migrate"
+                )
+            if handle._checkpointer is None:
+                raise ClusterError(
+                    f"session {session_id} is not migratable: only stream "
+                    f"sessions on a checkpointing cluster can move"
+                )
+            session._begin_handoff()
+        span = self._span("migrate", session=session_id, src=src, dst=dst)
+        try:
+            outcome, final = self._handoff(session, handle, src, dst, timeout)
+        except BaseException as exc:
+            if span is not None:
+                span.end(error=type(exc).__name__)
+            raise
+        if span is not None:
+            span.end(outcome=outcome)
+        self._count_migration(outcome)
+        return final
+
+    def _handoff(
+        self,
+        session: ClusterSession,
+        handle: SessionHandle,
+        src: int,
+        dst: int,
+        timeout: Optional[float],
+    ) -> Tuple[str, Optional[int]]:
+        """Evict on ``src``, resume on ``dst`` (bouncing back to ``src`` if
+        the destination refuses); returns ``(outcome, final replica)``."""
+        try:
+            path = self.replicas[src].evict(handle.session_id, timeout=timeout)
+        except CheckpointError:
+            # The handle settled (and left the replica) between our check
+            # and the evict; treat exactly like completing pre-boundary.
+            path = None
+        except BaseException:
+            session._abort_handoff()
+            raise
+        if path is None:
+            session._abort_handoff()
+            return "completed-first", None
+        for target, outcome in ((dst, "migrated"), (src, "bounced")):
+            try:
+                new_handle = self.replicas[target].submit(
+                    session.spec,
+                    resume_from=path,
+                    checkpoint_every=session._checkpoint_every,
+                )
+            except AdmissionError:
+                continue
+            session._finish_handoff(target, new_handle)
+            return outcome, target
+        session._abort_handoff(parked_path=path)
+        raise ClusterError(
+            f"migration parked session {session.session_id}: neither "
+            f"replica {dst} nor {src} could re-admit it; resume from "
+            f"{path!r}"
+        )
+
+    def _count_migration(self, outcome: str) -> None:
+        with self._lock:
+            if outcome in ("migrated", "bounced", "drained"):
+                self._migrations += 1
+        if self.telemetry is not None:
+            self.telemetry.metrics.counter(
+                "repro_cluster_migrations_total",
+                "Migration attempts by outcome.",
+                outcome=outcome,
+            ).inc()
+
+    def rebalance(self, timeout: Optional[float] = None) -> List[Tuple[int, int, int]]:
+        """Move sessions off hot replicas until live counts are level.
+
+        Plans against the current distribution of *movable* sessions
+        (live streams with a checkpointer), then executes the plan as
+        ordinary :meth:`migrate` calls — each hop waits for its session's
+        next round boundary.  Returns the executed moves as
+        ``(session_id, src, dst)`` triples.
+        """
+        self._require_migratable()
+        with self._lock:
+            eligible = self._eligible()
+            if not eligible:
+                raise ClusterError("every replica is draining; nothing to rebalance")
+            movable: Dict[int, List[int]] = {index: [] for index in eligible}
+            for session in self._sessions.values():
+                with session._cond:
+                    live = (
+                        session._parked_path is None
+                        and not session._migrating
+                        and not session._handle.done()
+                        and session._handle._checkpointer is not None
+                    )
+                    owner = session._replica
+                if live and owner in movable:
+                    movable[owner].append(session.session_id)
+        total = sum(len(ids) for ids in movable.values())
+        ceiling = math.ceil(total / len(eligible)) if total else 0
+        plan: List[Tuple[int, int, int]] = []
+        counts = {index: len(ids) for index, ids in movable.items()}
+        for src in sorted(movable, key=lambda i: -counts[i]):
+            while counts[src] > ceiling:
+                dst = min(
+                    (i for i in eligible if i != src),
+                    key=lambda i: (counts[i], i),
+                    default=None,
+                )
+                if dst is None or counts[dst] + 1 > ceiling:
+                    break
+                plan.append((movable[src].pop(), src, dst))
+                counts[src] -= 1
+                counts[dst] += 1
+        span = self._span("rebalance", planned=len(plan))
+        moves: List[Tuple[int, int, int]] = []
+        try:
+            for session_id, src, dst in plan:
+                try:
+                    final = self.migrate(session_id, dst, timeout=timeout)
+                except ClusterError:
+                    continue  # settled or started moving since planning
+                if final is not None:
+                    moves.append((session_id, src, final))
+        except BaseException as exc:
+            if span is not None:
+                span.end(error=type(exc).__name__)
+            raise
+        if span is not None:
+            span.end(moves=len(moves))
+        with self._lock:
+            self._rebalances += 1
+        return moves
+
+    def drain(
+        self,
+        replica: int,
+        timeout: Optional[float] = None,
+        resume: bool = True,
+    ) -> List[Tuple[int, Optional[int]]]:
+        """Empty one replica: park or re-place every live session it owns.
+
+        The replica is excluded from placement immediately; its movable
+        sessions all get eviction requests up front (they reach their
+        round boundaries concurrently), then each checkpoint is either
+        re-placed on the remaining replicas (``resume=True``, the
+        default) or left *parked* for :meth:`resume`.  Non-checkpointable
+        sessions (batch, or streams on a non-checkpointing cluster) are
+        waited out.  Returns ``(session_id, destination)`` pairs with
+        ``None`` for parked sessions.
+        """
+        self._check_replica(replica)
+        if resume:
+            self._require_migratable()
+        with self._lock:
+            self._draining.add(replica)
+            eligible = self._eligible()
+            if resume and not eligible:
+                self._draining.discard(replica)
+                raise ClusterError(
+                    f"cannot drain replica {replica}: it is the last "
+                    f"replica accepting sessions (use resume=False to park)"
+                )
+            owned = [
+                session
+                for session in self._sessions.values()
+                if session._replica == replica
+            ]
+        span = self._span(
+            "drain", replica=replica, resume=resume, sessions=len(owned)
+        )
+        try:
+            dispositions = self._drain_sessions(
+                replica, owned, eligible, resume, timeout
+            )
+        except BaseException as exc:
+            if span is not None:
+                span.end(error=type(exc).__name__)
+            raise
+        if span is not None:
+            span.end(moved=len([d for _, d in dispositions if d is not None]))
+        return dispositions
+
+    def _drain_sessions(
+        self,
+        replica: int,
+        owned: Sequence[ClusterSession],
+        eligible: Tuple[int, ...],
+        resume: bool,
+        timeout: Optional[float],
+    ) -> List[Tuple[int, Optional[int]]]:
+        service = self.replicas[replica]
+        # Signal every movable session first so boundaries are reached
+        # concurrently, then collect checkpoints one by one.
+        marked: List[Tuple[ClusterSession, SessionHandle]] = []
+        waited: List[ClusterSession] = []
+        for session in owned:
+            with session._cond:
+                if (
+                    session._parked_path is not None
+                    or session._migrating
+                    or session._handle.done()
+                ):
+                    continue
+                if session._handle._checkpointer is None:
+                    waited.append(session)
+                    continue
+                handle = session._begin_handoff()
+                handle._checkpointer.request_evict()
+                marked.append((session, handle))
+        dispositions: List[Tuple[int, Optional[int]]] = []
+        for session, handle in marked:
+            try:
+                path = service.evict(handle.session_id, timeout=timeout)
+            except CheckpointError:
+                path = None  # settled before the eviction signal landed
+            if path is None:
+                session._abort_handoff()
+                continue
+            if not resume:
+                session._abort_handoff(parked_path=path)
+                dispositions.append((session.session_id, None))
+                continue
+            destination = self._place(
+                session.spec, session.session_id, eligible, self
+            )
+            if destination not in eligible:
+                destination = eligible[0]
+            try:
+                new_handle = self.replicas[destination].submit(
+                    session.spec,
+                    resume_from=path,
+                    checkpoint_every=session._checkpoint_every,
+                )
+            except AdmissionError:
+                session._abort_handoff(parked_path=path)
+                dispositions.append((session.session_id, None))
+                continue
+            session._finish_handoff(destination, new_handle)
+            self._count_migration("drained")
+            dispositions.append((session.session_id, destination))
+        for session in waited:
+            session.wait(timeout=timeout)
+        return dispositions
+
+    def resume(
+        self,
+        session_id: int,
+        replica: Optional[int] = None,
+        timeout: Optional[float] = None,
+    ) -> int:
+        """Re-admit a *parked* session; returns the replica it landed on.
+
+        Parked sessions (from ``drain(..., resume=False)`` or a failed
+        double-admission during :meth:`migrate`) keep their checkpoint
+        and their :class:`ClusterSession` identity; resuming hands the
+        same object a fresh engine handle, so existing waiters unblock.
+        """
+        session = self.session(session_id)
+        with self._lock:
+            eligible = self._eligible()
+        with session._cond:
+            path = session._parked_path
+            if path is None:
+                raise ClusterError(
+                    f"session {session_id} is not parked (status "
+                    f"{session.poll()!r}); only parked sessions resume"
+                )
+        if replica is not None:
+            self._check_replica(replica)
+            destination = replica
+        else:
+            if not eligible:
+                raise ClusterError(
+                    "every replica is draining; nowhere to resume"
+                )
+            destination = self._place(
+                session.spec, session.session_id, eligible, self
+            )
+            if destination not in eligible:
+                destination = eligible[0]
+        new_handle = self.replicas[destination].submit(
+            session.spec,
+            resume_from=path,
+            checkpoint_every=session._checkpoint_every,
+        )
+        session._finish_handoff(destination, new_handle)
+        return destination
+
+    def undrain(self, replica: int) -> None:
+        """Let a drained replica accept placements again."""
+        self._check_replica(replica)
+        with self._lock:
+            self._draining.discard(replica)
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    def _span(self, name: str, **attrs: Any):
+        tel = self.telemetry
+        if tel is not None and tel.enabled:
+            return tel.span(name, **attrs)
+        return None
+
+    def stats(self) -> ClusterStats:
+        """The merged cluster snapshot; traffic counters are exact sums of
+        the per-replica :class:`ServiceStats`."""
+        per_replica = tuple(service.stats() for service in self.replicas)
+        with self._lock:
+            elapsed = time.perf_counter() - self._started
+            submitted = sum(t.submitted for t in self._tenants.values())
+            rejected = self._rejected
+            migrations = self._migrations
+            rebalances = self._rebalances
+            parked = sum(
+                1
+                for session in self._sessions.values()
+                if session._parked_path is not None
+            )
+            ledgers = {
+                name: (ledger.submitted, ledger.privacy_sessions,
+                       ledger.rejected)
+                for name, ledger in self._tenants.items()
+            }
+        # Material counters (work done, traffic) are exact per-replica
+        # sums; the budget-bearing ones (submitted, privacy_sessions,
+        # rejected) come from the cluster ledger instead — they are
+        # charged once per *logical* session, however many replicas a
+        # migrating session visits, and replica-level re-admissions
+        # (migration hops, bounce attempts) must not inflate them.
+        merged: Dict[str, TenantStats] = {}
+        for stats in per_replica:
+            for tenant in stats.tenants:
+                into = merged.setdefault(tenant.tenant, TenantStats(tenant.tenant))
+                for name, value in vars(tenant).items():
+                    if name == "tenant":
+                        continue
+                    setattr(into, name, getattr(into, name) + value)
+        for name, (subs, privacy, refusals) in ledgers.items():
+            into = merged.setdefault(name, TenantStats(name))
+            into.submitted = subs
+            into.privacy_sessions = privacy
+            into.rejected = refusals
+        return ClusterStats(
+            elapsed_seconds=elapsed,
+            replicas=len(self.replicas),
+            placement=self.placement,
+            submitted=submitted,
+            rejected=rejected,
+            migrations=migrations,
+            rebalances=rebalances,
+            parked=parked,
+            completed=sum(s.completed for s in per_replica),
+            failed=sum(s.failed for s in per_replica),
+            cancelled=sum(s.cancelled for s in per_replica),
+            evicted=sum(s.evicted for s in per_replica),
+            active=sum(s.active for s in per_replica),
+            records=sum(s.records for s in per_replica),
+            messages=sum(s.messages for s in per_replica),
+            bytes=sum(s.bytes for s in per_replica),
+            tenants=tuple(merged.values()),
+            per_replica=per_replica,
+        )
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def wait_all(self, timeout: Optional[float] = None) -> None:
+        """Block until every tracked session settles (or parks)."""
+        deadline = _deadline(timeout)
+        for session in self.sessions:
+            session.wait(timeout=_remaining(deadline))
+
+    def close(
+        self, wait: bool = True, park: bool = False
+    ) -> Optional[List[str]]:
+        """Close every replica.  ``park=True`` parks live checkpointable
+        sessions (scheduled checkpoint-on-shutdown) and returns the
+        written checkpoint paths; plain close waits sessions out and
+        returns ``None``."""
+        if park:
+            self._require_migratable()
+        with self._lock:
+            if self._closed:
+                return [] if park else None
+            self._closed = True
+            sessions = list(self._sessions.values())
+        if not park:
+            for service in self.replicas:
+                service.close(wait=wait)
+            return None
+        paths: List[str] = []
+        for service in self.replicas:
+            paths.extend(service.close(wait=wait, park=True))
+        for session in sessions:
+            with session._cond:
+                if (
+                    session._parked_path is None
+                    and not session._migrating
+                    and session._handle.poll() == "evicted"
+                ):
+                    session._parked_path = (
+                        session._handle._future.exception().path
+                    )
+                    session._cond.notify_all()
+        return paths
+
+    def __enter__(self) -> "ClusterController":
+        """Context-manager entry: the controller itself."""
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        """Context-manager exit: close every replica."""
+        self.close()
+
+
+def _deadline(timeout: Optional[float]) -> Optional[float]:
+    return None if timeout is None else time.perf_counter() + timeout
+
+
+def _remaining(deadline: Optional[float]) -> Optional[float]:
+    if deadline is None:
+        return None
+    return max(0.0, deadline - time.perf_counter())

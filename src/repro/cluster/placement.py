@@ -1,0 +1,98 @@
+"""Pluggable session-placement policies for the cluster controller.
+
+A placement policy answers one question at submit time: *which replica
+gets this session?*  It is a plain callable::
+
+    policy(spec, session_id, eligible, cluster) -> replica index
+
+where ``eligible`` is the tuple of replica indices currently accepting
+work (draining replicas are excluded before the policy runs) and
+``cluster`` is the :class:`~repro.cluster.ClusterController` itself, for
+policies that want live load figures.  The policy only chooses *where* a
+session runs; results are bit-identical on every replica, so placement is
+purely a capacity/locality decision and never a correctness one.
+
+Three built-ins cover the common shapes:
+
+``hash``
+    Deterministic spread: sha256 over a stable session key.  Stateless
+    and reproducible — the same workload always lands the same way.
+``least_loaded``
+    Greedy: the replica with the fewest active sessions, breaking ties by
+    the metered pool's occupancy ledger (``busy_seconds``), then index.
+``tenant``
+    Tenant affinity: every session of a tenant lands on the same replica
+    (sha256 over the tenant name).  This is the multi-level-trust shape —
+    tenants partitioned by trust/budget class each keep their perturbation
+    spaces on one replica's pool.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any, Callable, Sequence, Tuple
+
+__all__ = [
+    "PLACEMENT_POLICIES",
+    "hash_placement",
+    "least_loaded_placement",
+    "tenant_placement",
+    "resolve_placement",
+]
+
+#: signature of a placement policy
+PlacementPolicy = Callable[[Any, int, Sequence[int], Any], int]
+
+
+def _bucket(key: str, eligible: Sequence[int]) -> int:
+    digest = hashlib.sha256(key.encode("utf-8")).digest()
+    return eligible[int.from_bytes(digest[:8], "big") % len(eligible)]
+
+
+def hash_placement(
+    spec: Any, session_id: int, eligible: Sequence[int], cluster: Any
+) -> int:
+    """Deterministic spread over a stable per-session key."""
+    key = f"{spec.tenant}|{spec.display_label}|{spec.seed}|{session_id}"
+    return _bucket(key, eligible)
+
+
+def tenant_placement(
+    spec: Any, session_id: int, eligible: Sequence[int], cluster: Any
+) -> int:
+    """Tenant affinity: one replica owns all of a tenant's sessions."""
+    return _bucket(spec.tenant, eligible)
+
+
+def least_loaded_placement(
+    spec: Any, session_id: int, eligible: Sequence[int], cluster: Any
+) -> int:
+    """Fewest active sessions, ties broken by pool occupancy, then index."""
+
+    def load(index: int) -> Tuple[int, float, int]:
+        stats = cluster.replicas[index].stats()
+        return (stats.active, stats.pool.busy_seconds, index)
+
+    return min(eligible, key=load)
+
+
+#: built-in policies by CLI/constructor name
+PLACEMENT_POLICIES = {
+    "hash": hash_placement,
+    "least_loaded": least_loaded_placement,
+    "tenant": tenant_placement,
+}
+
+
+def resolve_placement(policy: Any) -> Tuple[str, PlacementPolicy]:
+    """``(name, callable)`` from a policy name or a custom callable."""
+    if callable(policy):
+        return getattr(policy, "__name__", "custom"), policy
+    try:
+        return policy, PLACEMENT_POLICIES[policy]
+    except (KeyError, TypeError):
+        known = ", ".join(sorted(PLACEMENT_POLICIES))
+        raise ValueError(
+            f"unknown placement policy {policy!r}; choose one of {known} "
+            f"or pass a callable"
+        ) from None

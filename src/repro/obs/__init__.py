@@ -33,14 +33,21 @@ from __future__ import annotations
 
 from typing import Any, Optional
 
-from .collect import ingest_collector, pool_collector, service_collector
+from .collect import (
+    cluster_collector,
+    ingest_collector,
+    pool_collector,
+    service_collector,
+)
 from .experiment import (
+    DiffReport,
     ExperimentConfig,
     GateReport,
     expand_run_table,
     load_experiment_config,
     load_runs,
     render_experiment_report,
+    run_diff,
     run_experiment,
     run_gate,
 )
@@ -76,12 +83,14 @@ __all__ = [
     "global_registry",
     "ExperimentConfig",
     "GateReport",
+    "DiffReport",
     "load_experiment_config",
     "expand_run_table",
     "run_experiment",
     "load_runs",
     "render_experiment_report",
     "run_gate",
+    "run_diff",
     "Tracer",
     "NullTracer",
     "NULL_TRACER",
@@ -89,6 +98,7 @@ __all__ = [
     "NullSpan",
     "JsonlSink",
     "ListSink",
+    "cluster_collector",
     "ingest_collector",
     "pool_collector",
     "service_collector",

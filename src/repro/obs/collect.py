@@ -19,7 +19,12 @@ from __future__ import annotations
 
 from typing import Any, Callable
 
-__all__ = ["ingest_collector", "pool_collector", "service_collector"]
+__all__ = [
+    "cluster_collector",
+    "ingest_collector",
+    "pool_collector",
+    "service_collector",
+]
 
 #: a registered collector's signature
 Collector = Callable[[Any], None]
@@ -117,5 +122,59 @@ def service_collector(service: Any) -> Collector:
         registry.gauge(
             "repro_serve_pool_utilization", "Shared pool utilization in [0, 1]."
         ).set(stats.pool.utilization)
+
+    return collect
+
+
+def cluster_collector(cluster: Any) -> Collector:
+    """Publish a :class:`~repro.cluster.ClusterController`'s merged stats.
+
+    Cluster-wide lifecycle counts are one gauge family labeled by
+    ``state``; per-replica activity gets a ``replica`` label so hot
+    replicas are visible before a rebalance sweep.
+    """
+
+    def collect(registry: Any) -> None:
+        stats = cluster.stats()
+        for state, value in (
+            ("submitted", stats.submitted),
+            ("rejected", stats.rejected),
+            ("completed", stats.completed),
+            ("failed", stats.failed),
+            ("cancelled", stats.cancelled),
+            ("evicted", stats.evicted),
+            ("active", stats.active),
+            ("parked", stats.parked),
+        ):
+            registry.gauge(
+                "repro_cluster_sessions",
+                "Cluster-wide session lifecycle counts by state.",
+                state=state,
+            ).set(value)
+        registry.gauge(
+            "repro_cluster_replicas", "Engine replicas in the cluster."
+        ).set(stats.replicas)
+        registry.gauge(
+            "repro_cluster_migrations", "Completed session migration hops."
+        ).set(stats.migrations)
+        registry.gauge(
+            "repro_cluster_rebalances", "Rebalance sweeps executed."
+        ).set(stats.rebalances)
+        for index, replica in enumerate(stats.per_replica):
+            registry.gauge(
+                "repro_cluster_replica_active",
+                "Sessions active per replica.",
+                replica=str(index),
+            ).set(replica.active)
+            registry.gauge(
+                "repro_cluster_replica_completed",
+                "Sessions completed per replica.",
+                replica=str(index),
+            ).set(replica.completed)
+            registry.gauge(
+                "repro_cluster_replica_utilization",
+                "Per-replica pool utilization in [0, 1].",
+                replica=str(index),
+            ).set(replica.pool.utilization)
 
     return collect

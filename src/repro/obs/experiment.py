@@ -55,6 +55,7 @@ __all__ = [
     "RunCell",
     "ExperimentRun",
     "GateReport",
+    "DiffReport",
     "load_experiment_config",
     "expand_run_table",
     "run_experiment",
@@ -65,6 +66,7 @@ __all__ = [
     "load_trajectory",
     "flatten_metrics",
     "run_gate",
+    "run_diff",
 ]
 
 #: top-level keys an experiment config may carry
@@ -970,11 +972,95 @@ def _measure_serve_quick(seed: int = 0) -> Dict[str, Any]:
     return metrics
 
 
+def _measure_cluster_quick(seed: int = 0) -> Dict[str, Any]:
+    """A fresh quick cluster measurement, key-compatible with
+    ``bench_cluster.py --quick`` trajectory entries."""
+    import shutil
+    import tempfile
+
+    from ..cluster import ClusterController
+    from ..serve import MiningService, SessionSpec
+
+    n_sessions, n_windows, window_size = 6, 3, 32
+    specs = [
+        SessionSpec(
+            kind="stream",
+            dataset="wine",
+            k=3,
+            windows=n_windows,
+            window_size=window_size,
+            compute_privacy=False,
+            seed=seed + index,
+            tenant="acme" if index % 2 == 0 else "globex",
+        )
+        for index in range(n_sessions)
+    ]
+    metrics: Dict[str, Any] = {
+        "n_sessions": n_sessions,
+        "n_windows": n_windows,
+        "window_size": window_size,
+        "quick": True,
+    }
+    began = time.perf_counter()
+    with MiningService(
+        max_inflight=2, shard_backend="thread", shard_workers=2
+    ) as service:
+        service.run(specs)
+    single_wall = time.perf_counter() - began
+    metrics["single_engine"] = {
+        "sessions_per_s": round(n_sessions / max(single_wall, 1e-9), 2),
+    }
+    began = time.perf_counter()
+    with ClusterController(
+        replicas=2, max_inflight=2, shard_backend="thread", shard_workers=2
+    ) as cluster:
+        cluster.run(specs)
+    wall = time.perf_counter() - began
+    metrics["replicas=2"] = {
+        "sessions_per_s": round(n_sessions / max(wall, 1e-9), 2),
+        "speedup": round(single_wall / max(wall, 1e-9), 3),
+    }
+    tmp = tempfile.mkdtemp(prefix="repro-cluster-quick-")
+    try:
+        began = time.perf_counter()
+        with ClusterController(
+            replicas=2, max_inflight=2, checkpoint_dir=tmp, checkpoint_every=1
+        ) as cluster:
+            session = cluster.submit(
+                SessionSpec(
+                    kind="stream",
+                    dataset="wine",
+                    k=3,
+                    windows=8,
+                    window_size=window_size,
+                    compute_privacy=False,
+                    seed=seed,
+                )
+            )
+            hops = 0
+            while hops < 4 and not session.done():
+                if cluster.migrate(
+                    session.session_id, (session.replica + 1) % 2
+                ) is None:
+                    break
+                hops += 1
+            session.wait()
+        wall = time.perf_counter() - began
+        metrics["migration"] = {
+            "hops": hops,
+            "migrations_per_s": round(hops / max(wall, 1e-9), 2),
+        }
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+    return metrics
+
+
 #: benches the gate can measure fresh itself; others need ``--current``
 _BUILTIN_MEASUREMENTS: Dict[str, Callable[[], Dict[str, Any]]] = {
     "overlap": _measure_overlap_quick,
     "ingest": _measure_ingest_quick,
     "serve": _measure_serve_quick,
+    "cluster": _measure_cluster_quick,
 }
 
 
@@ -1093,4 +1179,103 @@ def run_gate(
         text="\n".join(lines),
         compared=len(keys),
         regressions=regressions,
+    )
+
+
+@dataclass
+class DiffReport:
+    """One sweep-vs-sweep comparison: verdict plus the rendered table."""
+
+    ok: bool
+    text: str
+    compared: int = 0
+    regressions: int = 0
+    improvements: int = 0
+
+
+def run_diff(
+    dir_a: str, dir_b: str, tolerance: float = 0.20
+) -> DiffReport:
+    """Compare two sweep result directories cell by cell.
+
+    Cells are matched by run id (the deterministic
+    ``<factors>…-rep<N>`` directory name, so the same config's sweeps
+    line up automatically); within each matched pair, every shared
+    throughput metric (``*per_s`` keys of the persisted result
+    summaries) is compared B-vs-A.  A drop beyond ``tolerance`` is a
+    ``REGRESSION`` (and fails the diff, exit 1 from the CLI), a gain
+    beyond it is highlighted ``improved``, anything else is ``ok``.
+    Cells present in only one directory, and cells whose artifact is an
+    error, are listed but never compared.
+    """
+    if not 0.0 <= tolerance < 1.0:
+        raise ValueError(f"tolerance must be in [0, 1), got {tolerance!r}")
+    runs_a = {run["run_id"]: run for run in load_runs(dir_a)}
+    runs_b = {run["run_id"]: run for run in load_runs(dir_b)}
+    shared = sorted(set(runs_a) & set(runs_b))
+    notes: List[str] = []
+    for run_id in sorted(set(runs_a) - set(runs_b)):
+        notes.append(f"only in A: {run_id}")
+    for run_id in sorted(set(runs_b) - set(runs_a)):
+        notes.append(f"only in B: {run_id}")
+
+    def summary(run: Mapping[str, Any]) -> Optional[Dict[str, float]]:
+        result = run.get("result")
+        if not isinstance(result, Mapping) or result.get("status") != "ok":
+            return None
+        return flatten_metrics(result.get("summary") or {})
+
+    rows: List[List[Any]] = []
+    compared = regressions = improvements = 0
+    for run_id in shared:
+        flat_a = summary(runs_a[run_id])
+        flat_b = summary(runs_b[run_id])
+        if flat_a is None or flat_b is None:
+            side = "A" if flat_a is None else "B"
+            notes.append(f"not completed in {side}: {run_id}")
+            continue
+        keys = sorted(k for k in flat_a if "per_s" in k and k in flat_b)
+        for key in keys:
+            value_a, value_b = flat_a[key], flat_b[key]
+            change = (value_b - value_a) / value_a if value_a > 0 else 0.0
+            if change < -tolerance:
+                verdict = "REGRESSION"
+                regressions += 1
+            elif change > tolerance:
+                verdict = "improved"
+                improvements += 1
+            else:
+                verdict = "ok"
+            compared += 1
+            rows.append(
+                [
+                    run_id,
+                    key,
+                    f"{value_a:,.1f}",
+                    f"{value_b:,.1f}",
+                    f"{change * 100:+.1f}%",
+                    verdict,
+                ]
+            )
+    verdict = "FAIL" if regressions else "PASS"
+    lines = [
+        f"diff: {verdict} — {compared} cells compared "
+        f"(A={dir_a}, B={dir_b}, tolerance {tolerance * 100:.0f}%): "
+        f"{regressions} regressions, {improvements} improvements",
+    ]
+    if rows:
+        lines.append(
+            _md_table(["cell", "metric", "A", "B", "change", "verdict"], rows)
+        )
+    else:
+        lines.append("(no shared '*per_s' metrics to compare)")
+    if notes:
+        lines.append("")
+        lines.extend(notes)
+    return DiffReport(
+        ok=not regressions,
+        text="\n".join(lines),
+        compared=compared,
+        regressions=regressions,
+        improvements=improvements,
     )

@@ -493,17 +493,21 @@ class MiningService:
         tenants: Optional[Mapping[str, TenantPolicy]] = None,
         telemetry: Optional[Telemetry] = None,
         checkpoint_dir: Optional[str] = None,
+        checkpoint_retain: Optional[int] = None,
     ) -> None:
         if max_inflight < 1:
             raise ValueError("max_inflight must be a positive integer")
         if queue_limit is not None and queue_limit < 0:
             raise ValueError("queue_limit must be >= 0 when set")
+        if checkpoint_retain is not None and checkpoint_retain < 1:
+            raise ValueError("checkpoint_retain must be >= 1 when set")
         self.max_inflight = max_inflight
         self.queue_limit = queue_limit
         # Durable sessions: with a checkpoint directory, stream sessions
         # become evictable (checkpoint + abandon, freeing their slot) and
         # resumable (re-admitted from the file, bit-identical results).
         self.checkpoint_dir = checkpoint_dir
+        self.checkpoint_retain = checkpoint_retain
         workers = max_inflight if shard_workers is None else shard_workers
         if workers < 1:
             raise ValueError("shard_workers must be a positive integer")
@@ -653,6 +657,7 @@ class MiningService:
                         label=f"session-{handle.session_id}",
                         spec_mapping=spec.to_mapping(),
                         telemetry=tel,
+                        retain=self.checkpoint_retain,
                     )
                 handle._resume_from = resume_from
                 # The queue span opens before scheduling so the driver
@@ -964,14 +969,43 @@ class MiningService:
     # ------------------------------------------------------------------
     # lifecycle
     # ------------------------------------------------------------------
-    def close(self, wait: bool = True) -> None:
-        """Stop admitting, drain driver threads, release the shared pool."""
+    def close(
+        self, wait: bool = True, park: bool = False
+    ) -> Optional[List[str]]:
+        """Stop admitting, drain driver threads, release the shared pool.
+
+        With ``park=True`` (needs a ``checkpoint_dir``), live checkpointable
+        sessions are *parked* instead of waited out: each gets an eviction
+        request, checkpoints at its next round boundary, and abandons.
+        Returns the written checkpoint paths (resume each with
+        :meth:`resume` on another service); non-checkpointable sessions —
+        batch sessions, streams on a service without a checkpoint
+        directory — still run to settlement.  Plain ``close()`` returns
+        ``None``.
+        """
+        if park and self.checkpoint_dir is None:
+            raise CheckpointError(
+                "close(park=True) needs a service checkpoint_dir to park "
+                "sessions into"
+            )
         with self._lock:
             if self._closed:
-                return
+                return [] if park else None
             self._closed = True
+            pending = list(self._handles.values())
+        parked: List[str] = []
+        if park:
+            # Signal every parkable session first, then wait: sessions
+            # reach their next boundary concurrently instead of serially.
+            for handle in pending:
+                if handle._checkpointer is not None:
+                    handle._checkpointer.request_evict()
+            for handle in pending:
+                if handle.wait() == "evicted":
+                    parked.append(handle._future.exception().path)
         self._drivers.shutdown(wait=wait)
         self.pool.close()
+        return parked if park else None
 
     def __enter__(self) -> "MiningService":
         """Context-manager entry: the service itself."""

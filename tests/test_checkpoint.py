@@ -8,6 +8,7 @@ file format must also refuse — with a distinct, friendly error — every
 damage mode: truncation, foreign bytes, schema mismatch, and bit rot.
 """
 
+import os
 import struct
 
 import numpy as np
@@ -335,3 +336,90 @@ def test_service_refuses_checkpoint_every_without_dir():
     with MiningService() as service:
         with pytest.raises(CheckpointError, match="checkpoint_dir"):
             service.submit(spec, checkpoint_every=1)
+
+
+# ----------------------------------------------------------------------
+# retention: keep only the newest K checkpoints per session
+# ----------------------------------------------------------------------
+def test_checkpointer_retain_keeps_only_newest_files(tmp_path):
+    from repro.checkpoint import list_checkpoints
+
+    checkpointer = Checkpointer(directory=str(tmp_path), every=1, retain=2)
+    result = _run(checkpointer=checkpointer)
+    assert result.records_processed == 6 * 32
+    kept = list_checkpoints(str(tmp_path))
+    assert len(kept) == 2
+    assert kept == sorted(checkpointer.saved_paths)
+    assert kept[-1].endswith("-w00005.ckpt")  # last boundary saved mid-run
+    # The survivors are real checkpoints, not husks.
+    for path in kept:
+        assert load_checkpoint(path).payload["progress"]["windows"] > 0
+
+
+def test_checkpointer_retain_validation(tmp_path):
+    with pytest.raises(CheckpointError, match="retain"):
+        Checkpointer(directory=str(tmp_path), every=1, retain=0)
+
+
+def test_prune_checkpoints_groups_by_session_label(tmp_path):
+    from repro.checkpoint import list_checkpoints, prune_checkpoints
+
+    for label, windows in (("alpha", (2, 4, 6)), ("beta", (3,))):
+        checkpointer = Checkpointer(directory=str(tmp_path), label=label)
+        for done in windows:
+            checkpointer.save({"progress": {"windows": done}})
+    removed = prune_checkpoints(str(tmp_path), retain=1)
+    # alpha loses its two oldest; beta's only file survives untouched.
+    assert [os.path.basename(p) for p in removed] == [
+        "alpha-w00002.ckpt", "alpha-w00004.ckpt"
+    ]
+    survivors = [
+        os.path.basename(p) for p in list_checkpoints(str(tmp_path))
+    ]
+    assert survivors == ["alpha-w00006.ckpt", "beta-w00003.ckpt"]
+    # Label-scoped listing and pruning see only their own session.
+    assert [
+        os.path.basename(p)
+        for p in list_checkpoints(str(tmp_path), label="beta")
+    ] == ["beta-w00003.ckpt"]
+    assert prune_checkpoints(str(tmp_path), retain=1, label="beta") == []
+
+
+def test_prune_checkpoints_validation(tmp_path):
+    from repro.checkpoint import list_checkpoints, prune_checkpoints
+
+    with pytest.raises(CheckpointError, match="retain"):
+        prune_checkpoints(str(tmp_path), retain=0)
+    with pytest.raises(CheckpointError):
+        list_checkpoints(str(tmp_path / "missing"))
+
+
+def test_list_checkpoints_ignores_foreign_files(tmp_path):
+    from repro.checkpoint import list_checkpoints
+
+    checkpointer = Checkpointer(directory=str(tmp_path))
+    checkpointer.save({"progress": {"windows": 1}})
+    (tmp_path / "notes.txt").write_text("not a checkpoint")
+    (tmp_path / "weird.ckpt").write_text("no -wNNNNN suffix")
+    assert [os.path.basename(p) for p in list_checkpoints(str(tmp_path))] == [
+        "session-w00001.ckpt"
+    ]
+
+
+def test_service_checkpoint_retain_bounds_files(tmp_path):
+    from repro.checkpoint import list_checkpoints
+
+    spec = SessionSpec(
+        kind="stream", dataset="wine", k=3, windows=8, window_size=32,
+        compute_privacy=False, seed=5,
+    )
+    with MiningService(
+        max_inflight=1, checkpoint_dir=str(tmp_path), checkpoint_retain=1
+    ) as service:
+        service.submit(spec, checkpoint_every=2).result(timeout=120)
+    assert len(list_checkpoints(str(tmp_path))) == 1
+
+
+def test_service_rejects_bad_checkpoint_retain(tmp_path):
+    with pytest.raises(ValueError, match="checkpoint_retain"):
+        MiningService(checkpoint_dir=str(tmp_path), checkpoint_retain=0)

@@ -461,3 +461,209 @@ def test_experiment_gate_pass_and_fail(capsys, tmp_path):
     captured = capsys.readouterr()
     assert code == 2
     assert "--tolerance" in captured.err
+
+
+# ----------------------------------------------------------------------
+# cluster command
+# ----------------------------------------------------------------------
+def test_cluster_demo_workload(capsys):
+    out = run_cli(
+        capsys, "cluster", "--sessions", "4", "--replicas", "2",
+        "--dataset", "wine", "--seed", "1",
+    )
+    assert "Cluster - 4 sessions over 2 replicas" in out
+    assert "hash placement" in out
+    assert "replica 0" in out and "replica 1" in out
+    assert "tenant acme" in out and "tenant globex" in out
+
+
+def test_cluster_json_matches_single_engine_serve(capsys, tmp_path):
+    workload = [
+        {
+            "kind": "stream", "dataset": "wine", "tenant": "acme",
+            "k": 3, "windows": 6, "window_size": 32,
+            "compute_privacy": False, "seed": i,
+        }
+        for i in range(3)
+    ]
+    path = tmp_path / "workload.json"
+    path.write_text(json.dumps(workload))
+    serve_out = run_cli(
+        capsys, "serve", "--workload", str(path), "--json"
+    )
+    cluster_out = run_cli(
+        capsys, "cluster", "--workload", str(path), "--replicas", "2",
+        "--migrate-every", "1", "--checkpoint-dir", str(tmp_path / "ck"),
+        "--json",
+    )
+    single = json.loads(serve_out)["sessions"]
+    clustered = json.loads(cluster_out)["sessions"]
+    assert len(single) == len(clustered) == 3
+    for a, b in zip(single, clustered):
+        assert a["label"] == b["label"]
+        for key in (
+            "deviation_series", "messages_sent", "bytes_sent",
+            "data_messages_sent", "data_bytes_sent",
+        ):
+            assert a["result"][key] == b["result"][key]
+    payload = json.loads(cluster_out)
+    assert payload["cluster"]["replicas"] == 2
+    assert payload["cluster"]["completed"] == 3
+    assert payload["cluster"]["migrations"] == len(payload["migrations"])
+
+
+def test_cluster_placement_and_budget_flags_validated(capsys):
+    code = main(["cluster", "--replicas", "0"])
+    captured = capsys.readouterr()
+    assert code == 2 and "--replicas" in captured.err
+    code = main(["cluster", "--migrate-every", "-1"])
+    captured = capsys.readouterr()
+    assert code == 2 and "--migrate-every" in captured.err
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["cluster", "--placement", "nope"])
+
+
+# ----------------------------------------------------------------------
+# checkpoint directory inspection + retention
+# ----------------------------------------------------------------------
+def _checkpoint_dir(capsys, tmp_path, retain=None):
+    directory = tmp_path / "ckpts"
+    argv = [
+        "stream", "--dataset", "wine", "--windows", "8",
+        "--window-size", "32", "--checkpoint-dir", str(directory),
+        "--checkpoint-every", "2",
+    ]
+    if retain is not None:
+        argv += ["--checkpoint-retain", str(retain)]
+    run_cli(capsys, *argv)
+    return directory
+
+
+def test_stream_checkpoint_retain_prunes_old_files(capsys, tmp_path):
+    directory = _checkpoint_dir(capsys, tmp_path, retain=2)
+    files = sorted(p.name for p in directory.glob("*.ckpt"))
+    assert len(files) == 2
+    assert files[-1].endswith("-w00006.ckpt")
+
+
+def test_stream_checkpoint_retain_needs_dir(capsys):
+    code = main(["stream", "--checkpoint-retain", "2"])
+    captured = capsys.readouterr()
+    assert code == 2
+    assert "--checkpoint-dir" in captured.err
+
+
+def test_checkpoint_inspect_directory_lists_and_prunes(capsys, tmp_path):
+    directory = _checkpoint_dir(capsys, tmp_path)
+    before = len(list(directory.glob("*.ckpt")))
+    assert before >= 3
+    out = run_cli(capsys, "checkpoint", "inspect", str(directory))
+    assert f"({before} files)" in out
+    assert "fingerprint" in out
+    pruned = run_cli(
+        capsys, "checkpoint", "inspect", str(directory), "--retain", "1",
+        "--json",
+    )
+    payload = json.loads(pruned)
+    assert len(payload["checkpoints"]) == 1
+    assert len(payload["pruned"]) == before - 1
+    assert len(list(directory.glob("*.ckpt"))) == 1
+
+
+def test_checkpoint_inspect_retain_on_file_exits_cleanly(capsys, tmp_path):
+    directory = _checkpoint_dir(capsys, tmp_path)
+    target = next(directory.glob("*.ckpt"))
+    code = main(["checkpoint", "inspect", str(target), "--retain", "1"])
+    captured = capsys.readouterr()
+    assert code == 2
+    assert "directory" in captured.err
+
+
+def test_checkpoint_inspect_empty_directory(capsys, tmp_path):
+    empty = tmp_path / "empty"
+    empty.mkdir()
+    out = run_cli(capsys, "checkpoint", "inspect", str(empty))
+    assert "no checkpoint files" in out
+
+
+# ----------------------------------------------------------------------
+# serve: durable sessions + park-on-interrupt resume hints
+# ----------------------------------------------------------------------
+def test_serve_checkpoint_every_needs_dir(capsys):
+    code = main(["serve", "--checkpoint-every", "2"])
+    captured = capsys.readouterr()
+    assert code == 2
+    assert "--checkpoint-dir" in captured.err
+
+
+def test_serve_interrupt_parks_sessions_with_resume_hints(
+    capsys, tmp_path, monkeypatch
+):
+    from repro.serve import MiningService
+
+    workload = [
+        {
+            "kind": "stream", "dataset": "wine", "tenant": "acme",
+            "k": 3, "windows": 40, "window_size": 32,
+            "compute_privacy": False, "seed": 0,
+        }
+    ]
+    path = tmp_path / "workload.json"
+    path.write_text(json.dumps(workload))
+
+    real_drain = MiningService.drain
+
+    def interrupted_drain(self, *args, **kwargs):
+        raise KeyboardInterrupt
+
+    monkeypatch.setattr(MiningService, "drain", interrupted_drain)
+    code = main([
+        "serve", "--workload", str(path),
+        "--checkpoint-dir", str(tmp_path / "ck"), "--checkpoint-every", "2",
+    ])
+    captured = capsys.readouterr()
+    monkeypatch.setattr(MiningService, "drain", real_drain)
+    assert code == 130
+    assert "interrupted" in captured.err
+    assert "parked live sessions:" in captured.err
+    assert "repro stream --resume-from" in captured.err
+    # The hinted checkpoint file exists and resumes to completion.
+    parked = [
+        line.split("--resume-from", 1)[1].strip()
+        for line in captured.err.splitlines()
+        if "--resume-from" in line
+    ]
+    assert len(parked) == 1
+    out = run_cli(capsys, "stream", "--resume-from", parked[0], "--json")
+    assert json.loads(out)["records_processed"] == 40 * 32
+
+
+# ----------------------------------------------------------------------
+# experiment diff
+# ----------------------------------------------------------------------
+def test_experiment_diff_pass_and_fail(capsys, tmp_path):
+    config = _experiment_config(tmp_path)
+    dir_a = str(tmp_path / "a")
+    dir_b = str(tmp_path / "b")
+    run_cli(capsys, "experiment", "run", str(config), "--results", dir_a,
+            "--timestamp", "t0")
+    run_cli(capsys, "experiment", "run", str(config), "--results", dir_b,
+            "--timestamp", "t1")
+    out = run_cli(
+        capsys, "experiment", "diff", f"{dir_a}/clitest", f"{dir_b}/clitest",
+        "--tolerance", "99",
+    )
+    assert "diff: PASS" in out
+    assert "records_per_s" in out
+    # an absurd negative-tolerance percentage is a usage error
+    code = main([
+        "experiment", "diff", f"{dir_a}/clitest", f"{dir_b}/clitest",
+        "--tolerance", "150",
+    ])
+    captured = capsys.readouterr()
+    assert code == 2 and "--tolerance" in captured.err
+    # a missing directory is a friendly error, not a traceback
+    code = main(["experiment", "diff", f"{dir_a}/clitest", str(tmp_path / "nope")])
+    captured = capsys.readouterr()
+    assert code == 2
+    assert captured.err.startswith("error:")

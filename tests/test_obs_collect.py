@@ -124,3 +124,63 @@ def test_collectors_compose_on_one_registry():
     snap = registry.snapshot()
     assert _gauges(snap, "repro_pool_workers")[""] == 2
     assert _gauges(snap, "repro_ingest_records")[""] == 3
+
+
+def test_cluster_collector_publishes_merged_and_per_replica_gauges():
+    from repro.obs import cluster_collector
+
+    cluster = SimpleNamespace(
+        stats=lambda: SimpleNamespace(
+            submitted=5,
+            rejected=1,
+            completed=3,
+            failed=0,
+            cancelled=0,
+            evicted=2,
+            active=2,
+            parked=1,
+            replicas=2,
+            migrations=2,
+            rebalances=1,
+            per_replica=[
+                SimpleNamespace(
+                    active=2, completed=1,
+                    pool=SimpleNamespace(utilization=0.75),
+                ),
+                SimpleNamespace(
+                    active=0, completed=2,
+                    pool=SimpleNamespace(utilization=0.25),
+                ),
+            ],
+        )
+    )
+    registry = MetricsRegistry()
+    registry.register_collector(cluster_collector(cluster))
+    snap = registry.snapshot()
+    sessions = _gauges(snap, "repro_cluster_sessions")
+    assert sessions['{state="submitted"}'] == 5
+    assert sessions['{state="parked"}'] == 1
+    assert sessions['{state="evicted"}'] == 2
+    assert _gauges(snap, "repro_cluster_replicas")[""] == 2
+    assert _gauges(snap, "repro_cluster_migrations")[""] == 2
+    assert _gauges(snap, "repro_cluster_rebalances")[""] == 1
+    active = _gauges(snap, "repro_cluster_replica_active")
+    assert active['{replica="0"}'] == 2 and active['{replica="1"}'] == 0
+    util = _gauges(snap, "repro_cluster_replica_utilization")
+    assert util['{replica="0"}'] == 0.75 and util['{replica="1"}'] == 0.25
+
+
+def test_cluster_collector_on_a_live_cluster():
+    from repro.cluster import ClusterController
+    from repro.obs import Telemetry
+    from repro.serve import SessionSpec
+
+    telemetry = Telemetry.disabled()
+    with ClusterController(replicas=2, telemetry=telemetry) as cluster:
+        cluster.run([
+            SessionSpec(kind="batch", dataset="iris", k=3, seed=s)
+            for s in range(2)
+        ])
+        snap = telemetry.metrics.snapshot()
+    assert _gauges(snap, "repro_cluster_sessions")['{state="completed"}'] == 2
+    assert _gauges(snap, "repro_cluster_replicas")[""] == 2

@@ -424,3 +424,74 @@ def test_committed_quick_example_expands_cleanly():
     table = expand_run_table(config)
     assert len(table) == 2 * 2 * 2  # shards x backend x overlap
     assert len({cell.run_id for cell in table}) == 8
+
+
+# ----------------------------------------------------------------------
+# the diff stage
+# ----------------------------------------------------------------------
+def _fabricate_run(root, run_id, rate, status="ok"):
+    """One synthetic persisted cell: spec manifest + result artifact."""
+    run_dir = root / run_id
+    run_dir.mkdir(parents=True)
+    (run_dir / SPEC_FILE).write_text(json.dumps({"run_id": run_id}))
+    artifact = {"status": status, "timestamp": "t0"}
+    if status == "ok":
+        artifact["summary"] = {"records_per_s": rate, "records": 32}
+    else:
+        artifact["error"] = "injected"
+    (run_dir / RESULT_FILE).write_text(json.dumps(artifact))
+
+
+def test_diff_passes_within_tolerance_and_fails_beyond(tmp_path):
+    from repro.obs import run_diff
+
+    a = tmp_path / "a"
+    b = tmp_path / "b"
+    for root, rates in ((a, (1000.0, 2000.0)), (b, (950.0, 2900.0))):
+        _fabricate_run(root, "000-shards=1-r0", rates[0])
+        _fabricate_run(root, "001-shards=2-r0", rates[1])
+    report = run_diff(str(a), str(b))
+    assert report.ok
+    assert report.compared == 2
+    assert report.regressions == 0
+    assert report.improvements == 1  # +45% on the second cell
+    assert "diff: PASS" in report.text
+    assert "improved" in report.text
+
+    worse = tmp_path / "worse"
+    _fabricate_run(worse, "000-shards=1-r0", 100.0)
+    _fabricate_run(worse, "001-shards=2-r0", 2000.0)
+    report = run_diff(str(a), str(worse))
+    assert not report.ok
+    assert report.regressions == 1
+    assert "diff: FAIL" in report.text
+    assert "REGRESSION" in report.text
+    assert "-90.0%" in report.text
+
+
+def test_diff_skips_unmatched_and_errored_cells(tmp_path):
+    from repro.obs import run_diff
+
+    a = tmp_path / "a"
+    b = tmp_path / "b"
+    _fabricate_run(a, "000-shards=1-r0", 1000.0)
+    _fabricate_run(a, "001-shards=2-r0", 1000.0)
+    _fabricate_run(b, "000-shards=1-r0", 1000.0)
+    _fabricate_run(b, "002-shards=4-r0", 1000.0)
+    _fabricate_run(a, "003-shards=8-r0", 1000.0)
+    _fabricate_run(b, "003-shards=8-r0", 0.0, status="error")
+    report = run_diff(str(a), str(b))
+    assert report.ok  # nothing comparable regressed
+    assert report.compared == 1
+    assert "only in A: 001-shards=2-r0" in report.text
+    assert "only in B: 002-shards=4-r0" in report.text
+    assert "not completed in B: 003-shards=8-r0" in report.text
+
+
+def test_diff_validates_tolerance_and_directories(tmp_path):
+    from repro.obs import run_diff
+
+    with pytest.raises(ValueError, match="tolerance"):
+        run_diff(str(tmp_path), str(tmp_path), tolerance=1.5)
+    with pytest.raises(ValueError, match="experiment directory"):
+        run_diff(str(tmp_path / "nope"), str(tmp_path / "nope"))

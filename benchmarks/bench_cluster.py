@@ -1,10 +1,13 @@
 """Cluster benchmark — scale-out throughput and live-migration cost.
 
-Runs one all-stream workload three ways and reports sessions/second:
+Runs one all-stream workload four ways and reports sessions/second:
 
 * a single :class:`repro.serve.MiningService` (the reference);
 * a :class:`repro.cluster.ClusterController` at increasing replica
-  counts over identical per-replica pools;
+  counts over identical per-replica pools — once with in-process
+  replicas and once with the ``process`` backend, so the framed-socket
+  transport's overhead (spawn, wire serialization, heartbeats) is a
+  visible column instead of folklore;
 * the single long session ping-ponged between two replicas by live
   migration, measuring hops/second (checkpoint + evict + re-admit).
 
@@ -78,11 +81,12 @@ def _run_single(specs):
     return results, time.perf_counter() - began
 
 
-def _run_cluster(specs, replicas, placement="hash"):
+def _run_cluster(specs, replicas, placement="hash", backend="inprocess"):
     began = time.perf_counter()
     with ClusterController(
         replicas=replicas,
         placement=placement,
+        backend=backend,
         max_inflight=2,
         shard_backend="thread",
         shard_workers=2,
@@ -144,25 +148,39 @@ def _sweep(specs, replica_levels):
         ["single engine", f"{len(specs) / base_wall:.2f}", "1.00x", "-", "yes"]
     ]
     for level in replica_levels:
-        results, wall, stats = _run_cluster(specs, level)
-        identical = [_fingerprint(r) for r in results] == fingerprints
-        assert stats.records == sum(s.records for s in stats.per_replica), (
-            "merged ClusterStats lost records"
-        )
-        metrics[f"replicas={level}"] = {
-            "sessions_per_s": round(len(specs) / max(wall, 1e-9), 2),
-            "speedup": round(base_wall / max(wall, 1e-9), 3),
-        }
-        rows.append(
-            [
-                f"{level} replicas",
-                f"{len(specs) / wall:.2f}",
-                f"{base_wall / wall:.2f}x",
-                f"{stats.completed}",
-                "yes" if identical else "NO",
-            ]
-        )
-        assert identical, f"replicas={level} diverged from the single engine"
+        for backend in ("inprocess", "process"):
+            results, wall, stats = _run_cluster(specs, level, backend=backend)
+            identical = [_fingerprint(r) for r in results] == fingerprints
+            assert stats.records == sum(
+                s.records for s in stats.per_replica
+            ), "merged ClusterStats lost records"
+            key = (
+                f"replicas={level}"
+                if backend == "inprocess"
+                else f"process_replicas={level}"
+            )
+            metrics[key] = {
+                "sessions_per_s": round(len(specs) / max(wall, 1e-9), 2),
+                "speedup": round(base_wall / max(wall, 1e-9), 3),
+            }
+            label = (
+                f"{level} replicas"
+                if backend == "inprocess"
+                else f"{level} proc replicas"
+            )
+            rows.append(
+                [
+                    label,
+                    f"{len(specs) / wall:.2f}",
+                    f"{base_wall / wall:.2f}x",
+                    f"{stats.completed}",
+                    "yes" if identical else "NO",
+                ]
+            )
+            assert identical, (
+                f"replicas={level} backend={backend} diverged from the "
+                f"single engine"
+            )
     return rows, fingerprints, metrics
 
 

@@ -100,7 +100,9 @@ from .checkpoint import (
     Checkpointer,
     SessionCheckpoint,
     SessionEvicted,
+    dumps_checkpoint,
     load_checkpoint,
+    loads_checkpoint,
     save_checkpoint,
 )
 from .cluster import (
@@ -226,6 +228,8 @@ __all__ = [
     "SessionEvicted",
     "load_checkpoint",
     "save_checkpoint",
+    "dumps_checkpoint",
+    "loads_checkpoint",
     # cluster
     "ClusterController",
     "ClusterSession",

@@ -31,8 +31,10 @@ from .checkpoint import (
     CheckpointError,
     SessionCheckpoint,
     SessionEvicted,
+    dumps_checkpoint,
     list_checkpoints,
     load_checkpoint,
+    loads_checkpoint,
     prune_checkpoints,
     save_checkpoint,
 )
@@ -44,6 +46,8 @@ __all__ = [
     "SessionEvicted",
     "SessionCheckpoint",
     "Checkpointer",
+    "dumps_checkpoint",
+    "loads_checkpoint",
     "save_checkpoint",
     "load_checkpoint",
     "list_checkpoints",

@@ -44,6 +44,8 @@ __all__ = [
     "SessionEvicted",
     "SessionCheckpoint",
     "Checkpointer",
+    "dumps_checkpoint",
+    "loads_checkpoint",
     "save_checkpoint",
     "load_checkpoint",
     "list_checkpoints",
@@ -141,19 +143,82 @@ class SessionCheckpoint:
         }
 
 
-def save_checkpoint(path: str, payload: Dict[str, Any]) -> SessionCheckpoint:
-    """Atomically write ``payload`` to ``path``; returns the checkpoint."""
+def dumps_checkpoint(payload: Dict[str, Any]) -> bytes:
+    """Serialize ``payload`` into the full on-disk checkpoint format.
+
+    The returned bytes *are* a checkpoint file — header (magic, schema
+    version, payload digest, payload length) plus the codec-encoded
+    payload — so they can travel over a wire and be written verbatim on
+    the other side, or handed straight to :func:`loads_checkpoint`.
+    """
     try:
         body = encode(payload)
     except CodecError as exc:
         raise CheckpointError(f"cannot encode checkpoint state: {exc}") from exc
     digest = hashlib.sha256(body).digest()
     header = _HEADER.pack(MAGIC, SCHEMA_VERSION, digest, len(body))
+    return header + body
+
+
+def loads_checkpoint(
+    data: bytes, origin: str = "checkpoint data"
+) -> SessionCheckpoint:
+    """Validate and decode checkpoint *bytes*; refuses anything damaged.
+
+    The byte-level inverse of :func:`dumps_checkpoint` — the same
+    validation :func:`load_checkpoint` applies to a file, without the
+    file.  ``origin`` names the bytes' source in error messages (a path,
+    a replica, ...) so every damage mode stays a distinct, attributable
+    :class:`CheckpointError`: truncated header, foreign magic, schema
+    version mismatch, length mismatch, digest mismatch, undecodable
+    payload, and a payload that carries no session state.
+    """
+    if len(data) < _HEADER.size:
+        raise CheckpointError(
+            f"checkpoint {origin} is truncated "
+            f"({len(data)} bytes; the header alone is {_HEADER.size})"
+        )
+    magic, version, digest, length = _HEADER.unpack_from(data)
+    if magic != MAGIC:
+        raise CheckpointError(f"{origin} is not a repro checkpoint file")
+    if version != SCHEMA_VERSION:
+        raise CheckpointError(
+            f"checkpoint {origin} has schema version {version}; this build "
+            f"reads version {SCHEMA_VERSION} only"
+        )
+    body = data[_HEADER.size:]
+    if len(body) != length:
+        raise CheckpointError(
+            f"checkpoint {origin} is truncated: header promises {length} "
+            f"payload bytes, file carries {len(body)}"
+        )
+    if hashlib.sha256(body).digest() != digest:
+        raise CheckpointError(
+            f"checkpoint {origin} is corrupt: payload digest mismatch"
+        )
+    try:
+        payload = decode(body)
+    except CodecError as exc:
+        raise CheckpointError(
+            f"checkpoint {origin} payload does not decode: {exc}"
+        ) from exc
+    if not isinstance(payload, dict) or "state" not in payload:
+        raise CheckpointError(
+            f"checkpoint {origin} does not carry session state"
+        )
+    return SessionCheckpoint(
+        schema_version=version, fingerprint=digest.hex(), payload=payload
+    )
+
+
+def save_checkpoint(path: str, payload: Dict[str, Any]) -> SessionCheckpoint:
+    """Atomically write ``payload`` to ``path``; returns the checkpoint."""
+    raw = dumps_checkpoint(payload)
+    _, _, digest, _ = _HEADER.unpack_from(raw)
     tmp_path = f"{path}.tmp"
     try:
         with open(tmp_path, "wb") as handle:
-            handle.write(header)
-            handle.write(body)
+            handle.write(raw)
             handle.flush()
             os.fsync(handle.fileno())
         os.replace(tmp_path, path)
@@ -173,42 +238,7 @@ def load_checkpoint(path: str) -> SessionCheckpoint:
             raw = handle.read()
     except OSError as exc:
         raise CheckpointError(f"cannot read checkpoint {path!r}: {exc}") from exc
-    if len(raw) < _HEADER.size:
-        raise CheckpointError(
-            f"checkpoint {path!r} is truncated "
-            f"({len(raw)} bytes; the header alone is {_HEADER.size})"
-        )
-    magic, version, digest, length = _HEADER.unpack_from(raw)
-    if magic != MAGIC:
-        raise CheckpointError(f"{path!r} is not a repro checkpoint file")
-    if version != SCHEMA_VERSION:
-        raise CheckpointError(
-            f"checkpoint {path!r} has schema version {version}; this build "
-            f"reads version {SCHEMA_VERSION} only"
-        )
-    body = raw[_HEADER.size:]
-    if len(body) != length:
-        raise CheckpointError(
-            f"checkpoint {path!r} is truncated: header promises {length} "
-            f"payload bytes, file carries {len(body)}"
-        )
-    if hashlib.sha256(body).digest() != digest:
-        raise CheckpointError(
-            f"checkpoint {path!r} is corrupt: payload digest mismatch"
-        )
-    try:
-        payload = decode(body)
-    except CodecError as exc:
-        raise CheckpointError(
-            f"checkpoint {path!r} payload does not decode: {exc}"
-        ) from exc
-    if not isinstance(payload, dict) or "state" not in payload:
-        raise CheckpointError(
-            f"checkpoint {path!r} does not carry session state"
-        )
-    return SessionCheckpoint(
-        schema_version=version, fingerprint=digest.hex(), payload=payload
-    )
+    return loads_checkpoint(raw, origin=f"{path!r}")
 
 
 @dataclass

@@ -43,6 +43,14 @@ Usage (after ``pip install -e .``)::
     repro cluster --replicas 2 --migrate-every 2 --json
                                    # force live migrations mid-run; results
                                    # stay bit-identical to a single engine
+    repro cluster --backend process --replicas 2 --checkpoint-dir ckpts
+                                   # each replica is its own OS process;
+                                   # checkpoints migrate over the wire and
+                                   # a killed replica's sessions recover on
+                                   # the survivors, still bit-identical
+    repro cluster --serve --workload workload.json --poll-interval 0.5
+                                   # long-running mode: keep admitting
+                                   # sessions appended to the workload file
     repro experiment diff results/a results/b
                                    # cell-by-cell throughput diff of two
                                    # sweep directories (exit 1 on regression)
@@ -494,10 +502,54 @@ def build_parser() -> argparse.ArgumentParser:
         "--replicas", type=int, default=2, help="serving-engine replicas"
     )
     p.add_argument(
+        "--backend",
+        default="inprocess",
+        choices=["inprocess", "process"],
+        help="replica backend: engines in this process, or one OS process "
+        "per replica behind the framed transport (results identical)",
+    )
+    p.add_argument(
+        "--heartbeat-interval",
+        type=float,
+        default=0.2,
+        metavar="SECONDS",
+        help="process-replica liveness check cadence",
+    )
+    p.add_argument(
         "--placement",
         default="hash",
         choices=["hash", "least_loaded", "tenant"],
         help="session-to-replica placement policy",
+    )
+    p.add_argument(
+        "--serve",
+        action="store_true",
+        help="long-running mode: keep watching --workload and admit any "
+        "sessions appended to it (Ctrl-C parks and exits cleanly)",
+    )
+    p.add_argument(
+        "--poll-interval",
+        type=float,
+        default=0.5,
+        metavar="SECONDS",
+        help="--serve workload re-read cadence",
+    )
+    p.add_argument(
+        "--serve-idle-exit",
+        type=int,
+        default=0,
+        metavar="K",
+        help="--serve exits after K consecutive idle polls with nothing "
+        "live (0 = run until interrupted)",
+    )
+    p.add_argument(
+        "--chaos-kill",
+        type=int,
+        default=0,
+        metavar="N",
+        help="SIGKILL the busiest process replica after N poll ticks "
+        "(50 ms each) to exercise crash recovery; needs --backend process "
+        "(0 = never)",
     )
     p.add_argument(
         "--migrate-every",
@@ -1312,6 +1364,64 @@ def _cluster_demo_workload(
     ]
 
 
+def _chaos_kill(cluster, sessions, ticks: int) -> Optional[int]:
+    """SIGKILL the replica owning the first live session after ``ticks``
+    poll ticks (50 ms each); returns the killed index, or ``None`` when
+    the workload settled first.  Crash recovery re-homes the victims —
+    the CLI's standing demonstration that even an unclean death leaves
+    results bit-identical."""
+    import signal as _signal
+
+    for _ in range(ticks):
+        if all(session.done() for session in sessions):
+            return None
+        time.sleep(0.05)
+    live = [s for s in sessions if not s.done()]
+    target = live[0].replica if live else 0
+    pid = getattr(cluster.replicas[target], "pid", None)
+    if pid is None:  # pragma: no cover - guarded by the --backend check
+        return None
+    os.kill(pid, _signal.SIGKILL)
+    return target
+
+
+def _serve_loop(
+    cluster,
+    workload_path: str,
+    poll_interval: float,
+    idle_exit: int,
+    sessions: List,
+    rejections: List[str],
+) -> None:
+    """``--serve``: re-read the workload file each tick and admit every
+    newly appended entry; returns once ``idle_exit`` consecutive ticks
+    saw no new work and nothing live (never, when ``idle_exit`` is 0)."""
+    consumed = 0
+    idle = 0
+    while True:
+        try:
+            entries = _load_workload(workload_path)
+        except ValueError:
+            entries = []  # mid-write or momentarily empty; next tick retries
+        fresh = entries[consumed:]
+        if fresh:
+            idle = 0
+            for entry in fresh:
+                consumed += 1
+                try:
+                    spec = SessionSpec.from_mapping(entry)
+                    sessions.append(cluster.submit(spec))
+                except (AdmissionError, ValueError) as exc:
+                    rejections.append(f"workload[{consumed - 1}]: {exc}")
+        elif all(session.done() for session in sessions):
+            idle += 1
+            if idle_exit and idle >= idle_exit:
+                return
+        else:
+            idle = 0
+        time.sleep(poll_interval)
+
+
 def _forced_migrations(cluster, sessions, every: int, replicas: int):
     """Poll the workload, forcing a migration every ``every`` 50 ms ticks.
 
@@ -1350,9 +1460,30 @@ def _cmd_cluster(args: argparse.Namespace) -> str:
     _require_positive("--checkpoint-every", args.checkpoint_every)
     _require_positive("--checkpoint-retain", args.checkpoint_retain)
     _require_non_negative("--migrate-every", args.migrate_every)
+    _require_non_negative("--chaos-kill", args.chaos_kill)
+    _require_non_negative("--serve-idle-exit", args.serve_idle_exit)
+    if args.poll_interval <= 0:
+        raise ValueError(
+            f"--poll-interval must be > 0 seconds, got {args.poll_interval}"
+        )
+    if args.heartbeat_interval <= 0:
+        raise ValueError(
+            f"--heartbeat-interval must be > 0 seconds, got "
+            f"{args.heartbeat_interval}"
+        )
     if args.queue_limit is not None and args.queue_limit < 0:
         raise ValueError(
             f"--queue-limit must be >= 0, got {args.queue_limit}"
+        )
+    if args.chaos_kill and args.backend != "process":
+        raise ValueError(
+            "--chaos-kill needs --backend process: only a process replica "
+            "can be killed without taking the controller down with it"
+        )
+    if args.serve and not args.workload:
+        raise ValueError(
+            "--serve needs --workload: the long-running mode admits "
+            "sessions appended to that file"
         )
     if args.workload:
         entries = _load_workload(args.workload)
@@ -1363,16 +1494,20 @@ def _cmd_cluster(args: argparse.Namespace) -> str:
 
     checkpoint_dir = args.checkpoint_dir
     scratch = None
-    if checkpoint_dir is None and args.migrate_every:
-        # Migration moves state through checkpoint files; without an
-        # explicit directory the demo parks them in a throwaway one.
+    if checkpoint_dir is None and (args.migrate_every or args.chaos_kill):
+        # Migration (and crash recovery) moves state through checkpoint
+        # files; without an explicit directory the demo parks them in a
+        # throwaway one.
         checkpoint_dir = scratch = tempfile.mkdtemp(prefix="repro-cluster-")
 
     rejections: List[str] = []
+    killed: Optional[int] = None
     try:
         with ClusterController(
             replicas=args.replicas,
             placement=args.placement,
+            backend=args.backend,
+            heartbeat_interval=args.heartbeat_interval,
             max_inflight=args.max_inflight,
             queue_limit=args.queue_limit,
             shard_backend=args.shard_backend,
@@ -1383,14 +1518,22 @@ def _cmd_cluster(args: argparse.Namespace) -> str:
             checkpoint_retain=args.checkpoint_retain,
         ) as cluster:
             sessions = []
-            for spec in specs:
-                try:
-                    sessions.append(cluster.submit(spec))
-                except AdmissionError as exc:
-                    rejections.append(f"{spec.display_label}: {exc}")
             hops: List[List[int]] = []
             try:
-                if args.migrate_every:
+                if not args.serve:
+                    for spec in specs:
+                        try:
+                            sessions.append(cluster.submit(spec))
+                        except AdmissionError as exc:
+                            rejections.append(f"{spec.display_label}: {exc}")
+                if args.chaos_kill:
+                    killed = _chaos_kill(cluster, sessions, args.chaos_kill)
+                if args.serve:
+                    _serve_loop(
+                        cluster, args.workload, args.poll_interval,
+                        args.serve_idle_exit, sessions, rejections,
+                    )
+                elif args.migrate_every:
                     hops = _forced_migrations(
                         cluster, sessions, args.migrate_every, args.replicas
                     )
@@ -1398,6 +1541,12 @@ def _cmd_cluster(args: argparse.Namespace) -> str:
             except KeyboardInterrupt:
                 if args.checkpoint_dir is not None:
                     _park_and_hint(cluster)
+                else:
+                    # Nothing durable to park into: stop without waiting
+                    # the workload out.  close() always reaps process
+                    # replicas (shutdown, then terminate/kill), so a
+                    # Ctrl-C never leaves orphaned children behind.
+                    cluster.close(wait=False)
                 raise
             results, errors = [], []
             for session in sessions:
@@ -1445,6 +1594,7 @@ def _cmd_cluster(args: argparse.Namespace) -> str:
                     ],
                     "rejections": rejections,
                     "migrations": hops,
+                    "chaos_killed": killed,
                     "cluster": stats.to_dict(),
                 },
                 indent=2,
@@ -1481,6 +1631,11 @@ def _cmd_cluster(args: argparse.Namespace) -> str:
             ]
         )
     body = [ascii_table(headers, rows), stats.summary()]
+    if killed is not None:
+        body.append(
+            f"chaos: replica {killed} was SIGKILLed mid-run; its sessions "
+            f"recovered on the surviving replicas"
+        )
     if failures:
         body.append("failed\n" + "\n".join(f"  {line}" for line in failures))
     if rejections:
@@ -1488,8 +1643,8 @@ def _cmd_cluster(args: argparse.Namespace) -> str:
     return (
         series_block(
             f"Cluster - {len(sessions)} sessions over {args.replicas} "
-            f"replicas ({args.placement} placement, {args.shard_backend} "
-            f"pools x {args.shards} workers)",
+            f"{args.backend} replicas ({args.placement} placement, "
+            f"{args.shard_backend} pools x {args.shards} workers)",
             "\n\n".join(body),
         ),
         exit_code,

@@ -1,30 +1,40 @@
 """Multi-replica serving over checkpoints.
 
-:class:`ClusterController` fronts N in-process
-:class:`~repro.serve.engine.MiningService` replicas — each with its own
-metered shard pool and its own checkpoint directory — and moves sessions
-between them *by checkpoint*: the durable-session machinery from
-:mod:`repro.checkpoint` already guarantees that evict-here / resume-there
-reproduces the uninterrupted run bit for bit, so rebalancing is pure
-placement with zero correctness surface.
+:class:`ClusterController` is a **control plane**: it never touches an
+engine directly any more, only the narrow
+:class:`~repro.cluster.transport.ReplicaTransport` surface — submit /
+poll / result / evict / resume / stats / health — with checkpoints
+crossing as opaque RPCK payloads.  Two interchangeable backends plug in:
 
-The division of labor with the engine:
+* ``backend="inprocess"`` (default) — N
+  :class:`~repro.serve.engine.MiningService` replicas in this process,
+  exactly the previous behavior;
+* ``backend="process"`` — N replicas each running a service in its own
+  OS process (:mod:`repro.cluster.replica`) behind a length-prefixed
+  framed protocol, with heartbeat health checks and **crash recovery**:
+  when a replica dies, every session it owned is re-admitted on the
+  surviving replicas — from its newest intact checkpoint when one
+  exists, from scratch otherwise (sessions are deterministic, so either
+  way the final result is bit-identical to the undisturbed run).
 
-* **Replica-level** (each :class:`MiningService`): driver slots
-  (``max_inflight``/``queue_limit``), the shared pool, checkpoint saves,
-  per-session lifecycle.  Replicas carry *no* tenant policies.
+The division of labor with the replicas:
+
+* **Replica-level**: driver slots (``max_inflight``/``queue_limit``),
+  the shared pool, checkpoint saves, per-session lifecycle.  Replicas
+  carry *no* tenant policies.
 * **Cluster-level** (this module): tenant budgets — enforced once, here,
   so a migration's re-admission on the destination replica does not
   double-charge ``max_sessions``/``privacy_budget`` — plus placement,
-  migration, rebalancing, draining, and the merged
+  migration, rebalancing, draining, crash recovery, and the merged
   :class:`ClusterStats` view.
 
 Live migration follows the checkpoint layer's *drain rule*: a session
 checkpoints only at a post-drain round boundary, so
 :meth:`ClusterController.migrate` never stops the world — in-flight
 rounds complete on the old owner, the state travels whole inside the
-checkpoint file, and the destination resumes through normal admission.
-Callers hold one :class:`ClusterSession` across any number of hops.
+checkpoint payload, and the destination resumes through normal
+admission.  Callers hold one :class:`ClusterSession` across any number
+of hops, including the involuntary ones a crash forces.
 """
 
 from __future__ import annotations
@@ -46,19 +56,24 @@ from typing import (
     Union,
 )
 
-from ..checkpoint import CheckpointError
+from ..checkpoint import CheckpointError, list_checkpoints, loads_checkpoint
 from ..obs import Telemetry, cluster_collector
 from ..serve.engine import (
     AdmissionError,
     MiningService,
     ServiceStats,
-    SessionHandle,
     SessionResult,
     TenantPolicy,
     TenantStats,
 )
 from ..serve.spec import SessionSpec
 from .placement import resolve_placement
+from .transport import (
+    CheckpointPayload,
+    InProcessReplica,
+    ProcessReplica,
+    ReplicaTransport,
+)
 
 __all__ = [
     "ClusterError",
@@ -66,6 +81,9 @@ __all__ = [
     "ClusterStats",
     "ClusterController",
 ]
+
+#: replica backends a cluster can be built on
+CLUSTER_BACKENDS = ("inprocess", "process")
 
 
 class ClusterError(ValueError):
@@ -79,12 +97,13 @@ class ClusterError(ValueError):
 class ClusterSession:
     """One submitted session's cluster-wide identity, stable across hops.
 
-    The engine hands out a fresh :class:`SessionHandle` every time a
-    session is (re-)admitted, so a migration would invalidate a raw
-    handle.  This wrapper keeps one identity for the session's whole
-    life: ``poll``/``wait``/``result`` follow the session to whichever
-    replica currently owns it, blocking through handoffs instead of
-    surfacing the internal eviction.
+    The engine hands out a fresh handle every time a session is
+    (re-)admitted, so a migration — voluntary or crash-forced — would
+    invalidate a raw handle.  This wrapper keeps one identity for the
+    session's whole life: ``poll``/``wait``/``result`` follow the session
+    to whichever replica currently owns it, blocking through handoffs
+    (and through crash recovery, which is just a handoff the session did
+    not ask for) instead of surfacing the internal eviction.
     """
 
     def __init__(
@@ -92,12 +111,12 @@ class ClusterSession:
         spec: SessionSpec,
         session_id: int,
         replica: int,
-        handle: SessionHandle,
+        handle: Any,
         checkpoint_every: Optional[int],
     ) -> None:
         self.spec = spec
         self.session_id = session_id
-        #: completed migration hops
+        #: completed migration hops (crash recoveries included)
         self.migrations = 0
         self._cond = threading.Condition()
         self._replica = replica
@@ -109,6 +128,9 @@ class ClusterSession:
         self._migrating = False
         self._parked_path: Optional[str] = None
         self._checkpoint_every = checkpoint_every
+        # Set only when a replica died and no surviving replica could
+        # take the session back; terminal.
+        self._lost_error: Optional[str] = None
 
     # -- state ----------------------------------------------------------
     @property
@@ -136,12 +158,16 @@ class ClusterSession:
         with self._cond:
             if self._parked_path is not None:
                 return "parked"
+            if self._lost_error is not None:
+                return "failed"
             if self._migrating:
                 return "migrating"
             status = self._handle.poll()
         # A handle settling "evicted" outside a marked handoff is the
-        # instant between eviction and the park/handoff bookkeeping.
-        return "migrating" if status == "evicted" else status
+        # instant between eviction and the park/handoff bookkeeping; a
+        # "lost" handle is a crash recovery that has not claimed the
+        # session yet.  Both resolve into a handoff.
+        return "migrating" if status in ("evicted", "lost") else status
 
     def done(self) -> bool:
         """True once ``result`` would return (or raise) immediately."""
@@ -156,14 +182,22 @@ class ClusterSession:
             with self._cond:
                 if self._parked_path is not None:
                     return "parked"
+                if self._lost_error is not None:
+                    return "failed"
                 handle = self._handle
                 epoch = self._epoch
             status = handle.wait(timeout=_remaining(deadline))
             if status in ("completed", "failed", "cancelled"):
                 return status
-            if status == "evicted":
+            if status in ("evicted", "lost"):
                 if not self._await_handoff(epoch, deadline):
                     return self.poll()
+                if self._stalled(epoch):
+                    # The handoff (or the crash recovery) has not claimed
+                    # the session yet; yield instead of hot-polling.
+                    if deadline is not None and time.perf_counter() >= deadline:
+                        return self.poll()
+                    time.sleep(0.02)
                 continue
             if deadline is not None and time.perf_counter() >= deadline:
                 return self.poll()
@@ -172,14 +206,16 @@ class ClusterSession:
         """Block for, then return, the session's result — across migrations.
 
         Raises :class:`ClusterError` if the session was parked (the
-        checkpoint path is in the message; resume it to finish the run),
-        re-raises the session's own exception if it failed, and
+        checkpoint path is in the message; resume it to finish the run)
+        or lost to a crash with nothing to recover from, re-raises the
+        session's own exception if it failed, and
         :class:`concurrent.futures.TimeoutError` on timeout.
         """
         deadline = _deadline(timeout)
         while True:
             with self._cond:
                 parked = self._parked_path
+                lost = self._lost_error
                 handle = self._handle
                 epoch = self._epoch
             if parked is not None:
@@ -187,24 +223,36 @@ class ClusterSession:
                     f"session {self.session_id} is parked at {parked!r}; "
                     f"resume it to finish the run"
                 )
+            if lost is not None:
+                raise ClusterError(lost)
             status = handle.wait(timeout=_remaining(deadline))
             if status in ("completed", "failed", "cancelled"):
                 return handle.result(timeout=_remaining(deadline))
-            if status == "evicted":
+            if status in ("evicted", "lost"):
                 if not self._await_handoff(epoch, deadline):
                     raise FutureTimeoutError()
-                with self._cond:
-                    settled_here = (
-                        self._epoch == epoch
-                        and not self._migrating
-                        and self._parked_path is None
-                    )
-                if settled_here:
-                    # An eviction that was not a cluster handoff; surface
-                    # the SessionEvicted as the engine would.
-                    return handle.result()
+                if self._stalled(epoch):
+                    if status == "evicted":
+                        # An eviction that was not a cluster handoff;
+                        # surface the SessionEvicted as the engine would.
+                        return handle.result()
+                    # Lost, recovery pending: yield, then re-check.
+                    if deadline is not None and time.perf_counter() >= deadline:
+                        raise FutureTimeoutError()
+                    time.sleep(0.02)
                 continue
             raise FutureTimeoutError()
+
+    def _stalled(self, epoch: int) -> bool:
+        """True when nothing replaced the epoch's handle (yet); i.e. the
+        session neither handed off, parked, nor was declared lost."""
+        with self._cond:
+            return (
+                self._epoch == epoch
+                and not self._migrating
+                and self._parked_path is None
+                and self._lost_error is None
+            )
 
     def _await_handoff(
         self, epoch: int, deadline: Optional[float]
@@ -221,23 +269,25 @@ class ClusterSession:
     def cancel(self) -> bool:
         """Cancel while still queued on the owning replica; returns success.
 
-        A session mid-handoff or parked cannot be cancelled (it holds no
-        queue slot to give back).
+        A session mid-handoff, parked, or lost cannot be cancelled (it
+        holds no queue slot to give back).
         """
         with self._cond:
-            if self._migrating or self._parked_path is not None:
+            if (
+                self._migrating
+                or self._parked_path is not None
+                or self._lost_error is not None
+            ):
                 return False
             handle = self._handle
         return handle.cancel()
 
     # -- handoff bookkeeping (called by the controller) -----------------
-    def _begin_handoff(self) -> SessionHandle:
+    def _begin_handoff(self) -> Any:
         self._migrating = True
         return self._handle
 
-    def _finish_handoff(
-        self, replica: int, handle: SessionHandle
-    ) -> None:
+    def _finish_handoff(self, replica: int, handle: Any) -> None:
         with self._cond:
             self._replica = replica
             self._handle = handle
@@ -252,6 +302,12 @@ class ClusterSession:
             self._migrating = False
             if parked_path is not None:
                 self._parked_path = parked_path
+            self._cond.notify_all()
+
+    def _mark_lost(self, message: str) -> None:
+        with self._cond:
+            self._migrating = False
+            self._lost_error = message
             self._cond.notify_all()
 
 
@@ -277,9 +333,12 @@ class ClusterStats:
     ``completed``/``failed``/``cancelled``/``evicted``/``active`` and the
     ``records``/``messages``/``bytes`` traffic counters are *exact sums*
     of the per-replica :class:`ServiceStats` (the conservation invariant
-    the property tests pin).  ``submitted``/``rejected`` are cluster-level
-    admissions: per-replica ``submitted`` counts every re-admission of a
-    migrating session and so exceeds it by exactly ``migrations`` hops.
+    the property tests pin) — a dead process replica contributes its last
+    reported snapshot, with in-flight counts zeroed, so nothing it did is
+    forgotten and nothing it no longer runs is double-counted.
+    ``submitted``/``rejected`` are cluster-level admissions: per-replica
+    ``submitted`` counts every re-admission of a migrating or recovered
+    session and so exceeds it by exactly ``migrations`` hops.
     """
 
     elapsed_seconds: float
@@ -298,6 +357,9 @@ class ClusterStats:
     records: int
     messages: int
     bytes: int
+    backend: str = "inprocess"
+    healthy_replicas: int = 0
+    recoveries: int = 0
     tenants: Tuple[TenantStats, ...] = ()
     per_replica: Tuple[ServiceStats, ...] = ()
 
@@ -314,9 +376,12 @@ class ClusterStats:
             "elapsed_seconds": self.elapsed_seconds,
             "replicas": self.replicas,
             "placement": self.placement,
+            "backend": self.backend,
+            "healthy_replicas": self.healthy_replicas,
             "submitted": self.submitted,
             "rejected": self.rejected,
             "migrations": self.migrations,
+            "recoveries": self.recoveries,
             "rebalances": self.rebalances,
             "parked": self.parked,
             "completed": self.completed,
@@ -347,7 +412,8 @@ class ClusterStats:
     def summary(self) -> str:
         """Multi-line cluster report, matching the service summary style."""
         lines = [
-            f"cluster           : {self.replicas} replicas, "
+            f"cluster           : {self.replicas} replicas "
+            f"({self.healthy_replicas} healthy, backend={self.backend}), "
             f"placement={self.placement}",
             f"sessions          : {self.completed} completed / "
             f"{self.failed} failed / {self.cancelled} cancelled / "
@@ -355,6 +421,7 @@ class ClusterStats:
             f"({self.submitted} accepted)",
             f"migrations        : {self.migrations} hops "
             f"({self.rebalances} rebalance sweeps, "
+            f"{self.recoveries} crash recoveries, "
             f"{self.evicted} replica evictions)",
             f"cluster rate      : {self.sessions_per_second:.2f} sessions/s "
             f"over {self.elapsed_seconds:.2f} s",
@@ -382,28 +449,39 @@ class ClusterController:
     Parameters
     ----------
     replicas:
-        Number of :class:`MiningService` replicas to build.  Each owns
-        its own metered shard pool (``max_inflight``/``queue_limit``/
-        ``shard_backend``/``shard_workers`` apply per replica) and its own
-        checkpoint subdirectory ``replica-<i>/`` under ``checkpoint_dir``.
+        Number of replicas to build.  Each owns its own metered shard
+        pool (``max_inflight``/``queue_limit``/``shard_backend``/
+        ``shard_workers`` apply per replica) and its own checkpoint
+        subdirectory ``replica-<i>/`` under ``checkpoint_dir``.
     placement:
         ``"hash"`` | ``"least_loaded"`` | ``"tenant"`` or a callable
         ``(spec, session_id, eligible, cluster) -> replica index``; see
         :mod:`repro.cluster.placement`.
+    backend:
+        ``"inprocess"`` (default) runs every replica's engine in this
+        process; ``"process"`` runs each in its own OS process behind
+        the framed replica protocol, with heartbeat health checks and
+        crash recovery.  The two are interchangeable: same API, same
+        bit-identical results.
+    heartbeat_interval:
+        Seconds between process-replica liveness checks (ignored for the
+        in-process backend).
     tenants:
         Optional ``{tenant: TenantPolicy}`` budgets, enforced *here* —
         once per session, regardless of how many replicas it visits.
     telemetry:
         Optional :class:`repro.obs.Telemetry`: registers the cluster
-        collector and emits ``migrate``/``rebalance``/``drain`` spans.
-        Replicas themselves run untraced (their gauge families would
-        collide on one registry).
+        collector and emits ``migrate``/``rebalance``/``drain``/
+        ``recover`` spans.  Replicas themselves run untraced (their
+        gauge families would collide on one registry).
     checkpoint_dir / checkpoint_every / checkpoint_retain:
         The durability knobs that make sessions *movable*: without a
         ``checkpoint_dir`` the cluster still serves, but ``migrate``/
-        ``rebalance``/``drain``/``close(park=True)`` are refused.
-        ``checkpoint_every`` is the default save cadence for stream
-        sessions; ``checkpoint_retain`` caps files kept per session.
+        ``rebalance``/``drain``/``close(park=True)`` are refused (and a
+        crashed process replica's sessions can only be re-run from
+        scratch).  ``checkpoint_every`` is the default save cadence for
+        stream sessions; ``checkpoint_retain`` caps files kept per
+        session.
 
     Use as a context manager, or call :meth:`close` when done.
     """
@@ -413,6 +491,8 @@ class ClusterController:
         replicas: int = 2,
         placement: Any = "hash",
         *,
+        backend: str = "inprocess",
+        heartbeat_interval: float = 0.2,
         max_inflight: int = 2,
         queue_limit: Optional[int] = None,
         shard_backend: str = "thread",
@@ -427,27 +507,20 @@ class ClusterController:
             raise ClusterError(
                 f"a cluster needs at least one replica, got {replicas}"
             )
+        if backend not in CLUSTER_BACKENDS:
+            raise ClusterError(
+                f"unknown cluster backend {backend!r}; choose from "
+                f"{', '.join(CLUSTER_BACKENDS)}"
+            )
         try:
             self.placement, self._place = resolve_placement(placement)
         except ValueError as exc:
             raise ClusterError(str(exc)) from None
+        self.backend = backend
         self.checkpoint_dir = checkpoint_dir
         self.checkpoint_every = checkpoint_every
-        self.replicas: Tuple[MiningService, ...] = tuple(
-            MiningService(
-                max_inflight=max_inflight,
-                queue_limit=queue_limit,
-                shard_backend=shard_backend,
-                shard_workers=shard_workers,
-                checkpoint_dir=(
-                    None
-                    if checkpoint_dir is None
-                    else os.path.join(checkpoint_dir, f"replica-{index}")
-                ),
-                checkpoint_retain=checkpoint_retain,
-            )
-            for index in range(replicas)
-        )
+        # Control state must exist before any replica does: a process
+        # replica that dies during spawn reports through _replica_died.
         self._lock = threading.Lock()
         self._sessions: Dict[int, ClusterSession] = {}
         self._next_id = 0
@@ -456,18 +529,66 @@ class ClusterController:
             for tenant, policy in dict(tenants or {}).items()
         }
         self._migrations = 0
+        self._recoveries = 0
         self._rebalances = 0
         self._rejected = 0
         self._draining: set = set()
         self._closed = False
         self._started = time.perf_counter()
         self.telemetry = telemetry
+        if telemetry is not None and not isinstance(telemetry, Telemetry):
+            raise ValueError(
+                f"telemetry must be a repro.obs.Telemetry bundle or "
+                f"None, got {type(telemetry).__name__}"
+            )
+
+        def _replica_dir(index: int) -> Optional[str]:
+            if checkpoint_dir is None:
+                return None
+            return os.path.join(checkpoint_dir, f"replica-{index}")
+
+        built: List[ReplicaTransport] = []
+        try:
+            for index in range(replicas):
+                if backend == "process":
+                    built.append(
+                        ProcessReplica(
+                            index,
+                            dict(
+                                max_inflight=max_inflight,
+                                queue_limit=queue_limit,
+                                shard_backend=shard_backend,
+                                shard_workers=shard_workers,
+                                checkpoint_dir=_replica_dir(index),
+                                checkpoint_retain=checkpoint_retain,
+                            ),
+                            heartbeat_interval=heartbeat_interval,
+                            on_death=self._replica_died,
+                        )
+                    )
+                else:
+                    built.append(
+                        InProcessReplica(
+                            index,
+                            MiningService(
+                                max_inflight=max_inflight,
+                                queue_limit=queue_limit,
+                                shard_backend=shard_backend,
+                                shard_workers=shard_workers,
+                                checkpoint_dir=_replica_dir(index),
+                                checkpoint_retain=checkpoint_retain,
+                            ),
+                        )
+                    )
+        except BaseException:
+            for replica in built:
+                try:
+                    replica.close(wait=False)
+                except Exception:
+                    pass
+            raise
+        self.replicas: Tuple[ReplicaTransport, ...] = tuple(built)
         if telemetry is not None:
-            if not isinstance(telemetry, Telemetry):
-                raise ValueError(
-                    f"telemetry must be a repro.obs.Telemetry bundle or "
-                    f"None, got {type(telemetry).__name__}"
-                )
             telemetry.metrics.register_collector(cluster_collector(self))
 
     # ------------------------------------------------------------------
@@ -484,7 +605,7 @@ class ClusterController:
         return tuple(
             index
             for index in range(len(self.replicas))
-            if index not in self._draining
+            if index not in self._draining and self.replicas[index].healthy
         )
 
     def _live_tenant_sessions(self, tenant: str) -> int:
@@ -562,7 +683,7 @@ class ClusterController:
         the chosen replica then applies its own capacity admission.  Both
         refusals raise :class:`AdmissionError`.  ``replica`` pins the
         session to one replica, bypassing the placement policy (it must
-        not be draining).
+        not be draining or dead).
         """
         if not isinstance(spec, SessionSpec):
             spec = SessionSpec.from_mapping(spec)
@@ -581,10 +702,16 @@ class ClusterController:
                         f"replica {replica} is draining and accepts no "
                         f"new sessions"
                     )
+                if not self.replicas[replica].healthy:
+                    raise ClusterError(
+                        f"replica {replica} is down and accepts no "
+                        f"new sessions"
+                    )
                 eligible = (replica,)
             elif not eligible:
                 raise ClusterError(
-                    "every replica is draining; nothing can accept sessions"
+                    "every replica is draining or down; nothing can "
+                    "accept sessions"
                 )
             session_id = self._admit(spec)
             ledger = self._tenant(spec.tenant)
@@ -670,7 +797,8 @@ class ClusterController:
 
         No stop-the-world: the session's in-flight round completes on the
         old owner, the checkpoint written at the next post-drain round
-        boundary travels to ``dst``, and the resumed run is bit-identical
+        boundary travels to ``dst`` (as opaque bytes when the replicas
+        live in other processes), and the resumed run is bit-identical
         to never having moved.  Returns the replica the session ended on
         — normally ``dst``; the *source* if the destination refused
         admission and the session bounced back — or ``None`` if the
@@ -685,6 +813,10 @@ class ClusterController:
         """
         self._require_migratable()
         self._check_replica(dst)
+        if not self.replicas[dst].healthy:
+            raise ClusterError(
+                f"replica {dst} is down; pick a live migration target"
+            )
         session = self.session(session_id)
         with session._cond:
             if session._parked_path is not None:
@@ -708,7 +840,7 @@ class ClusterController:
                     f"session {session_id} already settled "
                     f"({handle.poll()}); nothing to migrate"
                 )
-            if handle._checkpointer is None:
+            if not handle.migratable:
                 raise ClusterError(
                     f"session {session_id} is not migratable: only stream "
                     f"sessions on a checkpointing cluster can move"
@@ -729,7 +861,7 @@ class ClusterController:
     def _handoff(
         self,
         session: ClusterSession,
-        handle: SessionHandle,
+        handle: Any,
         src: int,
         dst: int,
         timeout: Optional[float],
@@ -737,39 +869,43 @@ class ClusterController:
         """Evict on ``src``, resume on ``dst`` (bouncing back to ``src`` if
         the destination refuses); returns ``(outcome, final replica)``."""
         try:
-            path = self.replicas[src].evict(handle.session_id, timeout=timeout)
+            payload = self.replicas[src].evict(
+                handle.session_id, timeout=timeout
+            )
         except CheckpointError:
             # The handle settled (and left the replica) between our check
             # and the evict; treat exactly like completing pre-boundary.
-            path = None
+            payload = None
         except BaseException:
             session._abort_handoff()
             raise
-        if path is None:
+        if payload is None:
             session._abort_handoff()
             return "completed-first", None
         for target, outcome in ((dst, "migrated"), (src, "bounced")):
             try:
                 new_handle = self.replicas[target].submit(
                     session.spec,
-                    resume_from=path,
                     checkpoint_every=session._checkpoint_every,
+                    resume=payload,
                 )
             except AdmissionError:
                 continue
             session._finish_handoff(target, new_handle)
             return outcome, target
-        session._abort_handoff(parked_path=path)
+        session._abort_handoff(parked_path=payload.path)
         raise ClusterError(
             f"migration parked session {session.session_id}: neither "
             f"replica {dst} nor {src} could re-admit it; resume from "
-            f"{path!r}"
+            f"{payload.path!r}"
         )
 
     def _count_migration(self, outcome: str) -> None:
         with self._lock:
-            if outcome in ("migrated", "bounced", "drained"):
+            if outcome in ("migrated", "bounced", "drained", "recovered"):
                 self._migrations += 1
+            if outcome == "recovered":
+                self._recoveries += 1
         if self.telemetry is not None:
             self.telemetry.metrics.counter(
                 "repro_cluster_migrations_total",
@@ -790,15 +926,18 @@ class ClusterController:
         with self._lock:
             eligible = self._eligible()
             if not eligible:
-                raise ClusterError("every replica is draining; nothing to rebalance")
+                raise ClusterError(
+                    "every replica is draining or down; nothing to rebalance"
+                )
             movable: Dict[int, List[int]] = {index: [] for index in eligible}
             for session in self._sessions.values():
                 with session._cond:
                     live = (
                         session._parked_path is None
+                        and session._lost_error is None
                         and not session._migrating
                         and not session._handle.done()
-                        and session._handle._checkpointer is not None
+                        and session._handle.migratable
                     )
                     owner = session._replica
                 if live and owner in movable:
@@ -896,36 +1035,37 @@ class ClusterController:
         resume: bool,
         timeout: Optional[float],
     ) -> List[Tuple[int, Optional[int]]]:
-        service = self.replicas[replica]
+        source = self.replicas[replica]
         # Signal every movable session first so boundaries are reached
         # concurrently, then collect checkpoints one by one.
-        marked: List[Tuple[ClusterSession, SessionHandle]] = []
+        marked: List[Tuple[ClusterSession, Any]] = []
         waited: List[ClusterSession] = []
         for session in owned:
             with session._cond:
                 if (
                     session._parked_path is not None
+                    or session._lost_error is not None
                     or session._migrating
                     or session._handle.done()
                 ):
                     continue
-                if session._handle._checkpointer is None:
+                if not session._handle.migratable:
                     waited.append(session)
                     continue
                 handle = session._begin_handoff()
-                handle._checkpointer.request_evict()
+                handle.request_evict()
                 marked.append((session, handle))
         dispositions: List[Tuple[int, Optional[int]]] = []
         for session, handle in marked:
             try:
-                path = service.evict(handle.session_id, timeout=timeout)
+                payload = source.evict(handle.session_id, timeout=timeout)
             except CheckpointError:
-                path = None  # settled before the eviction signal landed
-            if path is None:
+                payload = None  # settled before the eviction signal landed
+            if payload is None:
                 session._abort_handoff()
                 continue
             if not resume:
-                session._abort_handoff(parked_path=path)
+                session._abort_handoff(parked_path=payload.path)
                 dispositions.append((session.session_id, None))
                 continue
             destination = self._place(
@@ -936,11 +1076,11 @@ class ClusterController:
             try:
                 new_handle = self.replicas[destination].submit(
                     session.spec,
-                    resume_from=path,
                     checkpoint_every=session._checkpoint_every,
+                    resume=payload,
                 )
             except AdmissionError:
-                session._abort_handoff(parked_path=path)
+                session._abort_handoff(parked_path=payload.path)
                 dispositions.append((session.session_id, None))
                 continue
             session._finish_handoff(destination, new_handle)
@@ -958,10 +1098,11 @@ class ClusterController:
     ) -> int:
         """Re-admit a *parked* session; returns the replica it landed on.
 
-        Parked sessions (from ``drain(..., resume=False)`` or a failed
-        double-admission during :meth:`migrate`) keep their checkpoint
-        and their :class:`ClusterSession` identity; resuming hands the
-        same object a fresh engine handle, so existing waiters unblock.
+        Parked sessions (from ``drain(..., resume=False)``, a failed
+        double-admission during :meth:`migrate`, or a crash recovery
+        that found no room) keep their checkpoint and their
+        :class:`ClusterSession` identity; resuming hands the same object
+        a fresh engine handle, so existing waiters unblock.
         """
         session = self.session(session_id)
         with self._lock:
@@ -979,7 +1120,7 @@ class ClusterController:
         else:
             if not eligible:
                 raise ClusterError(
-                    "every replica is draining; nowhere to resume"
+                    "every replica is draining or down; nowhere to resume"
                 )
             destination = self._place(
                 session.spec, session.session_id, eligible, self
@@ -988,8 +1129,8 @@ class ClusterController:
                 destination = eligible[0]
         new_handle = self.replicas[destination].submit(
             session.spec,
-            resume_from=path,
             checkpoint_every=session._checkpoint_every,
+            resume=CheckpointPayload(path),
         )
         session._finish_handoff(destination, new_handle)
         return destination
@@ -999,6 +1140,116 @@ class ClusterController:
         self._check_replica(replica)
         with self._lock:
             self._draining.discard(replica)
+
+    # ------------------------------------------------------------------
+    # crash recovery
+    # ------------------------------------------------------------------
+    def _replica_died(self, index: int) -> None:
+        """Re-home every session a dead replica owned; the transport calls
+        this exactly once per death, from a dedicated thread.
+
+        Recovery is a handoff the session did not ask for: the newest
+        intact checkpoint in the dead replica's directory travels to a
+        surviving replica as bytes; a session without one is simply
+        re-run from the start (sessions are deterministic, so the result
+        is bit-identical either way — only wall-clock work is lost).
+        Sessions no surviving replica can admit are parked when a
+        checkpoint exists, declared lost otherwise.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            eligible = self._eligible()
+            owned = [
+                session
+                for session in self._sessions.values()
+                if session._replica == index
+            ]
+        if not owned:
+            return
+        span = self._span("recover", replica=index, sessions=len(owned))
+        outcomes = {"recovered": 0, "parked": 0, "lost": 0}
+        try:
+            for session in owned:
+                with session._cond:
+                    if (
+                        session._parked_path is not None
+                        or session._lost_error is not None
+                        or session._migrating
+                        or session._replica != index
+                    ):
+                        continue
+                    handle = session._begin_handoff()
+                outcome = self._recover_session(session, handle, index, eligible)
+                if outcome is not None:
+                    outcomes[outcome] += 1
+        except BaseException as exc:
+            if span is not None:
+                span.end(error=type(exc).__name__)
+            raise
+        if span is not None:
+            span.end(**outcomes)
+
+    def _latest_checkpoint(
+        self, replica_index: int, engine_session_id: int
+    ) -> Optional[CheckpointPayload]:
+        """The newest checkpoint a dead replica left for one session that
+        still validates (a save torn by the crash fails its digest and is
+        skipped in favor of the previous one)."""
+        directory = self.replicas[replica_index].checkpoint_dir
+        if directory is None or not os.path.isdir(directory):
+            return None
+        label = f"session-{engine_session_id}"
+        for path in reversed(list_checkpoints(directory, label=label)):
+            try:
+                with open(path, "rb") as stream:
+                    data = stream.read()
+                loads_checkpoint(data, origin=f"{path!r}")
+            except (OSError, CheckpointError):
+                continue
+            return CheckpointPayload(path, data=data)
+        return None
+
+    def _recover_session(
+        self,
+        session: ClusterSession,
+        handle: Any,
+        dead_index: int,
+        eligible: Tuple[int, ...],
+    ) -> Optional[str]:
+        payload = self._latest_checkpoint(dead_index, handle.session_id)
+        order: List[int] = []
+        if eligible:
+            first = self._place(
+                session.spec, session.session_id, eligible, self
+            )
+            if first not in eligible:
+                first = eligible[0]
+            order = [first] + [i for i in eligible if i != first]
+        for attempt in ([payload, None] if payload is not None else [None]):
+            for target in order:
+                try:
+                    new_handle = self.replicas[target].submit(
+                        session.spec,
+                        checkpoint_every=session._checkpoint_every,
+                        resume=attempt,
+                    )
+                except AdmissionError:
+                    continue
+                except CheckpointError:
+                    break  # damaged payload: fall through to a fresh re-run
+                session._finish_handoff(target, new_handle)
+                self._count_migration("recovered")
+                return "recovered"
+        if payload is not None:
+            session._abort_handoff(parked_path=payload.path)
+            return "parked"
+        session._mark_lost(
+            f"session {session.session_id} was lost: replica {dead_index} "
+            f"died leaving no checkpoint, and no surviving replica could "
+            f"re-run it"
+        )
+        return "lost"
 
     # ------------------------------------------------------------------
     # observability
@@ -1011,13 +1262,16 @@ class ClusterController:
 
     def stats(self) -> ClusterStats:
         """The merged cluster snapshot; traffic counters are exact sums of
-        the per-replica :class:`ServiceStats`."""
-        per_replica = tuple(service.stats() for service in self.replicas)
+        the per-replica :class:`ServiceStats` (a dead replica contributes
+        its last reported snapshot, in-flight counts zeroed)."""
+        per_replica = tuple(replica.stats() for replica in self.replicas)
+        healthy = sum(1 for replica in self.replicas if replica.healthy)
         with self._lock:
             elapsed = time.perf_counter() - self._started
             submitted = sum(t.submitted for t in self._tenants.values())
             rejected = self._rejected
             migrations = self._migrations
+            recoveries = self._recoveries
             rebalances = self._rebalances
             parked = sum(
                 1
@@ -1034,7 +1288,8 @@ class ClusterController:
         # rejected) come from the cluster ledger instead — they are
         # charged once per *logical* session, however many replicas a
         # migrating session visits, and replica-level re-admissions
-        # (migration hops, bounce attempts) must not inflate them.
+        # (migration hops, bounce attempts, crash re-runs) must not
+        # inflate them.
         merged: Dict[str, TenantStats] = {}
         for stats in per_replica:
             for tenant in stats.tenants:
@@ -1052,9 +1307,12 @@ class ClusterController:
             elapsed_seconds=elapsed,
             replicas=len(self.replicas),
             placement=self.placement,
+            backend=self.backend,
+            healthy_replicas=healthy,
             submitted=submitted,
             rejected=rejected,
             migrations=migrations,
+            recoveries=recoveries,
             rebalances=rebalances,
             parked=parked,
             completed=sum(s.completed for s in per_replica),
@@ -1081,10 +1339,12 @@ class ClusterController:
     def close(
         self, wait: bool = True, park: bool = False
     ) -> Optional[List[str]]:
-        """Close every replica.  ``park=True`` parks live checkpointable
-        sessions (scheduled checkpoint-on-shutdown) and returns the
-        written checkpoint paths; plain close waits sessions out and
-        returns ``None``."""
+        """Close every replica; process children are always reaped (clean
+        shutdown first, escalating to terminate/kill) so no interrupt or
+        crash path leaks an orphan.  ``park=True`` parks live
+        checkpointable sessions (scheduled checkpoint-on-shutdown) and
+        returns the written checkpoint paths; plain close waits sessions
+        out and returns ``None``."""
         if park:
             self._require_migratable()
         with self._lock:
@@ -1093,22 +1353,39 @@ class ClusterController:
             self._closed = True
             sessions = list(self._sessions.values())
         if not park:
-            for service in self.replicas:
-                service.close(wait=wait)
+            for replica in self.replicas:
+                replica.close(wait=wait)
             return None
         paths: List[str] = []
-        for service in self.replicas:
-            paths.extend(service.close(wait=wait, park=True))
+        parked_by_replica: Dict[int, List[str]] = {}
+        for replica in self.replicas:
+            parked = replica.close(wait=wait, park=True) or []
+            parked_by_replica[replica.index] = list(parked)
+            paths.extend(parked)
         for session in sessions:
             with session._cond:
                 if (
-                    session._parked_path is None
-                    and not session._migrating
-                    and session._handle.poll() == "evicted"
+                    session._parked_path is not None
+                    or session._lost_error is not None
+                    or session._migrating
                 ):
-                    session._parked_path = (
-                        session._handle._future.exception().path
-                    )
+                    continue
+                handle = session._handle
+                path: Optional[str] = None
+                if handle.poll() == "evicted":
+                    path = handle.evicted_path()
+                if path is None:
+                    # A process replica is gone by now; recover the path
+                    # from the parked list by the engine session's label.
+                    prefix = f"session-{handle.session_id}-"
+                    candidates = [
+                        p
+                        for p in parked_by_replica.get(session._replica, [])
+                        if os.path.basename(p).startswith(prefix)
+                    ]
+                    path = candidates[-1] if candidates else None
+                if path is not None:
+                    session._parked_path = path
                     session._cond.notify_all()
         return paths
 

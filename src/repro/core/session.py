@@ -33,7 +33,7 @@ from ..parties.config import SAPConfig, make_classifier
 from ..parties.coordinator import Coordinator
 from ..parties.miner import MinerResult, ServiceProvider
 from ..parties.provider import DataProvider
-from ..sharding.backends import ShardBackend
+from ..sharding.backends import ShardBackend, ShardFutures
 from ..sharding.engine import ShardPool
 from ..sharding.plan import ShardPlan
 from ..sharding.worker import party_risk_task
@@ -258,36 +258,51 @@ def _execute_sap_session(
     if miner.result is None:
         raise RuntimeError("the protocol run did not complete")
 
-    # --- unperturbed baseline on the identical rows ------------------------
-    X_blocks = [local.X for local in local_datasets]
-    y_blocks = [local.y for local in local_datasets]
-    mask_blocks = list(test_masks)
-    X_all = np.vstack(X_blocks)
-    y_all = np.concatenate(y_blocks)
-    mask_all = np.concatenate(mask_blocks)
-    baseline_model = make_classifier(config.classifier)
-    baseline_model.fit(X_all[~mask_all], y_all[~mask_all])
-    accuracy_standard = accuracy_score(
-        y_all[mask_all], baseline_model.predict(X_all[mask_all])
-    )
-
-    # --- identifiability bookkeeping ---------------------------------------
-    assert coordinator.plan is not None
-    pairs: List[Tuple[str, str]] = []
-    for source in range(config.k):
-        forwarder = coordinator.plan.receiver_of_source(source)
-        pairs.append(
-            (config.provider_name(forwarder), config.provider_name(source))
-        )
-
-    # --- optional privacy/risk profiles ------------------------------------
-    profiles: List[PartyRiskProfile] = []
+    # --- optional privacy/risk profiles: dispatch early --------------------
+    # The per-party attack-suite work is independent of the baseline fit
+    # below, so it is submitted (not mapped) here and gathered after the
+    # classifier exchange — the fan-out overlaps the blocking fit.  Seeds
+    # are still drawn from ``master`` in provider order, so results are
+    # bit-identical to the former blocking ``map``.
+    profile_pool: Optional[ShardPool] = None
+    profile_futures = None
     if compute_privacy:
         # ``privacy_suite=None`` is resolved to the fast suite inside the
         # shard workers, so the default never crosses a pickle boundary.
-        profiles = _privacy_profiles(
+        profile_pool, profile_futures = _dispatch_privacy_profiles(
             providers, coordinator, config, privacy_suite, master, backend
         )
+
+    try:
+        # --- unperturbed baseline on the identical rows --------------------
+        X_blocks = [local.X for local in local_datasets]
+        y_blocks = [local.y for local in local_datasets]
+        mask_blocks = list(test_masks)
+        X_all = np.vstack(X_blocks)
+        y_all = np.concatenate(y_blocks)
+        mask_all = np.concatenate(mask_blocks)
+        baseline_model = make_classifier(config.classifier)
+        baseline_model.fit(X_all[~mask_all], y_all[~mask_all])
+        accuracy_standard = accuracy_score(
+            y_all[mask_all], baseline_model.predict(X_all[mask_all])
+        )
+
+        # --- identifiability bookkeeping -----------------------------------
+        assert coordinator.plan is not None
+        pairs: List[Tuple[str, str]] = []
+        for source in range(config.k):
+            forwarder = coordinator.plan.receiver_of_source(source)
+            pairs.append(
+                (config.provider_name(forwarder), config.provider_name(source))
+            )
+
+        # --- gather the overlapped privacy/risk profiles -------------------
+        profiles: List[PartyRiskProfile] = []
+        if profile_futures is not None:
+            profiles = profile_futures.gather()
+    finally:
+        if profile_pool is not None:
+            profile_pool.close()
 
     return SAPSessionResult(
         config=config,
@@ -304,25 +319,28 @@ def _execute_sap_session(
     )
 
 
-def _privacy_profiles(
+def _dispatch_privacy_profiles(
     providers: List[DataProvider],
     coordinator: Coordinator,
     config: SAPConfig,
     suite: Optional["AttackSuite"],
     master: np.random.Generator,
     backend: Optional[ShardBackend] = None,
-) -> List[PartyRiskProfile]:
-    """Per-party rho_local / rho_global / b estimates and risk numbers.
+) -> Tuple[ShardPool, "ShardFutures"]:
+    """Fan the per-party risk estimation out without waiting for it.
 
     The per-party work — two attack-suite guarantees and a small optimizer
-    run each — is independent across providers, so it fans out over a
+    run each — is independent across providers, so it is *submitted* to a
     :class:`~repro.sharding.engine.ShardPool` (``config.shards`` workers on
-    ``config.shard_backend``).  Seeds are pre-drawn from ``master`` in
-    provider order and results are merged in the same order, so every
-    backend returns exactly the serial profiles.  ``suite=None`` lets each
-    worker build the default fast suite locally (nothing to pickle); a
-    custom suite is shipped to the workers and must be picklable when the
-    process backend is selected.
+    ``config.shard_backend``) and runs while the caller fits the
+    unperturbed baseline classifier.  Returns ``(pool, futures)``; the
+    caller gathers the futures (ordered, one profile per provider) and
+    closes the pool.  Seeds are pre-drawn from ``master`` in provider
+    order and results are merged in the same order, so every backend —
+    and the overlap itself — returns exactly the serial profiles.
+    ``suite=None`` lets each worker build the default fast suite locally
+    (nothing to pickle); a custom suite is shipped to the workers and must
+    be picklable when the process backend is selected.
     """
     assert coordinator.target is not None
     tasks = []
@@ -347,8 +365,13 @@ def _privacy_profiles(
                 "suite": suite,
             }
         )
-    with ShardPool(
+    pool = ShardPool(
         ShardPlan(config.shards, n_parties=config.k),
         config.shard_backend if backend is None else backend,
-    ) as pool:
-        return pool.map(party_risk_task, tasks)
+    )
+    try:
+        futures = pool.submit_map(party_risk_task, tasks)
+    except BaseException:
+        pool.close()
+        raise
+    return pool, futures

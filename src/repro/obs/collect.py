@@ -131,7 +131,10 @@ def cluster_collector(cluster: Any) -> Collector:
 
     Cluster-wide lifecycle counts are one gauge family labeled by
     ``state``; per-replica activity gets a ``replica`` label so hot
-    replicas are visible before a rebalance sweep.
+    replicas are visible before a rebalance sweep.  Replica transports
+    additionally surface liveness (``repro_cluster_replica_up``, the
+    heartbeat age) and wire traffic (frames/bytes both ways — zero for
+    in-process replicas, whose "wire" is a function call).
     """
 
     def collect(registry: Any) -> None:
@@ -155,11 +158,42 @@ def cluster_collector(cluster: Any) -> Collector:
             "repro_cluster_replicas", "Engine replicas in the cluster."
         ).set(stats.replicas)
         registry.gauge(
+            "repro_cluster_replicas_healthy",
+            "Replicas currently passing health checks.",
+        ).set(getattr(stats, "healthy_replicas", stats.replicas))
+        registry.gauge(
             "repro_cluster_migrations", "Completed session migration hops."
         ).set(stats.migrations)
         registry.gauge(
+            "repro_cluster_recoveries",
+            "Sessions re-homed by crash recovery.",
+        ).set(getattr(stats, "recoveries", 0))
+        registry.gauge(
             "repro_cluster_rebalances", "Rebalance sweeps executed."
         ).set(stats.rebalances)
+        for transport in getattr(cluster, "replicas", ()):
+            index = str(getattr(transport, "index", "?"))
+            registry.gauge(
+                "repro_cluster_replica_up",
+                "1 while the replica passes health checks, else 0.",
+                replica=index,
+            ).set(1 if getattr(transport, "healthy", True) else 0)
+            registry.gauge(
+                "repro_cluster_replica_heartbeat_age_seconds",
+                "Seconds since the replica last proved liveness.",
+                replica=index,
+            ).set(getattr(transport, "heartbeat_age", 0.0))
+            for name, doc in (
+                ("frames_sent", "Protocol frames sent to the replica."),
+                ("frames_received", "Protocol frames received from the replica."),
+                ("wire_bytes_sent", "Wire bytes sent to the replica."),
+                ("wire_bytes_received", "Wire bytes received from the replica."),
+            ):
+                registry.gauge(
+                    f"repro_cluster_replica_{name}",
+                    doc,
+                    replica=index,
+                ).set(getattr(transport, name, 0))
         for index, replica in enumerate(stats.per_replica):
             registry.gauge(
                 "repro_cluster_replica_active",

@@ -1,0 +1,322 @@
+"""Wire views of serving results and stats — the remoteable engine surface.
+
+A process replica (:mod:`repro.cluster.replica`) runs a
+:class:`~repro.serve.engine.MiningService` behind a framed byte protocol,
+so everything the engine hands back — session results, service stats —
+must cross the boundary as data the checkpoint codec can carry
+(:mod:`repro.checkpoint.codec`: scalars, strings, bytes, lists, dicts,
+ndarrays).  This module is that translation, and nothing else: no
+sockets, no framing, no engine state.
+
+The contract mirrors the checkpoint layer's: a round-trip through
+``result_to_wire`` / ``result_from_wire`` preserves every
+result-affecting field **bit-identically** (accuracies, deviation series,
+traffic counters, ingest ledgers), which is what lets the cluster's
+determinism invariant survive the process hop.  Deliberately dropped on
+the wire — exactly the fields the in-process path also refuses to share:
+
+* ``SAPSessionResult.network`` (the simnet observation ledger is a local
+  debugging attachment, never part of the measured outcome);
+* ``MinerResult.model`` (a fitted classifier object; the service phase
+  re-fits from the pooled rows when needed).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Union
+
+from ..core.risk import PartyRiskProfile
+from ..core.session import SAPSessionResult
+from ..datasets.partition import PartitionScheme
+from ..parties.config import ClassifierSpec, SAPConfig
+from ..parties.miner import MinerResult
+from ..streaming.ingest import IngestStats, ProviderGate
+from ..streaming.stream_session import (
+    ReadaptationEvent,
+    StreamSessionResult,
+    StreamWindowStats,
+    stream_config_from_mapping,
+    stream_config_mapping,
+)
+from .engine import PoolStats, ServiceStats, TenantStats
+
+__all__ = [
+    "WireError",
+    "result_to_wire",
+    "result_from_wire",
+    "stats_to_wire",
+    "stats_from_wire",
+]
+
+SessionResult = Union[SAPSessionResult, StreamSessionResult]
+
+
+class WireError(ValueError):
+    """A payload does not describe a result/stats object this build knows."""
+
+
+# ----------------------------------------------------------------------
+# session results
+# ----------------------------------------------------------------------
+def _sap_config_to_wire(config: SAPConfig) -> Dict[str, Any]:
+    return {
+        "k": config.k,
+        "noise_sigma": float(config.noise_sigma),
+        "classifier": config.classifier.name,
+        "classifier_params": dict(config.classifier.params),
+        "test_fraction": float(config.test_fraction),
+        "optimize_locally": config.optimize_locally,
+        "optimizer_rounds": config.optimizer_rounds,
+        "optimizer_local_steps": config.optimizer_local_steps,
+        "target_candidates": config.target_candidates,
+        "round_timeout": config.round_timeout,
+        "shards": config.shards,
+        "shard_backend": config.shard_backend,
+        "seed": config.seed,
+    }
+
+
+def _sap_config_from_wire(mapping: Dict[str, Any]) -> SAPConfig:
+    kwargs = dict(mapping)
+    kwargs["classifier"] = ClassifierSpec(
+        name=kwargs.pop("classifier"),
+        params=dict(kwargs.pop("classifier_params")),
+    )
+    return SAPConfig(**kwargs)
+
+
+def _miner_result_to_wire(miner: MinerResult) -> Dict[str, Any]:
+    return {
+        "accuracy": miner.accuracy,
+        "n_train": miner.n_train,
+        "n_test": miner.n_test,
+        "classifier_name": miner.classifier_name,
+        "per_tag_rows": dict(miner.per_tag_rows),
+        "pooled_features": miner.pooled_features,
+        "pooled_labels": miner.pooled_labels,
+        "pooled_test_mask": miner.pooled_test_mask,
+        # ``model`` stays home: a fitted classifier is not wire data.
+    }
+
+
+def _batch_to_wire(result: SAPSessionResult) -> Dict[str, Any]:
+    return {
+        "kind": "batch",
+        "config": _sap_config_to_wire(result.config),
+        "scheme": result.scheme.value,
+        "accuracy_perturbed": result.accuracy_perturbed,
+        "accuracy_standard": result.accuracy_standard,
+        "miner_result": _miner_result_to_wire(result.miner_result),
+        "forwarder_source_pairs": [
+            list(pair) for pair in result.forwarder_source_pairs
+        ],
+        "messages_sent": result.messages_sent,
+        "bytes_sent": result.bytes_sent,
+        "virtual_duration": result.virtual_duration,
+        "risk_profiles": [
+            {
+                "party": p.party,
+                "rho_local": p.rho_local,
+                "rho_global": p.rho_global,
+                "b": p.b,
+                "k": p.k,
+            }
+            for p in result.risk_profiles
+        ],
+    }
+
+
+def _batch_from_wire(mapping: Dict[str, Any]) -> SAPSessionResult:
+    return SAPSessionResult(
+        config=_sap_config_from_wire(mapping["config"]),
+        scheme=PartitionScheme(mapping["scheme"]),
+        accuracy_perturbed=mapping["accuracy_perturbed"],
+        accuracy_standard=mapping["accuracy_standard"],
+        miner_result=MinerResult(**mapping["miner_result"]),
+        forwarder_source_pairs=[
+            tuple(pair) for pair in mapping["forwarder_source_pairs"]
+        ],
+        messages_sent=mapping["messages_sent"],
+        bytes_sent=mapping["bytes_sent"],
+        virtual_duration=mapping["virtual_duration"],
+        risk_profiles=[
+            PartyRiskProfile(**profile) for profile in mapping["risk_profiles"]
+        ],
+        network=None,
+    )
+
+
+def _ingest_to_wire(ingest: IngestStats) -> Dict[str, Any]:
+    return {
+        "providers": [
+            {
+                "provider": gate.provider,
+                "name": gate.name,
+                "records": gate.records,
+                "late": gate.late,
+                "dropped": gate.dropped,
+                "readmitted": gate.readmitted,
+                "upserted": gate.upserted,
+                "max_skew": gate.max_skew,
+            }
+            for gate in ingest.providers
+        ],
+        "records": ingest.records,
+        "late": ingest.late,
+        "dropped": ingest.dropped,
+        "readmitted": ingest.readmitted,
+        "upserted": ingest.upserted,
+        "max_skew": ingest.max_skew,
+    }
+
+
+def _ingest_from_wire(mapping: Dict[str, Any]) -> IngestStats:
+    kwargs = dict(mapping)
+    kwargs["providers"] = tuple(
+        ProviderGate(**gate) for gate in kwargs["providers"]
+    )
+    return IngestStats(**kwargs)
+
+
+def _stream_to_wire(result: StreamSessionResult) -> Dict[str, Any]:
+    return {
+        "kind": "stream",
+        "config": stream_config_mapping(result.config),
+        "source_name": result.source_name,
+        "source_kind": result.source_kind,
+        "records_processed": result.records_processed,
+        "windows": [
+            {
+                "index": w.index,
+                "n_records": w.n_records,
+                "accuracy_perturbed": w.accuracy_perturbed,
+                "accuracy_baseline": w.accuracy_baseline,
+                "drift_statistic": w.drift_statistic,
+                "drift_kind": w.drift_kind,
+                "readapted": w.readapted,
+                "revision": w.revision,
+            }
+            for w in result.windows
+        ],
+        "events": [
+            {
+                "window": e.window,
+                "reason": e.reason,
+                "statistic": e.statistic,
+                "latency": e.latency,
+                "messages": e.messages,
+                "bytes": e.bytes,
+                "virtual_duration": e.virtual_duration,
+                "privacy_guarantee": e.privacy_guarantee,
+            }
+            for e in result.events
+        ],
+        "accuracy_perturbed": result.accuracy_perturbed,
+        "accuracy_baseline": result.accuracy_baseline,
+        "wall_seconds": result.wall_seconds,
+        "messages_sent": result.messages_sent,
+        "bytes_sent": result.bytes_sent,
+        "data_messages_sent": result.data_messages_sent,
+        "data_bytes_sent": result.data_bytes_sent,
+        "shard_records": list(result.shard_records),
+        "ingest": (
+            None if result.ingest is None else _ingest_to_wire(result.ingest)
+        ),
+        "provider_records": list(result.provider_records),
+        "overlap": result.overlap,
+    }
+
+
+def _stream_from_wire(mapping: Dict[str, Any]) -> StreamSessionResult:
+    return StreamSessionResult(
+        config=stream_config_from_mapping(mapping["config"]),
+        source_name=mapping["source_name"],
+        source_kind=mapping["source_kind"],
+        records_processed=mapping["records_processed"],
+        windows=[StreamWindowStats(**w) for w in mapping["windows"]],
+        events=[ReadaptationEvent(**e) for e in mapping["events"]],
+        accuracy_perturbed=mapping["accuracy_perturbed"],
+        accuracy_baseline=mapping["accuracy_baseline"],
+        wall_seconds=mapping["wall_seconds"],
+        messages_sent=mapping["messages_sent"],
+        bytes_sent=mapping["bytes_sent"],
+        data_messages_sent=mapping["data_messages_sent"],
+        data_bytes_sent=mapping["data_bytes_sent"],
+        shard_records=tuple(mapping["shard_records"]),
+        ingest=(
+            None
+            if mapping["ingest"] is None
+            else _ingest_from_wire(mapping["ingest"])
+        ),
+        provider_records=tuple(mapping["provider_records"]),
+        overlap=mapping["overlap"],
+    )
+
+
+def result_to_wire(result: SessionResult) -> Dict[str, Any]:
+    """Flatten one session result into codec-safe data (keyed by kind)."""
+    if isinstance(result, SAPSessionResult):
+        return _batch_to_wire(result)
+    if isinstance(result, StreamSessionResult):
+        return _stream_to_wire(result)
+    raise WireError(
+        f"cannot serialize a {type(result).__name__}; expected a batch or "
+        f"stream session result"
+    )
+
+
+def result_from_wire(mapping: Dict[str, Any]) -> SessionResult:
+    """Rebuild the exact result object :func:`result_to_wire` flattened."""
+    kind = mapping.get("kind") if isinstance(mapping, dict) else None
+    if kind == "batch":
+        return _batch_from_wire(mapping)
+    if kind == "stream":
+        return _stream_from_wire(mapping)
+    raise WireError(f"unknown result kind {kind!r} on the wire")
+
+
+# ----------------------------------------------------------------------
+# service stats
+# ----------------------------------------------------------------------
+_TENANT_FIELDS = (
+    "tenant", "submitted", "rejected", "completed", "failed", "cancelled",
+    "evicted", "active", "privacy_sessions", "records", "messages", "bytes",
+    "busy_seconds",
+)
+
+
+def stats_to_wire(stats: ServiceStats) -> Dict[str, Any]:
+    """Flatten one :class:`ServiceStats` snapshot into codec-safe data."""
+    return {
+        "elapsed_seconds": stats.elapsed_seconds,
+        "submitted": stats.submitted,
+        "rejected": stats.rejected,
+        "completed": stats.completed,
+        "failed": stats.failed,
+        "cancelled": stats.cancelled,
+        "evicted": stats.evicted,
+        "active": stats.active,
+        "records": stats.records,
+        "messages": stats.messages,
+        "bytes": stats.bytes,
+        "tenants": [
+            {name: getattr(t, name) for name in _TENANT_FIELDS}
+            for t in stats.tenants
+        ],
+        "pool": {
+            "backend": stats.pool.backend,
+            "workers": stats.pool.workers,
+            "tasks": stats.pool.tasks,
+            "batches": stats.pool.batches,
+            "busy_seconds": stats.pool.busy_seconds,
+            "utilization": stats.pool.utilization,
+        },
+    }
+
+
+def stats_from_wire(mapping: Dict[str, Any]) -> ServiceStats:
+    """Rebuild the :class:`ServiceStats` :func:`stats_to_wire` flattened."""
+    kwargs = dict(mapping)
+    kwargs["tenants"] = tuple(TenantStats(**t) for t in kwargs["tenants"])
+    kwargs["pool"] = PoolStats(**kwargs["pool"])
+    return ServiceStats(**kwargs)

@@ -471,7 +471,7 @@ def test_cluster_demo_workload(capsys):
         capsys, "cluster", "--sessions", "4", "--replicas", "2",
         "--dataset", "wine", "--seed", "1",
     )
-    assert "Cluster - 4 sessions over 2 replicas" in out
+    assert "Cluster - 4 sessions over 2 inprocess replicas" in out
     assert "hash placement" in out
     assert "replica 0" in out and "replica 1" in out
     assert "tenant acme" in out and "tenant globex" in out

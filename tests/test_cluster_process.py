@@ -1,0 +1,192 @@
+"""Process-backed replicas: bit-identity across real OS process boundaries.
+
+The transport refactor's governing property, swept where it is hardest:
+with every replica a separate OS process behind the framed socket
+protocol, any schedule of submits, live wire migrations, ``SIGKILL``
+crashes with recovery, and park/resume hops must reproduce the
+single-engine run **bit for bit**, and the merged :class:`ClusterStats`
+must conserve every counter exactly — the per-replica sums crossing the
+wire are the same numbers the in-process backend adds up locally.
+"""
+
+import os
+import signal
+import time
+
+import pytest
+
+from repro.cluster import ClusterController
+from repro.serve import MiningService, SessionSpec
+
+
+def _stream_spec(seed=5, tenant="acme", windows=10, **knobs):
+    return SessionSpec(
+        kind="stream", dataset="wine", k=3, windows=windows, window_size=32,
+        compute_privacy=False, seed=seed, tenant=tenant, **knobs
+    )
+
+
+def _fingerprint(result):
+    """Everything deterministic a stream result reports, bit for bit."""
+    return (
+        result.deviation_series(),
+        result.messages_sent,
+        result.bytes_sent,
+        result.data_messages_sent,
+        result.data_bytes_sent,
+        result.records_processed,
+    )
+
+
+def _single_engine(spec):
+    with MiningService(max_inflight=2) as service:
+        return service.run([spec])[0]
+
+
+def _assert_conserved(stats):
+    """Cluster totals must equal per-replica sums exactly."""
+    per = stats.per_replica
+    assert stats.records == sum(s.records for s in per)
+    assert stats.messages == sum(s.messages for s in per)
+    assert stats.bytes == sum(s.bytes for s in per)
+    assert stats.completed == sum(s.completed for s in per)
+    assert stats.failed == sum(s.failed for s in per)
+    assert stats.cancelled == sum(s.cancelled for s in per)
+    assert stats.evicted == sum(s.evicted for s in per)
+    assert stats.active == sum(s.active for s in per)
+    assert sum(s.submitted for s in per) == stats.submitted + stats.migrations
+
+
+def _wait_for_checkpoint(directory, timeout=30.0):
+    """Block until some replica wrote a checkpoint file under ``directory``."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        for root, _, files in os.walk(directory):
+            if any(name.endswith(".ckpt") for name in files):
+                return
+        time.sleep(0.01)
+    raise AssertionError(f"no checkpoint appeared under {directory}")
+
+
+# ----------------------------------------------------------------------
+# plain runs across the wire
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("placement", ["hash", "least_loaded"])
+def test_process_backend_bit_identical_and_conserved(tmp_path, placement):
+    specs = [_stream_spec(seed=seed) for seed in (1, 2, 3)]
+    unbroken = [_fingerprint(_single_engine(spec)) for spec in specs]
+    with ClusterController(
+        replicas=2,
+        backend="process",
+        placement=placement,
+        checkpoint_dir=str(tmp_path),
+    ) as cluster:
+        sessions = [cluster.submit(spec) for spec in specs]
+        results = [session.result(timeout=120) for session in sessions]
+        stats = cluster.stats()
+        assert [_fingerprint(result) for result in results] == unbroken
+        assert stats.backend == "process"
+        assert stats.replicas == 2
+        assert stats.healthy_replicas == 2
+        assert stats.completed == len(specs)
+        _assert_conserved(stats)
+        # Everything crossed a real wire: the transports counted it.
+        for transport in cluster.replicas:
+            assert transport.kind == "process"
+            assert transport.frames_sent > 0
+            assert transport.frames_received > 0
+            assert transport.wire_bytes_sent > 0
+            assert transport.wire_bytes_received > 0
+            assert transport.pid > 0
+
+
+def test_live_wire_migration_bit_identical(tmp_path):
+    spec = _stream_spec(seed=9, windows=60)
+    unbroken = _fingerprint(_single_engine(spec))
+    with ClusterController(
+        replicas=2, backend="process", checkpoint_dir=str(tmp_path)
+    ) as cluster:
+        session = cluster.submit(spec, checkpoint_every=1)
+        source = session.replica
+        landed = cluster.migrate(session.session_id, 1 - source)
+        assert landed == 1 - source, "migration must happen mid-run"
+        result = session.result(timeout=120)
+        stats = cluster.stats()
+    assert _fingerprint(result) == unbroken
+    assert session.migrations >= 1
+    assert stats.migrations >= 1
+    _assert_conserved(stats)
+
+
+# ----------------------------------------------------------------------
+# crash recovery: SIGKILL mid-run, bit-identical resume elsewhere
+# ----------------------------------------------------------------------
+def test_sigkill_mid_run_recovers_bit_identical(tmp_path):
+    spec = _stream_spec(seed=11, windows=60)
+    unbroken = _fingerprint(_single_engine(spec))
+    with ClusterController(
+        replicas=2, backend="process", checkpoint_dir=str(tmp_path)
+    ) as cluster:
+        session = cluster.submit(spec, checkpoint_every=1)
+        victim = cluster.replicas[session.replica]
+        _wait_for_checkpoint(str(tmp_path))
+        os.kill(victim.pid, signal.SIGKILL)
+        result = session.result(timeout=120)
+        stats = cluster.stats()
+        assert _fingerprint(result) == unbroken
+        assert session.poll() == "completed"
+        assert session.replica != victim.index
+        assert not victim.healthy
+        assert stats.recoveries >= 1
+        assert stats.healthy_replicas == 1
+        _assert_conserved(stats)
+
+
+def test_sigkill_with_concurrent_survivor_sessions(tmp_path):
+    """The survivor's own sessions ride through a neighbor's crash."""
+    crash_spec = _stream_spec(seed=21, windows=60)
+    quiet_spec = _stream_spec(seed=22, windows=60)
+    expected = {
+        21: _fingerprint(_single_engine(crash_spec)),
+        22: _fingerprint(_single_engine(quiet_spec)),
+    }
+    with ClusterController(
+        replicas=2, backend="process", checkpoint_dir=str(tmp_path)
+    ) as cluster:
+        first = cluster.submit(crash_spec, checkpoint_every=1)
+        second = cluster.submit(quiet_spec, checkpoint_every=1)
+        if first.replica == second.replica:
+            # Same placement: still a valid crash test, everything moves.
+            pass
+        victim = cluster.replicas[first.replica]
+        _wait_for_checkpoint(str(tmp_path))
+        os.kill(victim.pid, signal.SIGKILL)
+        results = {
+            21: _fingerprint(first.result(timeout=120)),
+            22: _fingerprint(second.result(timeout=120)),
+        }
+        stats = cluster.stats()
+        assert results == expected
+        assert stats.recoveries >= 1
+        _assert_conserved(stats)
+
+
+# ----------------------------------------------------------------------
+# park on shutdown, resume on a plain single engine
+# ----------------------------------------------------------------------
+def test_park_from_process_cluster_resumes_on_single_engine(tmp_path):
+    spec = _stream_spec(seed=31, windows=60)
+    unbroken = _fingerprint(_single_engine(spec))
+    cluster = ClusterController(
+        replicas=2, backend="process", checkpoint_dir=str(tmp_path)
+    )
+    session = cluster.submit(spec, checkpoint_every=1)
+    _wait_for_checkpoint(str(tmp_path))
+    parked = cluster.close(park=True)
+    assert session.poll() == "parked"
+    assert len(parked) == 1 and parked[0] == session.parked_path
+    # The parked file is an ordinary RPCK checkpoint: any engine resumes it.
+    with MiningService(max_inflight=2) as service:
+        handle = service.resume(parked[0])
+        result = handle.result(timeout=120)
+    assert _fingerprint(result) == unbroken
